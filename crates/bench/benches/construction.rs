@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the construction algorithms: DME/ZST building,
+//! edge splitting and buffer insertion as a function of sink count.
+
+use contango_benchmarks::ti_instance;
+use contango_core::buffering::{default_candidates, insert_buffers_by_cap, split_long_edges};
+use contango_core::dme::{build_zero_skew_tree, DmeOptions};
+use contango_geom::ObstacleSet;
+use contango_tech::Technology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dme(c: &mut Criterion) {
+    let tech = Technology::ispd09();
+    let mut group = c.benchmark_group("dme_construction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &sinks in &[100usize, 400] {
+        let instance = ti_instance(sinks, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(sinks), &instance, |b, inst| {
+            b.iter(|| build_zero_skew_tree(inst, &tech, DmeOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffering(c: &mut Criterion) {
+    let tech = Technology::ispd09();
+    let mut group = c.benchmark_group("buffer_insertion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &sinks in &[100usize, 400] {
+        let instance = ti_instance(sinks, 5);
+        let mut tree = build_zero_skew_tree(&instance, &tech, DmeOptions::default());
+        split_long_edges(&mut tree, 250.0);
+        let composite = default_candidates(&tech, false)[0];
+        let max_cap = tech.slew_free_cap(composite.output_res());
+        group.bench_with_input(BenchmarkId::from_parameter(sinks), &tree, |b, t| {
+            b.iter(|| {
+                let mut work = t.clone();
+                insert_buffers_by_cap(&mut work, &tech, composite, max_cap, &ObstacleSet::new())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dme, bench_buffering);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the delay-evaluation substrate: Elmore,
+//! two-pole and transient multi-corner evaluation of a buffered network.
+
+use contango_benchmarks::ti_instance;
+use contango_core::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
+use contango_core::dme::{build_zero_skew_tree, DmeOptions};
+use contango_core::lower::to_netlist;
+use contango_sim::{DelayModel, Evaluator, Netlist, SourceSpec};
+use contango_tech::Technology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn buffered_netlist(sinks: usize) -> (Technology, Netlist) {
+    let tech = Technology::ispd09();
+    let instance = ti_instance(sinks, 9);
+    let mut tree = build_zero_skew_tree(&instance, &tech, DmeOptions::default());
+    split_long_edges(&mut tree, 250.0);
+    choose_and_insert_buffers(
+        &mut tree,
+        &tech,
+        &default_candidates(&tech, false),
+        instance.cap_limit,
+        0.1,
+        &instance.obstacles,
+    )
+    .expect("buffering fits");
+    let netlist = to_netlist(&tree, &tech, &SourceSpec::ispd09(), 100.0).expect("lowers");
+    (tech, netlist)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (tech, netlist) = buffered_netlist(200);
+    let mut group = c.benchmark_group("evaluation_models");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for model in [DelayModel::Elmore, DelayModel::TwoPole, DelayModel::Transient] {
+        let eval = Evaluator::with_model(tech.clone(), model);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model:?}")),
+            &netlist,
+            |b, n| b.iter(|| eval.evaluate(n)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_transient_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &sinks in &[100usize, 300] {
+        let (tech, netlist) = buffered_netlist(sinks);
+        let eval = Evaluator::with_model(tech, DelayModel::Transient);
+        group.bench_with_input(BenchmarkId::from_parameter(sinks), &netlist, |b, n| {
+            b.iter(|| eval.evaluate(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_transient_scaling);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the SPICE-driven optimization passes and the
+//! end-to-end flow on small instances, including the power-reserve and
+//! large-inverter ablations called out in DESIGN.md.
+
+use contango_benchmarks::ti_instance;
+use contango_core::flow::{ContangoFlow, FlowConfig};
+use contango_tech::Technology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contango_flow");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &sinks in &[40usize, 80] {
+        let instance = ti_instance(sinks, 17);
+        let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+        group.bench_with_input(BenchmarkId::from_parameter(sinks), &instance, |b, inst| {
+            b.iter(|| flow.run(inst).expect("flow runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let instance = ti_instance(60, 23);
+    let mut group = c.benchmark_group("flow_ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let configs = [
+        ("small_inverters", FlowConfig::fast()),
+        (
+            "large_inverters",
+            FlowConfig {
+                use_large_inverters: true,
+                ..FlowConfig::fast()
+            },
+        ),
+        (
+            "no_power_reserve",
+            FlowConfig {
+                power_reserve: 0.0,
+                ..FlowConfig::fast()
+            },
+        ),
+        (
+            "untuned",
+            FlowConfig {
+                enable_buffer_sizing: false,
+                enable_wiresizing: false,
+                enable_wiresnaking: false,
+                enable_bottom_level: false,
+                ..FlowConfig::fast()
+            },
+        ),
+    ];
+    for (label, config) in configs {
+        let flow = ContangoFlow::new(Technology::ispd09(), config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &instance, |b, inst| {
+            b.iter(|| flow.run(inst).expect("flow runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_flow, bench_ablations);
+criterion_main!(benches);

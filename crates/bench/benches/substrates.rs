@@ -1,0 +1,101 @@
+//! Criterion benchmarks for the supporting substrates added around the core
+//! flow: Steiner-tree construction, spatial indexing, reduced-order delay
+//! models and Monte-Carlo variation sampling.
+
+use contango_benchmarks::ti_instance;
+use contango_core::dme::{build_zero_skew_tree, DmeOptions};
+use contango_core::lower::to_netlist;
+use contango_geom::{rectilinear_mst, Point, SpatialIndex, SteinerTree};
+use contango_sim::variation::{monte_carlo, VariationModel};
+use contango_sim::{reduced_order_models, DelayModel, Evaluator, RcTree, SourceSpec};
+use contango_tech::Technology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sink_points(count: usize) -> Vec<Point> {
+    ti_instance(count, 11)
+        .sinks
+        .iter()
+        .map(|s| s.location)
+        .collect()
+}
+
+fn bench_steiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_tree");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &count in &[50usize, 200] {
+        let points = sink_points(count);
+        group.bench_with_input(BenchmarkId::new("prim_to_segment", count), &points, |b, p| {
+            b.iter(|| SteinerTree::build(p));
+        });
+        group.bench_with_input(BenchmarkId::new("rectilinear_mst", count), &points, |b, p| {
+            b.iter(|| rectilinear_mst(p));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spatial_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_index");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let points = sink_points(2000);
+    let index = SpatialIndex::new(&points);
+    group.bench_function("nearest_2000", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in points.iter().step_by(40) {
+                if index.nearest(*q, None).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+fn bench_reduced_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduced_order_model");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &sections in &[100usize, 1000] {
+        let mut tree = RcTree::new();
+        let mut prev = tree.add_root(5.0);
+        for _ in 0..sections {
+            prev = tree.add_node(prev, 35.0, 22.0);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(sections), &tree, |b, t| {
+            b.iter(|| reduced_order_models(t, 61.2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_variation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let tech = Technology::ispd09();
+    let instance = ti_instance(100, 17);
+    let tree = build_zero_skew_tree(&instance, &tech, DmeOptions::default());
+    let netlist = to_netlist(&tree, &tech, &SourceSpec::ispd09(), 200.0).expect("lowers");
+    let evaluator = Evaluator::with_model(tech, DelayModel::TwoPole);
+    group.bench_function("16_samples_100_sinks", |b| {
+        b.iter(|| monte_carlo(&evaluator, &netlist, &VariationModel::typical_45nm(), 16, 20.0, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_steiner,
+    bench_spatial_index,
+    bench_reduced_order,
+    bench_monte_carlo
+);
+criterion_main!(benches);

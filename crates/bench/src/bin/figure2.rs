@@ -1,0 +1,82 @@
+//! Figure 2 — the obstacle-detouring construction: detour a too-capacitive
+//! subtree along a composite obstacle's contour, removing the contour
+//! segment furthest from the source.
+
+use contango_core::obstacles::contour_detour;
+use contango_geom::{CompoundObstacle, Point, Rect};
+
+fn main() {
+    // A composite obstacle made of two abutting macros, a source to the
+    // lower-left and four pins spread around the blockage — the setting of
+    // Figure 2 in the paper.
+    let compound = CompoundObstacle::new(vec![
+        Rect::new(200.0, 200.0, 500.0, 400.0),
+        Rect::new(500.0, 200.0, 650.0, 400.0),
+    ]);
+    let source = Point::new(0.0, 0.0);
+    let pins = [
+        Point::new(250.0, 420.0),
+        Point::new(480.0, 420.0),
+        Point::new(640.0, 420.0),
+        Point::new(640.0, 180.0),
+    ];
+
+    let detour = contour_detour(&compound, source, &pins);
+    println!("Figure 2 — contour detour around a composite obstacle");
+    println!("contour corners      : {}", detour.contour.len());
+    println!("contour length       : {:.1} um", compound.contour_length());
+    println!("detour length        : {:.1} um", detour.length);
+    println!("attachment points    : {}", detour.attachments.len());
+    println!("removed gap index    : {}", detour.removed_segment);
+    println!();
+    println!("contour polygon:");
+    for p in &detour.contour {
+        println!("  {p}");
+    }
+    println!("attachments (ordered along the contour):");
+    for p in &detour.attachments {
+        println!("  {p}");
+    }
+
+    // Emit a small SVG so the construction can be inspected visually.
+    let mut svg = String::from(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"700\" height=\"500\" viewBox=\"0 0 700 500\">\n",
+    );
+    for r in compound.rects() {
+        svg.push_str(&format!(
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"lightgray\" stroke=\"gray\"/>\n",
+            r.lo.x,
+            500.0 - r.hi.y,
+            r.width(),
+            r.height()
+        ));
+    }
+    let n = detour.contour.len();
+    for i in 0..n {
+        let a = detour.contour[i];
+        let b = detour.contour[(i + 1) % n];
+        svg.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"red\" stroke-dasharray=\"6 4\"/>\n",
+            a.x,
+            500.0 - a.y,
+            b.x,
+            500.0 - b.y
+        ));
+    }
+    svg.push_str(&format!(
+        "<circle cx=\"{}\" cy=\"{}\" r=\"5\" fill=\"black\"/>\n",
+        source.x,
+        500.0 - source.y
+    ));
+    for p in &pins {
+        svg.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{}\" r=\"4\" fill=\"none\" stroke=\"blue\"/>\n",
+            p.x,
+            500.0 - p.y
+        ));
+    }
+    svg.push_str("</svg>\n");
+    if std::fs::write("figure2_detour.svg", svg).is_ok() {
+        println!("\nwrote figure2_detour.svg");
+    }
+}

@@ -1,0 +1,37 @@
+//! Table I — composite inverter analysis for the ISPD'09 library.
+//!
+//! Reproduces: input capacitance, output capacitance and output resistance
+//! of 1× large and 1×/2×/4×/8× small inverters, plus the Pareto flag that
+//! justifies Contango's use of 8× small inverters instead of large ones.
+
+use contango_tech::composite::composite_table;
+use contango_tech::Technology;
+
+fn main() {
+    let tech = Technology::ispd09();
+    let table = composite_table(tech.inverters(), 8);
+    println!("Table I — inverter analysis for ISPD'09 CNS benchmarks");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>14}",
+        "INVERTER TYPE", "Input Cap fF", "Output Cap fF", "Res. Ohm", "non-dominated"
+    );
+    contango_bench::rule(68);
+    // The paper's rows, in its order.
+    let wanted = [
+        "1X INV_LARGE",
+        "1X INV_SMALL",
+        "2X INV_SMALL",
+        "4X INV_SMALL",
+        "8X INV_SMALL",
+    ];
+    for label in wanted {
+        if let Some(row) = table.iter().find(|r| r.label == label) {
+            println!(
+                "{:<16} {:>12.1} {:>12.1} {:>10.1} {:>14}",
+                row.label, row.input_cap, row.output_cap, row.output_res, row.non_dominated
+            );
+        }
+    }
+    println!();
+    println!("paper reference (Table I): 1X Large = 35 / 80 / 61.2, 8X Small = 33.6 / 48.8 / 55");
+}

@@ -1,0 +1,211 @@
+//! Synthetic benchmark generators.
+//!
+//! The generators are deterministic (seeded) so every run of the benchmark
+//! harness reproduces identical instances.
+
+use contango_core::instance::ClockNetInstance;
+use contango_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The structural description of one synthetic ISPD'09-style benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (e.g. `"ispd09f11"`).
+    pub name: String,
+    /// Number of clock sinks.
+    pub sinks: usize,
+    /// Die width in µm.
+    pub die_w: f64,
+    /// Die height in µm.
+    pub die_h: f64,
+    /// Number of macro blockages.
+    pub obstacles: usize,
+    /// Total capacitance budget in fF.
+    pub cap_limit: f64,
+    /// Number of sink clusters (sinks congregate around register banks).
+    pub clusters: usize,
+    /// Seed used for deterministic generation.
+    pub seed: u64,
+}
+
+/// The seven ISPD'09-style benchmarks, matching the published sink counts
+/// and die scales of the contest suite (up to 17 mm × 17 mm, up to 330
+/// sinks).
+pub fn ispd09_suite() -> Vec<BenchmarkSpec> {
+    let spec = |name: &str, sinks: usize, die_mm: f64, obstacles: usize, cap_nf: f64, clusters: usize, seed: u64| {
+        BenchmarkSpec {
+            name: name.to_string(),
+            sinks,
+            die_w: die_mm * 1000.0,
+            die_h: die_mm * 1000.0,
+            obstacles,
+            cap_limit: cap_nf * 1.0e6, // nF → fF
+            clusters,
+            seed,
+        }
+    };
+    vec![
+        spec("ispd09f11", 121, 11.0, 12, 0.12, 8, 11),
+        spec("ispd09f12", 117, 11.0, 12, 0.12, 8, 12),
+        spec("ispd09f21", 117, 13.0, 16, 0.14, 9, 21),
+        spec("ispd09f22", 91, 9.0, 10, 0.08, 6, 22),
+        spec("ispd09f31", 273, 17.0, 24, 0.30, 14, 31),
+        spec("ispd09f32", 190, 15.0, 20, 0.22, 12, 32),
+        spec("ispd09fnb1", 330, 8.0, 0, 0.10, 16, 41),
+    ]
+}
+
+/// Generates the instance described by `spec`.
+pub fn make_instance(spec: &BenchmarkSpec) -> ClockNetInstance {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut builder = ClockNetInstance::builder(&spec.name)
+        .die(0.0, 0.0, spec.die_w, spec.die_h)
+        .source(Point::new(0.0, spec.die_h * 0.5))
+        .cap_limit(spec.cap_limit);
+
+    // Obstacles first so sinks can avoid their interiors (macro pins are a
+    // different benchmark family; the contest keeps sinks outside macros).
+    let mut obstacle_rects: Vec<Rect> = Vec::new();
+    for _ in 0..spec.obstacles {
+        let w = rng.gen_range(0.05..0.20) * spec.die_w;
+        let h = rng.gen_range(0.05..0.20) * spec.die_h;
+        let x = rng.gen_range(0.05 * spec.die_w..(0.95 * spec.die_w - w));
+        let y = rng.gen_range(0.05 * spec.die_h..(0.95 * spec.die_h - h));
+        let rect = Rect::new(x, y, x + w, y + h);
+        obstacle_rects.push(rect);
+        builder = builder.obstacle(rect);
+    }
+
+    // Clustered sinks: registers congregate around datapaths. Cluster
+    // centers must sit outside macros or the rejection loop below could
+    // never find a legal location near them.
+    let mut cluster_centers: Vec<Point> = Vec::with_capacity(spec.clusters.max(1));
+    while cluster_centers.len() < spec.clusters.max(1) {
+        let c = Point::new(
+            rng.gen_range(0.08..0.92) * spec.die_w,
+            rng.gen_range(0.08..0.92) * spec.die_h,
+        );
+        if !obstacle_rects.iter().any(|r| r.contains_strict(c)) {
+            cluster_centers.push(c);
+        }
+    }
+    let spread = 0.08 * spec.die_w.min(spec.die_h);
+    let mut placed = 0;
+    let mut attempts = 0u32;
+    while placed < spec.sinks {
+        // After repeated rejections near one cluster, fall back to a uniform
+        // sample over the die so generation always terminates.
+        let p = if attempts < 64 {
+            let center = cluster_centers[placed % cluster_centers.len()];
+            Point::new(
+                (center.x + rng.gen_range(-spread..spread)).clamp(1.0, spec.die_w - 1.0),
+                (center.y + rng.gen_range(-spread..spread)).clamp(1.0, spec.die_h - 1.0),
+            )
+        } else {
+            Point::new(
+                rng.gen_range(1.0..spec.die_w - 1.0),
+                rng.gen_range(1.0..spec.die_h - 1.0),
+            )
+        };
+        if obstacle_rects.iter().any(|r| r.contains_strict(p)) {
+            attempts += 1;
+            continue;
+        }
+        let cap = rng.gen_range(5.0..45.0);
+        builder = builder.sink(p, cap);
+        placed += 1;
+        attempts = 0;
+    }
+
+    builder.build().expect("generated instances are always valid")
+}
+
+/// Generates a TI-style scalability instance: a 4.2 mm × 3.0 mm die with
+/// 135 000 clustered candidate sink locations, randomly subsampled to
+/// `sinks` sinks (paper, Section V).
+pub fn ti_instance(sinks: usize, seed: u64) -> ClockNetInstance {
+    let die_w = 4200.0;
+    let die_h = 3000.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = ClockNetInstance::builder(&format!("ti45_{sinks}"))
+        .die(0.0, 0.0, die_w, die_h)
+        .source(Point::new(0.0, die_h * 0.5))
+        // Generous budget: Table V reports capacitance, it is not a constraint.
+        .cap_limit(4.0e8);
+
+    // 135K candidate locations arranged in clustered register banks; only
+    // the sampled subset is materialized to keep generation fast.
+    let clusters = 60;
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.05..0.95) * die_w,
+                rng.gen_range(0.05..0.95) * die_h,
+            )
+        })
+        .collect();
+    let spread = 180.0;
+    for _ in 0..sinks {
+        let c = centers[rng.gen_range(0..clusters)];
+        let p = Point::new(
+            (c.x + rng.gen_range(-spread..spread)).clamp(1.0, die_w - 1.0),
+            (c.y + rng.gen_range(-spread..spread)).clamp(1.0, die_h - 1.0),
+        );
+        builder = builder.sink(p, rng.gen_range(3.0..20.0));
+    }
+    builder.build().expect("generated instances are always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_published_scale() {
+        let suite = ispd09_suite();
+        assert_eq!(suite.len(), 7);
+        let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"ispd09f31"));
+        assert!(names.contains(&"ispd09fnb1"));
+        let f31 = suite.iter().find(|s| s.name == "ispd09f31").expect("exists");
+        assert_eq!(f31.sinks, 273);
+        assert_eq!(f31.die_w, 17_000.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &ispd09_suite()[0];
+        let a = make_instance(spec);
+        let b = make_instance(spec);
+        assert_eq!(a, b);
+        assert_eq!(a.sink_count(), spec.sinks);
+    }
+
+    #[test]
+    fn sinks_avoid_macro_interiors() {
+        for spec in ispd09_suite() {
+            let inst = make_instance(&spec);
+            assert!(inst.validate().is_ok());
+            for s in &inst.sinks {
+                assert!(
+                    !inst.obstacles.contains_point_strict(s.location),
+                    "{}: sink {} inside a macro",
+                    spec.name,
+                    s.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ti_instances_scale_with_request() {
+        let small = ti_instance(200, 7);
+        let large = ti_instance(2000, 7);
+        assert_eq!(small.sink_count(), 200);
+        assert_eq!(large.sink_count(), 2000);
+        assert_eq!(small.die.width(), 4200.0);
+        assert_eq!(small.die.height(), 3000.0);
+    }
+}

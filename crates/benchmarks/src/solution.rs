@@ -1,0 +1,360 @@
+//! A text format for synthesized clock trees ("solutions").
+//!
+//! The ISPD'09 contest consumed a solution file listing the synthesized
+//! wires and buffers; this module provides the equivalent for Contango's
+//! [`ClockTree`] so flows can be checkpointed, diffed and re-evaluated
+//! without re-running synthesis:
+//!
+//! ```text
+//! # contango clock-tree solution
+//! nodes <count>
+//! node <id> parent <pid|-> at <x> <y> internal|sink <sid> <cap> wire narrow|wide extra <um> [buffer <inverter> <parallel>] [route <x> <y> ...]
+//! ```
+//!
+//! Nodes are written in preorder, so every node's parent precedes it and the
+//! file can be replayed directly into [`ClockTree`] constructors. Node ids
+//! in the file are therefore *canonical* (preorder) ids and may differ from
+//! the in-memory ids of the tree that produced the file; everything else —
+//! geometry, widths, snaking, buffers, sink bindings — round-trips exactly.
+
+use contango_core::tree::{ClockTree, NodeKind, WireSegment};
+use contango_geom::Point;
+use contango_tech::{Technology, WireWidth};
+use std::fmt::Write as _;
+
+/// Serializes a clock tree to the solution text format.
+pub fn write_solution(tree: &ClockTree) -> String {
+    let order = tree.preorder();
+    // Map in-memory node ids to canonical (preorder) file ids.
+    let mut file_id = vec![usize::MAX; tree.len()];
+    for (fid, &nid) in order.iter().enumerate() {
+        file_id[nid] = fid;
+    }
+
+    let mut out = String::new();
+    out.push_str("# contango clock-tree solution\n");
+    let _ = writeln!(out, "nodes {}", tree.len());
+    for &nid in &order {
+        let node = tree.node(nid);
+        let parent = node
+            .parent
+            .map(|p| file_id[p].to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let kind = match node.kind {
+            NodeKind::Internal => "internal - -".to_string(),
+            NodeKind::Sink(sid) => format!("sink {sid} {}", tree.sink_cap(sid)),
+        };
+        let width = match node.wire.width {
+            WireWidth::Narrow => "narrow",
+            WireWidth::Wide => "wide",
+        };
+        let _ = write!(
+            out,
+            "node {} parent {} at {} {} {} wire {} extra {}",
+            file_id[nid], parent, node.location.x, node.location.y, kind, width,
+            node.wire.extra_length
+        );
+        if let Some(buffer) = &node.buffer {
+            let _ = write!(out, " buffer {} {}", buffer.base().name, buffer.parallel());
+        }
+        if !node.wire.route.is_empty() {
+            let _ = write!(out, " route");
+            for p in &node.wire.route {
+                let _ = write!(out, " {} {}", p.x, p.y);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a clock tree from the solution text format.
+///
+/// Inverter names are resolved against `tech`'s inverter library; a solution
+/// referencing an inverter the technology does not provide is rejected.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed input, unknown
+/// inverters, missing parents or duplicate sink ids.
+pub fn parse_solution(text: &str, tech: &Technology) -> Result<ClockTree, String> {
+    let mut tree: Option<ClockTree> = None;
+    let mut declared_nodes: Option<usize> = None;
+    let mut seen_nodes = 0usize;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let line_err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let parse_f64 = |s: &str| -> Result<f64, String> {
+            s.parse::<f64>()
+                .map_err(|_| line_err(&format!("invalid number `{s}`")))
+        };
+        let parse_usize = |s: &str| -> Result<usize, String> {
+            s.parse::<usize>()
+                .map_err(|_| line_err(&format!("invalid index `{s}`")))
+        };
+
+        match fields[0] {
+            "nodes" if fields.len() == 2 => {
+                declared_nodes = Some(parse_usize(fields[1])?);
+            }
+            "node" if fields.len() >= 14 => {
+                // node <id> parent <pid|-> at <x> <y> <kind> <sid|-> <cap|->
+                //   wire <width> extra <um> [buffer <name> <k>] [route ...]
+                let id = parse_usize(fields[1])?;
+                if fields[2] != "parent" || fields[4] != "at" || fields[10] != "wire" {
+                    return Err(line_err("malformed node record"));
+                }
+                let location = Point::new(parse_f64(fields[5])?, parse_f64(fields[6])?);
+                let width = match fields[11] {
+                    "narrow" => WireWidth::Narrow,
+                    "wide" => WireWidth::Wide,
+                    other => return Err(line_err(&format!("unknown wire width `{other}`"))),
+                };
+                if fields[12] != "extra" {
+                    return Err(line_err("missing `extra` field"));
+                }
+                let extra = parse_f64(fields[13])?;
+                let mut wire = WireSegment::direct(width);
+                wire.extra_length = extra;
+
+                // Optional trailing sections.
+                let mut buffer = None;
+                let mut rest = &fields[14..];
+                if rest.first() == Some(&"buffer") {
+                    if rest.len() < 3 {
+                        return Err(line_err("truncated buffer record"));
+                    }
+                    let name = rest[1];
+                    let parallel = parse_usize(rest[2])? as u32;
+                    let base = tech
+                        .inverters()
+                        .kinds()
+                        .iter()
+                        .find(|k| k.name == name)
+                        .copied()
+                        .ok_or_else(|| line_err(&format!("unknown inverter `{name}`")))?;
+                    buffer = Some(tech.composite(&base, parallel));
+                    rest = &rest[3..];
+                }
+                if rest.first() == Some(&"route") {
+                    let coords = &rest[1..];
+                    if coords.len() % 2 != 0 {
+                        return Err(line_err("route has an odd number of coordinates"));
+                    }
+                    for pair in coords.chunks(2) {
+                        wire.route
+                            .push(Point::new(parse_f64(pair[0])?, parse_f64(pair[1])?));
+                    }
+                } else if !rest.is_empty() {
+                    return Err(line_err(&format!("unexpected trailing field `{}`", rest[0])));
+                }
+
+                let node_id = if fields[3] == "-" {
+                    // The root: starts the tree.
+                    if tree.is_some() {
+                        return Err(line_err("multiple root nodes"));
+                    }
+                    tree = Some(ClockTree::new(location));
+                    tree.as_ref().expect("just created").root()
+                } else {
+                    let parent = parse_usize(fields[3])?;
+                    let t = tree
+                        .as_mut()
+                        .ok_or_else(|| line_err("node appears before the root"))?;
+                    if parent >= t.len() {
+                        return Err(line_err(&format!("parent {parent} not yet defined")));
+                    }
+                    match fields[7] {
+                        "internal" => t.add_internal(parent, location, wire.clone()),
+                        "sink" => {
+                            let sid = parse_usize(fields[8])?;
+                            let cap = parse_f64(fields[9])?;
+                            if (0..t.len()).any(|n| t.node(n).kind == NodeKind::Sink(sid)) {
+                                return Err(line_err(&format!("duplicate sink id {sid}")));
+                            }
+                            t.add_sink(parent, location, wire.clone(), sid, cap)
+                        }
+                        other => return Err(line_err(&format!("unknown node kind `{other}`"))),
+                    }
+                };
+                if let Some(t) = tree.as_mut() {
+                    if node_id != id {
+                        return Err(line_err(&format!(
+                            "node ids must be contiguous preorder ids (expected {node_id}, found {id})"
+                        )));
+                    }
+                    t.node_mut(node_id).buffer = buffer;
+                    // The root line may still carry width/snaking metadata.
+                    if fields[3] == "-" {
+                        t.node_mut(node_id).wire = wire;
+                    }
+                }
+                seen_nodes += 1;
+            }
+            other => return Err(format!("line {}: unrecognized record `{other}`", lineno + 1)),
+        }
+    }
+
+    let tree = tree.ok_or_else(|| "solution contains no nodes".to_string())?;
+    if let Some(declared) = declared_nodes {
+        if declared != seen_nodes {
+            return Err(format!(
+                "node count mismatch: header declares {declared}, file contains {seen_nodes}"
+            ));
+        }
+    }
+    tree.validate()?;
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{ispd09_suite, make_instance};
+    use contango_core::flow::{ContangoFlow, FlowConfig};
+    use contango_core::instance::ClockNetInstance;
+    use contango_geom::Point as GPoint;
+
+    fn synthesized_tree() -> (ClockTree, Technology) {
+        let tech = Technology::ispd09();
+        let mut spec = ispd09_suite()[3].clone();
+        spec.sinks = 16;
+        spec.obstacles = 1;
+        let instance = make_instance(&spec);
+        let flow = ContangoFlow::new(tech.clone(), FlowConfig::fast());
+        let result = flow.run(&instance).expect("flow runs");
+        (result.tree, tech)
+    }
+
+    #[test]
+    fn round_trip_preserves_the_tree_semantics() {
+        let (tree, tech) = synthesized_tree();
+        let text = write_solution(&tree);
+        let back = parse_solution(&text, &tech).expect("parses");
+        assert!(back.validate().is_ok());
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.sink_count(), tree.sink_count());
+        assert_eq!(back.buffer_count(), tree.buffer_count());
+        assert!((back.wirelength() - tree.wirelength()).abs() < 1e-6);
+        assert!((back.total_cap(&tech) - tree.total_cap(&tech)).abs() < 1e-6);
+        for sid in tree.sink_ids() {
+            assert!(back
+                .node(back.sink_node(sid))
+                .location
+                .approx_eq(tree.node(tree.sink_node(sid)).location));
+            assert!((back.sink_cap(sid) - tree.sink_cap(sid)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn serialization_is_canonical() {
+        let (tree, tech) = synthesized_tree();
+        let once = write_solution(&tree);
+        let twice = write_solution(&parse_solution(&once, &tech).expect("parses"));
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn small_hand_written_solution_parses() {
+        let tech = Technology::ispd09();
+        let small = tech.small_inverter().name;
+        let text = format!(
+            "# solution\nnodes 3\n\
+             node 0 parent - at 0 0 internal - - wire wide extra 0\n\
+             node 1 parent 0 at 100 0 internal - - wire wide extra 5 buffer {small} 8\n\
+             node 2 parent 1 at 100 50 sink 0 12.5 wire narrow extra 0 route 100 25\n"
+        );
+        let tree = parse_solution(&text, &tech).expect("parses");
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.sink_count(), 1);
+        assert_eq!(tree.buffer_count(), 1);
+        assert!((tree.sink_cap(0) - 12.5).abs() < 1e-12);
+        let sink = tree.sink_node(0);
+        assert_eq!(tree.node(sink).wire.route.len(), 1);
+        assert_eq!(tree.node(sink).wire.width, WireWidth::Narrow);
+    }
+
+    #[test]
+    fn malformed_solutions_are_rejected_with_line_numbers() {
+        let tech = Technology::ispd09();
+        let missing_root = "node 0 parent 4 at 0 0 internal - - wire wide extra 0\n";
+        assert!(parse_solution(missing_root, &tech)
+            .unwrap_err()
+            .contains("line 1"));
+        let unknown_inverter = "node 0 parent - at 0 0 internal - - wire wide extra 0 buffer BOGUS 2\n";
+        assert!(parse_solution(unknown_inverter, &tech)
+            .unwrap_err()
+            .contains("unknown inverter"));
+        let bad_width = "node 0 parent - at 0 0 internal - - wire medium extra 0\n";
+        assert!(parse_solution(bad_width, &tech)
+            .unwrap_err()
+            .contains("wire width"));
+        assert!(parse_solution("", &tech).unwrap_err().contains("no nodes"));
+    }
+
+    #[test]
+    fn node_count_mismatch_is_detected() {
+        let tech = Technology::ispd09();
+        let text = "nodes 2\nnode 0 parent - at 0 0 internal - - wire wide extra 0\n";
+        assert!(parse_solution(text, &tech)
+            .unwrap_err()
+            .contains("node count mismatch"));
+    }
+
+    #[test]
+    fn duplicate_sinks_are_rejected() {
+        let tech = Technology::ispd09();
+        let text = "\
+node 0 parent - at 0 0 internal - - wire wide extra 0
+node 1 parent 0 at 10 0 sink 0 5 wire wide extra 0
+node 2 parent 0 at 20 0 sink 0 5 wire wide extra 0
+";
+        assert!(parse_solution(text, &tech)
+            .unwrap_err()
+            .contains("duplicate sink"));
+    }
+
+    #[test]
+    fn reparsed_solution_reevaluates_identically() {
+        use contango_core::lower::to_netlist;
+        use contango_sim::{Evaluator, SourceSpec};
+
+        let (tree, tech) = synthesized_tree();
+        let text = write_solution(&tree);
+        let back = parse_solution(&text, &tech).expect("parses");
+        let evaluator = Evaluator::new(tech.clone());
+        let source = SourceSpec::ispd09();
+        let a = evaluator.evaluate(&to_netlist(&tree, &tech, &source, 150.0).expect("lowers"));
+        let b = evaluator.evaluate(&to_netlist(&back, &tech, &source, 150.0).expect("lowers"));
+        assert!((a.skew() - b.skew()).abs() < 1e-6);
+        assert!((a.clr() - b.clr()).abs() < 1e-6);
+        assert!((a.total_cap - b.total_cap).abs() < 1e-6);
+    }
+
+    #[test]
+    fn obstacle_instances_round_trip_through_both_formats() {
+        // The instance format and the solution format together checkpoint a
+        // full synthesis run.
+        let tech = Technology::ispd09();
+        let mut b = ClockNetInstance::builder("combined")
+            .die(0.0, 0.0, 2000.0, 2000.0)
+            .source(GPoint::new(0.0, 1000.0))
+            .cap_limit(400_000.0);
+        for i in 0..6 {
+            b = b.sink(GPoint::new(300.0 + 250.0 * i as f64, 700.0 + 90.0 * i as f64), 9.0);
+        }
+        let instance = b.build().expect("valid");
+        let flow = ContangoFlow::new(tech.clone(), FlowConfig::fast());
+        let result = flow.run(&instance).expect("runs");
+        let inst_text = crate::format::write_instance(&instance);
+        let sol_text = write_solution(&result.tree);
+        let instance_back = crate::format::parse_instance(&inst_text).expect("instance parses");
+        let tree_back = parse_solution(&sol_text, &tech).expect("solution parses");
+        assert_eq!(instance_back.sink_count(), tree_back.sink_count());
+    }
+}

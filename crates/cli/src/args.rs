@@ -1,0 +1,411 @@
+//! Command-line argument parsing.
+//!
+//! The parser is hand-rolled (no external dependency) and purely
+//! functional: it turns an argument vector into a [`Command`] value or an
+//! error message, so it can be unit-tested without touching the filesystem
+//! or spawning processes.
+
+use contango_core::topology::TopologyKind;
+use contango_sim::DelayModel;
+
+/// Output format of tabular reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// Space-aligned plain text.
+    #[default]
+    Text,
+    /// GitHub-flavoured Markdown.
+    Markdown,
+    /// Comma-separated values.
+    Csv,
+}
+
+/// Flow-related options shared by `run` and `compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOptions {
+    /// Use the reduced-effort flow configuration.
+    pub fast: bool,
+    /// Use groups of large inverters (scalability-study configuration).
+    pub large_inverters: bool,
+    /// Initial topology.
+    pub topology: TopologyKind,
+    /// Delay model driving the optimization loops.
+    pub model: DelayModel,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            fast: false,
+            large_inverters: false,
+            topology: TopologyKind::Dme,
+            model: DelayModel::Transient,
+        }
+    }
+}
+
+/// One fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage information.
+    Help,
+    /// Generate benchmark instance files.
+    Generate {
+        /// Emit the seven ISPD'09-style instances.
+        suite: bool,
+        /// Emit one TI-style instance with this many sinks.
+        ti_sinks: Option<usize>,
+        /// Output directory (suite) or file (single instance).
+        out: String,
+    },
+    /// Run the Contango flow on an instance file.
+    Run {
+        /// Path of the instance file.
+        input: String,
+        /// Optional path to write the synthesized tree to.
+        solution_out: Option<String>,
+        /// Flow options.
+        flow: FlowOptions,
+        /// Report format.
+        format: ReportFormat,
+    },
+    /// Re-evaluate a previously written solution against its instance.
+    Evaluate {
+        /// Path of the instance file.
+        instance: String,
+        /// Path of the solution file.
+        solution: String,
+    },
+    /// Run Contango and every baseline on an instance and compare.
+    Compare {
+        /// Path of the instance file.
+        input: String,
+        /// Flow options (applied to the Contango run).
+        flow: FlowOptions,
+        /// Report format.
+        format: ReportFormat,
+    },
+    /// Emit a SPICE deck for a previously written solution.
+    SpiceDeck {
+        /// Path of the instance file.
+        instance: String,
+        /// Path of the solution file.
+        solution: String,
+        /// Emit the low-supply corner instead of the nominal corner.
+        low_corner: bool,
+        /// Output path of the deck.
+        out: String,
+    },
+}
+
+/// Usage text printed by `help` and on argument errors.
+pub const USAGE: &str = "\
+contango-cts — Contango clock-network synthesis
+
+USAGE:
+  contango-cts generate (--suite | --ti <sinks>) --out <path>
+  contango-cts run --input <file> [--solution-out <file>] [--fast]
+                   [--large-inverters] [--topology dme|greedy-matching|h-tree|fishbone]
+                   [--model elmore|two-pole|transient] [--format text|markdown|csv]
+  contango-cts evaluate --instance <file> --solution <file>
+  contango-cts compare --input <file> [--fast] [--format text|markdown|csv]
+  contango-cts spice-deck --instance <file> --solution <file> [--low-corner] --out <file>
+  contango-cts help
+";
+
+/// Parses an argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message describing the first problem found.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let command = it.next().unwrap_or("help");
+    let rest: Vec<&str> = it.collect();
+    match command {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => parse_generate(&rest),
+        "run" => parse_run(&rest),
+        "evaluate" => parse_evaluate(&rest),
+        "compare" => parse_compare(&rest),
+        "spice-deck" => parse_spice_deck(&rest),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// A tiny flag/value scanner shared by the per-command parsers.
+struct Scanner<'a> {
+    args: &'a [&'a str],
+    used: Vec<bool>,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(args: &'a [&'a str]) -> Self {
+        Self {
+            args,
+            used: vec![false; args.len()],
+        }
+    }
+
+    /// Returns `true` when the boolean flag is present.
+    fn flag(&mut self, name: &str) -> bool {
+        for (i, &a) in self.args.iter().enumerate() {
+            if !self.used[i] && a == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns the value following `name`, if present.
+    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        for (i, &a) in self.args.iter().enumerate() {
+            if !self.used[i] && a == name {
+                let Some(&value) = self.args.get(i + 1) else {
+                    return Err(format!("flag `{name}` expects a value"));
+                };
+                self.used[i] = true;
+                self.used[i + 1] = true;
+                return Ok(Some(value.to_string()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Like [`Scanner::value`] but the flag is mandatory.
+    fn required(&mut self, name: &str) -> Result<String, String> {
+        self.value(name)?
+            .ok_or_else(|| format!("missing required flag `{name}`"))
+    }
+
+    /// Errors on any argument that was not consumed.
+    fn finish(&self) -> Result<(), String> {
+        for (i, &a) in self.args.iter().enumerate() {
+            if !self.used[i] {
+                return Err(format!("unrecognized argument `{a}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_flow_options(scan: &mut Scanner<'_>) -> Result<FlowOptions, String> {
+    let mut flow = FlowOptions {
+        fast: scan.flag("--fast"),
+        large_inverters: scan.flag("--large-inverters"),
+        ..FlowOptions::default()
+    };
+    if let Some(topology) = scan.value("--topology")? {
+        flow.topology = match topology.as_str() {
+            "dme" => TopologyKind::Dme,
+            "greedy-matching" => TopologyKind::GreedyMatching,
+            "h-tree" => TopologyKind::HTree,
+            "fishbone" => TopologyKind::Fishbone,
+            other => return Err(format!("unknown topology `{other}`")),
+        };
+    }
+    if let Some(model) = scan.value("--model")? {
+        flow.model = match model.as_str() {
+            "elmore" => DelayModel::Elmore,
+            "two-pole" => DelayModel::TwoPole,
+            "transient" => DelayModel::Transient,
+            other => return Err(format!("unknown delay model `{other}`")),
+        };
+    }
+    Ok(flow)
+}
+
+fn parse_format(scan: &mut Scanner<'_>) -> Result<ReportFormat, String> {
+    Ok(match scan.value("--format")?.as_deref() {
+        None | Some("text") => ReportFormat::Text,
+        Some("markdown") | Some("md") => ReportFormat::Markdown,
+        Some("csv") => ReportFormat::Csv,
+        Some(other) => return Err(format!("unknown report format `{other}`")),
+    })
+}
+
+fn parse_generate(args: &[&str]) -> Result<Command, String> {
+    let mut scan = Scanner::new(args);
+    let suite = scan.flag("--suite");
+    let ti_sinks = scan
+        .value("--ti")?
+        .map(|v| v.parse::<usize>().map_err(|_| format!("invalid sink count `{v}`")))
+        .transpose()?;
+    let out = scan.required("--out")?;
+    scan.finish()?;
+    if suite == ti_sinks.is_some() {
+        return Err("generate needs exactly one of --suite or --ti <sinks>".to_string());
+    }
+    Ok(Command::Generate {
+        suite,
+        ti_sinks,
+        out,
+    })
+}
+
+fn parse_run(args: &[&str]) -> Result<Command, String> {
+    let mut scan = Scanner::new(args);
+    let input = scan.required("--input")?;
+    let solution_out = scan.value("--solution-out")?;
+    let flow = parse_flow_options(&mut scan)?;
+    let format = parse_format(&mut scan)?;
+    scan.finish()?;
+    Ok(Command::Run {
+        input,
+        solution_out,
+        flow,
+        format,
+    })
+}
+
+fn parse_evaluate(args: &[&str]) -> Result<Command, String> {
+    let mut scan = Scanner::new(args);
+    let instance = scan.required("--instance")?;
+    let solution = scan.required("--solution")?;
+    scan.finish()?;
+    Ok(Command::Evaluate { instance, solution })
+}
+
+fn parse_compare(args: &[&str]) -> Result<Command, String> {
+    let mut scan = Scanner::new(args);
+    let input = scan.required("--input")?;
+    let flow = parse_flow_options(&mut scan)?;
+    let format = parse_format(&mut scan)?;
+    scan.finish()?;
+    Ok(Command::Compare {
+        input,
+        flow,
+        format,
+    })
+}
+
+fn parse_spice_deck(args: &[&str]) -> Result<Command, String> {
+    let mut scan = Scanner::new(args);
+    let instance = scan.required("--instance")?;
+    let solution = scan.required("--solution")?;
+    let low_corner = scan.flag("--low-corner");
+    let out = scan.required("--out")?;
+    scan.finish()?;
+    Ok(Command::SpiceDeck {
+        instance,
+        solution,
+        low_corner,
+        out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_is_the_default() {
+        assert_eq!(parse_args(&[]).expect("parses"), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).expect("parses"), Command::Help);
+    }
+
+    #[test]
+    fn run_parses_all_options() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--input",
+            "bench.txt",
+            "--solution-out",
+            "sol.tree",
+            "--fast",
+            "--topology",
+            "h-tree",
+            "--model",
+            "two-pole",
+            "--format",
+            "csv",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Run {
+                input,
+                solution_out,
+                flow,
+                format,
+            } => {
+                assert_eq!(input, "bench.txt");
+                assert_eq!(solution_out.as_deref(), Some("sol.tree"));
+                assert!(flow.fast);
+                assert!(!flow.large_inverters);
+                assert_eq!(flow.topology, TopologyKind::HTree);
+                assert_eq!(flow.model, DelayModel::TwoPole);
+                assert_eq!(format, ReportFormat::Csv);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generate_requires_exactly_one_source() {
+        assert!(parse_args(&args(&["generate", "--out", "d"])).is_err());
+        assert!(parse_args(&args(&["generate", "--suite", "--ti", "100", "--out", "d"])).is_err());
+        let cmd = parse_args(&args(&["generate", "--ti", "500", "--out", "ti.txt"])).expect("ok");
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                suite: false,
+                ti_sinks: Some(500),
+                out: "ti.txt".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_and_unknown_flags_are_reported() {
+        let err = parse_args(&args(&["run"])).unwrap_err();
+        assert!(err.contains("--input"));
+        let err = parse_args(&args(&["run", "--input", "x", "--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"));
+        let err = parse_args(&args(&["run", "--input", "x", "--topology", "ring"])).unwrap_err();
+        assert!(err.contains("topology"));
+        let err = parse_args(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn evaluate_and_spice_deck_parse() {
+        let cmd = parse_args(&args(&["evaluate", "--instance", "i.txt", "--solution", "s.tree"]))
+            .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Evaluate {
+                instance: "i.txt".to_string(),
+                solution: "s.tree".to_string()
+            }
+        );
+        let cmd = parse_args(&args(&[
+            "spice-deck",
+            "--instance",
+            "i.txt",
+            "--solution",
+            "s.tree",
+            "--low-corner",
+            "--out",
+            "deck.sp",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::SpiceDeck { low_corner, out, .. } => {
+                assert!(low_corner);
+                assert_eq!(out, "deck.sp");
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flag_value_pairs_cannot_dangle() {
+        let err = parse_args(&args(&["run", "--input"])).unwrap_err();
+        assert!(err.contains("expects a value"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Command-line interface for the Contango clock-network synthesis flow.
+//!
+//! The binary `contango-cts` wraps the library crates into a small tool:
+//!
+//! * `generate` — write ISPD'09-style or TI-style benchmark instance files;
+//! * `run` — synthesize a clock tree for an instance and report the paper's
+//!   metrics (CLR, skew, capacitance, evaluator runs, runtime);
+//! * `evaluate` — re-evaluate a previously written solution;
+//! * `compare` — run Contango and the baseline flows side by side;
+//! * `spice-deck` — emit a transient SPICE deck for external validation.
+//!
+//! All I/O goes through [`execute`], which returns the report text, so the
+//! whole tool is unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+
+use args::{Command, FlowOptions, ReportFormat};
+use contango_baselines::{run_baseline, BaselineKind};
+use contango_benchmarks::format::{parse_instance, write_instance};
+use contango_benchmarks::generator::{ispd09_suite, make_instance, ti_instance};
+use contango_benchmarks::report::{comparison_table, stage_table, RunSummary, Table};
+use contango_benchmarks::solution::{parse_solution, write_solution};
+use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult};
+use contango_core::instance::ClockNetInstance;
+use contango_core::lower::to_netlist;
+use contango_sim::spice::{write_deck, DeckOptions};
+use contango_sim::Evaluator;
+use contango_tech::Technology;
+use std::fs;
+use std::path::Path;
+
+pub use args::{parse_args, USAGE};
+
+/// Runs one parsed command and returns the text to print on stdout.
+///
+/// # Errors
+///
+/// Returns a human-readable message for I/O failures, malformed input files
+/// and flow errors.
+pub fn execute(command: &Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate {
+            suite,
+            ti_sinks,
+            out,
+        } => generate(*suite, *ti_sinks, out),
+        Command::Run {
+            input,
+            solution_out,
+            flow,
+            format,
+        } => run(input, solution_out.as_deref(), flow, *format),
+        Command::Evaluate { instance, solution } => evaluate(instance, solution),
+        Command::Compare {
+            input,
+            flow,
+            format,
+        } => compare(input, flow, *format),
+        Command::SpiceDeck {
+            instance,
+            solution,
+            low_corner,
+            out,
+        } => spice_deck(instance, solution, *low_corner, out),
+    }
+}
+
+/// Builds the flow configuration implied by the CLI options.
+pub fn flow_config(options: &FlowOptions) -> FlowConfig {
+    let mut config = if options.fast {
+        FlowConfig::fast()
+    } else {
+        FlowConfig::default()
+    };
+    config.use_large_inverters = options.large_inverters;
+    config.topology = options.topology;
+    config.model = options.model;
+    config
+}
+
+fn technology_for(options: &FlowOptions) -> Technology {
+    if options.large_inverters {
+        Technology::ti45()
+    } else {
+        Technology::ispd09()
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn write(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+        }
+    }
+    fs::write(path, contents).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+fn render(table: &Table, format: ReportFormat) -> String {
+    match format {
+        ReportFormat::Text => table.to_text(),
+        ReportFormat::Markdown => table.to_markdown(),
+        ReportFormat::Csv => table.to_csv(),
+    }
+}
+
+fn generate(suite: bool, ti_sinks: Option<usize>, out: &str) -> Result<String, String> {
+    if suite {
+        fs::create_dir_all(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
+        let mut lines = Vec::new();
+        for spec in ispd09_suite() {
+            let instance = make_instance(&spec);
+            let path = format!("{out}/{}.cts", spec.name);
+            write(&path, &write_instance(&instance))?;
+            lines.push(format!("{}: {} sinks -> {path}", spec.name, instance.sink_count()));
+        }
+        Ok(lines.join("\n") + "\n")
+    } else {
+        let sinks = ti_sinks.expect("argument parser guarantees one source");
+        let instance = ti_instance(sinks, 45);
+        write(out, &write_instance(&instance))?;
+        Ok(format!("{}: {sinks} sinks -> {out}\n", instance.name))
+    }
+}
+
+fn load_instance(path: &str) -> Result<ClockNetInstance, String> {
+    parse_instance(&read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_flow(instance: &ClockNetInstance, options: &FlowOptions) -> Result<FlowResult, String> {
+    ContangoFlow::new(technology_for(options), flow_config(options)).run(instance)
+}
+
+fn summary_block(instance: &ClockNetInstance, result: &FlowResult) -> String {
+    format!(
+        "benchmark {}\nsinks {}\nclr_ps {:.3}\nskew_ps {:.3}\nmax_latency_ps {:.3}\n\
+         capacitance_ff {:.1}\ncapacitance_pct {:.2}\nwirelength_um {:.1}\nbuffers {}\n\
+         spice_runs {}\nruntime_s {:.2}\n",
+        instance.name,
+        instance.sink_count(),
+        result.clr(),
+        result.skew(),
+        result.report.max_latency(),
+        result.report.total_cap,
+        100.0 * result.cap_fraction(instance),
+        result.tree.wirelength(),
+        result.tree.buffer_count(),
+        result.spice_runs,
+        result.runtime_s,
+    )
+}
+
+fn run(
+    input: &str,
+    solution_out: Option<&str>,
+    options: &FlowOptions,
+    format: ReportFormat,
+) -> Result<String, String> {
+    let instance = load_instance(input)?;
+    let result = run_flow(&instance, options)?;
+    let mut out = summary_block(&instance, &result);
+    out.push('\n');
+    out.push_str(&render(&stage_table(&instance.name, &result), format));
+    if let Some(path) = solution_out {
+        write(path, &write_solution(&result.tree))?;
+        out.push_str(&format!("\nsolution written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn evaluate(instance_path: &str, solution_path: &str) -> Result<String, String> {
+    let instance = load_instance(instance_path)?;
+    let tech = Technology::ispd09();
+    let tree = parse_solution(&read(solution_path)?, &tech)
+        .map_err(|e| format!("{solution_path}: {e}"))?;
+    if tree.sink_count() != instance.sink_count() {
+        return Err(format!(
+            "solution drives {} sinks but the instance has {}",
+            tree.sink_count(),
+            instance.sink_count()
+        ));
+    }
+    let netlist = to_netlist(&tree, &tech, &instance.source_spec, 100.0)?;
+    let report = Evaluator::new(tech.clone()).evaluate(&netlist);
+    Ok(format!(
+        "benchmark {}\nclr_ps {:.3}\nskew_ps {:.3}\nmax_latency_ps {:.3}\nworst_slew_ps {:.3}\n\
+         slew_violation {}\ncapacitance_ff {:.1}\ncapacitance_pct {:.2}\nbuffers {}\n",
+        instance.name,
+        report.clr(),
+        report.skew(),
+        report.max_latency(),
+        report.worst_slew(),
+        report.has_slew_violation(),
+        report.total_cap,
+        100.0 * report.total_cap / instance.cap_limit,
+        tree.buffer_count(),
+    ))
+}
+
+fn compare(input: &str, options: &FlowOptions, format: ReportFormat) -> Result<String, String> {
+    let instance = load_instance(input)?;
+    let tech = technology_for(options);
+    let mut rows = Vec::new();
+    let contango = run_flow(&instance, options)?;
+    rows.push(RunSummary::from_result(&instance.name, "contango", &instance, &contango));
+    for kind in BaselineKind::all() {
+        let result = run_baseline(kind, &tech, &instance)?;
+        rows.push(RunSummary::from_result(&instance.name, kind.label(), &instance, &result));
+    }
+    Ok(render(&comparison_table(&rows), format))
+}
+
+fn spice_deck(
+    instance_path: &str,
+    solution_path: &str,
+    low_corner: bool,
+    out: &str,
+) -> Result<String, String> {
+    let instance = load_instance(instance_path)?;
+    let tech = Technology::ispd09();
+    let tree = parse_solution(&read(solution_path)?, &tech)
+        .map_err(|e| format!("{solution_path}: {e}"))?;
+    let netlist = to_netlist(&tree, &tech, &instance.source_spec, 100.0)?;
+    let options = if low_corner {
+        DeckOptions::low(&tech)
+    } else {
+        DeckOptions::nominal(&tech)
+    };
+    let deck = write_deck(&netlist, &tech, &options);
+    write(out, &deck)?;
+    Ok(format!(
+        "deck for {} ({} stages, {:.1} V) written to {out}\n",
+        instance.name,
+        netlist.len(),
+        options.vdd
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contango_core::topology::TopologyKind;
+    use contango_sim::DelayModel;
+    use std::path::PathBuf;
+
+    /// A scratch directory under the target dir, unique per test.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("contango-cli-{name}-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn small_instance_file(dir: &Path) -> String {
+        let mut spec = ispd09_suite()[6].clone();
+        spec.sinks = 10;
+        spec.obstacles = 0;
+        let instance = make_instance(&spec);
+        let path = dir.join("small.cts");
+        fs::write(&path, write_instance(&instance)).expect("write instance");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn fast_options() -> FlowOptions {
+        FlowOptions {
+            fast: true,
+            ..FlowOptions::default()
+        }
+    }
+
+    #[test]
+    fn flow_config_reflects_cli_options() {
+        let options = FlowOptions {
+            fast: true,
+            large_inverters: true,
+            topology: TopologyKind::GreedyMatching,
+            model: DelayModel::TwoPole,
+        };
+        let config = flow_config(&options);
+        assert!(config.use_large_inverters);
+        assert_eq!(config.topology, TopologyKind::GreedyMatching);
+        assert_eq!(config.model, DelayModel::TwoPole);
+        assert_eq!(config.wiresizing_rounds, FlowConfig::fast().wiresizing_rounds);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(&Command::Help).expect("help");
+        assert!(out.contains("contango-cts"));
+        assert!(out.contains("spice-deck"));
+    }
+
+    #[test]
+    fn generate_run_evaluate_and_deck_round_trip() {
+        let dir = scratch("roundtrip");
+        let instance_path = small_instance_file(&dir);
+        let solution_path = dir.join("small.tree").to_string_lossy().into_owned();
+
+        // run
+        let run_out = execute(&Command::Run {
+            input: instance_path.clone(),
+            solution_out: Some(solution_path.clone()),
+            flow: fast_options(),
+            format: ReportFormat::Text,
+        })
+        .expect("run succeeds");
+        assert!(run_out.contains("clr_ps"));
+        assert!(run_out.contains("INITIAL"));
+        assert!(Path::new(&solution_path).exists());
+
+        // evaluate
+        let eval_out = execute(&Command::Evaluate {
+            instance: instance_path.clone(),
+            solution: solution_path.clone(),
+        })
+        .expect("evaluate succeeds");
+        assert!(eval_out.contains("skew_ps"));
+        assert!(eval_out.contains("slew_violation false"));
+
+        // spice deck
+        let deck_path = dir.join("deck.sp").to_string_lossy().into_owned();
+        let deck_out = execute(&Command::SpiceDeck {
+            instance: instance_path.clone(),
+            solution: solution_path.clone(),
+            low_corner: true,
+            out: deck_path.clone(),
+        })
+        .expect("deck succeeds");
+        assert!(deck_out.contains("deck for"));
+        let deck = fs::read_to_string(&deck_path).expect("deck written");
+        assert!(deck.contains(".measure"));
+        assert!(deck.trim_end().ends_with(".end"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_writes_a_ti_instance() {
+        let dir = scratch("generate-ti");
+        let out_path = dir.join("ti200.cts").to_string_lossy().into_owned();
+        let out = execute(&Command::Generate {
+            suite: false,
+            ti_sinks: Some(200),
+            out: out_path.clone(),
+        })
+        .expect("generate succeeds");
+        assert!(out.contains("200 sinks"));
+        let parsed = parse_instance(&fs::read_to_string(&out_path).expect("file written"))
+            .expect("valid instance");
+        assert_eq!(parsed.sink_count(), 200);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_reports_contango_and_every_baseline() {
+        let dir = scratch("compare");
+        let instance_path = small_instance_file(&dir);
+        let out = execute(&Command::Compare {
+            input: instance_path,
+            flow: fast_options(),
+            format: ReportFormat::Csv,
+        })
+        .expect("compare succeeds");
+        assert!(out.contains("contango"));
+        for kind in BaselineKind::all() {
+            assert!(out.contains(kind.label()), "missing {}", kind.label());
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = execute(&Command::Run {
+            input: "/nonexistent/bench.cts".to_string(),
+            solution_out: None,
+            flow: fast_options(),
+            format: ReportFormat::Text,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+        let err = execute(&Command::Evaluate {
+            instance: "/nonexistent/bench.cts".to_string(),
+            solution: "/nonexistent/sol.tree".to_string(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Bottom-level fine-tuning (paper, Section IV-G).
+//!
+//! After the two top-down skew-reduction phases, skew is small enough that
+//! only the wires directly connected to sinks are touched: bottom-level
+//! wiresizing and wiresnaking run until the result stops improving. The
+//! expected gain is small (a couple of picoseconds) but it is a large
+//! fraction of the remaining skew. When skew drops below a few picoseconds,
+//! rise/fall divergence limits further improvement.
+
+use crate::opt::{OptContext, PassOutcome};
+use crate::slack::SlackAnalysis;
+use crate::tree::{ClockTree, NodeKind};
+use crate::wiresizing::{iterative_wiresizing, WireSizingConfig};
+use crate::wiresnaking::{iterative_wiresnaking, WireSnakingConfig};
+use serde::Serialize;
+
+/// Configuration of the bottom-level fine-tuning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BottomLevelConfig {
+    /// Maximum number of sizing+snaking sweeps.
+    pub max_rounds: usize,
+    /// Snake unit length for per-sink fine snaking, µm.
+    pub fine_unit: f64,
+}
+
+impl Default for BottomLevelConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 4,
+            fine_unit: 5.0,
+        }
+    }
+}
+
+/// Runs bottom-level wiresizing and wiresnaking until the skew stops
+/// improving.
+pub fn bottom_level_tuning(
+    tree: &mut ClockTree,
+    ctx: &OptContext<'_>,
+    config: BottomLevelConfig,
+) -> PassOutcome {
+    let initial = ctx.evaluate(tree);
+    let initial_skew = initial.skew();
+    let initial_clr = initial.clr();
+    let mut best_skew = initial_skew;
+    let mut rounds = 0;
+
+    for _ in 0..config.max_rounds {
+        let sizing_cfg = WireSizingConfig {
+            max_rounds: 2,
+            bottom_level_only: true,
+            slack_usage: 0.9,
+        };
+        let snaking_cfg = WireSnakingConfig {
+            max_rounds: 2,
+            unit_length: config.fine_unit,
+            max_units_per_edge: 10,
+            slack_usage: 0.9,
+            bottom_level_only: true,
+        };
+        let a = iterative_wiresizing(tree, ctx, sizing_cfg);
+        let b = iterative_wiresnaking(tree, ctx, snaking_cfg);
+        let new_skew = b.skew_after.min(a.skew_after);
+        if new_skew + 1e-9 >= best_skew {
+            break;
+        }
+        best_skew = new_skew;
+        rounds += 1;
+    }
+
+    // Final per-sink micro-snaking: slow down each fast sink individually by
+    // the amount its own slack allows, one careful round.
+    let before = ctx.evaluate(tree);
+    let saved = tree.clone();
+    let slacks = SlackAnalysis::compute(tree, &before);
+    let twn = crate::wiresnaking::estimate_twn(tree, ctx, &before, config.fine_unit);
+    let mut touched = 0;
+    for id in tree.preorder() {
+        if !matches!(tree.node(id).kind, NodeKind::Sink(_)) {
+            continue;
+        }
+        if twn <= 1e-12 {
+            break;
+        }
+        let units = ((slacks.edge_slow[id] * 0.8 / twn).floor() as usize).min(8);
+        if units > 0 {
+            tree.node_mut(id).wire.extra_length += units as f64 * config.fine_unit;
+            touched += 1;
+        }
+    }
+    let mut final_report = before.clone();
+    if touched > 0 {
+        let after = ctx.evaluate(tree);
+        if after.skew() < before.skew() - 1e-9 && !ctx.violates(tree, &after) {
+            final_report = after;
+            rounds += 1;
+        } else {
+            *tree = saved;
+        }
+    }
+
+    PassOutcome {
+        rounds,
+        skew_before: initial_skew,
+        skew_after: final_report.skew().min(best_skew),
+        clr_before: initial_clr,
+        clr_after: final_report.clr(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
+    use crate::dme::{build_zero_skew_tree, DmeOptions};
+    use crate::instance::ClockNetInstance;
+    use crate::polarity::correct_polarity;
+    use contango_geom::Point;
+    use contango_sim::{Evaluator, SourceSpec};
+    use contango_tech::Technology;
+
+    #[test]
+    fn bottom_level_tuning_never_worsens_skew() {
+        let tech = Technology::ispd09();
+        let mut b = ClockNetInstance::builder("bwsn")
+            .die(0.0, 0.0, 2000.0, 2000.0)
+            .source(Point::new(0.0, 1000.0))
+            .cap_limit(300_000.0);
+        for (x, y, c) in [
+            (250.0, 250.0, 12.0),
+            (1750.0, 300.0, 28.0),
+            (350.0, 1700.0, 9.0),
+            (1650.0, 1750.0, 35.0),
+            (1000.0, 900.0, 18.0),
+        ] {
+            b = b.sink(Point::new(x, y), c);
+        }
+        let inst = b.build().expect("valid");
+        let mut tree = build_zero_skew_tree(&inst, &tech, DmeOptions::default());
+        split_long_edges(&mut tree, 250.0);
+        choose_and_insert_buffers(
+            &mut tree,
+            &tech,
+            &default_candidates(&tech, false),
+            inst.cap_limit,
+            0.1,
+            &inst.obstacles,
+        )
+        .expect("buffers fit");
+        correct_polarity(&mut tree, tech.composite(tech.small_inverter(), 32));
+
+        let evaluator = Evaluator::new(tech.clone());
+        let ctx = OptContext {
+            tech: &tech,
+            source: SourceSpec::ispd09(),
+            evaluator: &evaluator,
+            segment_um: 100.0,
+            cap_limit: inst.cap_limit,
+        };
+        let outcome = bottom_level_tuning(&mut tree, &ctx, BottomLevelConfig::default());
+        assert!(outcome.skew_after <= outcome.skew_before + 1e-9);
+        let report = ctx.evaluate(&tree);
+        assert!(!report.has_slew_violation());
+        assert!(tree.validate().is_ok());
+        assert!(tree.total_cap(&tech) <= inst.cap_limit);
+    }
+}

@@ -1,0 +1,483 @@
+//! Initial inverter insertion with sizing (paper, Section IV-C).
+//!
+//! The goal of initial buffering is to make every sink as fast as possible
+//! while respecting slew constraints and the capacitance (power) budget;
+//! skew is repaired afterwards by wire sizing and snaking, which can only
+//! slow sinks down. Contango therefore:
+//!
+//! 1. splits long edges so buffers can be spaced closely enough to satisfy
+//!    the slew limit ([`split_long_edges`]);
+//! 2. inserts composite inverters bottom-up whenever the accumulated
+//!    downstream capacitance approaches the driver's slew-free capacitance
+//!    ([`insert_buffers_by_cap`]), never placing a buffer strictly inside an
+//!    obstacle;
+//! 3. sweeps composite-buffer configurations from strongest to weakest and
+//!    keeps the strongest one that fits within 90% of the capacitance
+//!    budget, reserving γ = 10% for downstream optimizations
+//!    ([`choose_and_insert_buffers`]).
+
+use crate::tree::{ClockTree, NodeId, NodeKind};
+use contango_geom::{LShape, ObstacleSet, Point};
+use contango_tech::{CompositeBuffer, Technology};
+use serde::Serialize;
+
+/// Result of a buffering pass.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BufferingReport {
+    /// The composite configuration that was inserted.
+    pub composite: CompositeBuffer,
+    /// Number of buffer sites inserted.
+    pub buffers: usize,
+    /// Total network capacitance after insertion, in fF.
+    pub total_cap: f64,
+}
+
+/// Splits every tree edge longer than `max_len` micrometres into segments of
+/// roughly equal length by inserting internal nodes along the edge's
+/// horizontal-first L-shaped embedding. Returns the number of nodes added.
+///
+/// Splitting creates legal buffer sites along long wires (most importantly
+/// the trunk from the source to the die centre, paper Section IV-H).
+pub fn split_long_edges(tree: &mut ClockTree, max_len: f64) -> usize {
+    assert!(max_len > 0.0, "maximum segment length must be positive");
+    let mut added = 0;
+    // Iterate over a snapshot of ids; newly inserted nodes never need
+    // further splitting because they are created below `max_len`.
+    for id in tree.preorder() {
+        if tree.node(id).parent.is_none() {
+            continue;
+        }
+        loop {
+            let parent = tree.node(id).parent.expect("non-root");
+            let from = tree.node(parent).location;
+            let to = tree.node(id).location;
+            let route = tree.node(id).wire.route.clone();
+            if route.is_empty() {
+                let direct = from.manhattan(to);
+                if direct <= max_len + 1e-9 {
+                    break;
+                }
+                // Insert a node at distance `max_len` from the parent along
+                // the horizontal-first L-shape.
+                let split_loc = point_along_lshape(from, to, max_len);
+                tree.split_edge(id, split_loc);
+                added += 1;
+            } else {
+                // Detoured edge: split at distance `max_len` along the
+                // routed polyline, distributing the bend points between the
+                // two halves.
+                let mut polyline = Vec::with_capacity(route.len() + 2);
+                polyline.push(from);
+                polyline.extend(route.iter().copied());
+                polyline.push(to);
+                let total: f64 = polyline.windows(2).map(|w| w[0].manhattan(w[1])).sum();
+                if total <= max_len + 1e-9 {
+                    break;
+                }
+                let (split_loc, before, after) = split_polyline(&polyline, max_len);
+                let new_node = tree.split_edge(id, split_loc);
+                tree.node_mut(new_node).wire.route = before;
+                tree.node_mut(id).wire.route = after;
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// Splits a polyline at distance `dist` from its first point; returns the
+/// split location, the bend points before it (excluding endpoints) and the
+/// bend points after it.
+fn split_polyline(polyline: &[Point], dist: f64) -> (Point, Vec<Point>, Vec<Point>) {
+    let mut walked = 0.0;
+    for i in 0..polyline.len() - 1 {
+        let a = polyline[i];
+        let b = polyline[i + 1];
+        let seg = a.manhattan(b);
+        if walked + seg >= dist || i == polyline.len() - 2 {
+            let t = if seg > 0.0 {
+                ((dist - walked) / seg).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let split = a.lerp(b, t);
+            let before = polyline[1..=i].to_vec();
+            let after = polyline[i + 1..polyline.len() - 1].to_vec();
+            return (split, before, after);
+        }
+        walked += seg;
+    }
+    (
+        *polyline.last().expect("non-empty polyline"),
+        Vec::new(),
+        Vec::new(),
+    )
+}
+
+/// The point at distance `dist` from `from` along the horizontal-first
+/// L-shaped embedding of the connection to `to`.
+fn point_along_lshape(from: Point, to: Point, dist: f64) -> Point {
+    let l = LShape::new(from, to, contango_geom::LOrientation::HorizontalFirst);
+    let [first, second] = l.legs();
+    if dist <= first.length() {
+        let t = if first.length() > 0.0 { dist / first.length() } else { 0.0 };
+        first.point_at(t)
+    } else {
+        let rem = (dist - first.length()).min(second.length());
+        let t = if second.length() > 0.0 { rem / second.length() } else { 0.0 };
+        second.point_at(t)
+    }
+}
+
+/// Inserts `composite` inverters bottom-up wherever the accumulated
+/// downstream capacitance would otherwise exceed `max_cap` femtofarads.
+/// Buffers are never placed strictly inside an obstacle. Returns the number
+/// of buffers inserted.
+///
+/// A buffer is also always placed at the top of the tree (the first node
+/// below the root) so that the clock source never drives the tree directly.
+pub fn insert_buffers_by_cap(
+    tree: &mut ClockTree,
+    tech: &Technology,
+    composite: CompositeBuffer,
+    max_cap: f64,
+    obstacles: &ObstacleSet,
+) -> usize {
+    let mut inserted = 0;
+    let mut load = vec![0.0_f64; tree.len()];
+    // Longest unbuffered wire path below each node, used to bound the
+    // wire-resistance contribution to the stage's output slew (resistive
+    // shielding makes far-away taps slower than a lumped estimate).
+    let mut unbuffered_len = vec![0.0_f64; tree.len()];
+    // The 1.4 factor covers rise/fall asymmetry and the slew degradation a
+    // finite input ramp adds on top of the single-pole estimate.
+    let worst_res = composite.output_res() * tech.derate(tech.low_corner.vdd) * 1.4;
+    let slew_target = 0.6 * tech.slew_limit;
+    // Single-pole slew estimate of a stage with `cap` fF of load and a
+    // `longest` µm unbuffered wire path, driven by the chosen composite.
+    let est_slew = |cap: f64, longest: f64, wire_res_per_um: f64| -> f64 {
+        contango_tech::units::SLEW_LN9
+            * contango_tech::units::rc_ps(
+                worst_res + wire_res_per_um * longest,
+                cap + composite.output_cap(),
+            )
+    };
+
+    for id in tree.postorder() {
+        let kind = tree.node(id).kind;
+        let children: Vec<NodeId> = tree.node(id).children.clone();
+        let own = match kind {
+            NodeKind::Sink(sid) => tree.sink_cap(sid),
+            NodeKind::Internal => 0.0,
+        };
+        // Gather the children's contributions, largest first, buffering
+        // children *before* the accumulated stage would violate the slew
+        // estimate (a buffer placed higher would be too late: its own stage
+        // would already carry the excessive load).
+        let mut contributions: Vec<(NodeId, f64, f64, f64)> = children
+            .into_iter()
+            .map(|c| {
+                let code = tech.wire(tree.node(c).wire.width);
+                let len = tree.edge_length(c);
+                (c, code.capacitance(len) + load[c], len + unbuffered_len[c], len)
+            })
+            .collect();
+        contributions.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite caps"));
+
+        let wire_res_per_um = tech.wire(tree.node(id).wire.width).unit_res;
+        let mut acc = own;
+        let mut longest = 0.0_f64;
+        for (c, contrib, path, edge_len) in contributions {
+            let cand_acc = acc + contrib;
+            let cand_longest = longest.max(path);
+            let child_legal = !obstacles.contains_point_strict(tree.node(c).location);
+            let child_buffered = tree.node(c).buffer.is_some();
+            let too_slow = est_slew(cand_acc, cand_longest, wire_res_per_um) > slew_target
+                || cand_acc > max_cap;
+            if too_slow && child_legal && !child_buffered {
+                tree.node_mut(c).buffer = Some(composite);
+                inserted += 1;
+                let code = tech.wire(tree.node(c).wire.width);
+                acc += code.capacitance(edge_len) + composite.input_cap();
+                longest = longest.max(edge_len);
+            } else {
+                acc = cand_acc;
+                longest = cand_longest;
+            }
+        }
+
+        let is_root = tree.node(id).parent.is_none();
+        let legal_site = !obstacles.contains_point_strict(tree.node(id).location);
+        let top_of_tree = tree
+            .node(id)
+            .parent
+            .map(|p| p == tree.root())
+            .unwrap_or(false);
+        if !is_root && legal_site && tree.node(id).buffer.is_none() && top_of_tree {
+            tree.node_mut(id).buffer = Some(composite);
+            inserted += 1;
+        }
+        if tree.node(id).buffer.is_some() {
+            load[id] = composite.input_cap();
+            unbuffered_len[id] = 0.0;
+        } else {
+            load[id] = acc;
+            unbuffered_len[id] = longest;
+        }
+    }
+    inserted
+}
+
+/// Removes every buffer from the tree (used when re-running the buffering
+/// sweep with a different composite).
+pub fn strip_buffers(tree: &mut ClockTree) {
+    for id in 0..tree.len() {
+        tree.node_mut(id).buffer = None;
+    }
+}
+
+/// Sweeps composite-buffer configurations from strongest to weakest and
+/// inserts the strongest one whose resulting network capacitance stays
+/// within `(1 − power_reserve) × cap_limit`, as in Section IV-C of the paper
+/// (γ = `power_reserve` of the budget is kept for later optimizations).
+///
+/// `candidates` must be ordered from weakest to strongest or in any order;
+/// the function sorts them by drive strength internally.
+///
+/// # Errors
+///
+/// Returns an error if even the weakest candidate exceeds the budget.
+pub fn choose_and_insert_buffers(
+    tree: &mut ClockTree,
+    tech: &Technology,
+    candidates: &[CompositeBuffer],
+    cap_limit: f64,
+    power_reserve: f64,
+    obstacles: &ObstacleSet,
+) -> Result<BufferingReport, String> {
+    assert!(!candidates.is_empty(), "need at least one composite candidate");
+    let budget = cap_limit * (1.0 - power_reserve.clamp(0.0, 0.9));
+    let mut sorted: Vec<CompositeBuffer> = candidates.to_vec();
+    // Strongest (lowest output resistance) first.
+    sorted.sort_by(|a, b| {
+        a.output_res()
+            .partial_cmp(&b.output_res())
+            .expect("finite resistances")
+    });
+
+    for composite in sorted {
+        let mut attempt = tree.clone();
+        strip_buffers(&mut attempt);
+        let max_cap = tech.slew_free_cap(composite.output_res());
+        let buffers = insert_buffers_by_cap(&mut attempt, tech, composite, max_cap, obstacles);
+        let total_cap = attempt.total_cap(tech);
+        if total_cap <= budget {
+            *tree = attempt;
+            return Ok(BufferingReport {
+                composite,
+                buffers,
+                total_cap,
+            });
+        }
+    }
+    Err(format!(
+        "no composite configuration fits within {budget:.1} fF ({:.0}% of the capacitance limit)",
+        100.0 * (1.0 - power_reserve)
+    ))
+}
+
+/// Default composite-buffer candidates for a technology: groups of parallel
+/// small inverters in powers of two (8×, 16×, 24×, 32×) as used by Contango
+/// on the ISPD'09 benchmarks, plus the single large inverter and groups of
+/// large inverters used for the scalability study.
+pub fn default_candidates(tech: &Technology, use_large: bool) -> Vec<CompositeBuffer> {
+    if use_large {
+        [1u32, 2, 3, 4]
+            .iter()
+            .map(|&n| tech.composite(tech.large_inverter(), n))
+            .collect()
+    } else {
+        [8u32, 16, 24, 32]
+            .iter()
+            .map(|&n| tech.composite(tech.small_inverter(), n))
+            .collect()
+    }
+}
+
+/// Identifiers of nodes carrying buffers, in preorder.
+pub fn buffered_nodes(tree: &ClockTree) -> Vec<NodeId> {
+    tree.preorder()
+        .into_iter()
+        .filter(|&id| tree.node(id).buffer.is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dme::{build_zero_skew_tree, DmeOptions};
+    use crate::instance::ClockNetInstance;
+    use contango_geom::Rect;
+
+    fn instance() -> ClockNetInstance {
+        let mut b = ClockNetInstance::builder("buf")
+            .die(0.0, 0.0, 4000.0, 4000.0)
+            .source(Point::new(0.0, 2000.0))
+            .cap_limit(200_000.0);
+        for j in 0..4 {
+            for i in 0..4 {
+                b = b.sink(
+                    Point::new(500.0 + 800.0 * i as f64, 500.0 + 800.0 * j as f64),
+                    20.0,
+                );
+            }
+        }
+        b.build().expect("valid")
+    }
+
+    fn base_tree() -> (ClockNetInstance, ClockTree) {
+        let inst = instance();
+        let tree = build_zero_skew_tree(&inst, &Technology::ispd09(), DmeOptions::default());
+        (inst, tree)
+    }
+
+    #[test]
+    fn splitting_preserves_wirelength_and_validity() {
+        let (_inst, mut tree) = base_tree();
+        let before = tree.wirelength();
+        let added = split_long_edges(&mut tree, 200.0);
+        assert!(added > 0);
+        assert!(tree.validate().is_ok());
+        assert!((tree.wirelength() - before).abs() < 1e-6);
+        for id in 0..tree.len() {
+            if let Some(p) = tree.node(id).parent {
+                let direct = tree.node(p).location.manhattan(tree.node(id).location);
+                assert!(direct <= 200.0 + 1e-6, "edge {id} still {direct} long");
+            }
+        }
+    }
+
+    #[test]
+    fn cap_driven_insertion_bounds_stage_load() {
+        let tech = Technology::ispd09();
+        let (_inst, mut tree) = base_tree();
+        split_long_edges(&mut tree, 200.0);
+        let composite = tech.composite(tech.small_inverter(), 8);
+        let max_cap = tech.slew_free_cap(composite.output_res());
+        let obstacles = ObstacleSet::new();
+        let n = insert_buffers_by_cap(&mut tree, &tech, composite, max_cap, &obstacles);
+        assert!(n > 0);
+        assert!(tree.validate().is_ok());
+        // Every buffered stage, lowered and evaluated, must satisfy slews.
+        let netlist = crate::lower::to_netlist(
+            &tree,
+            &tech,
+            &contango_sim::SourceSpec::ispd09(),
+            100.0,
+        )
+        .expect("lowers");
+        let eval = contango_sim::Evaluator::new(tech);
+        let report = eval.evaluate(&netlist);
+        assert!(
+            !report.has_slew_violation(),
+            "worst slew {} ps",
+            report.worst_slew()
+        );
+    }
+
+    #[test]
+    fn buffers_avoid_obstacle_interiors() {
+        let tech = Technology::ispd09();
+        let inst = instance();
+        let mut tree = build_zero_skew_tree(&inst, &tech, DmeOptions::default());
+        split_long_edges(&mut tree, 150.0);
+        let blockage: ObstacleSet = vec![Rect::new(1000.0, 1000.0, 3000.0, 3000.0)]
+            .into_iter()
+            .collect();
+        let composite = tech.composite(tech.small_inverter(), 8);
+        insert_buffers_by_cap(
+            &mut tree,
+            &tech,
+            composite,
+            tech.slew_free_cap(composite.output_res()),
+            &blockage,
+        );
+        for id in buffered_nodes(&tree) {
+            assert!(
+                !blockage.contains_point_strict(tree.node(id).location),
+                "buffer at {} sits inside the macro",
+                tree.node(id).location
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_prefers_strongest_fitting_composite() {
+        let tech = Technology::ispd09();
+        let (inst, mut tree) = base_tree();
+        split_long_edges(&mut tree, 200.0);
+        let candidates = default_candidates(&tech, false);
+        let report = choose_and_insert_buffers(
+            &mut tree,
+            &tech,
+            &candidates,
+            inst.cap_limit,
+            0.1,
+            &inst.obstacles,
+        )
+        .expect("a configuration fits");
+        assert!(report.buffers > 0);
+        assert!(report.total_cap <= 0.9 * inst.cap_limit);
+        // With a generous budget the strongest candidate (32x small) wins.
+        assert_eq!(report.composite.parallel(), 32);
+    }
+
+    #[test]
+    fn sweep_falls_back_when_budget_is_tight() {
+        let tech = Technology::ispd09();
+        let (inst, mut tree) = base_tree();
+        split_long_edges(&mut tree, 200.0);
+        let candidates = default_candidates(&tech, false);
+        // A tight budget forces a weaker configuration (or an error).
+        let tight = inst.total_sink_cap() + 6000.0;
+        let result = choose_and_insert_buffers(
+            &mut tree,
+            &tech,
+            &candidates,
+            tight,
+            0.1,
+            &inst.obstacles,
+        );
+        if let Ok(report) = result {
+            assert!(report.composite.parallel() < 32);
+            assert!(report.total_cap <= 0.9 * tight);
+        }
+    }
+
+    #[test]
+    fn strip_buffers_removes_everything() {
+        let tech = Technology::ispd09();
+        let (_inst, mut tree) = base_tree();
+        split_long_edges(&mut tree, 300.0);
+        let composite = tech.composite(tech.small_inverter(), 8);
+        insert_buffers_by_cap(
+            &mut tree,
+            &tech,
+            composite,
+            tech.slew_free_cap(composite.output_res()),
+            &ObstacleSet::new(),
+        );
+        assert!(tree.buffer_count() > 0);
+        strip_buffers(&mut tree);
+        assert_eq!(tree.buffer_count(), 0);
+    }
+
+    #[test]
+    fn default_candidate_sets_differ_by_inverter_type() {
+        let tech = Technology::ispd09();
+        let small = default_candidates(&tech, false);
+        let large = default_candidates(&tech, true);
+        assert!(small.iter().all(|c| c.base().name == "INV_SMALL"));
+        assert!(large.iter().all(|c| c.base().name == "INV_LARGE"));
+    }
+}

@@ -1,0 +1,429 @@
+//! The Contango methodology: the end-to-end flow of Figure 1.
+//!
+//! The flow chains the construction and optimization steps in the order the
+//! paper prescribes, taking a metrics snapshot after each stage (these
+//! snapshots reproduce Table III):
+//!
+//! 1. **INITIAL** — ZST/DME construction, obstacle-avoidance repair, edge
+//!    splitting, composite-buffer insertion within 90% of the capacitance
+//!    budget, and sink-polarity correction, followed by the first
+//!    evaluation.
+//! 2. **TBSZ** — top-level/trunk buffer sizing (with sliding) and branch
+//!    sizing with capacitance borrowing; reduces CLR, may increase skew.
+//! 3. **TWSZ** — iterative top-down wiresizing; the big skew reduction.
+//! 4. **TWSN** — iterative top-down wiresnaking; refines skew further.
+//! 5. **BWSN** — bottom-level wiresizing/wiresnaking fine-tuning.
+//!
+//! Each optimization is followed by an Improvement- & Violation-Check (the
+//! passes themselves roll back non-improving or violating rounds), matching
+//! the IVC/CNE loop of the paper.
+
+use crate::bottomlevel::{bottom_level_tuning, BottomLevelConfig};
+use crate::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
+use crate::buffersizing::{iterative_buffer_sizing, BufferSizingConfig};
+use crate::instance::ClockNetInstance;
+use crate::lower::to_netlist;
+use crate::obstacles::repair_obstacle_violations;
+use crate::opt::OptContext;
+use crate::polarity::{correct_polarity, PolarityReport};
+use crate::slack::SlackAnalysis;
+use crate::sliding::{slide_and_interleave, SlidingConfig};
+use crate::topology::{build_topology, TopologyKind};
+use crate::tree::ClockTree;
+use crate::wiresizing::{iterative_wiresizing, WireSizingConfig};
+use crate::wiresnaking::{iterative_wiresnaking, WireSnakingConfig};
+use contango_sim::{DelayModel, EvalReport, Evaluator, Netlist};
+use contango_tech::Technology;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Configuration of the Contango flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FlowConfig {
+    /// Delay model used for the SPICE-style evaluations.
+    pub model: DelayModel,
+    /// How the initial (pre-optimization) tree topology is built.
+    pub topology: TopologyKind,
+    /// Drive the tree with groups of large inverters instead of groups of
+    /// small inverters (used for the TI scalability study, Section V).
+    pub use_large_inverters: bool,
+    /// Enable buffer sliding and interleaving before buffer sizing
+    /// (Section IV-H).
+    pub enable_buffer_sliding: bool,
+    /// Maximum edge length before splitting, µm.
+    pub max_edge_len: f64,
+    /// Wire segmentation granularity for lowering, µm.
+    pub segment_um: f64,
+    /// Fraction of the capacitance budget reserved for downstream
+    /// optimizations (γ in Section IV-C).
+    pub power_reserve: f64,
+    /// Enable the TBSZ buffer-sizing stage.
+    pub enable_buffer_sizing: bool,
+    /// Enable the TWSZ wiresizing stage.
+    pub enable_wiresizing: bool,
+    /// Enable the TWSN wiresnaking stage.
+    pub enable_wiresnaking: bool,
+    /// Enable the BWSN bottom-level stage.
+    pub enable_bottom_level: bool,
+    /// Round budgets for the iterative stages.
+    pub wiresizing_rounds: usize,
+    /// Round budget for top-down wiresnaking.
+    pub wiresnaking_rounds: usize,
+    /// Round budget for bottom-level fine-tuning.
+    pub bottom_rounds: usize,
+    /// Iteration budget for trunk buffer sizing.
+    pub buffer_sizing_iterations: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            model: DelayModel::Transient,
+            topology: TopologyKind::Dme,
+            use_large_inverters: false,
+            enable_buffer_sliding: true,
+            max_edge_len: 250.0,
+            segment_um: 100.0,
+            power_reserve: 0.10,
+            enable_buffer_sizing: true,
+            enable_wiresizing: true,
+            enable_wiresnaking: true,
+            enable_bottom_level: true,
+            wiresizing_rounds: 6,
+            wiresnaking_rounds: 8,
+            bottom_rounds: 3,
+            buffer_sizing_iterations: 5,
+        }
+    }
+}
+
+impl FlowConfig {
+    /// A reduced-effort configuration for tests and quick experiments:
+    /// fewer optimization rounds and coarser segmentation, same stages.
+    pub fn fast() -> Self {
+        Self {
+            wiresizing_rounds: 3,
+            wiresnaking_rounds: 4,
+            bottom_rounds: 1,
+            buffer_sizing_iterations: 2,
+            segment_um: 150.0,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration used for the TI-style scalability study: large
+    /// inverters (eightfold faster buffering at slightly worse CLR/skew,
+    /// Section V) and reduced round budgets.
+    pub fn scalability() -> Self {
+        Self {
+            use_large_inverters: true,
+            wiresizing_rounds: 3,
+            wiresnaking_rounds: 4,
+            bottom_rounds: 1,
+            buffer_sizing_iterations: 2,
+            max_edge_len: 400.0,
+            segment_um: 200.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Identifier of a flow stage, matching the acronyms of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FlowStage {
+    /// Initial tree + buffering + polarity correction.
+    Initial,
+    /// Top-level buffer sizing.
+    BufferSizing,
+    /// Top-down wiresizing.
+    WireSizing,
+    /// Top-down wiresnaking.
+    WireSnaking,
+    /// Bottom-level fine-tuning.
+    BottomLevel,
+}
+
+impl FlowStage {
+    /// The acronym used in Table III of the paper.
+    pub fn acronym(&self) -> &'static str {
+        match self {
+            FlowStage::Initial => "INITIAL",
+            FlowStage::BufferSizing => "TBSZ",
+            FlowStage::WireSizing => "TWSZ",
+            FlowStage::WireSnaking => "TWSN",
+            FlowStage::BottomLevel => "BWSN",
+        }
+    }
+}
+
+/// Metrics snapshot taken after one flow stage (one row of Table III).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageSnapshot {
+    /// Which stage this snapshot follows.
+    pub stage: FlowStage,
+    /// Clock Latency Range, ps.
+    pub clr: f64,
+    /// Nominal skew, ps.
+    pub skew: f64,
+    /// Maximum nominal sink latency (insertion delay), ps.
+    pub max_latency: f64,
+    /// Total network capacitance, fF.
+    pub total_cap: f64,
+    /// Total wirelength, µm.
+    pub wirelength: f64,
+    /// Whether any slew violation is present.
+    pub slew_violation: bool,
+}
+
+/// The result of running the Contango flow on one instance.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The synthesized clock tree.
+    pub tree: ClockTree,
+    /// The final electrical netlist.
+    pub netlist: Netlist,
+    /// The final multi-corner evaluation.
+    pub report: EvalReport,
+    /// Final slack analysis (used for visualization).
+    pub slacks: SlackAnalysis,
+    /// Per-stage snapshots (Table III).
+    pub snapshots: Vec<StageSnapshot>,
+    /// Polarity-correction statistics (Table II).
+    pub polarity: PolarityReport,
+    /// Number of evaluator invocations ("SPICE runs").
+    pub spice_runs: usize,
+    /// Wall-clock runtime of the flow in seconds.
+    pub runtime_s: f64,
+}
+
+impl FlowResult {
+    /// Convenience accessor: final CLR in ps.
+    pub fn clr(&self) -> f64 {
+        self.report.clr()
+    }
+
+    /// Convenience accessor: final nominal skew in ps.
+    pub fn skew(&self) -> f64 {
+        self.report.skew()
+    }
+
+    /// Capacitance utilization as a fraction of the instance budget.
+    pub fn cap_fraction(&self, instance: &ClockNetInstance) -> f64 {
+        self.report.total_cap / instance.cap_limit
+    }
+}
+
+/// The Contango clock-network synthesis flow.
+#[derive(Debug, Clone)]
+pub struct ContangoFlow {
+    tech: Technology,
+    config: FlowConfig,
+}
+
+impl ContangoFlow {
+    /// Creates a flow for a technology and configuration.
+    pub fn new(tech: Technology, config: FlowConfig) -> Self {
+        Self { tech, config }
+    }
+
+    /// The flow's configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs the full flow on `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instance is invalid or no buffer
+    /// configuration fits within the capacitance budget.
+    pub fn run(&self, instance: &ClockNetInstance) -> Result<FlowResult, String> {
+        instance.validate()?;
+        let started = Instant::now();
+        let evaluator = Evaluator::with_model(self.tech.clone(), self.config.model);
+        let ctx = OptContext {
+            tech: &self.tech,
+            source: instance.source_spec,
+            evaluator: &evaluator,
+            segment_um: self.config.segment_um,
+            cap_limit: instance.cap_limit,
+        };
+        let mut snapshots = Vec::new();
+
+        // ---- INITIAL: topology + obstacles + buffering + polarity ----
+        let mut tree = build_topology(self.config.topology, instance, &self.tech);
+        let candidates = default_candidates(&self.tech, self.config.use_large_inverters);
+        let strongest_res = candidates
+            .iter()
+            .map(|c| c.output_res())
+            .fold(f64::INFINITY, f64::min);
+        repair_obstacle_violations(&mut tree, instance, &self.tech, strongest_res);
+        split_long_edges(&mut tree, self.config.max_edge_len);
+        let buffering = choose_and_insert_buffers(
+            &mut tree,
+            &self.tech,
+            &candidates,
+            instance.cap_limit,
+            self.config.power_reserve,
+            &instance.obstacles,
+        )?;
+        // Corrective inverters must be able to drive the subtree they are
+        // spliced in front of, so they reuse the composite chosen for the
+        // main buffering.
+        let polarity = correct_polarity(&mut tree, buffering.composite);
+        let mut report = ctx.evaluate(&tree);
+        snapshots.push(self.snapshot(FlowStage::Initial, &tree, &report));
+
+        // ---- TBSZ: buffer sliding/interleaving, then sizing, for CLR ----
+        if self.config.enable_buffer_sizing {
+            if self.config.enable_buffer_sliding {
+                slide_and_interleave(&mut tree, &ctx, SlidingConfig::default());
+            }
+            let cfg = BufferSizingConfig {
+                max_iterations: self.config.buffer_sizing_iterations,
+                ..BufferSizingConfig::default()
+            };
+            iterative_buffer_sizing(&mut tree, &ctx, cfg);
+            report = ctx.evaluate(&tree);
+            snapshots.push(self.snapshot(FlowStage::BufferSizing, &tree, &report));
+        }
+
+        // ---- TWSZ: top-down wiresizing ----
+        if self.config.enable_wiresizing {
+            let cfg = WireSizingConfig {
+                max_rounds: self.config.wiresizing_rounds,
+                ..WireSizingConfig::default()
+            };
+            iterative_wiresizing(&mut tree, &ctx, cfg);
+            report = ctx.evaluate(&tree);
+            snapshots.push(self.snapshot(FlowStage::WireSizing, &tree, &report));
+        }
+
+        // ---- TWSN: top-down wiresnaking ----
+        if self.config.enable_wiresnaking {
+            let cfg = WireSnakingConfig {
+                max_rounds: self.config.wiresnaking_rounds,
+                ..WireSnakingConfig::default()
+            };
+            iterative_wiresnaking(&mut tree, &ctx, cfg);
+            report = ctx.evaluate(&tree);
+            snapshots.push(self.snapshot(FlowStage::WireSnaking, &tree, &report));
+        }
+
+        // ---- BWSN: bottom-level fine-tuning ----
+        if self.config.enable_bottom_level {
+            let cfg = BottomLevelConfig {
+                max_rounds: self.config.bottom_rounds,
+                ..BottomLevelConfig::default()
+            };
+            bottom_level_tuning(&mut tree, &ctx, cfg);
+            report = ctx.evaluate(&tree);
+            snapshots.push(self.snapshot(FlowStage::BottomLevel, &tree, &report));
+        }
+
+        let netlist = to_netlist(&tree, &self.tech, &instance.source_spec, self.config.segment_um)?;
+        let slacks = SlackAnalysis::compute(&tree, &report);
+        Ok(FlowResult {
+            tree,
+            netlist,
+            report,
+            slacks,
+            snapshots,
+            polarity,
+            spice_runs: evaluator.runs(),
+            runtime_s: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    fn snapshot(&self, stage: FlowStage, tree: &ClockTree, report: &EvalReport) -> StageSnapshot {
+        StageSnapshot {
+            stage,
+            clr: report.clr(),
+            skew: report.skew(),
+            max_latency: report.max_latency(),
+            total_cap: tree.total_cap(&self.tech),
+            wirelength: tree.wirelength(),
+            slew_violation: report.has_slew_violation(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contango_geom::{Point, Rect};
+
+    fn small_instance() -> ClockNetInstance {
+        let mut b = ClockNetInstance::builder("flow-test")
+            .die(0.0, 0.0, 3000.0, 3000.0)
+            .source(Point::new(0.0, 1500.0))
+            .obstacle(Rect::new(1200.0, 1200.0, 1800.0, 1900.0))
+            .cap_limit(500_000.0);
+        for j in 0..3 {
+            for i in 0..4 {
+                b = b.sink(
+                    Point::new(350.0 + 750.0 * i as f64, 450.0 + 950.0 * j as f64),
+                    10.0 + 5.0 * ((i * j) % 4) as f64,
+                );
+            }
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn full_flow_produces_small_skew_and_valid_tree() {
+        let inst = small_instance();
+        let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+        let result = flow.run(&inst).expect("flow runs");
+        assert!(result.tree.validate().is_ok());
+        assert_eq!(result.report.sink_count(), inst.sink_count());
+        assert!(!result.report.has_slew_violation());
+        assert!(result.report.total_cap <= inst.cap_limit);
+        assert!(
+            result.skew() < 20.0,
+            "industrially negligible skew expected, got {} ps",
+            result.skew()
+        );
+        assert!(result.spice_runs > 3);
+    }
+
+    #[test]
+    fn snapshots_follow_the_methodology_order() {
+        let inst = small_instance();
+        let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+        let result = flow.run(&inst).expect("flow runs");
+        let order: Vec<&str> = result.snapshots.iter().map(|s| s.stage.acronym()).collect();
+        assert_eq!(order, vec!["INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"]);
+        // The flow's skew after the wire optimizations must not exceed the
+        // initial skew.
+        let initial = &result.snapshots[0];
+        let last = result.snapshots.last().expect("snapshots exist");
+        assert!(last.skew <= initial.skew + 1e-9);
+        assert!(last.clr <= initial.clr + 1e-9);
+    }
+
+    #[test]
+    fn stages_can_be_disabled() {
+        let inst = small_instance();
+        let config = FlowConfig {
+            enable_buffer_sizing: false,
+            enable_wiresnaking: false,
+            enable_bottom_level: false,
+            ..FlowConfig::fast()
+        };
+        let flow = ContangoFlow::new(Technology::ispd09(), config);
+        let result = flow.run(&inst).expect("flow runs");
+        let order: Vec<&str> = result.snapshots.iter().map(|s| s.stage.acronym()).collect();
+        assert_eq!(order, vec!["INITIAL", "TWSZ"]);
+    }
+
+    #[test]
+    fn polarity_statistics_are_reported() {
+        let inst = small_instance();
+        let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+        let result = flow.run(&inst).expect("flow runs");
+        // With inverting buffers some sinks are initially inverted, and the
+        // correction never adds more inverters than inverted sinks.
+        assert!(result.polarity.added_inverters <= result.polarity.inverted_sinks.max(1));
+    }
+}

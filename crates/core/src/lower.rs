@@ -1,0 +1,302 @@
+//! Lowering a [`ClockTree`] to the stage-level electrical netlist consumed
+//! by the evaluator.
+//!
+//! Every buffered node starts a new stage; the wires between a stage's
+//! driver and the next buffers/sinks are discretized into π-segments so that
+//! distributed wire delay is captured accurately regardless of segment
+//! count.
+
+use crate::tree::{ClockTree, NodeId, NodeKind};
+use contango_sim::{DriverSpec, Netlist, RcTree, SourceSpec, Stage, StageDriver, Tap, TapKind};
+use contango_tech::Technology;
+
+/// Maximum electrical segment length used when discretizing wires, in µm.
+pub const DEFAULT_SEGMENT_UM: f64 = 100.0;
+
+/// Lowers `tree` to a [`Netlist`] driven by `source`.
+///
+/// Wire parasitics come from the tree's per-edge wire width and `tech`'s
+/// wire library; each edge is split into π-segments no longer than
+/// `max_segment_um`. Buffer input/output capacitance and sink pin
+/// capacitance are attached to the appropriate nodes.
+///
+/// # Errors
+///
+/// Returns an error if the resulting netlist fails structural validation
+/// (which indicates a malformed tree, e.g. unreachable stages).
+pub fn to_netlist(
+    tree: &ClockTree,
+    tech: &Technology,
+    source: &SourceSpec,
+    max_segment_um: f64,
+) -> Result<Netlist, String> {
+    let seg = max_segment_um.max(1.0);
+
+    // Assign stage indices: stage 0 is the source stage rooted at the tree
+    // root; every buffered node starts its own stage.
+    let mut stage_of_node: Vec<Option<usize>> = vec![None; tree.len()];
+    let mut stage_roots: Vec<NodeId> = vec![tree.root()];
+    stage_of_node[tree.root()] = Some(0);
+    for id in tree.preorder() {
+        if id != tree.root() && tree.node(id).buffer.is_some() {
+            stage_of_node[id] = Some(stage_roots.len());
+            stage_roots.push(id);
+        }
+    }
+
+    let mut stages: Vec<Stage> = Vec::with_capacity(stage_roots.len());
+    for (si, &start) in stage_roots.iter().enumerate() {
+        let driver = if si == 0 {
+            StageDriver::Source(*source)
+        } else {
+            let buf = tree
+                .node(start)
+                .buffer
+                .as_ref()
+                .expect("stage roots other than the source stage carry a buffer");
+            StageDriver::Buffer(DriverSpec::from_composite(buf))
+        };
+
+        let mut rc = RcTree::new();
+        let root_cap = match driver {
+            StageDriver::Buffer(d) => d.output_cap,
+            StageDriver::Source(_) => 0.0,
+        };
+        let rc_root = rc.add_root(root_cap);
+        let mut taps: Vec<Tap> = Vec::new();
+
+        // The stage's start node may itself be a sink (an inverter placed
+        // directly at a sink by polarity correction).
+        attach_node_load(tree, start, rc_root, &mut rc, &mut taps, &stage_of_node, si);
+
+        // Depth-first walk of the tree below `start`, stopping at buffered
+        // nodes (which become stage taps).
+        let mut stack: Vec<(NodeId, usize)> = tree
+            .node(start)
+            .children
+            .iter()
+            .map(|&c| (c, rc_root))
+            .collect();
+        while let Some((node_id, rc_parent)) = stack.pop() {
+            let rc_node = add_wire_segments(tree, tech, node_id, rc_parent, seg, &mut rc);
+            let is_stage_boundary = stage_of_node[node_id].is_some() && node_id != start;
+            attach_node_load(tree, node_id, rc_node, &mut rc, &mut taps, &stage_of_node, si);
+            if !is_stage_boundary {
+                for &c in &tree.node(node_id).children {
+                    stack.push((c, rc_node));
+                }
+            }
+        }
+
+        stages.push(Stage {
+            driver,
+            tree: rc,
+            taps,
+        });
+    }
+
+    Netlist::new(stages, 0)
+}
+
+/// Adds the π-segment ladder for the edge ending at `node_id` and returns
+/// the RC node corresponding to the tree node.
+fn add_wire_segments(
+    tree: &ClockTree,
+    tech: &Technology,
+    node_id: NodeId,
+    rc_parent: usize,
+    seg: f64,
+    rc: &mut RcTree,
+) -> usize {
+    let length = tree.edge_length(node_id);
+    let code = tech.wire(tree.node(node_id).wire.width);
+    if length <= 1e-9 {
+        // Zero-length connection: a tiny series resistance keeps the solver
+        // well conditioned.
+        return rc.add_node(rc_parent, 1e-3, 0.0);
+    }
+    let nseg = (length / seg).ceil().max(1.0) as usize;
+    let seg_len = length / nseg as f64;
+    let seg_res = code.resistance(seg_len);
+    let seg_cap = code.capacitance(seg_len);
+    let mut cur = rc_parent;
+    for _ in 0..nseg {
+        // π-model: half the segment capacitance at each end.
+        rc.add_cap(cur, 0.5 * seg_cap);
+        cur = rc.add_node(cur, seg_res, 0.5 * seg_cap);
+    }
+    cur
+}
+
+/// Attaches sink capacitance, downstream-buffer input capacitance and taps
+/// for the tree node mapped to `rc_node`.
+fn attach_node_load(
+    tree: &ClockTree,
+    node_id: NodeId,
+    rc_node: usize,
+    rc: &mut RcTree,
+    taps: &mut Vec<Tap>,
+    stage_of_node: &[Option<usize>],
+    current_stage: usize,
+) {
+    match tree.node(node_id).kind {
+        NodeKind::Sink(sid) => {
+            // A sink that also carries a buffer belongs to the buffer's own
+            // stage (the buffer drives the pin); the parent stage only sees
+            // the buffer input below.
+            let buffered_here = stage_of_node[node_id].is_some() && node_id != tree_root_of(tree);
+            if !buffered_here || stage_of_node[node_id] == Some(current_stage) {
+                rc.add_cap(rc_node, tree.sink_cap(sid));
+                taps.push(Tap {
+                    node: rc_node,
+                    kind: TapKind::Sink(sid),
+                });
+            }
+        }
+        NodeKind::Internal => {}
+    }
+    // If the node starts a different (downstream) stage, it is a tap of the
+    // current stage and presents its driver's input capacitance.
+    if let Some(child_stage) = stage_of_node[node_id] {
+        if child_stage != current_stage {
+            let buf = tree
+                .node(node_id)
+                .buffer
+                .as_ref()
+                .expect("stage boundaries carry buffers");
+            rc.add_cap(rc_node, buf.input_cap());
+            taps.push(Tap {
+                node: rc_node,
+                kind: TapKind::Stage(child_stage),
+            });
+        }
+    }
+}
+
+fn tree_root_of(tree: &ClockTree) -> NodeId {
+    tree.root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::WireSegment;
+    use contango_geom::Point;
+    use contango_sim::{DelayModel, Evaluator};
+    use contango_tech::Technology;
+
+    fn tech() -> Technology {
+        Technology::ispd09()
+    }
+
+    /// Root -> 400 µm trunk -> buffer -> two 200 µm branches to sinks.
+    fn buffered_tree() -> ClockTree {
+        let t = tech();
+        let mut tree = ClockTree::new(Point::new(0.0, 0.0));
+        let trunk = tree.add_internal(tree.root(), Point::new(400.0, 0.0), WireSegment::default());
+        tree.node_mut(trunk).buffer = Some(t.composite(t.small_inverter(), 8));
+        tree.add_sink(trunk, Point::new(600.0, 100.0), WireSegment::default(), 0, 20.0);
+        tree.add_sink(trunk, Point::new(600.0, -100.0), WireSegment::default(), 1, 20.0);
+        tree
+    }
+
+    #[test]
+    fn lowering_creates_one_stage_per_buffer_plus_source() {
+        let tree = buffered_tree();
+        let netlist = to_netlist(&tree, &tech(), &SourceSpec::ispd09(), 100.0).expect("lowers");
+        assert_eq!(netlist.len(), 2);
+        assert_eq!(netlist.sink_count(), 2);
+        assert_eq!(netlist.buffer_count(), 1);
+    }
+
+    #[test]
+    fn wire_capacitance_is_preserved_by_segmentation() {
+        let tree = buffered_tree();
+        let t = tech();
+        let netlist = to_netlist(&tree, &t, &SourceSpec::ispd09(), 37.0).expect("lowers");
+        // Total cap = wires + sinks + buffer input & output caps.
+        let expected = tree.total_cap(&t);
+        assert!(
+            (netlist.total_cap() - expected).abs() < 1e-6,
+            "netlist {} vs tree {}",
+            netlist.total_cap(),
+            expected
+        );
+    }
+
+    #[test]
+    fn segment_length_does_not_change_elmore_delay() {
+        let tree = buffered_tree();
+        let t = tech();
+        let coarse = to_netlist(&tree, &t, &SourceSpec::ispd09(), 1000.0).expect("lowers");
+        let fine = to_netlist(&tree, &t, &SourceSpec::ispd09(), 10.0).expect("lowers");
+        let eval = Evaluator::with_model(t, DelayModel::Elmore);
+        let rc = eval.evaluate(&coarse);
+        let rf = eval.evaluate(&fine);
+        let lc = rc.nominal.sink(0).expect("sink").rise.latency;
+        let lf = rf.nominal.sink(0).expect("sink").rise.latency;
+        assert!(
+            (lc - lf).abs() < 0.5,
+            "π-segmentation should be insensitive to segment size: {lc} vs {lf}"
+        );
+    }
+
+    #[test]
+    fn symmetric_branches_have_equal_latency() {
+        let tree = buffered_tree();
+        let t = tech();
+        let netlist = to_netlist(&tree, &t, &SourceSpec::ispd09(), 100.0).expect("lowers");
+        let eval = Evaluator::with_model(t, DelayModel::Transient);
+        let report = eval.evaluate(&netlist);
+        assert!(report.skew() < 1e-6, "skew {}", report.skew());
+    }
+
+    #[test]
+    fn unbuffered_tree_is_a_single_stage() {
+        let mut tree = ClockTree::new(Point::new(0.0, 0.0));
+        tree.add_sink(tree.root(), Point::new(100.0, 0.0), WireSegment::default(), 0, 5.0);
+        let netlist =
+            to_netlist(&tree, &tech(), &SourceSpec::ispd09(), 50.0).expect("lowers");
+        assert_eq!(netlist.len(), 1);
+        assert_eq!(netlist.sink_count(), 1);
+    }
+
+    #[test]
+    fn buffer_at_sink_node_forms_its_own_stage() {
+        let t = tech();
+        let mut tree = ClockTree::new(Point::new(0.0, 0.0));
+        let sink = tree.add_sink(
+            tree.root(),
+            Point::new(100.0, 0.0),
+            WireSegment::default(),
+            0,
+            5.0,
+        );
+        tree.node_mut(sink).buffer = Some(t.composite(t.small_inverter(), 1));
+        let netlist = to_netlist(&tree, &t, &SourceSpec::ispd09(), 50.0).expect("lowers");
+        assert_eq!(netlist.len(), 2);
+        // The sink pin must be driven by the inverter stage, not the source.
+        let root_has_sink_tap = netlist.stages[0]
+            .taps
+            .iter()
+            .any(|tap| matches!(tap.kind, TapKind::Sink(_)));
+        assert!(!root_has_sink_tap);
+        assert_eq!(netlist.sink_count(), 1);
+    }
+
+    #[test]
+    fn narrow_wires_have_less_capacitance_than_wide() {
+        let t = tech();
+        let mut tree = buffered_tree();
+        let wide = to_netlist(&tree, &t, &SourceSpec::ispd09(), 100.0)
+            .expect("lowers")
+            .total_cap();
+        for id in 0..tree.len() {
+            tree.node_mut(id).wire.width = contango_tech::WireWidth::Narrow;
+        }
+        let narrow = to_netlist(&tree, &t, &SourceSpec::ispd09(), 100.0)
+            .expect("lowers")
+            .total_cap();
+        assert!(narrow < wide);
+    }
+}

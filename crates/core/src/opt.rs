@@ -1,0 +1,94 @@
+//! Shared context for the SPICE-driven optimization passes.
+
+use crate::lower::to_netlist;
+use crate::tree::ClockTree;
+use contango_sim::{EvalReport, Evaluator, SourceSpec};
+use contango_tech::Technology;
+
+/// Everything an optimization pass needs to evaluate candidate trees:
+/// the technology, the clock source, the evaluator (which counts
+/// "SPICE runs"), the wire-segmentation granularity and the capacitance
+/// budget.
+#[derive(Debug)]
+pub struct OptContext<'a> {
+    /// Technology description.
+    pub tech: &'a Technology,
+    /// Clock source electricals.
+    pub source: SourceSpec,
+    /// The evaluator shared by the whole flow.
+    pub evaluator: &'a Evaluator,
+    /// Maximum wire segment length used during lowering, in µm.
+    pub segment_um: f64,
+    /// Total capacitance budget, in fF.
+    pub cap_limit: f64,
+}
+
+impl<'a> OptContext<'a> {
+    /// Lowers and evaluates a tree (one "SPICE run").
+    pub fn evaluate(&self, tree: &ClockTree) -> EvalReport {
+        let netlist = to_netlist(tree, self.tech, &self.source, self.segment_um)
+            .expect("optimization passes only produce structurally valid trees");
+        self.evaluator.evaluate(&netlist)
+    }
+
+    /// Returns `true` when `report` violates the slew limit or the tree
+    /// exceeds the capacitance budget.
+    pub fn violates(&self, tree: &ClockTree, report: &EvalReport) -> bool {
+        report.has_slew_violation() || tree.total_cap(self.tech) > self.cap_limit
+    }
+}
+
+/// Outcome of one iterative optimization pass.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct PassOutcome {
+    /// Number of accepted improvement rounds.
+    pub rounds: usize,
+    /// Nominal skew before the pass, ps.
+    pub skew_before: f64,
+    /// Nominal skew after the pass, ps.
+    pub skew_after: f64,
+    /// Clock Latency Range before the pass, ps.
+    pub clr_before: f64,
+    /// Clock Latency Range after the pass, ps.
+    pub clr_after: f64,
+}
+
+impl PassOutcome {
+    /// Returns `true` when the pass improved its primary objective.
+    pub fn improved(&self) -> bool {
+        self.skew_after < self.skew_before - 1e-9 || self.clr_after < self.clr_before - 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dme::{build_zero_skew_tree, DmeOptions};
+    use crate::instance::ClockNetInstance;
+    use contango_geom::Point;
+
+    #[test]
+    fn context_counts_evaluations() {
+        let tech = Technology::ispd09();
+        let inst = ClockNetInstance::builder("ctx")
+            .die(0.0, 0.0, 500.0, 500.0)
+            .sink(Point::new(100.0, 100.0), 10.0)
+            .sink(Point::new(400.0, 400.0), 10.0)
+            .cap_limit(1e9)
+            .build()
+            .expect("valid");
+        let tree = build_zero_skew_tree(&inst, &tech, DmeOptions::default());
+        let evaluator = Evaluator::new(tech.clone());
+        let ctx = OptContext {
+            tech: &tech,
+            source: SourceSpec::ispd09(),
+            evaluator: &evaluator,
+            segment_um: 100.0,
+            cap_limit: inst.cap_limit,
+        };
+        let r1 = ctx.evaluate(&tree);
+        let _r2 = ctx.evaluate(&tree);
+        assert_eq!(evaluator.runs(), 2);
+        assert!(!ctx.violates(&tree, &r1));
+    }
+}

@@ -1,0 +1,292 @@
+//! Buffer sliding and interleaving (paper, Section IV-H).
+//!
+//! Upsizing an inverter increases its input pin capacitance and can create a
+//! slew violation on the wire driving it. Before the iterative buffer-sizing
+//! stage, Contango therefore *slides* top-level inverters up their incoming
+//! edge (shedding upstream wire capacitance) and *interleaves* additional
+//! inverters where sliding has left two consecutive buffers too far apart.
+//! Both moves target the tree trunk, where they affect all sinks equally and
+//! so barely disturb skew, and both are guarded by the flow's
+//! Improvement- & Violation-Check: a round that fails to improve CLR or that
+//! introduces a slew violation is rolled back.
+//!
+//! Interleaving inserts inverters in *pairs* so sink polarity is preserved
+//! without re-running polarity correction.
+
+use crate::buffersizing::{slide_buffer_up, trunk_buffers};
+use crate::opt::{OptContext, PassOutcome};
+use crate::tree::{ClockTree, NodeId};
+use serde::Serialize;
+
+/// Configuration of the sliding/interleaving pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SlidingConfig {
+    /// Fraction of its incoming edge a trunk buffer slides per round.
+    pub slide_fraction: f64,
+    /// Maximum unbuffered wirelength tolerated between a trunk buffer and
+    /// its parent before a repeater pair is interleaved, in µm.
+    pub max_gap: f64,
+    /// Maximum number of slide/interleave rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for SlidingConfig {
+    fn default() -> Self {
+        Self {
+            slide_fraction: 0.25,
+            max_gap: 600.0,
+            max_rounds: 3,
+        }
+    }
+}
+
+/// Report of the structural edits applied by one sliding pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SlidingReport {
+    /// Improvement/rollback summary of the pass.
+    pub outcome: PassOutcome,
+    /// Number of buffers moved up their edge (over all accepted rounds).
+    pub slid_buffers: usize,
+    /// Number of repeater pairs interleaved (over all accepted rounds).
+    pub interleaved_pairs: usize,
+}
+
+/// Slides trunk buffers up and interleaves repeater pairs into over-long
+/// trunk gaps, keeping only rounds that improve CLR without violations.
+///
+/// The pass is a no-op (and reports zero edits) for trees without buffers.
+pub fn slide_and_interleave(
+    tree: &mut ClockTree,
+    ctx: &OptContext<'_>,
+    config: SlidingConfig,
+) -> SlidingReport {
+    let mut current = ctx.evaluate(tree);
+    let skew_before = current.skew();
+    let clr_before = current.clr();
+    let mut rounds = 0;
+    let mut slid_buffers = 0;
+    let mut interleaved_pairs = 0;
+
+    for _ in 0..config.max_rounds {
+        let trunk = trunk_buffers(tree);
+        if trunk.is_empty() {
+            break;
+        }
+        let saved = tree.clone();
+        let mut round_slid = 0;
+        let mut round_pairs = 0;
+
+        // Slide every trunk buffer except the one closest to the root (its
+        // upstream wire is the source connection, which must keep its
+        // boundary location).
+        for &node in trunk.iter().skip(1) {
+            let before = tree.node(node).location;
+            slide_buffer_up(tree, node, config.slide_fraction);
+            if !tree.node(node).location.approx_eq(before) {
+                round_slid += 1;
+            }
+        }
+
+        // Interleave repeater pairs where a trunk buffer's incoming edge has
+        // grown longer than the configured gap.
+        for &node in &trunk {
+            if tree.edge_length(node) > config.max_gap {
+                if interleave_pair(tree, node) {
+                    round_pairs += 1;
+                }
+            }
+        }
+
+        if round_slid == 0 && round_pairs == 0 {
+            break;
+        }
+        let candidate = ctx.evaluate(tree);
+        let improved = candidate.clr() < current.clr() - 1e-9;
+        if improved && !ctx.violates(tree, &candidate) {
+            current = candidate;
+            rounds += 1;
+            slid_buffers += round_slid;
+            interleaved_pairs += round_pairs;
+        } else {
+            *tree = saved;
+            break;
+        }
+    }
+
+    SlidingReport {
+        outcome: PassOutcome {
+            rounds,
+            skew_before,
+            skew_after: current.skew(),
+            clr_before,
+            clr_after: current.clr(),
+        },
+        slid_buffers,
+        interleaved_pairs,
+    }
+}
+
+/// Inserts a pair of inverters (copies of the composite at `node`) at one
+/// third and two thirds of `node`'s incoming edge. Returns `false` when the
+/// node has no parent, carries no buffer, or its edge is detoured.
+fn interleave_pair(tree: &mut ClockTree, node: NodeId) -> bool {
+    let Some(parent) = tree.node(node).parent else {
+        return false;
+    };
+    if !tree.node(node).wire.route.is_empty() {
+        return false;
+    }
+    let Some(buffer) = tree.node(node).buffer.clone() else {
+        return false;
+    };
+    let from = tree.node(parent).location;
+    let to = tree.node(node).location;
+    // Splitting the edge twice: the first split creates the point closer to
+    // the child, the second split (on the new upper edge) the point closer
+    // to the parent, so both new nodes land on the original edge.
+    let lower = tree.split_edge(node, from.lerp(to, 2.0 / 3.0));
+    let upper = tree.split_edge(lower, from.lerp(to, 1.0 / 3.0));
+    tree.node_mut(lower).buffer = Some(buffer.clone());
+    tree.node_mut(upper).buffer = Some(buffer);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
+    use crate::dme::{build_zero_skew_tree, DmeOptions};
+    use crate::instance::ClockNetInstance;
+    use crate::polarity::correct_polarity;
+    use contango_geom::Point;
+    use contango_sim::{Evaluator, SourceSpec};
+    use contango_tech::Technology;
+
+    fn buffered_instance_tree(tech: &Technology) -> (ClockNetInstance, ClockTree) {
+        let mut b = ClockNetInstance::builder("sliding-test")
+            .die(0.0, 0.0, 4000.0, 4000.0)
+            .source(Point::new(0.0, 2000.0))
+            .cap_limit(800_000.0);
+        for j in 0..3 {
+            for i in 0..3 {
+                b = b.sink(
+                    Point::new(800.0 + 1000.0 * i as f64, 800.0 + 1000.0 * j as f64),
+                    12.0,
+                );
+            }
+        }
+        let instance = b.build().expect("valid");
+        let mut tree = build_zero_skew_tree(&instance, tech, DmeOptions::default());
+        split_long_edges(&mut tree, 300.0);
+        let candidates = default_candidates(tech, false);
+        let buffering = choose_and_insert_buffers(
+            &mut tree,
+            tech,
+            &candidates,
+            instance.cap_limit,
+            0.10,
+            &instance.obstacles,
+        )
+        .expect("buffering succeeds");
+        correct_polarity(&mut tree, buffering.composite);
+        (instance, tree)
+    }
+
+    #[test]
+    fn sliding_never_worsens_clr_and_keeps_the_tree_valid() {
+        let tech = Technology::ispd09();
+        let (instance, mut tree) = buffered_instance_tree(&tech);
+        let evaluator = Evaluator::new(tech.clone());
+        let ctx = OptContext {
+            tech: &tech,
+            source: SourceSpec::ispd09(),
+            evaluator: &evaluator,
+            segment_um: 150.0,
+            cap_limit: instance.cap_limit,
+        };
+        let before = ctx.evaluate(&tree);
+        let report = slide_and_interleave(&mut tree, &ctx, SlidingConfig::default());
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.sink_count(), instance.sink_count());
+        assert!(report.outcome.clr_after <= before.clr() + 1e-9);
+        assert!((report.outcome.clr_before - before.clr()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pass_is_a_no_op_on_unbuffered_trees() {
+        let tech = Technology::ispd09();
+        let instance = ClockNetInstance::builder("no-buffers")
+            .die(0.0, 0.0, 500.0, 500.0)
+            .source(Point::new(0.0, 250.0))
+            .sink(Point::new(200.0, 200.0), 10.0)
+            .sink(Point::new(400.0, 300.0), 10.0)
+            .cap_limit(1e9)
+            .build()
+            .expect("valid");
+        let mut tree = build_zero_skew_tree(&instance, &tech, DmeOptions::default());
+        let evaluator = Evaluator::new(tech.clone());
+        let ctx = OptContext {
+            tech: &tech,
+            source: SourceSpec::ispd09(),
+            evaluator: &evaluator,
+            segment_um: 100.0,
+            cap_limit: instance.cap_limit,
+        };
+        let before = tree.clone();
+        let report = slide_and_interleave(&mut tree, &ctx, SlidingConfig::default());
+        assert_eq!(report.slid_buffers, 0);
+        assert_eq!(report.interleaved_pairs, 0);
+        assert_eq!(tree, before);
+    }
+
+    #[test]
+    fn interleaving_adds_a_polarity_preserving_pair() {
+        let tech = Technology::ispd09();
+        let mut tree = ClockTree::new(Point::new(0.0, 0.0));
+        let mid = tree.add_internal(
+            tree.root(),
+            Point::new(900.0, 0.0),
+            crate::tree::WireSegment::default(),
+        );
+        tree.add_sink(
+            mid,
+            Point::new(1000.0, 0.0),
+            crate::tree::WireSegment::default(),
+            0,
+            10.0,
+        );
+        tree.node_mut(mid).buffer = Some(tech.composite(tech.small_inverter(), 8));
+        let buffers_before = tree.buffer_count();
+        assert!(interleave_pair(&mut tree, mid));
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.buffer_count(), buffers_before + 2);
+        // Both new buffers sit on the original edge between the root and mid.
+        let new_nodes: Vec<NodeId> = (0..tree.len())
+            .filter(|&id| id != mid && tree.node(id).buffer.is_some())
+            .collect();
+        for id in new_nodes {
+            let p = tree.node(id).location;
+            assert!(p.y.abs() < 1e-9 && p.x > 0.0 && p.x < 900.0);
+        }
+    }
+
+    #[test]
+    fn interleaving_refuses_unbuffered_or_detoured_edges() {
+        let tech = Technology::ispd09();
+        let mut tree = ClockTree::new(Point::new(0.0, 0.0));
+        let mid = tree.add_internal(
+            tree.root(),
+            Point::new(500.0, 0.0),
+            crate::tree::WireSegment::default(),
+        );
+        // No buffer at `mid`: refuse.
+        assert!(!interleave_pair(&mut tree, mid));
+        // Detoured edge: refuse even with a buffer.
+        tree.node_mut(mid).buffer = Some(tech.composite(tech.small_inverter(), 8));
+        tree.node_mut(mid).wire.route = vec![Point::new(250.0, 100.0)];
+        assert!(!interleave_pair(&mut tree, mid));
+        // The root has no parent: refuse.
+        let root = tree.root();
+        assert!(!interleave_pair(&mut tree, root));
+    }
+}

@@ -1,0 +1,308 @@
+//! Iterative top-down wiresizing (paper, Section IV-E, Algorithm 1).
+//!
+//! After the initial SPICE run, Contango computes slow-down slacks at every
+//! edge and an ad-hoc linear model `Tws` — the worst-case latency increase
+//! caused by downsizing one micrometre of wire — obtained from a single
+//! calibration evaluation. A top-down traversal then downsizes (wide →
+//! narrow) every edge whose remaining slack exceeds the predicted impact,
+//! passing the consumed budget (`RSlack`) down to its children. Rounds
+//! continue until the result stops improving or a slew violation appears,
+//! at which point the last saved solution is restored.
+
+use crate::opt::{OptContext, PassOutcome};
+use crate::slack::SlackAnalysis;
+use crate::tree::{ClockTree, NodeId};
+use contango_sim::EvalReport;
+use contango_tech::WireWidth;
+use serde::Serialize;
+
+/// Configuration of the iterative wiresizing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WireSizingConfig {
+    /// Maximum number of improvement rounds.
+    pub max_rounds: usize,
+    /// Restrict downsizing to edges directly connected to sinks
+    /// (bottom-level wiresizing).
+    pub bottom_level_only: bool,
+    /// Fraction of the available slack the pass is allowed to consume per
+    /// round (a safety margin against model error).
+    pub slack_usage: f64,
+}
+
+impl Default for WireSizingConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 6,
+            bottom_level_only: false,
+            slack_usage: 0.8,
+        }
+    }
+}
+
+/// Estimates `Tws`: the worst-case sink-latency increase per micrometre of
+/// downsized wire, measured by downsizing a handful of independent mid-tree
+/// wide edges and re-evaluating once (one extra "SPICE run").
+pub fn estimate_tws(tree: &ClockTree, ctx: &OptContext<'_>, baseline: &EvalReport) -> f64 {
+    let candidates = sample_mid_tree_edges(tree, 4);
+    let mut probe = tree.clone();
+    let mut probed_len = 0.0;
+    for &id in &candidates {
+        if probe.node(id).wire.width == WireWidth::Wide {
+            probe.node_mut(id).wire.width = WireWidth::Narrow;
+            probed_len += probe.edge_length(id);
+        }
+    }
+    if probed_len <= 0.0 {
+        return 1e-3;
+    }
+    let probed = ctx.evaluate(&probe);
+    let delta = (probed.max_latency() - baseline.max_latency()).max(0.0);
+    (delta / probed_len).max(1e-5)
+}
+
+/// Picks up to `count` independent (non-ancestor) wide edges near the middle
+/// of the tree for `Tws` calibration.
+fn sample_mid_tree_edges(tree: &ClockTree, count: usize) -> Vec<NodeId> {
+    let max_depth = (0..tree.len())
+        .map(|i| tree.depth(i))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let target = max_depth / 2;
+    let mut picked: Vec<NodeId> = Vec::new();
+    for id in tree.preorder() {
+        if picked.len() >= count {
+            break;
+        }
+        if tree.node(id).parent.is_none() {
+            continue;
+        }
+        if tree.depth(id) != target || tree.node(id).wire.width != WireWidth::Wide {
+            continue;
+        }
+        if tree.edge_length(id) < 1.0 {
+            continue;
+        }
+        let independent = picked
+            .iter()
+            .all(|&p| !tree.path_to_root(id).contains(&p) && !tree.path_to_root(p).contains(&id));
+        if independent {
+            picked.push(id);
+        }
+    }
+    if picked.is_empty() {
+        // Fall back to any wide edge.
+        picked = tree
+            .preorder()
+            .into_iter()
+            .filter(|&id| {
+                tree.node(id).parent.is_some()
+                    && tree.node(id).wire.width == WireWidth::Wide
+                    && tree.edge_length(id) > 1.0
+            })
+            .take(count)
+            .collect();
+    }
+    picked
+}
+
+/// Runs iterative top-down wiresizing on `tree`.
+///
+/// Every accepted round performs one slack-computing evaluation; the final
+/// rejected round is rolled back, as in Algorithm 1 of the paper.
+pub fn iterative_wiresizing(
+    tree: &mut ClockTree,
+    ctx: &OptContext<'_>,
+    config: WireSizingConfig,
+) -> PassOutcome {
+    let mut current = ctx.evaluate(tree);
+    let initial_skew = current.skew();
+    let initial_clr = current.clr();
+    let tws = estimate_tws(tree, ctx, &current);
+
+    let mut rounds = 0;
+    for _ in 0..config.max_rounds {
+        let saved = tree.clone();
+        let slacks = SlackAnalysis::compute(tree, &current);
+        let changed = downsize_round(tree, &slacks, tws, config);
+        if changed == 0 {
+            break;
+        }
+        let next = ctx.evaluate(tree);
+        let improved = next.skew() < current.skew() - 1e-9;
+        if !improved || ctx.violates(tree, &next) {
+            *tree = saved;
+            break;
+        }
+        current = next;
+        rounds += 1;
+    }
+
+    PassOutcome {
+        rounds,
+        skew_before: initial_skew,
+        skew_after: current.skew(),
+        clr_before: initial_clr,
+        clr_after: current.clr(),
+    }
+}
+
+/// One top-down downsizing sweep. Returns the number of edges downsized.
+fn downsize_round(
+    tree: &mut ClockTree,
+    slacks: &SlackAnalysis,
+    tws: f64,
+    config: WireSizingConfig,
+) -> usize {
+    let mut changed = 0;
+    // Breadth-first queue with per-path consumed slack (RSlack).
+    let mut queue: std::collections::VecDeque<(NodeId, f64)> = std::collections::VecDeque::new();
+    queue.push_back((tree.root(), 0.0));
+    while let Some((id, rslack)) = queue.pop_front() {
+        let mut consumed = rslack;
+        let is_sink_edge = matches!(tree.node(id).kind, crate::tree::NodeKind::Sink(_));
+        let eligible = tree.node(id).parent.is_some()
+            && tree.node(id).wire.width == WireWidth::Wide
+            && (!config.bottom_level_only || is_sink_edge);
+        if eligible {
+            let est = tws * tree.edge_length(id);
+            let available = (slacks.edge_slow[id] - rslack) * config.slack_usage;
+            if est > 1e-12 && available > est {
+                tree.node_mut(id).wire.width = WireWidth::Narrow;
+                consumed += est;
+                changed += 1;
+            }
+        }
+        for &c in &tree.node(id).children.clone() {
+            queue.push_back((c, consumed));
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
+    use crate::dme::{build_zero_skew_tree, DmeOptions};
+    use crate::instance::ClockNetInstance;
+    use crate::polarity::correct_polarity;
+    use contango_geom::Point;
+    use contango_sim::{Evaluator, SourceSpec};
+    use contango_tech::Technology;
+
+    fn buffered_instance() -> (ClockNetInstance, ClockTree) {
+        let tech = Technology::ispd09();
+        let mut b = ClockNetInstance::builder("wsz")
+            .die(0.0, 0.0, 3000.0, 3000.0)
+            .source(Point::new(0.0, 1500.0))
+            .cap_limit(500_000.0);
+        for j in 0..3 {
+            for i in 0..3 {
+                b = b.sink(
+                    Point::new(400.0 + 1000.0 * i as f64, 400.0 + 1000.0 * j as f64),
+                    15.0 + 10.0 * ((i + j) % 3) as f64,
+                );
+            }
+        }
+        let inst = b.build().expect("valid");
+        let mut tree = build_zero_skew_tree(&inst, &tech, DmeOptions::default());
+        split_long_edges(&mut tree, 250.0);
+        choose_and_insert_buffers(
+            &mut tree,
+            &tech,
+            &default_candidates(&tech, false),
+            inst.cap_limit,
+            0.1,
+            &inst.obstacles,
+        )
+        .expect("buffers fit");
+        correct_polarity(&mut tree, tech.composite(tech.small_inverter(), 32));
+        (inst, tree)
+    }
+
+    #[test]
+    fn tws_estimate_is_positive_and_small() {
+        let tech = Technology::ispd09();
+        let (inst, tree) = buffered_instance();
+        let evaluator = Evaluator::new(tech.clone());
+        let ctx = OptContext {
+            tech: &tech,
+            source: SourceSpec::ispd09(),
+            evaluator: &evaluator,
+            segment_um: 100.0,
+            cap_limit: inst.cap_limit,
+        };
+        let baseline = ctx.evaluate(&tree);
+        let tws = estimate_tws(&tree, &ctx, &baseline);
+        assert!(tws > 0.0);
+        assert!(tws < 1.0, "Tws per µm should be a small fraction of a ps, got {tws}");
+    }
+
+    #[test]
+    fn wiresizing_never_worsens_skew_and_respects_limits() {
+        let tech = Technology::ispd09();
+        let (inst, mut tree) = buffered_instance();
+        let evaluator = Evaluator::new(tech.clone());
+        let ctx = OptContext {
+            tech: &tech,
+            source: SourceSpec::ispd09(),
+            evaluator: &evaluator,
+            segment_um: 100.0,
+            cap_limit: inst.cap_limit,
+        };
+        let outcome = iterative_wiresizing(&mut tree, &ctx, WireSizingConfig::default());
+        assert!(outcome.skew_after <= outcome.skew_before + 1e-9);
+        let final_report = ctx.evaluate(&tree);
+        assert!(!final_report.has_slew_violation());
+        assert!(tree.total_cap(&tech) <= inst.cap_limit);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn downsizing_reduces_total_capacitance() {
+        let tech = Technology::ispd09();
+        let (inst, mut tree) = buffered_instance();
+        let cap_before = tree.total_cap(&tech);
+        let evaluator = Evaluator::new(tech.clone());
+        let ctx = OptContext {
+            tech: &tech,
+            source: SourceSpec::ispd09(),
+            evaluator: &evaluator,
+            segment_um: 100.0,
+            cap_limit: inst.cap_limit,
+        };
+        let outcome = iterative_wiresizing(&mut tree, &ctx, WireSizingConfig::default());
+        if outcome.rounds > 0 {
+            assert!(tree.total_cap(&tech) < cap_before);
+        }
+    }
+
+    #[test]
+    fn bottom_level_mode_only_touches_sink_edges() {
+        let tech = Technology::ispd09();
+        let (inst, mut tree) = buffered_instance();
+        let widths_before: Vec<_> = (0..tree.len()).map(|i| tree.node(i).wire.width).collect();
+        let evaluator = Evaluator::new(tech.clone());
+        let ctx = OptContext {
+            tech: &tech,
+            source: SourceSpec::ispd09(),
+            evaluator: &evaluator,
+            segment_um: 100.0,
+            cap_limit: inst.cap_limit,
+        };
+        let cfg = WireSizingConfig {
+            bottom_level_only: true,
+            ..WireSizingConfig::default()
+        };
+        let _ = iterative_wiresizing(&mut tree, &ctx, cfg);
+        for id in 0..tree.len() {
+            if tree.node(id).wire.width != widths_before[id] {
+                assert!(
+                    matches!(tree.node(id).kind, crate::tree::NodeKind::Sink(_)),
+                    "non-sink edge {id} was resized in bottom-level mode"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Iterative top-down wiresnaking (paper, Section IV-F).
+//!
+//! Wiresnaking adds small detour loops ("snakes") to edges with remaining
+//! slow-down slack. One calibration evaluation measures `Twn`, the
+//! worst-case delay added by a snake of unit length `lwn`; each round then
+//! adds as many snake units as the edge's remaining slack allows, top-down,
+//! carrying consumed slack (`RSlack`) to the children. Smaller `lwn` gives
+//! finer control at the cost of more evaluation rounds.
+
+use crate::opt::{OptContext, PassOutcome};
+use crate::slack::SlackAnalysis;
+use crate::tree::{ClockTree, NodeId, NodeKind};
+use contango_sim::EvalReport;
+use serde::Serialize;
+
+/// Configuration of the iterative wiresnaking pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WireSnakingConfig {
+    /// Maximum number of improvement rounds.
+    pub max_rounds: usize,
+    /// Snake unit length `lwn` in micrometres.
+    pub unit_length: f64,
+    /// Maximum number of snake units added to one edge per round.
+    pub max_units_per_edge: usize,
+    /// Fraction of the available slack consumed per round.
+    pub slack_usage: f64,
+    /// Restrict snaking to edges directly connected to sinks.
+    pub bottom_level_only: bool,
+}
+
+impl Default for WireSnakingConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 8,
+            unit_length: 20.0,
+            max_units_per_edge: 25,
+            slack_usage: 0.85,
+            bottom_level_only: false,
+        }
+    }
+}
+
+impl WireSnakingConfig {
+    /// A finer-grained configuration for bottom-level tuning.
+    pub fn bottom_level() -> Self {
+        Self {
+            max_rounds: 6,
+            unit_length: 5.0,
+            max_units_per_edge: 20,
+            slack_usage: 0.9,
+            bottom_level_only: true,
+        }
+    }
+}
+
+/// Estimates `Twn`: the worst-case sink-latency increase caused by one snake
+/// unit of length `lwn`, measured with a single calibration evaluation.
+pub fn estimate_twn(
+    tree: &ClockTree,
+    ctx: &OptContext<'_>,
+    baseline: &EvalReport,
+    unit_length: f64,
+) -> f64 {
+    // Snake a few independent sink edges by one unit and measure.
+    let mut probe = tree.clone();
+    let mut snaked = 0usize;
+    for &sid in tree.sink_ids().iter().take(4) {
+        let node = tree.sink_node(sid);
+        probe.node_mut(node).wire.extra_length += unit_length;
+        snaked += 1;
+    }
+    if snaked == 0 {
+        return 1e-3;
+    }
+    let probed = ctx.evaluate(&probe);
+    let delta = (probed.max_latency() - baseline.max_latency()).max(0.0);
+    (delta).max(1e-5)
+}
+
+/// Runs iterative top-down wiresnaking on `tree`.
+pub fn iterative_wiresnaking(
+    tree: &mut ClockTree,
+    ctx: &OptContext<'_>,
+    config: WireSnakingConfig,
+) -> PassOutcome {
+    let mut current = ctx.evaluate(tree);
+    let initial_skew = current.skew();
+    let initial_clr = current.clr();
+    let twn = estimate_twn(tree, ctx, &current, config.unit_length);
+
+    let mut rounds = 0;
+    for _ in 0..config.max_rounds {
+        let saved = tree.clone();
+        let slacks = SlackAnalysis::compute(tree, &current);
+        let changed = snake_round(tree, &slacks, twn, config);
+        if changed == 0 {
+            break;
+        }
+        let next = ctx.evaluate(tree);
+        let improved = next.skew() < current.skew() - 1e-9;
+        if !improved || ctx.violates(tree, &next) {
+            *tree = saved;
+            break;
+        }
+        current = next;
+        rounds += 1;
+    }
+
+    PassOutcome {
+        rounds,
+        skew_before: initial_skew,
+        skew_after: current.skew(),
+        clr_before: initial_clr,
+        clr_after: current.clr(),
+    }
+}
+
+/// One top-down snaking sweep. Returns the number of edges snaked.
+fn snake_round(
+    tree: &mut ClockTree,
+    slacks: &SlackAnalysis,
+    twn: f64,
+    config: WireSnakingConfig,
+) -> usize {
+    let mut changed = 0;
+    let mut queue: std::collections::VecDeque<(NodeId, f64)> = std::collections::VecDeque::new();
+    queue.push_back((tree.root(), 0.0));
+    while let Some((id, rslack)) = queue.pop_front() {
+        let mut consumed = rslack;
+        let is_sink_edge = matches!(tree.node(id).kind, NodeKind::Sink(_));
+        let eligible = tree.node(id).parent.is_some()
+            && (!config.bottom_level_only || is_sink_edge);
+        if eligible && twn > 1e-12 {
+            let available = (slacks.edge_slow[id] - rslack) * config.slack_usage;
+            let units = ((available / twn).floor() as isize)
+                .clamp(0, config.max_units_per_edge as isize) as usize;
+            if units > 0 {
+                tree.node_mut(id).wire.extra_length += units as f64 * config.unit_length;
+                consumed += units as f64 * twn;
+                changed += 1;
+            }
+        }
+        for &c in &tree.node(id).children.clone() {
+            queue.push_back((c, consumed));
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
+    use crate::dme::{build_zero_skew_tree, DmeOptions};
+    use crate::instance::ClockNetInstance;
+    use crate::polarity::correct_polarity;
+    use crate::wiresizing::{iterative_wiresizing, WireSizingConfig};
+    use contango_geom::Point;
+    use contango_sim::{Evaluator, SourceSpec};
+    use contango_tech::Technology;
+
+    fn buffered_instance() -> (ClockNetInstance, ClockTree) {
+        let tech = Technology::ispd09();
+        let mut b = ClockNetInstance::builder("wsn")
+            .die(0.0, 0.0, 2500.0, 2500.0)
+            .source(Point::new(0.0, 1250.0))
+            .cap_limit(400_000.0);
+        let coords = [
+            (300.0, 300.0, 10.0),
+            (2200.0, 350.0, 30.0),
+            (400.0, 2100.0, 10.0),
+            (2100.0, 2200.0, 50.0),
+            (1300.0, 1200.0, 20.0),
+            (700.0, 1700.0, 10.0),
+        ];
+        for (x, y, c) in coords {
+            b = b.sink(Point::new(x, y), c);
+        }
+        let inst = b.build().expect("valid");
+        let mut tree = build_zero_skew_tree(&inst, &tech, DmeOptions::default());
+        split_long_edges(&mut tree, 250.0);
+        choose_and_insert_buffers(
+            &mut tree,
+            &tech,
+            &default_candidates(&tech, false),
+            inst.cap_limit,
+            0.1,
+            &inst.obstacles,
+        )
+        .expect("buffers fit");
+        correct_polarity(&mut tree, tech.composite(tech.small_inverter(), 32));
+        (inst, tree)
+    }
+
+    fn ctx<'a>(
+        tech: &'a Technology,
+        evaluator: &'a Evaluator,
+        cap_limit: f64,
+    ) -> OptContext<'a> {
+        OptContext {
+            tech,
+            source: SourceSpec::ispd09(),
+            evaluator,
+            segment_um: 100.0,
+            cap_limit,
+        }
+    }
+
+    #[test]
+    fn twn_estimate_is_positive() {
+        let tech = Technology::ispd09();
+        let (inst, tree) = buffered_instance();
+        let evaluator = Evaluator::new(tech.clone());
+        let c = ctx(&tech, &evaluator, inst.cap_limit);
+        let baseline = c.evaluate(&tree);
+        let twn = estimate_twn(&tree, &c, &baseline, 20.0);
+        assert!(twn > 0.0);
+    }
+
+    #[test]
+    fn snaking_reduces_skew_after_wiresizing() {
+        let tech = Technology::ispd09();
+        let (inst, mut tree) = buffered_instance();
+        let evaluator = Evaluator::new(tech.clone());
+        let c = ctx(&tech, &evaluator, inst.cap_limit);
+        let _ = iterative_wiresizing(&mut tree, &c, WireSizingConfig::default());
+        let outcome = iterative_wiresnaking(&mut tree, &c, WireSnakingConfig::default());
+        assert!(outcome.skew_after <= outcome.skew_before + 1e-9);
+        let report = c.evaluate(&tree);
+        assert!(!report.has_slew_violation());
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn snaking_only_adds_wire() {
+        let tech = Technology::ispd09();
+        let (inst, mut tree) = buffered_instance();
+        let wl_before = tree.wirelength();
+        let evaluator = Evaluator::new(tech.clone());
+        let c = ctx(&tech, &evaluator, inst.cap_limit);
+        let _ = iterative_wiresnaking(&mut tree, &c, WireSnakingConfig::default());
+        assert!(tree.wirelength() + 1e-9 >= wl_before);
+    }
+
+    #[test]
+    fn bottom_level_config_limits_edges() {
+        let tech = Technology::ispd09();
+        let (inst, mut tree) = buffered_instance();
+        let snapshot: Vec<f64> = (0..tree.len())
+            .map(|i| tree.node(i).wire.extra_length)
+            .collect();
+        let evaluator = Evaluator::new(tech.clone());
+        let c = ctx(&tech, &evaluator, inst.cap_limit);
+        let _ = iterative_wiresnaking(&mut tree, &c, WireSnakingConfig::bottom_level());
+        for id in 0..tree.len() {
+            if (tree.node(id).wire.extra_length - snapshot[id]).abs() > 1e-9 {
+                assert!(matches!(tree.node(id).kind, NodeKind::Sink(_)));
+            }
+        }
+    }
+}

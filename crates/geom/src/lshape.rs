@@ -1,0 +1,162 @@
+//! L-shaped embeddings of diagonal connections.
+
+use crate::{Point, Rect, Segment};
+use serde::{Deserialize, Serialize};
+
+/// Which corner an L-shaped embedding bends through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LOrientation {
+    /// Horizontal leg first (from the source), then vertical leg.
+    HorizontalFirst,
+    /// Vertical leg first (from the source), then horizontal leg.
+    VerticalFirst,
+}
+
+/// An L-shaped rectilinear connection between two points.
+///
+/// A connection between points that differ in both coordinates has exactly
+/// two minimum-length rectilinear embeddings; Contango chooses the one that
+/// minimizes overlap with obstacles (paper, Section IV-A, Step 1).
+///
+/// ```
+/// use contango_geom::{LShape, LOrientation, Point, Rect};
+/// let obstacle = Rect::new(4.0, 0.0, 10.0, 4.0);
+/// let l = LShape::best_avoiding(
+///     Point::new(0.0, 0.0),
+///     Point::new(8.0, 8.0),
+///     &[obstacle],
+/// );
+/// // The vertical-first embedding only clips the obstacle corner.
+/// assert_eq!(l.orientation(), LOrientation::VerticalFirst);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LShape {
+    from: Point,
+    to: Point,
+    orientation: LOrientation,
+}
+
+impl LShape {
+    /// Creates an L-shape with an explicit orientation.
+    pub fn new(from: Point, to: Point, orientation: LOrientation) -> Self {
+        Self {
+            from,
+            to,
+            orientation,
+        }
+    }
+
+    /// Source endpoint.
+    pub fn from(&self) -> Point {
+        self.from
+    }
+
+    /// Destination endpoint.
+    pub fn to(&self) -> Point {
+        self.to
+    }
+
+    /// Chosen bend orientation.
+    pub fn orientation(&self) -> LOrientation {
+        self.orientation
+    }
+
+    /// The bend (corner) point of the embedding.
+    pub fn corner(&self) -> Point {
+        match self.orientation {
+            LOrientation::HorizontalFirst => Point::new(self.to.x, self.from.y),
+            LOrientation::VerticalFirst => Point::new(self.from.x, self.to.y),
+        }
+    }
+
+    /// The two legs of the embedding, ordered from source to destination.
+    ///
+    /// Degenerate legs (zero length) are still returned so callers can rely
+    /// on always receiving two segments.
+    pub fn legs(&self) -> [Segment; 2] {
+        let c = self.corner();
+        [Segment::new(self.from, c), Segment::new(c, self.to)]
+    }
+
+    /// Total wirelength of the embedding (equals the Manhattan distance).
+    pub fn length(&self) -> f64 {
+        self.from.manhattan(self.to)
+    }
+
+    /// Total length of the embedding overlapping any of `obstacles`.
+    pub fn overlap_with(&self, obstacles: &[Rect]) -> f64 {
+        self.legs()
+            .iter()
+            .map(|leg| obstacles.iter().map(|r| leg.overlap_length(r)).sum::<f64>())
+            .sum()
+    }
+
+    /// Chooses, between the two possible embeddings, the one with the
+    /// smaller total overlap with `obstacles`; ties prefer horizontal-first.
+    pub fn best_avoiding(from: Point, to: Point, obstacles: &[Rect]) -> LShape {
+        let h = LShape::new(from, to, LOrientation::HorizontalFirst);
+        let v = LShape::new(from, to, LOrientation::VerticalFirst);
+        if v.overlap_with(obstacles) + crate::GEOM_EPS < h.overlap_with(obstacles) {
+            v
+        } else {
+            h
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_depends_on_orientation() {
+        let from = Point::new(0.0, 0.0);
+        let to = Point::new(4.0, 6.0);
+        let h = LShape::new(from, to, LOrientation::HorizontalFirst);
+        let v = LShape::new(from, to, LOrientation::VerticalFirst);
+        assert_eq!(h.corner(), Point::new(4.0, 0.0));
+        assert_eq!(v.corner(), Point::new(0.0, 6.0));
+        assert_eq!(h.length(), 10.0);
+        assert_eq!(v.length(), 10.0);
+    }
+
+    #[test]
+    fn legs_connect_from_to() {
+        let l = LShape::new(
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 7.0),
+            LOrientation::HorizontalFirst,
+        );
+        let [first, second] = l.legs();
+        assert_eq!(first.a, l.from());
+        assert_eq!(second.b, l.to());
+        assert!(first.b.approx_eq(second.a));
+        assert!(crate::approx_eq(first.length() + second.length(), l.length()));
+    }
+
+    #[test]
+    fn best_avoiding_picks_lower_overlap() {
+        // Obstacle sits on the horizontal-first path only.
+        let obstacle = Rect::new(2.0, -1.0, 6.0, 1.0);
+        let l = LShape::best_avoiding(Point::new(0.0, 0.0), Point::new(8.0, 8.0), &[obstacle]);
+        assert_eq!(l.orientation(), LOrientation::VerticalFirst);
+    }
+
+    #[test]
+    fn best_avoiding_prefers_horizontal_on_tie() {
+        let l = LShape::best_avoiding(Point::new(0.0, 0.0), Point::new(8.0, 8.0), &[]);
+        assert_eq!(l.orientation(), LOrientation::HorizontalFirst);
+    }
+
+    #[test]
+    fn degenerate_connection_has_zero_length_leg() {
+        let l = LShape::new(
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            LOrientation::HorizontalFirst,
+        );
+        let [first, second] = l.legs();
+        assert_eq!(first.length(), 5.0);
+        assert_eq!(second.length(), 0.0);
+    }
+}

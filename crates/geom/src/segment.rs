@@ -1,0 +1,159 @@
+//! Rectilinear wire segments.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A straight wire segment between two points.
+///
+/// Segments produced by the clock-tree flow are horizontal or vertical;
+/// a general segment is still representable (its Manhattan length is used),
+/// which is convenient for "diagonal" connections that have not yet been
+/// decomposed into an [`crate::LShape`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    pub fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Manhattan length of the segment in micrometres.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.manhattan(self.b)
+    }
+
+    /// Returns `true` when the segment is horizontal (within tolerance).
+    #[inline]
+    pub fn is_horizontal(&self) -> bool {
+        crate::approx_eq(self.a.y, self.b.y)
+    }
+
+    /// Returns `true` when the segment is vertical (within tolerance).
+    #[inline]
+    pub fn is_vertical(&self) -> bool {
+        crate::approx_eq(self.a.x, self.b.x)
+    }
+
+    /// Returns `true` when the segment is axis-aligned.
+    #[inline]
+    pub fn is_rectilinear(&self) -> bool {
+        self.is_horizontal() || self.is_vertical()
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Axis-aligned bounding box of the segment.
+    pub fn bounding_box(&self) -> Rect {
+        Rect::from_points(self.a, self.b)
+    }
+
+    /// Returns `true` if any part of the segment overlaps the rectangle.
+    ///
+    /// For rectilinear segments this is exact; for general (diagonal)
+    /// segments the test is performed on the L-shaped lower embedding, which
+    /// is conservative for obstacle detection because any embedding of the
+    /// connection stays within the bounding box.
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        if self.is_rectilinear() {
+            return self.bounding_box().intersects(rect);
+        }
+        // Diagonal connection: check the bounding box first, then both
+        // L-shaped embeddings. If either embedding crosses the rectangle the
+        // connection is considered to interact with the obstacle.
+        if !self.bounding_box().intersects(rect) {
+            return false;
+        }
+        let corner1 = Point::new(self.b.x, self.a.y);
+        let corner2 = Point::new(self.a.x, self.b.y);
+        let legs = [
+            Segment::new(self.a, corner1),
+            Segment::new(corner1, self.b),
+            Segment::new(self.a, corner2),
+            Segment::new(corner2, self.b),
+        ];
+        legs.iter().any(|l| l.bounding_box().intersects(rect))
+    }
+
+    /// Length of the portion of a rectilinear segment lying inside `rect`.
+    ///
+    /// Returns `0.0` for segments that do not cross the rectangle. For
+    /// non-rectilinear segments the overlap of the bounding box diagonal is
+    /// approximated by clipping both coordinates independently.
+    pub fn overlap_length(&self, rect: &Rect) -> f64 {
+        let bb = self.bounding_box();
+        let Some(clip) = bb.intersection(rect) else {
+            return 0.0;
+        };
+        if self.is_horizontal() {
+            clip.width()
+        } else if self.is_vertical() {
+            clip.height()
+        } else {
+            clip.width() + clip.height()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_is_manhattan() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(s.length(), 7.0);
+    }
+
+    #[test]
+    fn orientation_checks() {
+        let h = Segment::new(Point::new(0.0, 1.0), Point::new(5.0, 1.0));
+        let v = Segment::new(Point::new(2.0, 0.0), Point::new(2.0, 9.0));
+        let d = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert!(h.is_horizontal() && h.is_rectilinear());
+        assert!(v.is_vertical() && v.is_rectilinear());
+        assert!(!d.is_rectilinear());
+    }
+
+    #[test]
+    fn rect_intersection_horizontal() {
+        let s = Segment::new(Point::new(0.0, 5.0), Point::new(20.0, 5.0));
+        let hit = Rect::new(8.0, 0.0, 12.0, 10.0);
+        let miss = Rect::new(8.0, 6.0, 12.0, 10.0);
+        assert!(s.intersects_rect(&hit));
+        assert!(!s.intersects_rect(&miss));
+        assert_eq!(s.overlap_length(&hit), 4.0);
+        assert_eq!(s.overlap_length(&miss), 0.0);
+    }
+
+    #[test]
+    fn rect_intersection_diagonal_uses_embeddings() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        // A vertical band across the whole bounding box is hit by both
+        // L-shaped embeddings of the connection.
+        let band = Rect::new(4.0, -1.0, 6.0, 11.0);
+        // A small box in the middle of the bounding box is avoided by both
+        // embeddings, so the connection does not interact with it.
+        let central = Rect::new(4.0, 4.0, 6.0, 6.0);
+        let outside = Rect::new(40.0, 40.0, 50.0, 50.0);
+        assert!(s.intersects_rect(&band));
+        assert!(!s.intersects_rect(&central));
+        assert!(!s.intersects_rect(&outside));
+    }
+
+    #[test]
+    fn point_at_parameter() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert!(s.point_at(0.25).approx_eq(Point::new(2.5, 0.0)));
+    }
+}

@@ -1,0 +1,277 @@
+//! Grid-bucket spatial index for nearest-neighbour queries.
+//!
+//! Clustering-based topology generation (Edahiro-style greedy matching) and
+//! the benchmark generators repeatedly ask "which sink is closest to this
+//! point?". A uniform grid of buckets answers that in near-constant time for
+//! the clustered, roughly uniform point sets that occur in clock-network
+//! synthesis, without pulling in a full k-d tree implementation.
+
+use crate::{Point, Rect};
+
+/// A uniform-grid spatial index over a fixed set of points.
+///
+/// Points are addressed by their index in the slice passed to
+/// [`SpatialIndex::new`]. Queries support an optional "removed" mask so
+/// matching algorithms can take points out of consideration without
+/// rebuilding the index.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    points: Vec<Point>,
+    bounds: Rect,
+    cells_x: usize,
+    cells_y: usize,
+    cell_w: f64,
+    cell_h: f64,
+    buckets: Vec<Vec<usize>>,
+    alive: Vec<bool>,
+    alive_count: usize,
+}
+
+impl SpatialIndex {
+    /// Builds an index over `points`.
+    ///
+    /// The grid resolution is chosen so each bucket holds a handful of
+    /// points on average.
+    pub fn new(points: &[Point]) -> Self {
+        let n = points.len();
+        let bounds = bounding_box(points);
+        let target_cells = (n.max(1) as f64 / 2.0).sqrt().ceil() as usize;
+        let cells_x = target_cells.max(1);
+        let cells_y = target_cells.max(1);
+        let cell_w = (bounds.width() / cells_x as f64).max(1e-9);
+        let cell_h = (bounds.height() / cells_y as f64).max(1e-9);
+        let mut index = Self {
+            points: points.to_vec(),
+            bounds,
+            cells_x,
+            cells_y,
+            cell_w,
+            cell_h,
+            buckets: vec![Vec::new(); cells_x * cells_y],
+            alive: vec![true; n],
+            alive_count: n,
+        };
+        for (i, &p) in points.iter().enumerate() {
+            let b = index.bucket_of(p);
+            index.buckets[b].push(i);
+        }
+        index
+    }
+
+    /// Number of points still alive (not removed).
+    pub fn len(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Returns `true` if every point has been removed (or none was added).
+    pub fn is_empty(&self) -> bool {
+        self.alive_count == 0
+    }
+
+    /// The coordinates of point `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn point(&self, index: usize) -> Point {
+        self.points[index]
+    }
+
+    /// Returns `true` if point `index` has not been removed.
+    pub fn is_alive(&self, index: usize) -> bool {
+        self.alive.get(index).copied().unwrap_or(false)
+    }
+
+    /// Removes a point from future queries.
+    ///
+    /// Removing an already-removed point is a no-op.
+    pub fn remove(&mut self, index: usize) {
+        if index < self.alive.len() && self.alive[index] {
+            self.alive[index] = false;
+            self.alive_count -= 1;
+        }
+    }
+
+    /// The nearest alive point to `query` (by Manhattan distance), excluding
+    /// `exclude`, or `None` when no such point exists.
+    pub fn nearest(&self, query: Point, exclude: Option<usize>) -> Option<usize> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        let (qx, qy) = self.cell_coords(query);
+        let max_ring = self.cells_x.max(self.cells_y);
+        let mut best: Option<(f64, usize)> = None;
+        for ring in 0..=max_ring {
+            // Once a candidate is known, stop after the first ring whose
+            // closest possible distance exceeds the candidate.
+            if let Some((dist, _)) = best {
+                let ring_min = (ring.saturating_sub(1)) as f64 * self.cell_w.min(self.cell_h);
+                if ring_min > dist {
+                    break;
+                }
+            }
+            for (cx, cy) in self.ring_cells(qx, qy, ring) {
+                for &i in &self.buckets[cy * self.cells_x + cx] {
+                    if !self.alive[i] || Some(i) == exclude {
+                        continue;
+                    }
+                    let d = self.points[i].manhattan(query);
+                    if best.map_or(true, |(bd, bi)| d < bd || (d == bd && i < bi)) {
+                        best = Some((d, i));
+                    }
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// All alive points within Manhattan distance `radius` of `query`.
+    pub fn within_radius(&self, query: Point, radius: f64) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..self.points.len())
+            .filter(|&i| self.alive[i] && self.points[i].manhattan(query) <= radius)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn bucket_of(&self, p: Point) -> usize {
+        let (cx, cy) = self.cell_coords(p);
+        cy * self.cells_x + cx
+    }
+
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.bounds.lo.x) / self.cell_w).floor() as isize;
+        let cy = ((p.y - self.bounds.lo.y) / self.cell_h).floor() as isize;
+        (
+            cx.clamp(0, self.cells_x as isize - 1) as usize,
+            cy.clamp(0, self.cells_y as isize - 1) as usize,
+        )
+    }
+
+    /// Cells at Chebyshev ring `ring` around `(qx, qy)`, clipped to the grid.
+    fn ring_cells(&self, qx: usize, qy: usize, ring: usize) -> Vec<(usize, usize)> {
+        let mut cells = Vec::new();
+        let r = ring as isize;
+        let (qx, qy) = (qx as isize, qy as isize);
+        for dx in -r..=r {
+            for dy in -r..=r {
+                if dx.abs().max(dy.abs()) != r {
+                    continue;
+                }
+                let cx = qx + dx;
+                let cy = qy + dy;
+                if cx >= 0 && cy >= 0 && (cx as usize) < self.cells_x && (cy as usize) < self.cells_y
+                {
+                    cells.push((cx as usize, cy as usize));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Bounding box of a point set (a unit square at the origin when empty, so
+/// the grid always has positive extent).
+fn bounding_box(points: &[Point]) -> Rect {
+    if points.is_empty() {
+        return Rect::new(0.0, 0.0, 1.0, 1.0);
+    }
+    let mut r = Rect::new(points[0].x, points[0].y, points[0].x, points[0].y);
+    for p in points {
+        r = r.union(&Rect::new(p.x, p.y, p.x, p.y));
+    }
+    // Avoid degenerate zero-width grids for collinear point sets.
+    Rect::new(r.lo.x, r.lo.y, r.hi.x.max(r.lo.x + 1.0), r.hi.y.max(r.lo.y + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize, pitch: f64) -> Vec<Point> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| Point::new((i % side) as f64 * pitch, (i / side) as f64 * pitch))
+            .collect()
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let points = grid_points(60, 13.0);
+        let index = SpatialIndex::new(&points);
+        let queries = [
+            Point::new(0.0, 0.0),
+            Point::new(37.0, 52.0),
+            Point::new(91.0, 10.0),
+            Point::new(200.0, 200.0),
+        ];
+        for q in queries {
+            let brute = points
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.manhattan(q).partial_cmp(&b.manhattan(q)).expect("finite")
+                })
+                .map(|(i, _)| points[i].manhattan(q))
+                .expect("non-empty");
+            let got = index.nearest(q, None).expect("found");
+            assert!(
+                (points[got].manhattan(q) - brute).abs() < 1e-9,
+                "query {q:?}: got distance {} expected {}",
+                points[got].manhattan(q),
+                brute
+            );
+        }
+    }
+
+    #[test]
+    fn exclusion_and_removal_are_honoured() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        let mut index = SpatialIndex::new(&points);
+        assert_eq!(index.nearest(Point::new(0.1, 0.0), Some(0)), Some(1));
+        index.remove(1);
+        assert_eq!(index.nearest(Point::new(0.1, 0.0), Some(0)), Some(2));
+        index.remove(1);
+        assert_eq!(index.len(), 2);
+        index.remove(0);
+        index.remove(2);
+        assert!(index.is_empty());
+        assert_eq!(index.nearest(Point::new(0.0, 0.0), None), None);
+    }
+
+    #[test]
+    fn within_radius_returns_sorted_hits() {
+        let points = grid_points(25, 10.0);
+        let index = SpatialIndex::new(&points);
+        let hits = index.within_radius(Point::new(0.0, 0.0), 10.0);
+        // (0,0), (10,0), (0,10) are within Manhattan distance 10.
+        assert_eq!(hits, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn single_point_and_empty_sets() {
+        let index = SpatialIndex::new(&[Point::new(5.0, 5.0)]);
+        assert_eq!(index.nearest(Point::new(0.0, 0.0), None), Some(0));
+        assert_eq!(index.nearest(Point::new(0.0, 0.0), Some(0)), None);
+        let empty = SpatialIndex::new(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.nearest(Point::new(0.0, 0.0), None), None);
+    }
+
+    #[test]
+    fn clustered_points_still_resolve() {
+        let mut points = Vec::new();
+        for i in 0..50 {
+            points.push(Point::new(1000.0 + (i % 5) as f64, 2000.0 + (i / 5) as f64));
+        }
+        points.push(Point::new(0.0, 0.0));
+        let index = SpatialIndex::new(&points);
+        assert_eq!(index.nearest(Point::new(1.0, 1.0), None), Some(50));
+        let far = index.nearest(Point::new(1002.0, 2003.0), None).expect("hit");
+        assert!(points[far].manhattan(Point::new(1002.0, 2003.0)) <= 1.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Rectilinear Steiner tree construction.
+//!
+//! DME builds the clock tree's topology, but several surrounding pieces of
+//! the flow — obstacle detours, benchmark analysis, and the baseline flows —
+//! need a plain rectilinear Steiner tree over a set of terminals: the
+//! structure signal-net routers build (the paper cites obstacle-avoiding
+//! Steiner trees as the signal-net analogue of its detouring problem).
+//!
+//! Two constructions are provided:
+//!
+//! * [`rectilinear_mst`] — the rectilinear minimum spanning tree (Prim), a
+//!   guaranteed 1.5-approximation of the optimal Steiner tree.
+//! * [`SteinerTree::build`] — a Prim-to-segment heuristic: each terminal
+//!   attaches to the closest point of the *tree built so far* (which may be
+//!   in the middle of an existing wire), creating Steiner points as needed.
+//!   Its wirelength never exceeds the MST wirelength.
+
+use crate::{Point, Rect, Segment};
+
+/// Returns the edges of the rectilinear (Manhattan) minimum spanning tree
+/// over `points`, as index pairs, using Prim's algorithm in `O(n²)`.
+///
+/// Returns an empty list for fewer than two points.
+pub fn rectilinear_mst(points: &[Point]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_link = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for i in 1..n {
+        best_dist[i] = points[i].manhattan(points[0]);
+    }
+    for _ in 1..n {
+        let mut next = usize::MAX;
+        let mut next_dist = f64::INFINITY;
+        for i in 0..n {
+            if !in_tree[i] && best_dist[i] < next_dist {
+                next = i;
+                next_dist = best_dist[i];
+            }
+        }
+        in_tree[next] = true;
+        edges.push((best_link[next], next));
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = points[i].manhattan(points[next]);
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_link[i] = next;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Total Manhattan length of an edge list over `points`.
+pub fn edge_list_length(points: &[Point], edges: &[(usize, usize)]) -> f64 {
+    edges
+        .iter()
+        .map(|&(a, b)| points[a].manhattan(points[b]))
+        .sum()
+}
+
+/// Half-perimeter wirelength of a point set: the perimeter of the bounding
+/// box divided by two. A lower bound on any Steiner tree's wirelength.
+pub fn half_perimeter_wirelength(points: &[Point]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let mut bbox = Rect::new(points[0].x, points[0].y, points[0].x, points[0].y);
+    for p in points {
+        bbox = bbox.union(&Rect::new(p.x, p.y, p.x, p.y));
+    }
+    bbox.width() + bbox.height()
+}
+
+/// A rectilinear Steiner tree over a set of terminals.
+///
+/// Node indices `0..terminal_count` are the input terminals (in input
+/// order); higher indices are Steiner points introduced by the
+/// construction. Every edge is an axis-parallel segment between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    nodes: Vec<Point>,
+    edges: Vec<(usize, usize)>,
+    terminal_count: usize,
+}
+
+impl SteinerTree {
+    /// Builds a Steiner tree over `terminals` with the Prim-to-segment
+    /// heuristic, growing the tree from `terminals[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminals` is empty.
+    pub fn build(terminals: &[Point]) -> Self {
+        assert!(!terminals.is_empty(), "at least one terminal is required");
+        let mut tree = Self {
+            nodes: vec![terminals[0]],
+            edges: Vec::new(),
+            terminal_count: terminals.len(),
+        };
+        // Terminals are reserved up front so their indices match input
+        // order; Steiner points are appended afterwards.
+        tree.nodes = terminals.to_vec();
+        let mut connected = vec![false; terminals.len()];
+        connected[0] = true;
+
+        for _ in 1..terminals.len() {
+            // Pick the unconnected terminal closest to the current tree.
+            let mut best: Option<(f64, usize, Point, usize, usize)> = None;
+            for (ti, &t) in terminals.iter().enumerate() {
+                if connected[ti] {
+                    continue;
+                }
+                let (dist, attach, edge_a, edge_b) = tree.closest_point_on_tree(t, &connected);
+                if best.map_or(true, |(bd, ..)| dist < bd) {
+                    best = Some((dist, ti, attach, edge_a, edge_b));
+                }
+            }
+            let (_, ti, attach, edge_a, edge_b) = best.expect("an unconnected terminal exists");
+            let attach_idx = tree.node_at(attach, edge_a, edge_b);
+            tree.connect_l(attach_idx, ti);
+            connected[ti] = true;
+        }
+        tree
+    }
+
+    /// The closest point of the current tree to `target`: returns the
+    /// distance, the point, and the edge `(a, b)` it lies on (`a == b` when
+    /// the closest point is an existing node).
+    fn closest_point_on_tree(&self, target: Point, connected: &[bool]) -> (f64, Point, usize, usize) {
+        let mut best = (f64::INFINITY, self.nodes[0], 0usize, 0usize);
+        // Existing connected terminals and all Steiner nodes are candidates.
+        for (i, &p) in self.nodes.iter().enumerate() {
+            let usable = if i < connected.len() { connected[i] } else { true };
+            if !usable {
+                continue;
+            }
+            let d = target.manhattan(p);
+            if d < best.0 {
+                best = (d, p, i, i);
+            }
+        }
+        // Points in the middle of existing edges are candidates too.
+        for &(a, b) in &self.edges {
+            let seg = Segment::new(self.nodes[a], self.nodes[b]);
+            let p = closest_point_on_segment(&seg, target);
+            let d = target.manhattan(p);
+            if d < best.0 {
+                best = (d, p, a, b);
+            }
+        }
+        best
+    }
+
+    /// Returns the index of a node at `location`, splitting the edge
+    /// `(edge_a, edge_b)` with a new Steiner point when `location` is not an
+    /// existing endpoint.
+    fn node_at(&mut self, location: Point, edge_a: usize, edge_b: usize) -> usize {
+        if self.nodes[edge_a].approx_eq(location) {
+            return edge_a;
+        }
+        if self.nodes[edge_b].approx_eq(location) {
+            return edge_b;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(location);
+        // Split the host edge.
+        if let Some(pos) = self
+            .edges
+            .iter()
+            .position(|&(a, b)| (a == edge_a && b == edge_b) || (a == edge_b && b == edge_a))
+        {
+            self.edges.swap_remove(pos);
+            self.edges.push((edge_a, idx));
+            self.edges.push((idx, edge_b));
+        }
+        idx
+    }
+
+    /// Connects terminal `terminal` to node `from` with an L-shaped route,
+    /// adding the corner as a Steiner point when the connection bends.
+    fn connect_l(&mut self, from: usize, terminal: usize) {
+        let a = self.nodes[from];
+        let b = self.nodes[terminal];
+        if (a.x - b.x).abs() < crate::GEOM_EPS || (a.y - b.y).abs() < crate::GEOM_EPS {
+            self.edges.push((from, terminal));
+            return;
+        }
+        // Corner chosen to keep both legs axis-parallel; the specific
+        // orientation does not change the length.
+        let corner = Point::new(b.x, a.y);
+        let corner_idx = self.nodes.len();
+        self.nodes.push(corner);
+        self.edges.push((from, corner_idx));
+        self.edges.push((corner_idx, terminal));
+    }
+
+    /// All node locations: terminals first, Steiner points after.
+    pub fn nodes(&self) -> &[Point] {
+        &self.nodes
+    }
+
+    /// The tree edges as node-index pairs.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of input terminals.
+    pub fn terminal_count(&self) -> usize {
+        self.terminal_count
+    }
+
+    /// Number of Steiner points introduced by the construction.
+    pub fn steiner_count(&self) -> usize {
+        self.nodes.len() - self.terminal_count
+    }
+
+    /// Total wirelength of the tree, in the same units as the inputs.
+    pub fn wirelength(&self) -> f64 {
+        edge_list_length(&self.nodes, &self.edges)
+    }
+
+    /// Checks structural invariants: the tree is connected, spans every
+    /// terminal, has no cycles (edge count is node count − 1 after pruning
+    /// duplicates) and every edge is axis-parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for &(a, b) in &self.edges {
+            if a >= self.nodes.len() || b >= self.nodes.len() {
+                return Err(format!("edge ({a}, {b}) references a missing node"));
+            }
+            let seg = Segment::new(self.nodes[a], self.nodes[b]);
+            if !seg.is_rectilinear() {
+                return Err(format!("edge ({a}, {b}) is not axis-parallel"));
+            }
+        }
+        // Connectivity over the undirected edge set.
+        let n = self.nodes.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &w in &adjacency[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        for t in 0..self.terminal_count {
+            if !seen[t] {
+                return Err(format!("terminal {t} is not connected"));
+            }
+        }
+        if self.edges.len() + 1 != seen.iter().filter(|&&s| s).count() {
+            return Err("tree contains a cycle or disconnected Steiner points".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The point of a rectilinear segment closest (in Manhattan distance) to
+/// `target`. For a degenerate segment this is its endpoint.
+fn closest_point_on_segment(seg: &Segment, target: Point) -> Point {
+    let (a, b) = (seg.a, seg.b);
+    if seg.is_horizontal() {
+        let x = target.x.clamp(a.x.min(b.x), a.x.max(b.x));
+        Point::new(x, a.y)
+    } else if seg.is_vertical() {
+        let y = target.y.clamp(a.y.min(b.y), a.y.max(b.y));
+        Point::new(a.x, y)
+    } else {
+        // Non-rectilinear segments do not occur inside SteinerTree; fall
+        // back to the nearer endpoint.
+        if target.manhattan(a) <= target.manhattan(b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mst_of_collinear_points_is_a_chain() {
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(30.0, 0.0),
+        ];
+        let edges = rectilinear_mst(&points);
+        assert_eq!(edges.len(), 3);
+        assert!((edge_list_length(&points, &edges) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mst_handles_trivial_inputs() {
+        assert!(rectilinear_mst(&[]).is_empty());
+        assert!(rectilinear_mst(&[Point::new(1.0, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn steiner_tree_spans_all_terminals_and_validates() {
+        let terminals = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 20.0),
+            Point::new(40.0, 80.0),
+            Point::new(90.0, 90.0),
+            Point::new(10.0, 60.0),
+        ];
+        let tree = SteinerTree::build(&terminals);
+        assert_eq!(tree.terminal_count(), terminals.len());
+        assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        for (i, &t) in terminals.iter().enumerate() {
+            assert!(tree.nodes()[i].approx_eq(t));
+        }
+    }
+
+    #[test]
+    fn steiner_wirelength_never_exceeds_mst() {
+        let cases: Vec<Vec<Point>> = vec![
+            vec![
+                Point::new(0.0, 1.0),
+                Point::new(2.0, 1.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 2.0),
+            ],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 10.0),
+                Point::new(25.0, 70.0),
+                Point::new(80.0, 40.0),
+                Point::new(60.0, 90.0),
+                Point::new(5.0, 45.0),
+            ],
+        ];
+        for terminals in cases {
+            let mst = edge_list_length(&terminals, &rectilinear_mst(&terminals));
+            let steiner = SteinerTree::build(&terminals);
+            assert!(steiner.validate().is_ok());
+            assert!(
+                steiner.wirelength() <= mst + 1e-9,
+                "steiner {} vs mst {}",
+                steiner.wirelength(),
+                mst
+            );
+            assert!(steiner.wirelength() + 1e-9 >= half_perimeter_wirelength(&terminals));
+        }
+    }
+
+    #[test]
+    fn plus_configuration_benefits_from_steiner_points() {
+        // Four arms of a plus: the optimal Steiner tree uses the centre,
+        // saving length over the MST.
+        let terminals = vec![
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 1.0),
+            Point::new(2.0, 1.0),
+        ];
+        let mst = edge_list_length(&terminals, &rectilinear_mst(&terminals));
+        let steiner = SteinerTree::build(&terminals);
+        assert!(steiner.wirelength() < mst - 0.5);
+        assert!(steiner.steiner_count() >= 1);
+        assert!((steiner.wirelength() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_terminal_tree_is_empty() {
+        let tree = SteinerTree::build(&[Point::new(3.0, 4.0)]);
+        assert_eq!(tree.terminal_count(), 1);
+        assert_eq!(tree.steiner_count(), 0);
+        assert!(tree.edges().is_empty());
+        assert_eq!(tree.wirelength(), 0.0);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn hpwl_is_a_lower_bound() {
+        let terminals = vec![
+            Point::new(0.0, 0.0),
+            Point::new(30.0, 40.0),
+            Point::new(10.0, 25.0),
+        ];
+        let hpwl = half_perimeter_wirelength(&terminals);
+        assert!((hpwl - 70.0).abs() < 1e-9);
+        let tree = SteinerTree::build(&terminals);
+        assert!(tree.wirelength() + 1e-9 >= hpwl);
+        assert_eq!(half_perimeter_wirelength(&[Point::new(1.0, 1.0)]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one terminal")]
+    fn empty_terminal_set_is_rejected() {
+        let _ = SteinerTree::build(&[]);
+    }
+}

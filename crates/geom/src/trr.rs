@@ -1,0 +1,231 @@
+//! Tilted rectangular regions (TRRs) and Manhattan arcs for DME.
+//!
+//! Deferred-merge embedding manipulates *merging segments*: sets of points
+//! that are equidistant (in the Manhattan metric) from two subtrees. Those
+//! sets are segments of slope ±1, and the "balls" around them are tilted
+//! rectangles. Both are conveniently represented in the rotated coordinate
+//! system `u = x + y`, `v = x − y`, where the Manhattan distance becomes the
+//! Chebyshev (L∞) distance and tilted rectangles become axis-aligned
+//! rectangles.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// A tilted rectangular region (TRR): a rectangle whose sides have slope ±1
+/// in layout coordinates, stored as an axis-aligned box in the rotated
+/// `(u, v)` space.
+///
+/// Degenerate TRRs represent Manhattan arcs (one side collapsed) or single
+/// points (both sides collapsed). The DME algorithm builds every merging
+/// segment as the intersection of two expanded TRRs.
+///
+/// ```
+/// use contango_geom::{Point, TiltedRect};
+/// let a = TiltedRect::from_point(Point::new(0.0, 0.0));
+/// let b = TiltedRect::from_point(Point::new(4.0, 2.0));
+/// assert_eq!(a.distance(&b), 6.0); // Manhattan distance
+/// let merged = a.expand(3.0).intersect(&b.expand(3.0)).expect("TRRs meet");
+/// // Every point of the merged region is 3 away from `a` and 3 from `b`.
+/// assert!(merged.distance(&a) <= 3.0 + 1e-9);
+/// assert!(merged.distance(&b) <= 3.0 + 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TiltedRect {
+    u_lo: f64,
+    u_hi: f64,
+    v_lo: f64,
+    v_hi: f64,
+}
+
+impl TiltedRect {
+    /// TRR consisting of a single layout point.
+    pub fn from_point(p: Point) -> Self {
+        Self {
+            u_lo: p.u(),
+            u_hi: p.u(),
+            v_lo: p.v(),
+            v_hi: p.v(),
+        }
+    }
+
+    /// TRR spanning the Manhattan arc between two layout points.
+    ///
+    /// The two points are expected to lie on a common line of slope ±1; if
+    /// they do not, the full tilted bounding box of the two points is
+    /// returned, which is still a valid merging region.
+    pub fn from_arc(a: Point, b: Point) -> Self {
+        Self {
+            u_lo: a.u().min(b.u()),
+            u_hi: a.u().max(b.u()),
+            v_lo: a.v().min(b.v()),
+            v_hi: a.v().max(b.v()),
+        }
+    }
+
+    /// Builds a TRR directly from rotated-coordinate intervals.
+    pub fn from_uv(u_lo: f64, u_hi: f64, v_lo: f64, v_hi: f64) -> Self {
+        Self {
+            u_lo: u_lo.min(u_hi),
+            u_hi: u_lo.max(u_hi),
+            v_lo: v_lo.min(v_hi),
+            v_hi: v_lo.max(v_hi),
+        }
+    }
+
+    /// The rotated-coordinate intervals `(u_lo, u_hi, v_lo, v_hi)`.
+    pub fn uv_bounds(&self) -> (f64, f64, f64, f64) {
+        (self.u_lo, self.u_hi, self.v_lo, self.v_hi)
+    }
+
+    /// Returns `true` when the region is a single point.
+    pub fn is_point(&self) -> bool {
+        crate::approx_eq(self.u_lo, self.u_hi) && crate::approx_eq(self.v_lo, self.v_hi)
+    }
+
+    /// Returns `true` when the region is a Manhattan arc (degenerate in one
+    /// rotated coordinate), including single points.
+    pub fn is_arc(&self) -> bool {
+        crate::approx_eq(self.u_lo, self.u_hi) || crate::approx_eq(self.v_lo, self.v_hi)
+    }
+
+    /// A representative point of the region (its center), in layout
+    /// coordinates.
+    pub fn center(&self) -> Point {
+        Point::from_uv((self.u_lo + self.u_hi) * 0.5, (self.v_lo + self.v_hi) * 0.5)
+    }
+
+    /// The corner points of the region in layout coordinates. Degenerate
+    /// regions repeat corners.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            Point::from_uv(self.u_lo, self.v_lo),
+            Point::from_uv(self.u_hi, self.v_lo),
+            Point::from_uv(self.u_hi, self.v_hi),
+            Point::from_uv(self.u_lo, self.v_hi),
+        ]
+    }
+
+    /// Minkowski expansion by Manhattan radius `r ≥ 0`: every point within
+    /// Manhattan distance `r` of the region.
+    pub fn expand(&self, r: f64) -> TiltedRect {
+        let r = r.max(0.0);
+        TiltedRect {
+            u_lo: self.u_lo - r,
+            u_hi: self.u_hi + r,
+            v_lo: self.v_lo - r,
+            v_hi: self.v_hi + r,
+        }
+    }
+
+    /// Intersection of two regions, or `None` when they are disjoint.
+    pub fn intersect(&self, other: &TiltedRect) -> Option<TiltedRect> {
+        let u_lo = self.u_lo.max(other.u_lo);
+        let u_hi = self.u_hi.min(other.u_hi);
+        let v_lo = self.v_lo.max(other.v_lo);
+        let v_hi = self.v_hi.min(other.v_hi);
+        if u_lo > u_hi + crate::GEOM_EPS || v_lo > v_hi + crate::GEOM_EPS {
+            return None;
+        }
+        Some(TiltedRect {
+            u_lo,
+            u_hi: u_hi.max(u_lo),
+            v_lo,
+            v_hi: v_hi.max(v_lo),
+        })
+    }
+
+    /// Minimum Manhattan distance between the two regions (zero when they
+    /// intersect).
+    pub fn distance(&self, other: &TiltedRect) -> f64 {
+        let du = interval_gap(self.u_lo, self.u_hi, other.u_lo, other.u_hi);
+        let dv = interval_gap(self.v_lo, self.v_hi, other.v_lo, other.v_hi);
+        du.max(dv)
+    }
+
+    /// Manhattan distance from the region to a layout point.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.distance(&TiltedRect::from_point(p))
+    }
+
+    /// The point of this region closest (in Manhattan distance) to `p`.
+    pub fn closest_point_to(&self, p: Point) -> Point {
+        let u = p.u().clamp(self.u_lo, self.u_hi);
+        let v = p.v().clamp(self.v_lo, self.v_hi);
+        // The clamped (u, v) must correspond to a real layout point of the
+        // region; since the region is exactly the set of (u, v) in the box,
+        // any clamped pair is valid.
+        Point::from_uv(u, v)
+    }
+}
+
+fn interval_gap(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
+    if a_hi < b_lo {
+        b_lo - a_hi
+    } else if b_hi < a_lo {
+        a_lo - b_hi
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_trr_distance_matches_manhattan() {
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(-3.0, 5.0);
+        let a = TiltedRect::from_point(p);
+        let b = TiltedRect::from_point(q);
+        assert!(crate::approx_eq(a.distance(&b), p.manhattan(q)));
+        assert!(a.is_point() && a.is_arc());
+    }
+
+    #[test]
+    fn expansion_then_intersection_builds_merging_segment() {
+        let a = TiltedRect::from_point(Point::new(0.0, 0.0));
+        let b = TiltedRect::from_point(Point::new(10.0, 0.0));
+        let d = a.distance(&b);
+        let ea = 4.0;
+        let eb = d - ea;
+        let ms = a.expand(ea).intersect(&b.expand(eb)).expect("regions meet");
+        // The merging segment is a Manhattan arc: every point is exactly ea
+        // from a and eb from b.
+        assert!(ms.is_arc());
+        for c in ms.corners() {
+            assert!(crate::approx_eq(a.distance_to_point(c), ea));
+            assert!(crate::approx_eq(b.distance_to_point(c), eb));
+        }
+    }
+
+    #[test]
+    fn disjoint_regions_do_not_intersect() {
+        let a = TiltedRect::from_point(Point::new(0.0, 0.0)).expand(1.0);
+        let b = TiltedRect::from_point(Point::new(10.0, 0.0)).expand(1.0);
+        assert!(a.intersect(&b).is_none());
+        assert!(crate::approx_eq(a.distance(&b), 8.0));
+    }
+
+    #[test]
+    fn closest_point_is_inside_and_closest() {
+        let arc = TiltedRect::from_arc(Point::new(0.0, 4.0), Point::new(4.0, 0.0));
+        let p = Point::new(10.0, 10.0);
+        let c = arc.closest_point_to(p);
+        assert!(crate::approx_eq(arc.distance_to_point(c), 0.0));
+        assert!(crate::approx_eq(arc.distance_to_point(p), c.manhattan(p)));
+    }
+
+    #[test]
+    fn expand_never_shrinks_for_negative_radius() {
+        let a = TiltedRect::from_point(Point::new(2.0, 2.0));
+        let e = a.expand(-5.0);
+        assert_eq!(a, e);
+    }
+
+    #[test]
+    fn center_of_point_region_is_the_point() {
+        let p = Point::new(7.0, -3.0);
+        assert!(TiltedRect::from_point(p).center().approx_eq(p));
+    }
+}

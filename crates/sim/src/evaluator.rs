@@ -1,0 +1,397 @@
+//! Multi-corner clock-network evaluation.
+//!
+//! The evaluator plays the role of the SPICE runs in the paper's flow
+//! (Figure 1, "Clock-Network Evaluation"): it propagates rising and falling
+//! transitions from the clock source through every buffered stage and
+//! reports per-sink latencies and slews at both supply corners, from which
+//! skew, Clock Latency Range and slew violations are derived.
+
+use crate::driver::DriverSpec;
+use crate::models::{analytic_tap_timing, DelayModel};
+use crate::netlist::{Netlist, StageDriver, TapKind};
+use crate::report::{CornerReport, EvalReport, SinkTiming, TransitionTiming};
+use crate::transient::TransientSolver;
+use contango_tech::Technology;
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+/// Options controlling an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalOptions {
+    /// Delay model to use.
+    pub model: DelayModel,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            model: DelayModel::Transient,
+        }
+    }
+}
+
+/// State of one transition edge arriving at a stage's driver input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EdgeState {
+    /// Arrival time relative to the corresponding source edge, in ps.
+    arrival: f64,
+    /// 10%–90% slew of the transition, in ps.
+    slew: f64,
+}
+
+/// Rising and falling edge state at one point of the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NodeState {
+    rise: EdgeState,
+    fall: EdgeState,
+}
+
+/// The clock-network evaluator ("circuit simulation tool" of the paper).
+///
+/// The evaluator counts how many times [`Evaluator::evaluate`] has been
+/// called; the flow reports this as the number of SPICE runs (Table V of the
+/// paper counts the same quantity).
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    tech: Technology,
+    options: EvalOptions,
+    runs: Cell<usize>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with the default (transient) delay model.
+    pub fn new(tech: Technology) -> Self {
+        Self::with_options(tech, EvalOptions::default())
+    }
+
+    /// Creates an evaluator with explicit options.
+    pub fn with_options(tech: Technology, options: EvalOptions) -> Self {
+        Self {
+            tech,
+            options,
+            runs: Cell::new(0),
+        }
+    }
+
+    /// Creates an evaluator using a specific delay model.
+    pub fn with_model(tech: Technology, model: DelayModel) -> Self {
+        Self::with_options(tech, EvalOptions { model })
+    }
+
+    /// The technology this evaluator uses.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The delay model in use.
+    pub fn model(&self) -> DelayModel {
+        self.options.model
+    }
+
+    /// Number of evaluations performed so far (the "SPICE run" count).
+    pub fn runs(&self) -> usize {
+        self.runs.get()
+    }
+
+    /// Resets the evaluation counter.
+    pub fn reset_runs(&self) {
+        self.runs.set(0);
+    }
+
+    /// Evaluates the netlist at both supply corners.
+    pub fn evaluate(&self, netlist: &Netlist) -> EvalReport {
+        self.runs.set(self.runs.get() + 1);
+        let nominal = self.evaluate_corner(netlist, self.tech.nominal_corner.vdd);
+        let low = self.evaluate_corner(netlist, self.tech.low_corner.vdd);
+        EvalReport {
+            nominal,
+            low,
+            total_cap: netlist.total_cap(),
+            slew_limit: self.tech.slew_limit,
+            buffer_count: netlist.buffer_count(),
+        }
+    }
+
+    /// Evaluates the netlist at a single supply corner.
+    fn evaluate_corner(&self, netlist: &Netlist, vdd: f64) -> CornerReport {
+        let order = netlist.topological_order();
+        let mut inputs: Vec<Option<NodeState>> = vec![None; netlist.len()];
+        inputs[netlist.root] = Some(NodeState {
+            rise: EdgeState {
+                arrival: 0.0,
+                slew: source_slew(netlist),
+            },
+            fall: EdgeState {
+                arrival: 0.0,
+                slew: source_slew(netlist),
+            },
+        });
+
+        let mut sinks: Vec<SinkTiming> = Vec::new();
+        let mut max_slew = 0.0_f64;
+
+        for si in order {
+            let stage = &netlist.stages[si];
+            let input = inputs[si].expect("topological order guarantees inputs are known");
+            let driver = stage.driver.spec();
+            let inverting = stage.driver.inverting();
+            let is_source = stage.driver.is_source();
+
+            // Output rising edge is caused by the input falling edge for an
+            // inverter, by the input rising edge otherwise; and vice versa.
+            let (in_for_rise, in_for_fall) = if inverting {
+                (input.fall, input.rise)
+            } else {
+                (input.rise, input.fall)
+            };
+
+            let rise_out = self.stage_output(stage, &driver, is_source, vdd, true, in_for_rise);
+            let fall_out = self.stage_output(stage, &driver, is_source, vdd, false, in_for_fall);
+
+            let mut sink_latest: Vec<(usize, TransitionTiming, TransitionTiming)> = Vec::new();
+            for (tap_idx, tap) in stage.taps.iter().enumerate() {
+                let r = rise_out[tap_idx];
+                let f = fall_out[tap_idx];
+                max_slew = max_slew.max(r.slew).max(f.slew);
+                match tap.kind {
+                    TapKind::Sink(id) => {
+                        sink_latest.push((
+                            id,
+                            TransitionTiming {
+                                latency: r.arrival,
+                                slew: r.slew,
+                            },
+                            TransitionTiming {
+                                latency: f.arrival,
+                                slew: f.slew,
+                            },
+                        ));
+                    }
+                    TapKind::Stage(child) => {
+                        inputs[child] = Some(NodeState { rise: r, fall: f });
+                    }
+                }
+            }
+            for (id, rise, fall) in sink_latest {
+                sinks.push(SinkTiming {
+                    sink_id: id,
+                    rise,
+                    fall,
+                });
+            }
+        }
+
+        sinks.sort_by_key(|s| s.sink_id);
+        CornerReport {
+            vdd,
+            sinks,
+            max_slew,
+        }
+    }
+
+    /// Computes, for every tap of `stage`, the arrival time and slew of the
+    /// requested output transition, given the causing input edge.
+    fn stage_output(
+        &self,
+        stage: &crate::netlist::Stage,
+        driver: &DriverSpec,
+        is_source: bool,
+        vdd: f64,
+        output_rising: bool,
+        input: EdgeState,
+    ) -> Vec<EdgeState> {
+        // The clock source sits off-chip: it does not derate with the
+        // on-chip supply and has no rise/fall asymmetry.
+        let (res, intrinsic) = if is_source {
+            (driver.output_res, 0.0)
+        } else {
+            (
+                driver.corner_res(&self.tech, vdd, output_rising),
+                driver.corner_intrinsic(&self.tech, vdd),
+            )
+        };
+        let gate_delay = intrinsic + crate::driver::SLEW_DELAY_SENSITIVITY * input.slew;
+
+        match self.options.model {
+            DelayModel::Elmore | DelayModel::TwoPole => {
+                let two_pole = self.options.model == DelayModel::TwoPole;
+                let (m1, m2) = stage.tree.moments_from(res);
+                stage
+                    .taps
+                    .iter()
+                    .map(|tap| {
+                        let t = analytic_tap_timing(
+                            m1[tap.node],
+                            m2[tap.node],
+                            intrinsic,
+                            input.slew,
+                            two_pole,
+                        );
+                        EdgeState {
+                            arrival: input.arrival + t.delay,
+                            slew: t.slew,
+                        }
+                    })
+                    .collect()
+            }
+            DelayModel::Transient => {
+                // The gate output ramp steepens with a stronger driver and
+                // degrades with a slow input edge.
+                let intrinsic_ramp =
+                    2.0 * contango_tech::units::rc_ps(res, driver.output_cap.max(1.0));
+                let ramp = (intrinsic_ramp + 0.4 * input.slew).max(2.0);
+                let solver = TransientSolver::new(&stage.tree, res, vdd, ramp);
+                let result = solver.solve();
+                stage
+                    .taps
+                    .iter()
+                    .map(|tap| EdgeState {
+                        arrival: input.arrival + gate_delay + result.delay50[tap.node],
+                        slew: result.slew[tap.node],
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Slew of the clock source waveform.
+fn source_slew(netlist: &Netlist) -> f64 {
+    match netlist.stages[netlist.root].driver {
+        StageDriver::Source(s) => s.slew,
+        StageDriver::Buffer(_) => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SourceSpec;
+    use crate::netlist::{Stage, Tap};
+    use crate::RcTree;
+
+    /// Source → trunk wire → inverter → two symmetric sink branches, with an
+    /// optional extra wire on sink 1 to create skew.
+    fn two_sink_netlist(extra_len_res: f64, extra_cap: f64) -> Netlist {
+        let tech = Technology::ispd09();
+        let buf = tech.composite(tech.small_inverter(), 8);
+        let d = DriverSpec::from_composite(&buf);
+
+        let mut t0 = RcTree::new();
+        let r0 = t0.add_root(1.0);
+        let trunk = t0.add_node(r0, 120.0, 60.0 + d.input_cap);
+        let stage0 = Stage {
+            driver: StageDriver::Source(SourceSpec::ispd09()),
+            tree: t0,
+            taps: vec![Tap {
+                node: trunk,
+                kind: TapKind::Stage(1),
+            }],
+        };
+
+        let mut t1 = RcTree::new();
+        let r1 = t1.add_root(d.output_cap);
+        let a = t1.add_node(r1, 60.0, 35.0);
+        let b = t1.add_node(r1, 60.0 + extra_len_res, 35.0 + extra_cap);
+        let stage1 = Stage {
+            driver: StageDriver::Buffer(d),
+            tree: t1,
+            taps: vec![
+                Tap {
+                    node: a,
+                    kind: TapKind::Sink(0),
+                },
+                Tap {
+                    node: b,
+                    kind: TapKind::Sink(1),
+                },
+            ],
+        };
+        Netlist::new(vec![stage0, stage1], 0).expect("valid netlist")
+    }
+
+    #[test]
+    fn symmetric_netlist_has_negligible_skew() {
+        let netlist = two_sink_netlist(0.0, 0.0);
+        for model in [DelayModel::Elmore, DelayModel::TwoPole, DelayModel::Transient] {
+            let eval = Evaluator::with_model(Technology::ispd09(), model);
+            let report = eval.evaluate(&netlist);
+            assert!(
+                report.skew() < 1e-6,
+                "model {model:?} skew {}",
+                report.skew()
+            );
+            assert!(report.clr() > 0.0, "CLR must be positive");
+        }
+    }
+
+    #[test]
+    fn asymmetric_load_creates_skew_in_every_model() {
+        let netlist = two_sink_netlist(300.0, 40.0);
+        for model in [DelayModel::Elmore, DelayModel::TwoPole, DelayModel::Transient] {
+            let eval = Evaluator::with_model(Technology::ispd09(), model);
+            let report = eval.evaluate(&netlist);
+            assert!(report.skew() > 1.0, "model {model:?} skew {}", report.skew());
+            // Sink 1 carries the extra wire, so it must be the slow one.
+            let nominal = &report.nominal;
+            let s0 = nominal.sink(0).expect("sink 0");
+            let s1 = nominal.sink(1).expect("sink 1");
+            assert!(s1.rise.latency > s0.rise.latency);
+        }
+    }
+
+    #[test]
+    fn low_corner_latencies_exceed_nominal() {
+        let netlist = two_sink_netlist(0.0, 0.0);
+        let eval = Evaluator::new(Technology::ispd09());
+        let report = eval.evaluate(&netlist);
+        assert!(report.low.max_latency() > report.nominal.max_latency());
+    }
+
+    #[test]
+    fn run_counter_increments() {
+        let netlist = two_sink_netlist(0.0, 0.0);
+        let eval = Evaluator::new(Technology::ispd09());
+        assert_eq!(eval.runs(), 0);
+        let _ = eval.evaluate(&netlist);
+        let _ = eval.evaluate(&netlist);
+        assert_eq!(eval.runs(), 2);
+        eval.reset_runs();
+        assert_eq!(eval.runs(), 0);
+    }
+
+    #[test]
+    fn transient_and_two_pole_agree_on_ordering() {
+        let netlist = two_sink_netlist(500.0, 80.0);
+        let spice = Evaluator::with_model(Technology::ispd09(), DelayModel::Transient)
+            .evaluate(&netlist);
+        let awe =
+            Evaluator::with_model(Technology::ispd09(), DelayModel::TwoPole).evaluate(&netlist);
+        let slow_spice = spice.nominal.sink(1).expect("sink").rise.latency
+            > spice.nominal.sink(0).expect("sink").rise.latency;
+        let slow_awe = awe.nominal.sink(1).expect("sink").rise.latency
+            > awe.nominal.sink(0).expect("sink").rise.latency;
+        assert_eq!(slow_spice, slow_awe);
+    }
+
+    #[test]
+    fn inverter_stage_swaps_rise_and_fall_paths() {
+        // With an odd number of inversions, the rise latency at the sink is
+        // driven by the pull-up of the last inverter; asymmetry makes rise
+        // and fall latencies differ slightly.
+        let netlist = two_sink_netlist(0.0, 0.0);
+        let eval = Evaluator::new(Technology::ispd09());
+        let report = eval.evaluate(&netlist);
+        let s0 = report.nominal.sink(0).expect("sink 0");
+        assert!((s0.rise.latency - s0.fall.latency).abs() > 1e-6);
+    }
+
+    #[test]
+    fn slew_is_reported_and_bounded_for_reasonable_stages() {
+        let netlist = two_sink_netlist(0.0, 0.0);
+        let eval = Evaluator::new(Technology::ispd09());
+        let report = eval.evaluate(&netlist);
+        assert!(report.worst_slew() > 0.0);
+        assert!(!report.has_slew_violation(), "slew {}", report.worst_slew());
+    }
+}

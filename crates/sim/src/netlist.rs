@@ -1,0 +1,297 @@
+//! Stage-level electrical netlist of a buffered clock network.
+
+use crate::driver::{DriverSpec, SourceSpec};
+use crate::RcTree;
+use serde::{Deserialize, Serialize};
+
+/// The driver of a stage: either the chip-level clock source (only the root
+/// stage) or a composite inverter/buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StageDriver {
+    /// The chip-level clock source.
+    Source(SourceSpec),
+    /// A buffer or inverter inside the tree.
+    Buffer(DriverSpec),
+}
+
+impl StageDriver {
+    /// The driver electricals seen by the stage's RC tree.
+    pub fn spec(&self) -> DriverSpec {
+        match self {
+            StageDriver::Source(s) => s.as_driver(),
+            StageDriver::Buffer(d) => *d,
+        }
+    }
+
+    /// Returns `true` for inverting drivers.
+    pub fn inverting(&self) -> bool {
+        matches!(self, StageDriver::Buffer(d) if d.inverting)
+    }
+
+    /// Returns `true` for the clock source.
+    pub fn is_source(&self) -> bool {
+        matches!(self, StageDriver::Source(_))
+    }
+}
+
+/// What hangs off a tap node of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TapKind {
+    /// A clock sink (flip-flop clock pin) with the given sink id.
+    Sink(usize),
+    /// The input of a downstream stage (index into [`Netlist::stages`]).
+    Stage(usize),
+}
+
+/// A tap: a node of the stage's RC tree that feeds a sink or another stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tap {
+    /// Node index within the stage's [`RcTree`].
+    pub node: usize,
+    /// What the tap feeds.
+    pub kind: TapKind,
+}
+
+/// One buffered stage: a driver, the RC tree it drives and the taps where
+/// sinks or downstream stage inputs connect.
+///
+/// The capacitive load of everything attached to a tap (sink capacitance or
+/// the downstream driver's input capacitance) must already be included in
+/// the tree's node capacitance by the netlist builder; the evaluator does
+/// not add it again.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// The stage's driver.
+    pub driver: StageDriver,
+    /// The RC tree driven by the driver (node 0 is the driver output).
+    pub tree: RcTree,
+    /// The taps of this stage.
+    pub taps: Vec<Tap>,
+}
+
+/// A full clock-network netlist: a tree of stages rooted at the stage driven
+/// by the clock source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    /// All stages; `stages[root]` is driven by the clock source.
+    pub stages: Vec<Stage>,
+    /// Index of the root stage.
+    pub root: usize,
+}
+
+impl Netlist {
+    /// Creates a netlist and validates its structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found: an
+    /// out-of-range root or tap reference, a non-root stage that is never
+    /// driven or driven more than once, a non-source root driver, or a
+    /// duplicated sink id.
+    pub fn new(stages: Vec<Stage>, root: usize) -> Result<Self, String> {
+        let netlist = Self { stages, root };
+        netlist.validate()?;
+        Ok(netlist)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.root >= self.stages.len() {
+            return Err(format!("root stage {} out of range", self.root));
+        }
+        if !self.stages[self.root].driver.is_source() {
+            return Err("root stage must be driven by the clock source".to_string());
+        }
+        let mut driven = vec![0usize; self.stages.len()];
+        let mut sink_seen = std::collections::BTreeSet::new();
+        for (si, stage) in self.stages.iter().enumerate() {
+            if stage.tree.is_empty() {
+                return Err(format!("stage {si} has an empty RC tree"));
+            }
+            for tap in &stage.taps {
+                if tap.node >= stage.tree.len() {
+                    return Err(format!("stage {si} tap node {} out of range", tap.node));
+                }
+                match tap.kind {
+                    TapKind::Stage(child) => {
+                        if child >= self.stages.len() {
+                            return Err(format!("stage {si} references missing stage {child}"));
+                        }
+                        if child == self.root {
+                            return Err("the root stage cannot be driven by another stage".into());
+                        }
+                        driven[child] += 1;
+                    }
+                    TapKind::Sink(id) => {
+                        if !sink_seen.insert(id) {
+                            return Err(format!("sink {id} is driven more than once"));
+                        }
+                    }
+                }
+            }
+        }
+        for (si, &count) in driven.iter().enumerate() {
+            if si == self.root {
+                continue;
+            }
+            if count == 0 {
+                return Err(format!("stage {si} is never driven"));
+            }
+            if count > 1 {
+                return Err(format!("stage {si} is driven {count} times"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Returns `true` when the netlist has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Sink ids present in the netlist, sorted.
+    pub fn sink_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .stages
+            .iter()
+            .flat_map(|s| s.taps.iter())
+            .filter_map(|t| match t.kind {
+                TapKind::Sink(id) => Some(id),
+                TapKind::Stage(_) => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of sinks in the netlist.
+    pub fn sink_count(&self) -> usize {
+        self.sink_ids().len()
+    }
+
+    /// Number of buffer stages (stages not driven by the source).
+    pub fn buffer_count(&self) -> usize {
+        self.stages.len().saturating_sub(1)
+    }
+
+    /// Total grounded capacitance of the netlist in fF (wire, sink and
+    /// downstream-input capacitance as embedded in the stage trees, plus
+    /// every buffer driver's output parasitic capacitance is expected to be
+    /// part of its own stage tree).
+    pub fn total_cap(&self) -> f64 {
+        self.stages.iter().map(|s| s.tree.total_cap()).sum()
+    }
+
+    /// Stage indices in topological order (parents before children).
+    pub fn topological_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.stages.len());
+        let mut stack = vec![self.root];
+        while let Some(si) = stack.pop() {
+            order.push(si);
+            for tap in &self.stages[si].taps {
+                if let TapKind::Stage(child) = tap.kind {
+                    stack.push(child);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SourceSpec;
+
+    fn tiny_netlist() -> Netlist {
+        // Source stage drives one buffer stage with two sinks.
+        let mut t0 = RcTree::new();
+        let r0 = t0.add_root(2.0);
+        let tap0 = t0.add_node(r0, 100.0, 30.0);
+        let stage0 = Stage {
+            driver: StageDriver::Source(SourceSpec::ispd09()),
+            tree: t0,
+            taps: vec![Tap {
+                node: tap0,
+                kind: TapKind::Stage(1),
+            }],
+        };
+        let mut t1 = RcTree::new();
+        let r1 = t1.add_root(10.0);
+        let a = t1.add_node(r1, 80.0, 25.0);
+        let b = t1.add_node(r1, 80.0, 25.0);
+        let stage1 = Stage {
+            driver: StageDriver::Buffer(DriverSpec {
+                output_res: 55.0,
+                output_cap: 48.8,
+                input_cap: 33.6,
+                intrinsic_delay: 6.0,
+                inverting: true,
+            }),
+            tree: t1,
+            taps: vec![
+                Tap {
+                    node: a,
+                    kind: TapKind::Sink(0),
+                },
+                Tap {
+                    node: b,
+                    kind: TapKind::Sink(1),
+                },
+            ],
+        };
+        Netlist::new(vec![stage0, stage1], 0).expect("valid netlist")
+    }
+
+    #[test]
+    fn valid_netlist_reports_structure() {
+        let n = tiny_netlist();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.sink_count(), 2);
+        assert_eq!(n.buffer_count(), 1);
+        assert_eq!(n.sink_ids(), vec![0, 1]);
+        assert_eq!(n.topological_order(), vec![0, 1]);
+        assert!(n.total_cap() > 0.0);
+    }
+
+    #[test]
+    fn duplicate_sink_rejected() {
+        let mut n = tiny_netlist();
+        n.stages[1].taps[1].kind = TapKind::Sink(0);
+        assert!(Netlist::new(n.stages, 0).is_err());
+    }
+
+    #[test]
+    fn undriven_stage_rejected() {
+        let mut n = tiny_netlist();
+        n.stages[0].taps.clear();
+        let err = Netlist::new(n.stages, 0).unwrap_err();
+        assert!(err.contains("never driven"), "{err}");
+    }
+
+    #[test]
+    fn non_source_root_rejected() {
+        let n = tiny_netlist();
+        let stages = vec![n.stages[1].clone()];
+        assert!(Netlist::new(stages, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_tap_rejected() {
+        let mut n = tiny_netlist();
+        n.stages[1].taps[0].node = 99;
+        assert!(Netlist::new(n.stages, 0).is_err());
+    }
+
+    #[test]
+    fn driver_spec_of_source_is_non_inverting() {
+        let n = tiny_netlist();
+        assert!(n.stages[0].driver.is_source());
+        assert!(!n.stages[0].driver.inverting());
+        assert!(n.stages[1].driver.inverting());
+    }
+}

@@ -1,0 +1,239 @@
+//! Evaluation reports: per-sink timing, skew, CLR and violation checks.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing of one transition (rising or falling) at a sink.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionTiming {
+    /// Source-to-sink latency in ps.
+    pub latency: f64,
+    /// 10%–90% slew at the sink in ps.
+    pub slew: f64,
+}
+
+/// Timing of one sink at one supply corner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinkTiming {
+    /// Sink identifier (as used in the netlist).
+    pub sink_id: usize,
+    /// Rising-transition timing.
+    pub rise: TransitionTiming,
+    /// Falling-transition timing.
+    pub fall: TransitionTiming,
+}
+
+impl SinkTiming {
+    /// The larger of the rise and fall latencies.
+    pub fn max_latency(&self) -> f64 {
+        self.rise.latency.max(self.fall.latency)
+    }
+
+    /// The smaller of the rise and fall latencies.
+    pub fn min_latency(&self) -> f64 {
+        self.rise.latency.min(self.fall.latency)
+    }
+
+    /// The larger of the rise and fall slews.
+    pub fn max_slew(&self) -> f64 {
+        self.rise.slew.max(self.fall.slew)
+    }
+}
+
+/// Evaluation results at one supply corner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CornerReport {
+    /// Supply voltage of this corner, in volts.
+    pub vdd: f64,
+    /// Per-sink timing, sorted by sink id.
+    pub sinks: Vec<SinkTiming>,
+    /// Worst 10%–90% slew observed anywhere in the network (including
+    /// internal buffer inputs), in ps.
+    pub max_slew: f64,
+}
+
+impl CornerReport {
+    /// Largest sink latency over both transitions, in ps.
+    pub fn max_latency(&self) -> f64 {
+        self.sinks
+            .iter()
+            .map(SinkTiming::max_latency)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest sink latency over both transitions, in ps.
+    pub fn min_latency(&self) -> f64 {
+        self.sinks
+            .iter()
+            .map(SinkTiming::min_latency)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Skew of the rising transition (max − min rise latency), in ps.
+    pub fn rise_skew(&self) -> f64 {
+        span(self.sinks.iter().map(|s| s.rise.latency))
+    }
+
+    /// Skew of the falling transition (max − min fall latency), in ps.
+    pub fn fall_skew(&self) -> f64 {
+        span(self.sinks.iter().map(|s| s.fall.latency))
+    }
+
+    /// Skew of this corner: the larger of the rise and fall skews. The two
+    /// transitions are kept separate, as in Section III-B of the paper.
+    pub fn skew(&self) -> f64 {
+        self.rise_skew().max(self.fall_skew())
+    }
+
+    /// Timing of a specific sink, if present.
+    pub fn sink(&self, sink_id: usize) -> Option<&SinkTiming> {
+        self.sinks.iter().find(|s| s.sink_id == sink_id)
+    }
+}
+
+fn span<I: Iterator<Item = f64>>(values: I) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut any = false;
+    for v in values {
+        any = true;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if any {
+        max - min
+    } else {
+        0.0
+    }
+}
+
+/// A complete multi-corner evaluation of a clock network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Nominal-corner (high-supply) results.
+    pub nominal: CornerReport,
+    /// Low-supply-corner results.
+    pub low: CornerReport,
+    /// Total network capacitance in fF.
+    pub total_cap: f64,
+    /// Slew limit in force during the evaluation, in ps.
+    pub slew_limit: f64,
+    /// Number of buffer stages in the evaluated netlist.
+    pub buffer_count: usize,
+}
+
+impl EvalReport {
+    /// Nominal skew (at the nominal corner), in ps.
+    pub fn skew(&self) -> f64 {
+        self.nominal.skew()
+    }
+
+    /// Clock Latency Range: largest sink latency at the low-supply corner
+    /// minus smallest sink latency at the nominal (high-supply) corner, the
+    /// ISPD'09 contest objective.
+    pub fn clr(&self) -> f64 {
+        self.low.max_latency() - self.nominal.min_latency()
+    }
+
+    /// Largest nominal-corner sink latency (insertion delay), in ps.
+    pub fn max_latency(&self) -> f64 {
+        self.nominal.max_latency()
+    }
+
+    /// Worst slew at either corner, in ps.
+    pub fn worst_slew(&self) -> f64 {
+        self.nominal.max_slew.max(self.low.max_slew)
+    }
+
+    /// Returns `true` when any slew at any corner exceeds the slew limit.
+    pub fn has_slew_violation(&self) -> bool {
+        self.worst_slew() > self.slew_limit + 1e-9
+    }
+
+    /// Number of sinks covered by the report.
+    pub fn sink_count(&self) -> usize {
+        self.nominal.sinks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(latency: f64, slew: f64) -> TransitionTiming {
+        TransitionTiming { latency, slew }
+    }
+
+    fn corner(vdd: f64, latencies: &[(f64, f64)], max_slew: f64) -> CornerReport {
+        CornerReport {
+            vdd,
+            sinks: latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &(r, f))| SinkTiming {
+                    sink_id: i,
+                    rise: timing(r, 40.0),
+                    fall: timing(f, 42.0),
+                })
+                .collect(),
+            max_slew,
+        }
+    }
+
+    #[test]
+    fn skew_is_max_of_rise_and_fall_skews() {
+        let c = corner(1.2, &[(100.0, 101.0), (105.0, 109.0)], 50.0);
+        assert!((c.rise_skew() - 5.0).abs() < 1e-12);
+        assert!((c.fall_skew() - 8.0).abs() < 1e-12);
+        assert!((c.skew() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clr_spans_corners() {
+        let nominal = corner(1.2, &[(100.0, 100.0), (104.0, 104.0)], 50.0);
+        let low = corner(1.0, &[(118.0, 118.0), (123.0, 123.0)], 60.0);
+        let report = EvalReport {
+            nominal,
+            low,
+            total_cap: 1000.0,
+            slew_limit: 100.0,
+            buffer_count: 3,
+        };
+        assert!((report.clr() - 23.0).abs() < 1e-12);
+        assert!((report.skew() - 4.0).abs() < 1e-12);
+        assert!(!report.has_slew_violation());
+        assert_eq!(report.sink_count(), 2);
+    }
+
+    #[test]
+    fn slew_violation_detected_at_either_corner() {
+        let nominal = corner(1.2, &[(100.0, 100.0)], 80.0);
+        let low = corner(1.0, &[(110.0, 110.0)], 120.0);
+        let report = EvalReport {
+            nominal,
+            low,
+            total_cap: 10.0,
+            slew_limit: 100.0,
+            buffer_count: 0,
+        };
+        assert!(report.has_slew_violation());
+        assert!((report.worst_slew() - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corner_has_zero_skew() {
+        let c = CornerReport {
+            vdd: 1.2,
+            sinks: vec![],
+            max_slew: 0.0,
+        };
+        assert_eq!(c.skew(), 0.0);
+    }
+
+    #[test]
+    fn sink_lookup_by_id() {
+        let c = corner(1.2, &[(100.0, 100.0), (105.0, 106.0)], 50.0);
+        assert!(c.sink(1).is_some());
+        assert!(c.sink(9).is_none());
+        assert!((c.sink(1).expect("exists").max_latency() - 106.0).abs() < 1e-12);
+    }
+}

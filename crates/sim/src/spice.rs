@@ -1,0 +1,541 @@
+//! SPICE interchange: deck generation and measurement parsing.
+//!
+//! The original Contango drives ngSPICE (ISPD'09 contest) or HSPICE
+//! (scalability study) through generated decks and PERL scripts that scrape
+//! the `.measure` results. This module reproduces that interface so the
+//! flow can be wired to a real circuit simulator when one is available:
+//!
+//! * [`write_deck`] emits a transient-analysis SPICE deck for a [`Netlist`]
+//!   at a given supply corner. Buffers are modelled as Thevenin stages (a
+//!   switched ideal source behind the composite inverter's output
+//!   resistance), exactly like the built-in evaluator, so a SPICE run on the
+//!   emitted deck reproduces the evaluator's circuit rather than requiring
+//!   45 nm transistor models that cannot be redistributed.
+//! * [`parse_measurements`] reads `.measure`-style result lines
+//!   (`name = value`, HSPICE `.mt0` or ngSPICE output) into a map.
+//! * [`report_from_measurements`] assembles a [`CornerReport`] from such a
+//!   map, making an external simulator a drop-in replacement for the
+//!   built-in evaluator at the corner level.
+//!
+//! Latency measurements are named `lat_r_<sink>` / `lat_f_<sink>` and slews
+//! `slew_r_<sink>` / `slew_f_<sink>`; values are in seconds in the deck
+//! (SPICE convention) and converted to picoseconds on parsing.
+
+use crate::netlist::{Netlist, TapKind};
+use crate::report::{CornerReport, SinkTiming, TransitionTiming};
+use contango_tech::Technology;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Seconds per picosecond, used when converting deck values.
+const S_PER_PS: f64 = 1.0e-12;
+/// Farads per femtofarad.
+const F_PER_FF: f64 = 1.0e-15;
+
+/// Options controlling deck generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeckOptions {
+    /// Supply voltage of the corner being simulated, in volts.
+    pub vdd: f64,
+    /// 10%–90% slew of the ideal clock edge applied at the source, in ps.
+    pub input_slew: f64,
+    /// Total simulated time, in ps.
+    pub stop_ps: f64,
+    /// Maximum timestep, in ps.
+    pub step_ps: f64,
+}
+
+impl DeckOptions {
+    /// Deck options for a technology's nominal corner.
+    pub fn nominal(tech: &Technology) -> Self {
+        Self {
+            vdd: tech.nominal_corner.vdd,
+            input_slew: 50.0,
+            stop_ps: 4000.0,
+            step_ps: 1.0,
+        }
+    }
+
+    /// Deck options for a technology's reduced-supply corner.
+    pub fn low(tech: &Technology) -> Self {
+        Self {
+            vdd: tech.low_corner.vdd,
+            ..Self::nominal(tech)
+        }
+    }
+}
+
+/// Name of the SPICE node at position `node` of stage `stage`.
+///
+/// Node 0 of each stage is the stage's driving point.
+pub fn node_name(stage: usize, node: usize) -> String {
+    format!("s{stage}_n{node}")
+}
+
+/// Name of the rising-latency measurement of a sink.
+pub fn rise_latency_name(sink: usize) -> String {
+    format!("lat_r_{sink}")
+}
+
+/// Name of the falling-latency measurement of a sink.
+pub fn fall_latency_name(sink: usize) -> String {
+    format!("lat_f_{sink}")
+}
+
+/// Name of the rising-slew measurement of a sink.
+pub fn rise_slew_name(sink: usize) -> String {
+    format!("slew_r_{sink}")
+}
+
+/// Name of the falling-slew measurement of a sink.
+pub fn fall_slew_name(sink: usize) -> String {
+    format!("slew_f_{sink}")
+}
+
+/// Emits a transient SPICE deck for `netlist` at the corner described by
+/// `options`.
+///
+/// The deck contains, per stage, the stage's RC tree as `R`/`C` elements and
+/// the stage driver as a voltage-controlled Thevenin source (`E` element
+/// behind the driver's output resistance), plus `.measure` statements for
+/// every sink's rise/fall latency and 10–90% slew. The source is a PWL
+/// pulse rising at `t = 0`.
+///
+/// The emitted circuit is the same circuit the built-in transient evaluator
+/// solves, so an external simulator run on this deck validates (or replaces)
+/// the built-in results.
+pub fn write_deck(netlist: &Netlist, tech: &Technology, options: &DeckOptions) -> String {
+    let mut out = String::new();
+    let vdd = options.vdd;
+    let derate = tech.derate(vdd);
+    let _ = writeln!(out, "* Contango clock-network deck ({} stages)", netlist.len());
+    let _ = writeln!(out, "* supply corner: {vdd} V, derate factor {derate:.4}");
+    let _ = writeln!(out, ".param vdd={vdd}");
+    let _ = writeln!(out, ".option post probe");
+    let _ = writeln!(out);
+
+    // Ideal clock edge at the chip input: rise from 0 to VDD over the 10-90
+    // input slew (extended to the full 0-100 ramp).
+    let ramp_ps = options.input_slew / 0.8;
+    let _ = writeln!(
+        out,
+        "Vclk clk_in 0 PWL(0ps 0V {ramp_ps:.3}ps {vdd}V)"
+    );
+    let _ = writeln!(out);
+
+    for (si, stage) in netlist.stages.iter().enumerate() {
+        let spec = stage.driver.spec();
+        let drive_node = node_name(si, 0);
+        let _ = writeln!(out, "* ---- stage {si} ----");
+        if stage.driver.is_source() {
+            // The chip-level source drives the root stage directly.
+            let _ = writeln!(
+                out,
+                "Rdrv{si} clk_in {drive_node} {res:.4}",
+                res = spec.output_res
+            );
+        } else {
+            // Thevenin model of a composite inverter: an ideal inverting
+            // (or buffering) dependent source behind the output resistance.
+            // The controlling node is the tap of the parent stage feeding
+            // this stage; it is recorded below when the parent is emitted,
+            // so here we reference the canonical input net name.
+            let gain = if spec.inverting { -1.0 } else { 1.0 };
+            let _ = writeln!(
+                out,
+                "Ebuf{si} buf{si}_out 0 VOL='{off} + {gain}*V(stage{si}_in)'",
+                off = if spec.inverting { "vdd" } else { "0" },
+            );
+            let _ = writeln!(
+                out,
+                "Rdrv{si} buf{si}_out {drive_node} {res:.4}",
+                res = spec.output_res / derate
+            );
+            let _ = writeln!(
+                out,
+                "Cdrv{si} {drive_node} 0 {cap:.6e}",
+                cap = spec.output_cap * F_PER_FF
+            );
+        }
+        // Stage RC tree. Node 0 carries only its grounded capacitance (the
+        // driver resistance above stands in for its series element).
+        for (idx, (parent, res, cap)) in stage.tree.iter().enumerate() {
+            let name = node_name(si, idx);
+            if idx > 0 {
+                let pname = node_name(si, parent);
+                let _ = writeln!(out, "R{si}_{idx} {pname} {name} {res:.4}");
+            }
+            if cap > 0.0 {
+                let _ = writeln!(out, "C{si}_{idx} {name} 0 {c:.6e}", c = cap * F_PER_FF);
+            }
+        }
+        // Tap bookkeeping: downstream stage inputs alias the tap node.
+        for tap in &stage.taps {
+            if let TapKind::Stage(child) = tap.kind {
+                let _ = writeln!(
+                    out,
+                    "Rin{child} {tap_node} stage{child}_in 0.001",
+                    tap_node = node_name(si, tap.node)
+                );
+            }
+        }
+        let _ = writeln!(out);
+    }
+
+    // Measurements: latency (50% crossing referenced to the clock input) and
+    // 10-90% slew at every sink tap.
+    let _ = writeln!(out, "* ---- measurements ----");
+    for (si, stage) in netlist.stages.iter().enumerate() {
+        for tap in &stage.taps {
+            let TapKind::Sink(sink) = tap.kind else {
+                continue;
+            };
+            let node = node_name(si, tap.node);
+            let inverted = sink_polarity_inverted(netlist, si);
+            // With an even number of inversions a rising input produces a
+            // rising edge at the sink; with an odd number it produces a
+            // falling edge. Measurement names always refer to the transition
+            // *at the sink*.
+            let (rise_dir, fall_dir) = if inverted {
+                ("FALL", "RISE")
+            } else {
+                ("RISE", "FALL")
+            };
+            let _ = writeln!(
+                out,
+                ".measure tran {name} TRIG v(clk_in) VAL='0.5*vdd' RISE=1 TARG v({node}) VAL='0.5*vdd' {dir}=1",
+                name = rise_latency_name(sink),
+                dir = rise_dir
+            );
+            let _ = writeln!(
+                out,
+                ".measure tran {name} TRIG v(clk_in) VAL='0.5*vdd' RISE=1 TARG v({node}) VAL='0.5*vdd' {dir}=1",
+                name = fall_latency_name(sink),
+                dir = fall_dir
+            );
+            let _ = writeln!(
+                out,
+                ".measure tran {name} TRIG v({node}) VAL='0.1*vdd' {dir}=1 TARG v({node}) VAL='0.9*vdd' {dir}=1",
+                name = rise_slew_name(sink),
+                dir = rise_dir
+            );
+            let _ = writeln!(
+                out,
+                ".measure tran {name} TRIG v({node}) VAL='0.9*vdd' {dir}=1 TARG v({node}) VAL='0.1*vdd' {dir}=1",
+                name = fall_slew_name(sink),
+                dir = fall_dir
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        ".tran {step}ps {stop}ps",
+        step = options.step_ps,
+        stop = options.stop_ps
+    );
+    let _ = writeln!(out, ".end");
+    out
+}
+
+/// Returns `true` when the path from the netlist root to stage `stage`
+/// passes through an odd number of inverting drivers (including the stage's
+/// own driver).
+fn sink_polarity_inverted(netlist: &Netlist, stage: usize) -> bool {
+    // Parent map: stage -> driving stage.
+    let mut parent = vec![usize::MAX; netlist.len()];
+    for (si, s) in netlist.stages.iter().enumerate() {
+        for tap in &s.taps {
+            if let TapKind::Stage(child) = tap.kind {
+                parent[child] = si;
+            }
+        }
+    }
+    let mut inversions = 0usize;
+    let mut cur = stage;
+    loop {
+        if netlist.stages[cur].driver.inverting() {
+            inversions += 1;
+        }
+        if cur == netlist.root || parent[cur] == usize::MAX {
+            break;
+        }
+        cur = parent[cur];
+    }
+    inversions % 2 == 1
+}
+
+/// A parsed set of SPICE measurements, keyed by lower-cased measurement
+/// name, with values converted from seconds to picoseconds.
+pub type Measurements = BTreeMap<String, f64>;
+
+/// Parses measurement result lines into a map.
+///
+/// Accepts the common formats produced by ngSPICE and HSPICE:
+///
+/// ```text
+/// lat_r_3 = 5.0312e-10 targ=...  trig=...
+/// lat_f_3=5.1e-10
+/// ```
+///
+/// Lines that do not look like measurements (banners, `.mt0` headers,
+/// comments) are skipped. Values of `failed` are reported as errors.
+///
+/// # Errors
+///
+/// Returns an error naming the first measurement whose value cannot be
+/// parsed or that the simulator reported as `failed`.
+pub fn parse_measurements(text: &str) -> Result<Measurements, String> {
+    let mut out = Measurements::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') || line.starts_with('#') {
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            continue;
+        };
+        let name = line[..eq].trim().to_ascii_lowercase();
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            continue;
+        }
+        if !(name.starts_with("lat_") || name.starts_with("slew_")) {
+            continue;
+        }
+        let rest = line[eq + 1..].trim();
+        let value_token = rest.split_whitespace().next().unwrap_or("");
+        if value_token.eq_ignore_ascii_case("failed") {
+            return Err(format!("measurement '{name}' failed in the SPICE run"));
+        }
+        let seconds: f64 = parse_spice_number(value_token)
+            .ok_or_else(|| format!("measurement '{name}' has unparsable value '{value_token}'"))?;
+        out.insert(name, seconds / S_PER_PS);
+    }
+    Ok(out)
+}
+
+/// Parses a SPICE number, accepting engineering suffixes (`p`, `n`, `u`,
+/// `m`, `k`, `meg`, `g`, `f`).
+fn parse_spice_number(token: &str) -> Option<f64> {
+    let t = token.trim().to_ascii_lowercase();
+    if let Ok(v) = t.parse::<f64>() {
+        return Some(v);
+    }
+    let suffixes: [(&str, f64); 8] = [
+        ("meg", 1e6),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+    ];
+    for (suffix, scale) in suffixes {
+        if let Some(mantissa) = t.strip_suffix(suffix) {
+            if let Ok(v) = mantissa.parse::<f64>() {
+                return Some(v * scale);
+            }
+        }
+    }
+    None
+}
+
+/// Builds a [`CornerReport`] for the sinks of `netlist` from parsed SPICE
+/// measurements at supply `vdd`.
+///
+/// # Errors
+///
+/// Returns an error naming the first sink with a missing measurement.
+pub fn report_from_measurements(
+    netlist: &Netlist,
+    vdd: f64,
+    measurements: &Measurements,
+) -> Result<CornerReport, String> {
+    let mut sinks = Vec::new();
+    let mut max_slew = 0.0_f64;
+    let mut ids = netlist.sink_ids();
+    ids.sort_unstable();
+    for sink in ids {
+        let lookup = |name: String| -> Result<f64, String> {
+            measurements
+                .get(&name)
+                .copied()
+                .ok_or_else(|| format!("sink {sink}: measurement '{name}' missing"))
+        };
+        let rise = TransitionTiming {
+            latency: lookup(rise_latency_name(sink))?,
+            slew: lookup(rise_slew_name(sink))?.abs(),
+        };
+        let fall = TransitionTiming {
+            latency: lookup(fall_latency_name(sink))?,
+            slew: lookup(fall_slew_name(sink))?.abs(),
+        };
+        max_slew = max_slew.max(rise.slew).max(fall.slew);
+        sinks.push(SinkTiming {
+            sink_id: sink,
+            rise,
+            fall,
+        });
+    }
+    Ok(CornerReport {
+        vdd,
+        sinks,
+        max_slew,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{DriverSpec, SourceSpec};
+    use crate::netlist::{Stage, StageDriver, Tap};
+    use crate::RcTree;
+
+    /// Two-stage netlist: source stage driving a buffer stage with two sinks.
+    fn two_stage_netlist() -> Netlist {
+        let mut root_tree = RcTree::new();
+        let r0 = root_tree.add_root(5.0);
+        let r1 = root_tree.add_node(r0, 20.0, 8.0);
+        let root = Stage {
+            driver: StageDriver::Source(SourceSpec::ispd09()),
+            tree: root_tree,
+            taps: vec![Tap {
+                node: r1,
+                kind: TapKind::Stage(1),
+            }],
+        };
+
+        let mut leaf_tree = RcTree::new();
+        let l0 = leaf_tree.add_root(4.0);
+        let l1 = leaf_tree.add_node(l0, 30.0, 12.0);
+        let l2 = leaf_tree.add_node(l0, 25.0, 9.0);
+        let leaf = Stage {
+            driver: StageDriver::Buffer(DriverSpec {
+                output_res: 55.0,
+                output_cap: 48.8,
+                input_cap: 33.6,
+                intrinsic_delay: 8.0,
+                inverting: true,
+            }),
+            tree: leaf_tree,
+            taps: vec![
+                Tap {
+                    node: l1,
+                    kind: TapKind::Sink(0),
+                },
+                Tap {
+                    node: l2,
+                    kind: TapKind::Sink(1),
+                },
+            ],
+        };
+        Netlist::new(vec![root, leaf], 0).expect("valid netlist")
+    }
+
+    #[test]
+    fn deck_contains_every_element_and_measurement() {
+        let netlist = two_stage_netlist();
+        let tech = Technology::ispd09();
+        let deck = write_deck(&netlist, &tech, &DeckOptions::nominal(&tech));
+        assert!(deck.contains("Vclk clk_in"));
+        assert!(deck.contains("Rdrv0 clk_in"));
+        assert!(deck.contains("Ebuf1"));
+        assert!(deck.contains(&node_name(1, 2)));
+        for sink in 0..2 {
+            assert!(deck.contains(&rise_latency_name(sink)));
+            assert!(deck.contains(&fall_latency_name(sink)));
+            assert!(deck.contains(&rise_slew_name(sink)));
+            assert!(deck.contains(&fall_slew_name(sink)));
+        }
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn deck_respects_supply_corner() {
+        let netlist = two_stage_netlist();
+        let tech = Technology::ispd09();
+        let nominal = write_deck(&netlist, &tech, &DeckOptions::nominal(&tech));
+        let low = write_deck(&netlist, &tech, &DeckOptions::low(&tech));
+        assert!(nominal.contains(".param vdd=1.2\n"));
+        assert!(low.contains(".param vdd=1\n"));
+        assert_ne!(nominal, low);
+    }
+
+    #[test]
+    fn inverted_sink_swaps_measured_transitions() {
+        let netlist = two_stage_netlist();
+        let tech = Technology::ispd09();
+        let deck = write_deck(&netlist, &tech, &DeckOptions::nominal(&tech));
+        // The single inverting buffer makes the sink-side rising transition
+        // come from a FALL at the sink node measurement target.
+        let rise_line = deck
+            .lines()
+            .find(|l| l.contains(&rise_latency_name(0)))
+            .expect("rise measurement present");
+        assert!(rise_line.contains("FALL=1"), "line: {rise_line}");
+    }
+
+    #[test]
+    fn measurement_parser_handles_spice_formats() {
+        let text = "\
+* hspice .mt0 style
+lat_r_0 = 5.0312e-10 targ= 5.1e-10 trig= 9.7e-12
+lat_f_0= 512p
+slew_r_0 = 4.4e-11
+slew_f_0 = 38p
+ignored_line
+temper = 25.0
+";
+        let m = parse_measurements(text).expect("parses");
+        assert!((m["lat_r_0"] - 503.12).abs() < 1e-6);
+        assert!((m["lat_f_0"] - 512.0).abs() < 1e-9);
+        assert!((m["slew_f_0"] - 38.0).abs() < 1e-9);
+        assert!(!m.contains_key("temper"));
+    }
+
+    #[test]
+    fn failed_measurements_are_reported() {
+        let err = parse_measurements("lat_r_0 = failed\n").expect_err("fails");
+        assert!(err.contains("lat_r_0"));
+    }
+
+    #[test]
+    fn report_assembly_round_trips_all_sinks() {
+        let netlist = two_stage_netlist();
+        let mut m = Measurements::new();
+        for sink in 0..2 {
+            m.insert(rise_latency_name(sink), 500.0 + sink as f64);
+            m.insert(fall_latency_name(sink), 505.0 + sink as f64);
+            m.insert(rise_slew_name(sink), 40.0);
+            m.insert(fall_slew_name(sink), 42.0);
+        }
+        let report = report_from_measurements(&netlist, 1.2, &m).expect("complete");
+        assert_eq!(report.sinks.len(), 2);
+        assert_eq!(report.vdd, 1.2);
+        assert!((report.sink(1).expect("sink 1").rise.latency - 501.0).abs() < 1e-9);
+        assert!((report.max_slew - 42.0).abs() < 1e-9);
+        assert!(report.skew() >= 0.0);
+    }
+
+    #[test]
+    fn missing_measurement_is_an_error() {
+        let netlist = two_stage_netlist();
+        let mut m = Measurements::new();
+        m.insert(rise_latency_name(0), 500.0);
+        let err = report_from_measurements(&netlist, 1.2, &m).expect_err("incomplete");
+        assert!(err.contains("missing"));
+    }
+
+    #[test]
+    fn spice_number_suffixes() {
+        let close = |v: Option<f64>, expected: f64| {
+            let v = v.expect("parses");
+            assert!((v - expected).abs() <= 1e-9 * expected.abs());
+        };
+        close(parse_spice_number("1.5n"), 1.5e-9);
+        close(parse_spice_number("2meg"), 2e6);
+        close(parse_spice_number("3.2e-10"), 3.2e-10);
+        assert_eq!(parse_spice_number("bogus"), None);
+    }
+}

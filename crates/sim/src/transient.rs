@@ -1,0 +1,304 @@
+//! Backward-Euler transient simulation of one buffered stage.
+//!
+//! Every buffered stage of a clock network is an RC tree driven by a
+//! Thevenin source (the stage driver's output resistance in series with a
+//! saturated-ramp voltage source). Because the conductance matrix of a tree
+//! is, after a leaf-first elimination order, triangular with exactly one
+//! off-diagonal entry per node, each backward-Euler step is solved exactly
+//! in `O(n)` without any general sparse-matrix machinery. The elimination
+//! coefficients depend only on the time step, so they are factored once per
+//! simulation.
+
+use crate::RcTree;
+use serde::{Deserialize, Serialize};
+
+/// Waveform measurements of a transient run: for every node of the stage's
+/// RC tree, the 50% crossing time relative to the 50% crossing of the source
+/// ramp, and the 10%–90% transition time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientResult {
+    /// Per-node network delay (50% source crossing to 50% node crossing), ps.
+    pub delay50: Vec<f64>,
+    /// Per-node 10%–90% output transition time, ps.
+    pub slew: Vec<f64>,
+    /// Number of time steps the solver used.
+    pub steps: usize,
+}
+
+/// Backward-Euler solver for a single stage.
+#[derive(Debug, Clone)]
+pub struct TransientSolver {
+    /// Conductance from each node to its parent (node 0: to the source), S.
+    g_parent: Vec<f64>,
+    /// Parent indices (node 0 has no stored parent).
+    parents: Vec<usize>,
+    /// Node capacitances in fF.
+    caps: Vec<f64>,
+    /// Supply voltage of this corner, V.
+    vdd: f64,
+    /// 0%–100% ramp time of the source, ps.
+    ramp: f64,
+    /// Largest Elmore delay of the stage, used to size steps and the horizon.
+    tau_max: f64,
+}
+
+impl TransientSolver {
+    /// Prepares a solver for `tree` driven through `driver_res` ohms by a
+    /// source ramping from 0 to `vdd` volts over `ramp_ps` picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty or the driver resistance is not positive.
+    pub fn new(tree: &RcTree, driver_res: f64, vdd: f64, ramp_ps: f64) -> Self {
+        assert!(!tree.is_empty(), "cannot simulate an empty stage");
+        assert!(driver_res > 0.0, "driver resistance must be positive");
+        let n = tree.len();
+        let mut g_parent = vec![0.0; n];
+        let mut parents = vec![0usize; n];
+        let mut caps = vec![0.0; n];
+        for (i, (parent, res, cap)) in tree.iter().enumerate() {
+            caps[i] = cap.max(1e-6); // avoid singular steps on zero-cap nodes
+            if i == 0 {
+                g_parent[i] = 1.0 / driver_res;
+                parents[i] = usize::MAX;
+            } else {
+                // Zero-length wires still need a finite conductance.
+                let r = res.max(1e-3);
+                g_parent[i] = 1.0 / r;
+                parents[i] = parent;
+            }
+        }
+        let tau_max = tree
+            .elmore_from(driver_res)
+            .into_iter()
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
+        Self {
+            g_parent,
+            parents,
+            caps,
+            vdd,
+            ramp: ramp_ps.max(1.0),
+            tau_max,
+        }
+    }
+
+    /// Runs the simulation and extracts delays and slews for every node.
+    pub fn solve(&self) -> TransientResult {
+        let n = self.caps.len();
+        // Step size: resolve the ramp and the dominant time constant.
+        let dt = (self.tau_max / 60.0).min(self.ramp / 20.0).clamp(0.02, 5.0);
+        let horizon = self.ramp + 12.0 * self.tau_max + 50.0;
+        let max_steps = ((horizon / dt).ceil() as usize).max(16);
+
+        // Pre-factor the (C/dt + G) tree matrix with leaf-first elimination.
+        // diag[i] = C_i/dt + Σ adjacent conductances. Conductances are in
+        // siemens; C/dt in fF/ps equals 10⁻³ S, hence the 1e-3 factor.
+        let inv_dt = 1.0 / dt;
+        let mut diag: Vec<f64> = (0..n)
+            .map(|i| self.caps[i] * inv_dt * 1e-3 + self.g_parent[i])
+            .collect();
+        for i in 1..n {
+            let p = self.parents[i];
+            diag[p] += self.g_parent[i];
+        }
+        // Leaf-first elimination of the off-diagonal entries (children have
+        // larger indices than parents, so reverse order is leaf-first).
+        let mut diag_elim = diag.clone();
+        for i in (1..n).rev() {
+            let p = self.parents[i];
+            diag_elim[p] -= self.g_parent[i] * self.g_parent[i] / diag_elim[i];
+        }
+
+        let mut v = vec![0.0_f64; n];
+        let mut rhs = vec![0.0_f64; n];
+        let v10 = 0.1 * self.vdd;
+        let v50 = 0.5 * self.vdd;
+        let v90 = 0.9 * self.vdd;
+        let mut t10 = vec![f64::NAN; n];
+        let mut t50 = vec![f64::NAN; n];
+        let mut t90 = vec![f64::NAN; n];
+        let mut prev_v = v.clone();
+        let mut steps = 0usize;
+
+        for step in 1..=max_steps {
+            let t = step as f64 * dt;
+            let vs = self.source_voltage(t);
+            for i in 0..n {
+                rhs[i] = self.caps[i] * inv_dt * 1e-3 * v[i];
+            }
+            rhs[0] += self.g_parent[0] * vs;
+            // Eliminate leaf-first.
+            for i in (1..n).rev() {
+                let p = self.parents[i];
+                rhs[p] += self.g_parent[i] * rhs[i] / diag_elim[i];
+            }
+            prev_v.copy_from_slice(&v);
+            v[0] = rhs[0] / diag_elim[0];
+            for i in 1..n {
+                let p = self.parents[i];
+                v[i] = (rhs[i] + self.g_parent[i] * v[p]) / diag_elim[i];
+            }
+            // Record threshold crossings with linear interpolation.
+            for i in 0..n {
+                record_crossing(&mut t10[i], prev_v[i], v[i], v10, t, dt);
+                record_crossing(&mut t50[i], prev_v[i], v[i], v50, t, dt);
+                record_crossing(&mut t90[i], prev_v[i], v[i], v90, t, dt);
+            }
+            steps = step;
+            if t90.iter().all(|x| !x.is_nan()) && t > self.ramp {
+                break;
+            }
+        }
+
+        // The source crosses 50% at ramp/2.
+        let source_t50 = 0.5 * self.ramp;
+        let delay50 = t50
+            .iter()
+            .map(|&x| if x.is_nan() { f64::INFINITY } else { x - source_t50 })
+            .collect();
+        let slew = t10
+            .iter()
+            .zip(t90.iter())
+            .map(|(&a, &b)| {
+                if a.is_nan() || b.is_nan() {
+                    f64::INFINITY
+                } else {
+                    b - a
+                }
+            })
+            .collect();
+        TransientResult {
+            delay50,
+            slew,
+            steps,
+        }
+    }
+
+    /// Saturated-ramp source voltage at time `t`.
+    fn source_voltage(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else if t >= self.ramp {
+            self.vdd
+        } else {
+            self.vdd * t / self.ramp
+        }
+    }
+}
+
+/// Records the interpolated time of an upward threshold crossing.
+fn record_crossing(slot: &mut f64, v_prev: f64, v_new: f64, threshold: f64, t: f64, dt: f64) {
+    if slot.is_nan() && v_prev < threshold && v_new >= threshold {
+        let frac = if (v_new - v_prev).abs() > 1e-15 {
+            (threshold - v_prev) / (v_new - v_prev)
+        } else {
+            1.0
+        };
+        *slot = t - dt + frac * dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contango_tech::units;
+
+    /// Lumped RC: 100 Ω driver into a single 500 fF capacitor.
+    fn lumped() -> RcTree {
+        let mut t = RcTree::new();
+        t.add_root(500.0);
+        t
+    }
+
+    #[test]
+    fn single_pole_delay_matches_theory_within_tolerance() {
+        let tree = lumped();
+        let solver = TransientSolver::new(&tree, 100.0, 1.2, 2.0);
+        let res = solver.solve();
+        // Theory: tau = 50 ps, t50 = ln2 * tau = 34.66 ps, slew = ln9*tau = 109.9 ps.
+        let tau = units::rc_ps(100.0, 500.0);
+        let expect_delay = units::DELAY_LN2 * tau;
+        let expect_slew = units::SLEW_LN9 * tau;
+        assert!(
+            (res.delay50[0] - expect_delay).abs() < 0.1 * expect_delay,
+            "delay {} vs {}",
+            res.delay50[0],
+            expect_delay
+        );
+        assert!(
+            (res.slew[0] - expect_slew).abs() < 0.1 * expect_slew,
+            "slew {} vs {}",
+            res.slew[0],
+            expect_slew
+        );
+    }
+
+    #[test]
+    fn downstream_nodes_are_later_and_slower() {
+        let mut tree = RcTree::new();
+        let r = tree.add_root(10.0);
+        let a = tree.add_node(r, 200.0, 100.0);
+        let b = tree.add_node(a, 200.0, 100.0);
+        let c = tree.add_node(b, 200.0, 100.0);
+        let solver = TransientSolver::new(&tree, 50.0, 1.2, 10.0);
+        let res = solver.solve();
+        assert!(res.delay50[a] < res.delay50[b]);
+        assert!(res.delay50[b] < res.delay50[c]);
+        assert!(res.slew[c] > res.slew[a]);
+    }
+
+    #[test]
+    fn stronger_driver_is_faster() {
+        let tree = lumped();
+        let strong = TransientSolver::new(&tree, 55.0, 1.2, 2.0).solve();
+        let weak = TransientSolver::new(&tree, 440.0, 1.2, 2.0).solve();
+        assert!(strong.delay50[0] < weak.delay50[0]);
+        assert!(strong.slew[0] < weak.slew[0]);
+    }
+
+    #[test]
+    fn lower_vdd_changes_thresholds_not_network_delay_much() {
+        // With a pure ramp source and linear RC network, delays measured at
+        // proportional thresholds are supply-independent; the supply
+        // dependence of stage delay enters through the derated driver
+        // resistance, which the evaluator applies. Here we just confirm the
+        // solver is well-behaved at both corners.
+        let tree = lumped();
+        let hi = TransientSolver::new(&tree, 100.0, 1.2, 2.0).solve();
+        let lo = TransientSolver::new(&tree, 100.0, 1.0, 2.0).solve();
+        assert!((hi.delay50[0] - lo.delay50[0]).abs() < 1.0);
+    }
+
+    #[test]
+    fn branchy_tree_balances_equal_legs() {
+        let mut tree = RcTree::new();
+        let r = tree.add_root(5.0);
+        let m = tree.add_node(r, 100.0, 50.0);
+        let a = tree.add_node(m, 80.0, 60.0);
+        let b = tree.add_node(m, 80.0, 60.0);
+        let res = TransientSolver::new(&tree, 60.0, 1.2, 5.0).solve();
+        assert!((res.delay50[a] - res.delay50[b]).abs() < 1e-6);
+        assert!((res.slew[a] - res.slew[b]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_nodes_eventually_cross_ninety_percent() {
+        let mut tree = RcTree::new();
+        let r = tree.add_root(20.0);
+        let mut prev = r;
+        for _ in 0..20 {
+            prev = tree.add_node(prev, 150.0, 30.0);
+        }
+        let res = TransientSolver::new(&tree, 80.0, 1.0, 40.0).solve();
+        assert!(res.delay50.iter().all(|d| d.is_finite()));
+        assert!(res.slew.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot simulate an empty stage")]
+    fn empty_stage_rejected() {
+        let tree = RcTree::new();
+        let _ = TransientSolver::new(&tree, 100.0, 1.2, 2.0);
+    }
+}

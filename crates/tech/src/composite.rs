@@ -1,0 +1,261 @@
+//! Composite (parallel) inverter analysis.
+//!
+//! Most technology libraries support dedicated clock inverters; Contango
+//! additionally considers *parallel compositions* of library inverters
+//! (paper, Section IV-B and Table I). Connecting `n` identical inverters in
+//! parallel multiplies input and output capacitance by `n` and divides the
+//! output resistance by `n`. Eight parallel small inverters dominate one
+//! large inverter on every axis in the ISPD'09 library, which is why
+//! Contango drives its trees with batches of small inverters.
+//!
+//! [`enumerate_composites`] generates candidate configurations up to a
+//! parallelism bound and prunes dominated ones via the classic
+//! dynamic-programming / Pareto-front sweep.
+
+use crate::{InverterKind, InverterLibrary};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parallel composition of `parallel` copies of one library inverter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CompositeBuffer {
+    /// The underlying library inverter.
+    base: InverterKind,
+    /// Number of parallel copies (≥ 1).
+    parallel: u32,
+}
+
+impl CompositeBuffer {
+    /// Creates a composite of `parallel` copies of `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallel` is zero.
+    pub fn new(base: InverterKind, parallel: u32) -> Self {
+        assert!(parallel >= 1, "a composite buffer needs at least one inverter");
+        Self { base, parallel }
+    }
+
+    /// The underlying library inverter.
+    pub fn base(&self) -> &InverterKind {
+        &self.base
+    }
+
+    /// Number of parallel copies.
+    pub fn parallel(&self) -> u32 {
+        self.parallel
+    }
+
+    /// Total input capacitance in fF.
+    pub fn input_cap(&self) -> f64 {
+        self.base.input_cap * f64::from(self.parallel)
+    }
+
+    /// Total output (parasitic) capacitance in fF.
+    pub fn output_cap(&self) -> f64 {
+        self.base.output_cap * f64::from(self.parallel)
+    }
+
+    /// Effective output resistance in Ω at the nominal supply.
+    pub fn output_res(&self) -> f64 {
+        self.base.output_res / f64::from(self.parallel)
+    }
+
+    /// Intrinsic (unloaded) delay in ps; parallel composition does not
+    /// change the intrinsic delay of the stage.
+    pub fn intrinsic_delay(&self) -> f64 {
+        self.base.intrinsic_delay
+    }
+
+    /// Capacitance cost of instantiating this composite once (input plus
+    /// output parasitics), used for power accounting.
+    pub fn total_cap(&self) -> f64 {
+        self.input_cap() + self.output_cap()
+    }
+
+    /// Returns a composite with the same base and `factor`-times the
+    /// parallelism (used by iterative buffer sizing).
+    pub fn scaled(&self, factor: u32) -> CompositeBuffer {
+        CompositeBuffer::new(self.base, self.parallel.saturating_mul(factor).max(1))
+    }
+
+    /// Returns `true` when `self` dominates `other`: no worse on input
+    /// capacitance, output capacitance and output resistance, and strictly
+    /// better on at least one of them.
+    pub fn dominates(&self, other: &CompositeBuffer) -> bool {
+        let eps = 1e-12;
+        let no_worse = self.input_cap() <= other.input_cap() + eps
+            && self.output_cap() <= other.output_cap() + eps
+            && self.output_res() <= other.output_res() + eps;
+        let strictly_better = self.input_cap() + eps < other.input_cap()
+            || self.output_cap() + eps < other.output_cap()
+            || self.output_res() + eps < other.output_res();
+        no_worse && strictly_better
+    }
+}
+
+impl fmt::Display for CompositeBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x {}", self.parallel, self.base.name)
+    }
+}
+
+/// One row of the composite-inverter analysis (Table I of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeRow {
+    /// Human-readable configuration label, e.g. `"8X Small"`.
+    pub label: String,
+    /// Input capacitance in fF.
+    pub input_cap: f64,
+    /// Output capacitance in fF.
+    pub output_cap: f64,
+    /// Output resistance in Ω.
+    pub output_res: f64,
+    /// Whether the configuration is on the Pareto front.
+    pub non_dominated: bool,
+}
+
+/// Enumerates composite configurations of every library inverter up to
+/// `max_parallel` copies and flags the non-dominated ones.
+///
+/// The returned vector is sorted by increasing input capacitance, so the
+/// Pareto sweep is a single pass; this mirrors the dynamic-programming
+/// selection described in the paper (whose details were omitted because the
+/// contest library has only two inverter types).
+pub fn enumerate_composites(
+    library: &InverterLibrary,
+    max_parallel: u32,
+) -> Vec<CompositeBuffer> {
+    let mut all: Vec<CompositeBuffer> = Vec::new();
+    for kind in library.kinds() {
+        for n in 1..=max_parallel.max(1) {
+            all.push(CompositeBuffer::new(*kind, n));
+        }
+    }
+    all.sort_by(|a, b| {
+        a.input_cap()
+            .partial_cmp(&b.input_cap())
+            .expect("finite capacitances")
+            .then(
+                a.output_res()
+                    .partial_cmp(&b.output_res())
+                    .expect("finite resistances"),
+            )
+    });
+    all
+}
+
+/// Selects the non-dominated composites (smaller input cap, output cap and
+/// output resistance are all better).
+pub fn pareto_front(composites: &[CompositeBuffer]) -> Vec<CompositeBuffer> {
+    composites
+        .iter()
+        .filter(|c| !composites.iter().any(|other| other.dominates(c)))
+        .copied()
+        .collect()
+}
+
+/// Produces the Table-I style report for a library: one row per composite
+/// configuration of interest, with the Pareto flag filled in.
+pub fn composite_table(library: &InverterLibrary, max_parallel: u32) -> Vec<CompositeRow> {
+    let all = enumerate_composites(library, max_parallel);
+    let front = pareto_front(&all);
+    all.iter()
+        .map(|c| CompositeRow {
+            label: format!("{}X {}", c.parallel(), c.base().name),
+            input_cap: c.input_cap(),
+            output_cap: c.output_cap(),
+            output_res: c.output_res(),
+            non_dominated: front.iter().any(|f| f == c),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Technology;
+
+    #[test]
+    fn parallel_composition_scales_parameters() {
+        let tech = Technology::ispd09();
+        let small = *tech.small_inverter();
+        let c4 = CompositeBuffer::new(small, 4);
+        assert!((c4.input_cap() - 4.0 * small.input_cap).abs() < 1e-12);
+        assert!((c4.output_cap() - 4.0 * small.output_cap).abs() < 1e-12);
+        assert!((c4.output_res() - small.output_res / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eight_small_dominates_one_large_in_ispd09() {
+        // This is the key observation of Table I in the paper.
+        let tech = Technology::ispd09();
+        let small8 = tech.composite(tech.small_inverter(), 8);
+        let large1 = tech.composite(tech.large_inverter(), 1);
+        assert!(small8.dominates(&large1));
+        assert!(!large1.dominates(&small8));
+    }
+
+    #[test]
+    fn pareto_front_excludes_dominated_configurations() {
+        let tech = Technology::ispd09();
+        let all = enumerate_composites(tech.inverters(), 8);
+        let front = pareto_front(&all);
+        assert!(!front.is_empty());
+        // The single large inverter is dominated by 8x small, so it must not
+        // be on the front.
+        assert!(front
+            .iter()
+            .all(|c| !(c.base().name == tech.large_inverter().name && c.parallel() == 1)));
+        // Every front member is itself undominated.
+        for f in &front {
+            assert!(!all.iter().any(|other| other.dominates(f)));
+        }
+    }
+
+    #[test]
+    fn composite_table_matches_paper_values() {
+        let tech = Technology::ispd09();
+        let table = composite_table(tech.inverters(), 8);
+        let find = |label: &str| {
+            table
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("row {label} missing"))
+                .clone()
+        };
+        let r8 = find("8X INV_SMALL");
+        assert!((r8.input_cap - 33.6).abs() < 1e-9);
+        assert!((r8.output_cap - 48.8).abs() < 1e-9);
+        assert!((r8.output_res - 55.0).abs() < 1e-9);
+        let r1l = find("1X INV_LARGE");
+        assert!((r1l.input_cap - 35.0).abs() < 1e-9);
+        assert!((r1l.output_cap - 80.0).abs() < 1e-9);
+        assert!((r1l.output_res - 61.2).abs() < 1e-9);
+        assert!(!r1l.non_dominated);
+    }
+
+    #[test]
+    fn scaled_multiplies_parallelism() {
+        let tech = Technology::ispd09();
+        let c = tech.composite(tech.small_inverter(), 8);
+        let c2 = c.scaled(2);
+        assert_eq!(c2.parallel(), 16);
+        assert!((c2.output_res() - c.output_res() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let tech = Technology::ispd09();
+        let c = tech.composite(tech.small_inverter(), 8);
+        let s = c.to_string();
+        assert!(s.contains("8x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one inverter")]
+    fn zero_parallelism_rejected() {
+        let tech = Technology::ispd09();
+        let _ = CompositeBuffer::new(*tech.small_inverter(), 0);
+    }
+}

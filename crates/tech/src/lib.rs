@@ -1,0 +1,51 @@
+//! Technology description for SoC clock-network synthesis.
+//!
+//! This crate models the 45 nm-class technology data that the Contango flow
+//! consumes:
+//!
+//! * [`WireCode`] / [`WireLibrary`] — per-unit-length resistance and
+//!   capacitance for each available wire width.
+//! * [`InverterKind`] / [`InverterLibrary`] — clock inverters characterized
+//!   by input capacitance, output (parasitic) capacitance and output
+//!   resistance, as in Table I of the paper.
+//! * [`CompositeBuffer`] and [`composite::enumerate_composites`] — parallel
+//!   compositions of library inverters and the dynamic-programming selection
+//!   of non-dominated configurations (paper, Section IV-B).
+//! * [`Technology`] — the bundle of libraries, slew/capacitance limits and
+//!   supply corners, including the derating model that makes delays
+//!   supply-voltage dependent (needed by the Clock Latency Range objective).
+//!
+//! # Units
+//!
+//! All quantities use the unit system summarized in [`units`]: micrometres,
+//! femtofarads, ohms, picoseconds and volts. With these units,
+//! `R(Ω) × C(fF) = 0.001 ps`, which is captured by [`units::RC_TO_PS`].
+//!
+//! # Example
+//!
+//! ```
+//! use contango_tech::Technology;
+//!
+//! let tech = Technology::ispd09();
+//! // Eight parallel small inverters beat one large inverter on every axis
+//! // (Table I of the paper).
+//! let small8 = tech.composite(tech.small_inverter(), 8);
+//! let large1 = tech.composite(tech.large_inverter(), 1);
+//! assert!(small8.output_res() < large1.output_res());
+//! assert!(small8.input_cap() < large1.input_cap());
+//! assert!(small8.output_cap() < large1.output_cap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod composite;
+mod inverter;
+mod technology;
+pub mod units;
+mod wire;
+
+pub use composite::CompositeBuffer;
+pub use inverter::{InverterKind, InverterLibrary};
+pub use technology::{SupplyCorner, Technology};
+pub use wire::{WireCode, WireLibrary, WireWidth};

@@ -1,0 +1,78 @@
+//! Unit conventions shared by the whole workspace.
+//!
+//! | Quantity     | Unit          |
+//! |--------------|---------------|
+//! | length       | micrometre (µm) |
+//! | resistance   | ohm (Ω)       |
+//! | capacitance  | femtofarad (fF) |
+//! | time         | picosecond (ps) |
+//! | voltage      | volt (V)      |
+//! | power        | microwatt (µW) |
+//!
+//! The product of a resistance in ohms and a capacitance in femtofarads is
+//! `1 Ω·fF = 10⁻¹⁵ s = 0.001 ps`; [`RC_TO_PS`] converts such products into
+//! picoseconds so that delay formulas stay dimensionally explicit.
+
+/// Conversion factor from `Ω × fF` to picoseconds.
+pub const RC_TO_PS: f64 = 1e-3;
+
+/// Converts an RC product (`Ω × fF`) to picoseconds.
+///
+/// ```
+/// use contango_tech::units::rc_ps;
+/// // 100 Ω driving 500 fF: time constant 50 ps.
+/// assert_eq!(rc_ps(100.0, 500.0), 50.0);
+/// ```
+#[inline]
+pub fn rc_ps(resistance_ohm: f64, capacitance_ff: f64) -> f64 {
+    resistance_ohm * capacitance_ff * RC_TO_PS
+}
+
+/// Slew-rate factor relating an RC time constant to a 10%–90% transition
+/// time of a single-pole response: `t_slew = ln(9) · RC ≈ 2.197 · RC`.
+pub const SLEW_LN9: f64 = 2.197224577336219;
+
+/// Delay factor relating an RC time constant to the 50% crossing of a
+/// single-pole response: `t_50 = ln(2) · RC ≈ 0.693 · RC`.
+pub const DELAY_LN2: f64 = 0.6931471805599453;
+
+/// Dynamic switching power in microwatts for a capacitance switched at a
+/// given frequency and supply: `P = C · V² · f`.
+///
+/// `cap_ff` is in femtofarads, `vdd` in volts, `freq_ghz` in gigahertz; the
+/// result is in microwatts (`fF · V² · GHz = µW`).
+///
+/// ```
+/// use contango_tech::units::switching_power_uw;
+/// // 1 pF switched at 1 GHz under 1 V dissipates 1 µW.
+/// assert!((switching_power_uw(1000.0, 1.0, 1.0) - 1.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn switching_power_uw(cap_ff: f64, vdd: f64, freq_ghz: f64) -> f64 {
+    cap_ff * vdd * vdd * freq_ghz * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_product_converts_to_picoseconds() {
+        assert_eq!(rc_ps(1.0, 1.0), 0.001);
+        assert_eq!(rc_ps(61.2, 35.0), 61.2 * 35.0 * 1e-3);
+    }
+
+    #[test]
+    fn slew_and_delay_factors_are_consistent() {
+        // ln(9) = 2 ln(3) and ln(2) are the analytic values.
+        assert!((SLEW_LN9 - 9.0_f64.ln()).abs() < 1e-12);
+        assert!((DELAY_LN2 - 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switching_power_scales_quadratically_with_vdd() {
+        let p1 = switching_power_uw(100.0, 1.0, 1.0);
+        let p2 = switching_power_uw(100.0, 2.0, 1.0);
+        assert!((p2 / p1 - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! Generate the synthetic ISPD'09-style suite, write every instance to the
+//! text format, read it back and verify the round trip — then synthesize one
+//! of the instances end to end.
+//!
+//! Run with `cargo run --release --example benchmark_io`.
+
+use contango::benchmarks::format::{parse_instance, write_instance};
+use contango::benchmarks::{ispd09_suite, make_instance};
+use contango::{ContangoFlow, FlowConfig, Technology};
+
+fn main() -> Result<(), String> {
+    let suite = ispd09_suite();
+    println!("{} benchmarks in the suite", suite.len());
+
+    for spec in &suite {
+        let instance = make_instance(spec);
+        let text = write_instance(&instance);
+        let parsed = parse_instance(&text)?;
+        assert_eq!(parsed.sink_count(), instance.sink_count());
+        println!(
+            "{:<12} sinks {:>4}  die {:>5.1} x {:>5.1} mm  obstacles {:>2}  cap limit {:>6.0} pF",
+            spec.name,
+            spec.sinks,
+            spec.die_w / 1000.0,
+            spec.die_h / 1000.0,
+            spec.obstacles,
+            spec.cap_limit / 1000.0
+        );
+    }
+
+    // Synthesize the smallest benchmark end to end.
+    let smallest = suite
+        .iter()
+        .min_by_key(|s| s.sinks)
+        .expect("suite is non-empty");
+    let instance = make_instance(smallest);
+    println!("\nsynthesizing {} ({} sinks)…", smallest.name, smallest.sinks);
+    let result = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast()).run(&instance)?;
+    println!(
+        "skew {:.2} ps, CLR {:.2} ps, cap {:.1}% of limit, {} evaluator runs",
+        result.skew(),
+        result.clr(),
+        100.0 * result.cap_fraction(&instance),
+        result.spice_runs
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Tree-versus-mesh trade-off and cross-link analysis.
+//!
+//! The paper's conclusion argues that a well-optimized tree makes
+//! cross-links hard to justify, and that better trees allow *smaller*
+//! meshes when a mesh is required. This example quantifies both statements
+//! for a synthesized block: it proposes cross-links on the tuned tree,
+//! reports their (negligible) estimated benefit, and sizes leaf meshes of
+//! several pitches to show the capacitance/power cost a mesh would add.
+//!
+//! Run with `cargo run --example mesh_vs_tree`.
+
+use contango::core::crosslink::{propose_cross_links, MeshOverlay};
+use contango::core::instance::ClockNetInstance;
+use contango::geom::Point;
+use contango::{ContangoFlow, FlowConfig, Technology};
+
+fn main() -> Result<(), String> {
+    let mut builder = ClockNetInstance::builder("mesh-vs-tree")
+        .die(0.0, 0.0, 2500.0, 2500.0)
+        .source(Point::new(0.0, 1250.0))
+        .cap_limit(350_000.0);
+    for j in 0..4 {
+        for i in 0..5 {
+            builder = builder.sink(
+                Point::new(250.0 + 500.0 * i as f64, 400.0 + 550.0 * j as f64),
+                9.0 + 3.0 * ((i * j) % 4) as f64,
+            );
+        }
+    }
+    let instance = builder.build()?;
+    let tech = Technology::ispd09();
+    let result = ContangoFlow::new(tech.clone(), FlowConfig::fast()).run(&instance)?;
+
+    println!("tuned tree: skew {:.3} ps, CLR {:.2} ps, capacitance {:.1} fF",
+        result.skew(), result.clr(), result.report.total_cap);
+
+    // Cross-links on the tuned tree.
+    let analysis = propose_cross_links(&result.tree, &result.report, &tech, 4, 1500.0);
+    println!("\n-- cross-link analysis --");
+    println!("proposals                : {}", analysis.proposals.len());
+    for p in &analysis.proposals {
+        println!(
+            "  link sink {} <-> sink {}: {:.0} um, closes {:.3} ps, adds {:.1} fF",
+            p.slow_sink, p.fast_sink, p.distance_um, p.latency_gap_ps, p.link_cap_ff
+        );
+    }
+    println!("estimated skew with links: {:.3} ps (from {:.3} ps)",
+        analysis.estimated_skew_after, analysis.skew_before);
+    println!("relative improvement     : {:.1} %", 100.0 * analysis.relative_improvement());
+
+    // Mesh overlays of several pitches.
+    println!("\n-- leaf-mesh overlays --");
+    println!("{:>10} {:>8} {:>8} {:>14} {:>14} {:>10} {:>12}",
+        "pitch um", "rows", "cols", "wire um", "cap fF", "drivers", "power uW");
+    for pitch in [800.0, 400.0, 200.0] {
+        let mesh = MeshOverlay::design(&instance, &tech, pitch);
+        println!(
+            "{:>10.0} {:>8} {:>8} {:>14.0} {:>14.1} {:>10} {:>12.1}",
+            mesh.pitch_um,
+            mesh.rows,
+            mesh.cols,
+            mesh.wirelength_um,
+            mesh.total_cap_ff,
+            mesh.drivers_needed,
+            mesh.switching_power_uw(&tech)
+        );
+    }
+    println!("\ntree capacitance is {:.1} fF — even the coarsest mesh adds a multiple of that,",
+        result.report.total_cap);
+    println!("which is the paper's argument for trees (with meshes reserved for CPU-class designs)");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Scalability sweep in the style of Table V: synthesize TI-style instances
+//! of increasing sink count and report CLR, skew, latency, capacitance and
+//! evaluator-run counts.
+//!
+//! Run with `cargo run --release --example scalability_sweep -- 200 500 1000`
+//! (arguments are sink counts; defaults keep the run short).
+
+use contango::benchmarks::ti_instance;
+use contango::{ContangoFlow, FlowConfig, Technology};
+
+fn main() -> Result<(), String> {
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let sizes = if sizes.is_empty() { vec![200, 500, 1000] } else { sizes };
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "# sinks", "CLR, ps", "Skew, ps", "Latency, ps", "Cap, pF", "runs", "CPU, s"
+    );
+    for &n in &sizes {
+        let instance = ti_instance(n, 0xC0FFEE);
+        let flow = ContangoFlow::new(Technology::ti45(), FlowConfig::scalability());
+        let result = flow.run(&instance)?;
+        println!(
+            "{:>8} {:>10.2} {:>10.3} {:>12.1} {:>12.1} {:>10} {:>8.1}",
+            n,
+            result.clr(),
+            result.skew(),
+            result.report.max_latency(),
+            result.report.total_cap / 1000.0,
+            result.spice_runs,
+            result.runtime_s
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! An SoC-style scenario: a blockage-heavy floorplan (CPU, RAMs, DSP macros)
+//! where buffers cannot be placed on macros and several wires must detour.
+//!
+//! This is the workload that motivates the paper's obstacle-avoidance step
+//! (Section IV-A). Run with `cargo run --example soc_with_macros`.
+
+use contango::benchmarks::format::write_instance;
+use contango::core::instance::ClockNetInstance;
+use contango::geom::{Point, Rect};
+use contango::{ContangoFlow, FlowConfig, Technology};
+
+fn main() -> Result<(), String> {
+    let mut builder = ClockNetInstance::builder("soc_with_macros")
+        .die(0.0, 0.0, 6000.0, 6000.0)
+        .source(Point::new(0.0, 3000.0))
+        .cap_limit(1_500_000.0)
+        // CPU cluster and two RAM stacks; the middle pair abuts, forming a
+        // compound obstacle.
+        .obstacle(Rect::new(2200.0, 2200.0, 3400.0, 3800.0))
+        .obstacle(Rect::new(3400.0, 2200.0, 4000.0, 3200.0))
+        .obstacle(Rect::new(600.0, 4400.0, 1800.0, 5600.0))
+        .obstacle(Rect::new(4600.0, 600.0, 5600.0, 1800.0));
+
+    // Register banks around the macros.
+    let banks = [
+        (900.0, 900.0),
+        (1800.0, 2800.0),
+        (2800.0, 1200.0),
+        (4200.0, 4300.0),
+        (5200.0, 3000.0),
+        (3000.0, 5200.0),
+        (1200.0, 3600.0),
+        (5000.0, 5200.0),
+    ];
+    let mut id = 0;
+    for (bx, by) in banks {
+        for j in 0..3 {
+            for i in 0..3 {
+                let p = Point::new(bx + 120.0 * i as f64, by + 120.0 * j as f64);
+                builder = builder.sink(p, 8.0 + ((id * 7) % 20) as f64);
+                id += 1;
+            }
+        }
+    }
+    let instance = builder.build()?;
+
+    println!("instance '{}' with {} sinks, {} macros", instance.name, instance.sink_count(), instance.obstacles.len());
+    println!("compound obstacles: {}", instance.obstacles.compounds().len());
+
+    let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+    let result = flow.run(&instance)?;
+
+    println!("skew  : {:.2} ps", result.skew());
+    println!("CLR   : {:.2} ps", result.clr());
+    println!("slew  : {:.1} ps (limit 100 ps)", result.report.worst_slew());
+    println!("cap   : {:.1}% of budget", 100.0 * result.cap_fraction(&instance));
+
+    // No buffer may sit strictly inside a macro.
+    let mut illegal = 0;
+    for id in 0..result.tree.len() {
+        let node = result.tree.node(id);
+        if node.buffer.is_some() && instance.obstacles.contains_point_strict(node.location) {
+            illegal += 1;
+        }
+    }
+    println!("buffers inside macros: {illegal}");
+
+    // Persist the instance in the text format so it can be re-run later.
+    std::fs::write("soc_with_macros.cns", write_instance(&instance)).map_err(|e| e.to_string())?;
+    println!("wrote soc_with_macros.cns");
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Contango: integrated optimization of SoC clock networks — facade crate.
+//!
+//! This crate re-exports the workspace members so applications can depend on
+//! a single crate:
+//!
+//! * [`geom`] — Manhattan geometry, obstacles, maze routing.
+//! * [`tech`] — technology data, composite-buffer analysis.
+//! * [`sim`] — the delay-evaluation substrate (Elmore, two-pole, transient).
+//! * [`core`] — the Contango clock-tree synthesis flow.
+//! * [`benchmarks`] — ISPD'09-style benchmark generators and file format.
+//! * [`baselines`] — baseline flows for comparisons.
+//!
+//! See the repository's `README.md` for a quick start and the `examples/`
+//! directory for runnable end-to-end scenarios.
+
+#![forbid(unsafe_code)]
+
+pub use contango_baselines as baselines;
+pub use contango_benchmarks as benchmarks;
+pub use contango_core as core;
+pub use contango_geom as geom;
+pub use contango_sim as sim;
+pub use contango_tech as tech;
+
+pub use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult};
+pub use contango_core::instance::ClockNetInstance;
+pub use contango_tech::Technology;

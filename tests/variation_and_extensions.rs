@@ -1,0 +1,104 @@
+//! Cross-crate integration tests for the variation engine, the reduced-order
+//! delay models and the cross-link/mesh analyses on flow-produced trees.
+
+use contango::core::crosslink::{propose_cross_links, MeshOverlay};
+use contango::core::instance::ClockNetInstance;
+use contango::core::lower::to_netlist;
+use contango::geom::Point;
+use contango::sim::variation::{monte_carlo, VariationModel};
+use contango::sim::{reduced_order_models, DelayModel, Evaluator};
+use contango::{ContangoFlow, FlowConfig, FlowResult, Technology};
+
+fn synthesized() -> (ClockNetInstance, FlowResult, Technology) {
+    let mut builder = ClockNetInstance::builder("integration-extensions")
+        .die(0.0, 0.0, 2200.0, 2200.0)
+        .source(Point::new(0.0, 1100.0))
+        .cap_limit(350_000.0);
+    for j in 0..3 {
+        for i in 0..3 {
+            builder = builder.sink(
+                Point::new(350.0 + 700.0 * i as f64, 350.0 + 700.0 * j as f64),
+                9.0 + 5.0 * ((2 * i + j) % 3) as f64,
+            );
+        }
+    }
+    let instance = builder.build().expect("valid instance");
+    let tech = Technology::ispd09();
+    let result = ContangoFlow::new(tech.clone(), FlowConfig::fast())
+        .run(&instance)
+        .expect("flow runs");
+    (instance, result, tech)
+}
+
+#[test]
+fn monte_carlo_brackets_the_nominal_metrics() {
+    let (instance, result, tech) = synthesized();
+    let netlist = to_netlist(&result.tree, &tech, &instance.source_spec, 150.0).expect("lowers");
+    let evaluator = Evaluator::with_model(tech.clone(), DelayModel::TwoPole);
+    let nominal = evaluator.evaluate(&netlist);
+
+    let zero = monte_carlo(&evaluator, &netlist, &VariationModel::none(), 8, 20.0, 11);
+    assert!((zero.skew.mean - nominal.skew()).abs() < 1e-6);
+    assert!(zero.skew.std_dev < 1e-9);
+
+    let varied = monte_carlo(
+        &evaluator,
+        &netlist,
+        &VariationModel::typical_45nm(),
+        48,
+        20.0,
+        11,
+    );
+    assert!(varied.skew.std_dev > 0.0);
+    assert!(varied.skew.min <= varied.skew.mean && varied.skew.mean <= varied.skew.max);
+    assert!(varied.effective_skew() >= varied.skew.mean);
+    assert!(varied.max_latency.mean > 0.0);
+}
+
+#[test]
+fn cross_links_offer_little_on_a_tuned_tree() {
+    let (_, result, tech) = synthesized();
+    let analysis = propose_cross_links(&result.tree, &result.report, &tech, 4, 2000.0);
+    // The flow already brought skew to a few ps, so an ideal-averager link
+    // can close at most that much; relative improvement is bounded by 1 and
+    // the absolute estimated gain stays below the tuned skew itself.
+    assert!(analysis.estimated_skew_after <= analysis.skew_before + 1e-9);
+    assert!(analysis.skew_before - analysis.estimated_skew_after <= result.skew() + 1e-9);
+    assert!(analysis.relative_improvement() <= 1.0);
+}
+
+#[test]
+fn mesh_overlays_scale_with_pitch_and_report_their_cost() {
+    let (instance, result, tech) = synthesized();
+    let fine = MeshOverlay::design(&instance, &tech, 100.0);
+    let coarse = MeshOverlay::design(&instance, &tech, 800.0);
+    // Refining the pitch adds wires, capacitance and drivers.
+    assert!(fine.rows > coarse.rows && fine.cols > coarse.cols);
+    assert!(fine.total_cap_ff > coarse.total_cap_ff);
+    assert!(fine.drivers_needed >= coarse.drivers_needed);
+    assert!(coarse.drivers_needed >= 1);
+    // The overhead is reported against the same budget the tree used, so
+    // the two are directly comparable; a dense leaf mesh costs a
+    // substantial fraction of what the entire tuned tree consumes.
+    assert!(coarse.cap_overhead > 0.0);
+    assert!(fine.total_cap_ff > 0.5 * result.report.total_cap);
+    assert!(fine.switching_power_uw(&tech) > coarse.switching_power_uw(&tech));
+}
+
+#[test]
+fn reduced_order_models_track_the_stage_structure() {
+    let (instance, result, tech) = synthesized();
+    let netlist = to_netlist(&result.tree, &tech, &instance.source_spec, 150.0).expect("lowers");
+    for stage in &netlist.stages {
+        let driver_res = stage.driver.spec().output_res;
+        let models = reduced_order_models(&stage.tree, driver_res);
+        assert_eq!(models.len(), stage.tree.len());
+        let elmore = stage.tree.elmore_from(driver_res);
+        for (i, model) in models.iter().enumerate().skip(1) {
+            let delay = model.delay();
+            assert!(delay.is_finite() && delay >= 0.0);
+            // The first moment is an upper bound on the 50% delay.
+            assert!(delay <= elmore[i] + 1e-9, "stage node {i}");
+        }
+    }
+}
