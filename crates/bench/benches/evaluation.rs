@@ -33,7 +33,11 @@ fn bench_models(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for model in [DelayModel::Elmore, DelayModel::TwoPole, DelayModel::Transient] {
+    for model in [
+        DelayModel::Elmore,
+        DelayModel::TwoPole,
+        DelayModel::Transient,
+    ] {
         let eval = Evaluator::with_model(tech.clone(), model);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{model:?}")),

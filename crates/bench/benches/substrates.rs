@@ -26,12 +26,20 @@ fn bench_steiner(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for &count in &[50usize, 200] {
         let points = sink_points(count);
-        group.bench_with_input(BenchmarkId::new("prim_to_segment", count), &points, |b, p| {
-            b.iter(|| SteinerTree::build(p));
-        });
-        group.bench_with_input(BenchmarkId::new("rectilinear_mst", count), &points, |b, p| {
-            b.iter(|| rectilinear_mst(p));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prim_to_segment", count),
+            &points,
+            |b, p| {
+                b.iter(|| SteinerTree::build(p));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rectilinear_mst", count),
+            &points,
+            |b, p| {
+                b.iter(|| rectilinear_mst(p));
+            },
+        );
     }
     group.finish();
 }
@@ -86,7 +94,16 @@ fn bench_monte_carlo(c: &mut Criterion) {
     let netlist = to_netlist(&tree, &tech, &SourceSpec::ispd09(), 200.0).expect("lowers");
     let evaluator = Evaluator::with_model(tech, DelayModel::TwoPole);
     group.bench_function("16_samples_100_sinks", |b| {
-        b.iter(|| monte_carlo(&evaluator, &netlist, &VariationModel::typical_45nm(), 16, 20.0, 7));
+        b.iter(|| {
+            monte_carlo(
+                &evaluator,
+                &netlist,
+                &VariationModel::typical_45nm(),
+                16,
+                20.0,
+                7,
+            )
+        });
     });
     group.finish();
 }

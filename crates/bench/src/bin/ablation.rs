@@ -76,7 +76,11 @@ fn main() {
     rule(80);
 
     // Delay model driving the optimization loops.
-    for model in [DelayModel::Elmore, DelayModel::TwoPole, DelayModel::Transient] {
+    for model in [
+        DelayModel::Elmore,
+        DelayModel::TwoPole,
+        DelayModel::Transient,
+    ] {
         report(
             &format!("delay model = {model:?}"),
             FlowConfig {
@@ -86,6 +90,8 @@ fn main() {
         );
     }
     rule(80);
-    println!("paper shape: DME topology, 10% reserve and the accurate evaluator give the lowest CLR;");
+    println!(
+        "paper shape: DME topology, 10% reserve and the accurate evaluator give the lowest CLR;"
+    );
     println!("sliding mainly helps CLR; Elmore-driven loops leave several ps of skew on the table");
 }

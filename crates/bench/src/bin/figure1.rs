@@ -26,7 +26,11 @@ fn main() {
     let tech = Technology::ispd09();
     let spec = &ispd09_suite()[0];
     let instance = instance_for(spec, sink_cap());
-    println!("Figure 1 — Contango methodology on {} ({} sinks)", instance.name, instance.sink_count());
+    println!(
+        "Figure 1 — Contango methodology on {} ({} sinks)",
+        instance.name,
+        instance.sink_count()
+    );
     println!(
         "{:<10} {:<55} {:>9} {:>9} {:>6}",
         "stage", "objective", "CLR ps", "skew ps", "IVC"

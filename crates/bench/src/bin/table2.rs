@@ -13,7 +13,10 @@ fn main() {
     let tech = Technology::ispd09();
     let cap = sink_cap();
     println!("Table II — inverted sinks vs. polarity-correcting inverters");
-    println!("{:<14} {:>8} {:>16} {:>16}", "benchmark", "sinks", "inverted sinks", "added inverters");
+    println!(
+        "{:<14} {:>8} {:>16} {:>16}",
+        "benchmark", "sinks", "inverted sinks", "added inverters"
+    );
     contango_bench::rule(58);
     for spec in ispd09_suite() {
         let instance = instance_for(&spec, cap);

@@ -60,7 +60,12 @@ fn main() {
         println!("\nAverage CLR and ratio vs. Contango (paper: 2.15x / 3.99x / 2.35x):");
         for (flow, (sum, count)) in &totals {
             let avg = sum / (*count).max(1) as f64;
-            println!("  {:<18} avg CLR {:>8.2} ps   relative {:>5.2}x", flow, avg, avg / contango_avg);
+            println!(
+                "  {:<18} avg CLR {:>8.2} ps   relative {:>5.2}x",
+                flow,
+                avg,
+                avg / contango_avg
+            );
         }
     }
 }

@@ -10,7 +10,10 @@ use contango_core::flow::{ContangoFlow, FlowConfig};
 use contango_tech::Technology;
 
 fn main() {
-    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let sizes: Vec<usize> = if !args.is_empty() {
         args
     } else if std::env::var("CONTANGO_FULL").is_ok_and(|v| v == "1") {

@@ -22,10 +22,16 @@ pub fn write_instance(instance: &ClockNetInstance) -> String {
         "die {} {} {} {}\n",
         instance.die.lo.x, instance.die.lo.y, instance.die.hi.x, instance.die.hi.y
     ));
-    out.push_str(&format!("source {} {}\n", instance.source.x, instance.source.y));
+    out.push_str(&format!(
+        "source {} {}\n",
+        instance.source.x, instance.source.y
+    ));
     out.push_str(&format!("cap_limit {}\n", instance.cap_limit));
     for s in &instance.sinks {
-        out.push_str(&format!("sink {} {} {} {}\n", s.id, s.location.x, s.location.y, s.cap));
+        out.push_str(&format!(
+            "sink {} {} {} {}\n",
+            s.id, s.location.x, s.location.y, s.cap
+        ));
     }
     for o in instance.obstacles.iter() {
         out.push_str(&format!(
@@ -63,7 +69,12 @@ pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
         match fields[0] {
             "name" if fields.len() >= 2 => name = fields[1].to_string(),
             "die" if fields.len() == 5 => {
-                die = Rect::new(parse(fields[1])?, parse(fields[2])?, parse(fields[3])?, parse(fields[4])?);
+                die = Rect::new(
+                    parse(fields[1])?,
+                    parse(fields[2])?,
+                    parse(fields[3])?,
+                    parse(fields[4])?,
+                );
             }
             "source" if fields.len() == 3 => {
                 source = Some(Point::new(parse(fields[1])?, parse(fields[2])?));
@@ -73,7 +84,11 @@ pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
                 let id = fields[1]
                     .parse::<usize>()
                     .map_err(|_| format!("line {}: invalid sink id", lineno + 1))?;
-                sinks.push((id, Point::new(parse(fields[2])?, parse(fields[3])?), parse(fields[4])?));
+                sinks.push((
+                    id,
+                    Point::new(parse(fields[2])?, parse(fields[3])?),
+                    parse(fields[4])?,
+                ));
             }
             "obstacle" if fields.len() == 5 => {
                 obstacles.push(Rect::new(
@@ -83,7 +98,12 @@ pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
                     parse(fields[4])?,
                 ));
             }
-            other => return Err(format!("line {}: unrecognized record `{other}`", lineno + 1)),
+            other => {
+                return Err(format!(
+                    "line {}: unrecognized record `{other}`",
+                    lineno + 1
+                ))
+            }
         }
     }
 
@@ -96,7 +116,9 @@ pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
     }
     for (expected, &(id, loc, cap)) in sinks.iter().enumerate() {
         if id != expected {
-            return Err(format!("sink ids must be contiguous; missing id {expected}"));
+            return Err(format!(
+                "sink ids must be contiguous; missing id {expected}"
+            ));
         }
         builder = builder.sink(loc, cap);
     }

@@ -34,7 +34,13 @@ pub struct BenchmarkSpec {
 /// and die scales of the contest suite (up to 17 mm × 17 mm, up to 330
 /// sinks).
 pub fn ispd09_suite() -> Vec<BenchmarkSpec> {
-    let spec = |name: &str, sinks: usize, die_mm: f64, obstacles: usize, cap_nf: f64, clusters: usize, seed: u64| {
+    let spec = |name: &str,
+                sinks: usize,
+                die_mm: f64,
+                obstacles: usize,
+                cap_nf: f64,
+                clusters: usize,
+                seed: u64| {
         BenchmarkSpec {
             name: name.to_string(),
             sinks,
@@ -119,7 +125,9 @@ pub fn make_instance(spec: &BenchmarkSpec) -> ClockNetInstance {
         attempts = 0;
     }
 
-    builder.build().expect("generated instances are always valid")
+    builder
+        .build()
+        .expect("generated instances are always valid")
 }
 
 /// Generates a TI-style scalability instance: a 4.2 mm × 3.0 mm die with
@@ -155,7 +163,9 @@ pub fn ti_instance(sinks: usize, seed: u64) -> ClockNetInstance {
         );
         builder = builder.sink(p, rng.gen_range(3.0..20.0));
     }
-    builder.build().expect("generated instances are always valid")
+    builder
+        .build()
+        .expect("generated instances are always valid")
 }
 
 #[cfg(test)]
@@ -169,7 +179,10 @@ mod tests {
         let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
         assert!(names.contains(&"ispd09f31"));
         assert!(names.contains(&"ispd09fnb1"));
-        let f31 = suite.iter().find(|s| s.name == "ispd09f31").expect("exists");
+        let f31 = suite
+            .iter()
+            .find(|s| s.name == "ispd09f31")
+            .expect("exists");
         assert_eq!(f31.sinks, 273);
         assert_eq!(f31.die_w, 17_000.0);
     }

@@ -34,7 +34,9 @@
 
 use contango_core::instance::ClockNetInstance;
 use contango_geom::{Point, Rect};
-use contango_tech::{InverterKind, InverterLibrary, SupplyCorner, Technology, WireCode, WireLibrary, WireWidth};
+use contango_tech::{
+    InverterKind, InverterLibrary, SupplyCorner, Technology, WireCode, WireLibrary, WireWidth,
+};
 
 /// A fully parsed ISPD'09-style benchmark: the instance to synthesize and
 /// the technology to synthesize it in.
@@ -61,7 +63,10 @@ pub fn write_ispd(instance: &ClockNetInstance, tech: &Technology) -> String {
     ));
     out.push_str(&format!("num sink {}\n", instance.sinks.len()));
     for s in &instance.sinks {
-        out.push_str(&format!("{} {} {} {}\n", s.id, s.location.x, s.location.y, s.cap));
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            s.id, s.location.x, s.location.y, s.cap
+        ));
     }
     let blockages = instance.obstacles.rects();
     out.push_str(&format!("num blockage {}\n", blockages.len()));
@@ -324,7 +329,9 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
         .cap_limit(cap_limit);
     for (expected, &(id, location, cap)) in sinks.iter().enumerate() {
         if id != expected {
-            return Err(format!("sink ids must be contiguous; missing id {expected}"));
+            return Err(format!(
+                "sink ids must be contiguous; missing id {expected}"
+            ));
         }
         builder = builder.sink(location, cap);
     }

@@ -101,7 +101,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| " --- ").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| " --- ")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -214,7 +218,11 @@ pub fn relative_clr(rows: &[RunSummary], reference_tool: &str) -> Vec<(String, f
     tools.sort();
     tools.dedup();
     let average = |tool: &str| -> Option<f64> {
-        let values: Vec<f64> = rows.iter().filter(|r| r.tool == tool).map(|r| r.clr).collect();
+        let values: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.tool == tool)
+            .map(|r| r.clr)
+            .collect();
         if values.is_empty() {
             None
         } else {
@@ -289,7 +297,7 @@ mod tests {
         assert!(summary.cap_pct > 0.0 && summary.cap_pct <= 100.0);
         assert!(summary.buffers > 0);
         assert!(summary.spice_runs > 0);
-        let table = comparison_table(&[summary.clone()]);
+        let table = comparison_table(std::slice::from_ref(&summary));
         assert_eq!(table.len(), 1);
         assert!(table.to_text().contains("contango"));
         let stages = stage_table("fnb1-small", &result);

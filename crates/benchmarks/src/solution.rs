@@ -51,7 +51,12 @@ pub fn write_solution(tree: &ClockTree) -> String {
         let _ = write!(
             out,
             "node {} parent {} at {} {} {} wire {} extra {}",
-            file_id[nid], parent, node.location.x, node.location.y, kind, width,
+            file_id[nid],
+            parent,
+            node.location.x,
+            node.location.y,
+            kind,
+            width,
             node.wire.extra_length
         );
         if let Some(buffer) = &node.buffer {
@@ -143,7 +148,7 @@ pub fn parse_solution(text: &str, tech: &Technology) -> Result<ClockTree, String
                 }
                 if rest.first() == Some(&"route") {
                     let coords = &rest[1..];
-                    if coords.len() % 2 != 0 {
+                    if !coords.len().is_multiple_of(2) {
                         return Err(line_err("route has an odd number of coordinates"));
                     }
                     for pair in coords.chunks(2) {
@@ -151,7 +156,10 @@ pub fn parse_solution(text: &str, tech: &Technology) -> Result<ClockTree, String
                             .push(Point::new(parse_f64(pair[0])?, parse_f64(pair[1])?));
                     }
                 } else if !rest.is_empty() {
-                    return Err(line_err(&format!("unexpected trailing field `{}`", rest[0])));
+                    return Err(line_err(&format!(
+                        "unexpected trailing field `{}`",
+                        rest[0]
+                    )));
                 }
 
                 let node_id = if fields[3] == "-" {
@@ -196,7 +204,12 @@ pub fn parse_solution(text: &str, tech: &Technology) -> Result<ClockTree, String
                 }
                 seen_nodes += 1;
             }
-            other => return Err(format!("line {}: unrecognized record `{other}`", lineno + 1)),
+            other => {
+                return Err(format!(
+                    "line {}: unrecognized record `{other}`",
+                    lineno + 1
+                ))
+            }
         }
     }
 
@@ -286,7 +299,8 @@ mod tests {
         assert!(parse_solution(missing_root, &tech)
             .unwrap_err()
             .contains("line 1"));
-        let unknown_inverter = "node 0 parent - at 0 0 internal - - wire wide extra 0 buffer BOGUS 2\n";
+        let unknown_inverter =
+            "node 0 parent - at 0 0 internal - - wire wide extra 0 buffer BOGUS 2\n";
         assert!(parse_solution(unknown_inverter, &tech)
             .unwrap_err()
             .contains("unknown inverter"));
@@ -346,7 +360,10 @@ node 2 parent 0 at 20 0 sink 0 5 wire wide extra 0
             .source(GPoint::new(0.0, 1000.0))
             .cap_limit(400_000.0);
         for i in 0..6 {
-            b = b.sink(GPoint::new(300.0 + 250.0 * i as f64, 700.0 + 90.0 * i as f64), 9.0);
+            b = b.sink(
+                GPoint::new(300.0 + 250.0 * i as f64, 700.0 + 90.0 * i as f64),
+                9.0,
+            );
         }
         let instance = b.build().expect("valid");
         let flow = ContangoFlow::new(tech.clone(), FlowConfig::fast());

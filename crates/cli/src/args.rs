@@ -230,7 +230,10 @@ fn parse_generate(args: &[&str]) -> Result<Command, String> {
     let suite = scan.flag("--suite");
     let ti_sinks = scan
         .value("--ti")?
-        .map(|v| v.parse::<usize>().map_err(|_| format!("invalid sink count `{v}`")))
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("invalid sink count `{v}`"))
+        })
         .transpose()?;
     let out = scan.required("--out")?;
     scan.finish()?;
@@ -306,7 +309,10 @@ mod tests {
     #[test]
     fn help_is_the_default() {
         assert_eq!(parse_args(&[]).expect("parses"), Command::Help);
-        assert_eq!(parse_args(&args(&["--help"])).expect("parses"), Command::Help);
+        assert_eq!(
+            parse_args(&args(&["--help"])).expect("parses"),
+            Command::Help
+        );
     }
 
     #[test]
@@ -374,8 +380,14 @@ mod tests {
 
     #[test]
     fn evaluate_and_spice_deck_parse() {
-        let cmd = parse_args(&args(&["evaluate", "--instance", "i.txt", "--solution", "s.tree"]))
-            .expect("parses");
+        let cmd = parse_args(&args(&[
+            "evaluate",
+            "--instance",
+            "i.txt",
+            "--solution",
+            "s.tree",
+        ]))
+        .expect("parses");
         assert_eq!(
             cmd,
             Command::Evaluate {
@@ -395,7 +407,9 @@ mod tests {
         ]))
         .expect("parses");
         match cmd {
-            Command::SpiceDeck { low_corner, out, .. } => {
+            Command::SpiceDeck {
+                low_corner, out, ..
+            } => {
                 assert!(low_corner);
                 assert_eq!(out, "deck.sp");
             }

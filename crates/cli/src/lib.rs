@@ -97,7 +97,8 @@ fn read(path: &str) -> Result<String, String> {
 fn write(path: &str, contents: &str) -> Result<(), String> {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent).map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
         }
     }
     fs::write(path, contents).map_err(|e| format!("cannot write `{path}`: {e}"))
@@ -119,7 +120,11 @@ fn generate(suite: bool, ti_sinks: Option<usize>, out: &str) -> Result<String, S
             let instance = make_instance(&spec);
             let path = format!("{out}/{}.cts", spec.name);
             write(&path, &write_instance(&instance))?;
-            lines.push(format!("{}: {} sinks -> {path}", spec.name, instance.sink_count()));
+            lines.push(format!(
+                "{}: {} sinks -> {path}",
+                spec.name,
+                instance.sink_count()
+            ));
         }
         Ok(lines.join("\n") + "\n")
     } else {
@@ -209,10 +214,20 @@ fn compare(input: &str, options: &FlowOptions, format: ReportFormat) -> Result<S
     let tech = technology_for(options);
     let mut rows = Vec::new();
     let contango = run_flow(&instance, options)?;
-    rows.push(RunSummary::from_result(&instance.name, "contango", &instance, &contango));
+    rows.push(RunSummary::from_result(
+        &instance.name,
+        "contango",
+        &instance,
+        &contango,
+    ));
     for kind in BaselineKind::all() {
         let result = run_baseline(kind, &tech, &instance)?;
-        rows.push(RunSummary::from_result(&instance.name, kind.label(), &instance, &result));
+        rows.push(RunSummary::from_result(
+            &instance.name,
+            kind.label(),
+            &instance,
+            &result,
+        ));
     }
     Ok(render(&comparison_table(&rows), format))
 }
@@ -286,7 +301,10 @@ mod tests {
         assert!(config.use_large_inverters);
         assert_eq!(config.topology, TopologyKind::GreedyMatching);
         assert_eq!(config.model, DelayModel::TwoPole);
-        assert_eq!(config.wiresizing_rounds, FlowConfig::fast().wiresizing_rounds);
+        assert_eq!(
+            config.wiresizing_rounds,
+            FlowConfig::fast().wiresizing_rounds
+        );
     }
 
     #[test]

@@ -120,11 +120,19 @@ fn point_along_lshape(from: Point, to: Point, dist: f64) -> Point {
     let l = LShape::new(from, to, contango_geom::LOrientation::HorizontalFirst);
     let [first, second] = l.legs();
     if dist <= first.length() {
-        let t = if first.length() > 0.0 { dist / first.length() } else { 0.0 };
+        let t = if first.length() > 0.0 {
+            dist / first.length()
+        } else {
+            0.0
+        };
         first.point_at(t)
     } else {
         let rem = (dist - first.length()).min(second.length());
-        let t = if second.length() > 0.0 { rem / second.length() } else { 0.0 };
+        let t = if second.length() > 0.0 {
+            rem / second.length()
+        } else {
+            0.0
+        };
         second.point_at(t)
     }
 }
@@ -179,7 +187,12 @@ pub fn insert_buffers_by_cap(
             .map(|c| {
                 let code = tech.wire(tree.node(c).wire.width);
                 let len = tree.edge_length(c);
-                (c, code.capacitance(len) + load[c], len + unbuffered_len[c], len)
+                (
+                    c,
+                    code.capacitance(len) + load[c],
+                    len + unbuffered_len[c],
+                    len,
+                )
             })
             .collect();
         contributions.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite caps"));
@@ -255,7 +268,10 @@ pub fn choose_and_insert_buffers(
     power_reserve: f64,
     obstacles: &ObstacleSet,
 ) -> Result<BufferingReport, String> {
-    assert!(!candidates.is_empty(), "need at least one composite candidate");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one composite candidate"
+    );
     let budget = cap_limit * (1.0 - power_reserve.clamp(0.0, 0.9));
     let mut sorted: Vec<CompositeBuffer> = candidates.to_vec();
     // Strongest (lowest output resistance) first.
@@ -369,13 +385,9 @@ mod tests {
         assert!(n > 0);
         assert!(tree.validate().is_ok());
         // Every buffered stage, lowered and evaluated, must satisfy slews.
-        let netlist = crate::lower::to_netlist(
-            &tree,
-            &tech,
-            &contango_sim::SourceSpec::ispd09(),
-            100.0,
-        )
-        .expect("lowers");
+        let netlist =
+            crate::lower::to_netlist(&tree, &tech, &contango_sim::SourceSpec::ispd09(), 100.0)
+                .expect("lowers");
         let eval = contango_sim::Evaluator::new(tech);
         let report = eval.evaluate(&netlist);
         assert!(
@@ -440,14 +452,8 @@ mod tests {
         let candidates = default_candidates(&tech, false);
         // A tight budget forces a weaker configuration (or an error).
         let tight = inst.total_sink_cap() + 6000.0;
-        let result = choose_and_insert_buffers(
-            &mut tree,
-            &tech,
-            &candidates,
-            tight,
-            0.1,
-            &inst.obstacles,
-        );
+        let result =
+            choose_and_insert_buffers(&mut tree, &tech, &candidates, tight, 0.1, &inst.obstacles);
         if let Ok(report) = result {
             assert!(report.composite.parallel() < 32);
             assert!(report.total_cap <= 0.9 * tight);

@@ -139,7 +139,8 @@ pub fn iterative_buffer_sizing(
         let growth = 1.0 + 1.0 / (i as f64 + 3.0);
         for &id in &trunk {
             let buf = tree.node(id).buffer.expect("trunk nodes are buffered");
-            let new_parallel = ((buf.parallel() as f64 * growth).ceil() as u32).max(buf.parallel() + 1);
+            let new_parallel =
+                ((buf.parallel() as f64 * growth).ceil() as u32).max(buf.parallel() + 1);
             tree.node_mut(id).buffer = Some(contango_tech::CompositeBuffer::new(
                 *buf.base(),
                 new_parallel,
@@ -176,10 +177,8 @@ pub fn iterative_buffer_sizing(
         for &id in &bottoms {
             let buf = tree.node(id).buffer.expect("bottom nodes are buffered");
             let halved = (buf.parallel() / 2).max(1);
-            tree.node_mut(id).buffer = Some(contango_tech::CompositeBuffer::new(
-                *buf.base(),
-                halved,
-            ));
+            tree.node_mut(id).buffer =
+                Some(contango_tech::CompositeBuffer::new(*buf.base(), halved));
         }
         let next = ctx.evaluate(tree);
         if next.clr() < current.clr() - 1e-9 && !ctx.violates(tree, &next) {
@@ -254,9 +253,7 @@ mod tests {
     fn bottom_level_buffers_have_no_downstream_buffers() {
         let (_inst, tree) = buffered_instance();
         for id in bottom_level_buffers(&tree) {
-            let below = tree
-                .subtree_sinks(id)
-                .len();
+            let below = tree.subtree_sinks(id).len();
             assert!(below > 0);
             let mut stack = tree.node(id).children.clone();
             while let Some(n) = stack.pop() {

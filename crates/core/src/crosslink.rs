@@ -165,7 +165,11 @@ pub fn propose_cross_links(
             .iter()
             .find(|p| p.slow_sink == sid || p.fast_sink == sid)
             .map(|p| {
-                let partner = if p.slow_sink == sid { p.fast_sink } else { p.slow_sink };
+                let partner = if p.slow_sink == sid {
+                    p.fast_sink
+                } else {
+                    p.slow_sink
+                };
                 let partner_lat = latencies
                     .iter()
                     .find(|&&(id, _)| id == partner)
@@ -176,9 +180,7 @@ pub fn propose_cross_links(
             .unwrap_or(lat);
         adjusted.push(adjusted_lat);
     }
-    let estimated_skew_after = adjusted
-        .iter()
-        .fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    let estimated_skew_after = adjusted.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
         - adjusted.iter().fold(f64::INFINITY, |m, &v| m.min(v));
 
     CrossLinkAnalysis {

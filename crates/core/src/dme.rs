@@ -79,11 +79,19 @@ pub fn build_zero_skew_tree(
     let topo = build_topology(instance, indices);
 
     let mut merge_data: Vec<MergeData> = Vec::new();
-    let root_idx = merge_bottom_up(&topo, instance, code.unit_res, code.unit_cap, &mut merge_data);
+    let root_idx = merge_bottom_up(
+        &topo,
+        instance,
+        code.unit_res,
+        code.unit_cap,
+        &mut merge_data,
+    );
 
     // Top-down embedding, starting from the point of the root merging region
     // closest to the clock source.
-    let root_location = merge_data[root_idx].region.closest_point_to(instance.source);
+    let root_location = merge_data[root_idx]
+        .region
+        .closest_point_to(instance.source);
     let dme_root = tree.add_internal(
         tree.root(),
         root_location,
@@ -124,7 +132,11 @@ fn build_topology(instance: &ClockNetInstance, mut indices: Vec<usize>) -> Topol
     let split_by_x = spread(&xs) >= spread(&ys);
     indices.sort_by(|&a, &b| {
         let (pa, pb) = (instance.sinks[a].location, instance.sinks[b].location);
-        let (ka, kb) = if split_by_x { (pa.x, pb.x) } else { (pa.y, pb.y) };
+        let (ka, kb) = if split_by_x {
+            (pa.x, pb.x)
+        } else {
+            (pa.y, pb.y)
+        };
         ka.partial_cmp(&kb)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
@@ -162,8 +174,7 @@ fn merge_bottom_up(
             let li = merge_bottom_up(left, instance, unit_res, unit_cap, out);
             let ri = merge_bottom_up(right, instance, unit_res, unit_cap, out);
             let (la, lb, region) = balance_merge(&out[li], &out[ri], unit_res, unit_cap);
-            let delay =
-                out[li].delay + edge_elmore(unit_res, unit_cap, la, out[li].cap);
+            let delay = out[li].delay + edge_elmore(unit_res, unit_cap, la, out[li].cap);
             let cap = out[li].cap + out[ri].cap + unit_cap * (la + lb);
             out.push(MergeData {
                 region,
@@ -199,23 +210,21 @@ fn balance_merge(
     let denom = r * (c * d + a.cap + b.cap) * contango_tech::units::RC_TO_PS;
     let numer = (b.delay - a.delay)
         + (r * b.cap * d + 0.5 * r * c * d * d) * contango_tech::units::RC_TO_PS;
-    let x = if denom.abs() < 1e-15 { 0.5 * d } else { numer / denom };
+    let x = if denom.abs() < 1e-15 {
+        0.5 * d
+    } else {
+        numer / denom
+    };
 
     if x < 0.0 {
         // Subtree a is already slower than b even with la = 0: snake the b
         // side so that its delay catches up.
         let lb = solve_extension(r, c, b.cap, a.delay - b.delay).max(d);
-        let region = a
-            .region
-            .intersect(&b.region.expand(lb))
-            .unwrap_or(a.region);
+        let region = a.region.intersect(&b.region.expand(lb)).unwrap_or(a.region);
         (0.0, lb, region)
     } else if x > d {
         let la = solve_extension(r, c, a.cap, b.delay - a.delay).max(d);
-        let region = b
-            .region
-            .intersect(&a.region.expand(la))
-            .unwrap_or(b.region);
+        let region = b.region.intersect(&a.region.expand(la)).unwrap_or(b.region);
         (la, 0.0, region)
     } else {
         let la = x;
@@ -224,7 +233,9 @@ fn balance_merge(
             .region
             .expand(la)
             .intersect(&b.region.expand(lb))
-            .unwrap_or_else(|| TiltedRect::from_point(a.region.closest_point_to(b.region.center())));
+            .unwrap_or_else(|| {
+                TiltedRect::from_point(a.region.closest_point_to(b.region.center()))
+            });
         (la, lb, region)
     }
 }
@@ -320,7 +331,12 @@ mod tests {
 
     fn grid_instance(nx: usize, ny: usize, pitch: f64) -> ClockNetInstance {
         let mut b = ClockNetInstance::builder("grid")
-            .die(0.0, 0.0, pitch * (nx as f64 + 1.0), pitch * (ny as f64 + 1.0))
+            .die(
+                0.0,
+                0.0,
+                pitch * (nx as f64 + 1.0),
+                pitch * (ny as f64 + 1.0),
+            )
             .source(Point::new(0.0, pitch * (ny as f64 + 1.0) / 2.0))
             .cap_limit(1e9);
         for j in 0..ny {

@@ -321,7 +321,12 @@ impl ContangoFlow {
             snapshots.push(self.snapshot(FlowStage::BottomLevel, &tree, &report));
         }
 
-        let netlist = to_netlist(&tree, &self.tech, &instance.source_spec, self.config.segment_um)?;
+        let netlist = to_netlist(
+            &tree,
+            &self.tech,
+            &instance.source_spec,
+            self.config.segment_um,
+        )?;
         let slacks = SlackAnalysis::compute(&tree, &report);
         Ok(FlowResult {
             tree,

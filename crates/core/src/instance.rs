@@ -83,7 +83,10 @@ impl ClockNetInstance {
         }
         for (i, sink) in self.sinks.iter().enumerate() {
             if sink.id != i {
-                return Err(format!("sink ids must be contiguous; found {} at {i}", sink.id));
+                return Err(format!(
+                    "sink ids must be contiguous; found {} at {i}",
+                    sink.id
+                ));
             }
             if sink.cap <= 0.0 {
                 return Err(format!("sink {i} has non-positive capacitance"));
@@ -166,9 +169,9 @@ impl ClockNetInstanceBuilder {
     /// Propagates [`ClockNetInstance::validate`] errors; the source defaults
     /// to the middle of the die's left edge when not set.
     pub fn build(self) -> Result<ClockNetInstance, String> {
-        let source = self.source.unwrap_or_else(|| {
-            Point::new(self.die.lo.x, 0.5 * (self.die.lo.y + self.die.hi.y))
-        });
+        let source = self
+            .source
+            .unwrap_or_else(|| Point::new(self.die.lo.x, 0.5 * (self.die.lo.y + self.die.hi.y)));
         let obstacles: ObstacleSet = self.obstacles.into_iter().collect();
         let instance = ClockNetInstance {
             name: self.name,
@@ -217,7 +220,10 @@ mod tests {
 
     #[test]
     fn sink_outside_die_rejected() {
-        let err = builder().sink(Point::new(500.0, 500.0), 5.0).build().unwrap_err();
+        let err = builder()
+            .sink(Point::new(500.0, 500.0), 5.0)
+            .build()
+            .unwrap_err();
         assert!(err.contains("outside the die"));
     }
 

@@ -80,7 +80,15 @@ pub fn to_netlist(
         while let Some((node_id, rc_parent)) = stack.pop() {
             let rc_node = add_wire_segments(tree, tech, node_id, rc_parent, seg, &mut rc);
             let is_stage_boundary = stage_of_node[node_id].is_some() && node_id != start;
-            attach_node_load(tree, node_id, rc_node, &mut rc, &mut taps, &stage_of_node, si);
+            attach_node_load(
+                tree,
+                node_id,
+                rc_node,
+                &mut rc,
+                &mut taps,
+                &stage_of_node,
+                si,
+            );
             if !is_stage_boundary {
                 for &c in &tree.node(node_id).children {
                     stack.push((c, rc_node));
@@ -195,8 +203,20 @@ mod tests {
         let mut tree = ClockTree::new(Point::new(0.0, 0.0));
         let trunk = tree.add_internal(tree.root(), Point::new(400.0, 0.0), WireSegment::default());
         tree.node_mut(trunk).buffer = Some(t.composite(t.small_inverter(), 8));
-        tree.add_sink(trunk, Point::new(600.0, 100.0), WireSegment::default(), 0, 20.0);
-        tree.add_sink(trunk, Point::new(600.0, -100.0), WireSegment::default(), 1, 20.0);
+        tree.add_sink(
+            trunk,
+            Point::new(600.0, 100.0),
+            WireSegment::default(),
+            0,
+            20.0,
+        );
+        tree.add_sink(
+            trunk,
+            Point::new(600.0, -100.0),
+            WireSegment::default(),
+            1,
+            20.0,
+        );
         tree
     }
 
@@ -254,9 +274,14 @@ mod tests {
     #[test]
     fn unbuffered_tree_is_a_single_stage() {
         let mut tree = ClockTree::new(Point::new(0.0, 0.0));
-        tree.add_sink(tree.root(), Point::new(100.0, 0.0), WireSegment::default(), 0, 5.0);
-        let netlist =
-            to_netlist(&tree, &tech(), &SourceSpec::ispd09(), 50.0).expect("lowers");
+        tree.add_sink(
+            tree.root(),
+            Point::new(100.0, 0.0),
+            WireSegment::default(),
+            0,
+            5.0,
+        );
+        let netlist = to_netlist(&tree, &tech(), &SourceSpec::ispd09(), 50.0).expect("lowers");
         assert_eq!(netlist.len(), 1);
         assert_eq!(netlist.sink_count(), 1);
     }

@@ -204,11 +204,7 @@ fn subtree_capacitance(tree: &ClockTree, tech: &Technology, id: NodeId) -> f64 {
 /// between adjacent attachment points that is *furthest from the source
 /// along the contour* is removed, so the network remains a tree and the
 /// longest detoured source-to-pin path is minimized.
-pub fn contour_detour(
-    compound: &CompoundObstacle,
-    source: Point,
-    pins: &[Point],
-) -> ContourDetour {
+pub fn contour_detour(compound: &CompoundObstacle, source: Point, pins: &[Point]) -> ContourDetour {
     let contour = compound.contour();
     let n = contour.len();
     assert!(n >= 3, "a contour needs at least three corners");
@@ -312,7 +308,10 @@ mod tests {
         let mut tree = build_zero_skew_tree(&inst, &tech, DmeOptions::default());
         let wl_before = tree.wirelength();
         let report = repair_obstacle_violations(&mut tree, &inst, &tech, 55.0);
-        assert!(report.crossing_edges > 0, "the wall must be crossed initially");
+        assert!(
+            report.crossing_edges > 0,
+            "the wall must be crossed initially"
+        );
         // Rerouting keeps the tree valid, only ever adds wire, and the
         // report accounts for a non-negative amount of added wirelength
         // (node legalization may additionally move Steiner points).
@@ -393,6 +392,10 @@ mod tests {
         ];
         let detour = contour_detour(&compound, source, &pins);
         // The detour keeps most of the perimeter (one 100 µm side removed).
-        assert!((detour.length - 300.0).abs() < 1e-6, "length {}", detour.length);
+        assert!(
+            (detour.length - 300.0).abs() < 1e-6,
+            "length {}",
+            detour.length
+        );
     }
 }

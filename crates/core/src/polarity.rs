@@ -181,8 +181,7 @@ mod tests {
         for i in 0..n {
             let y = 50.0 * i as f64;
             if extra_buffer_on.contains(&i) {
-                let mid =
-                    tree.add_internal(trunk, Point::new(150.0, y), WireSegment::default());
+                let mid = tree.add_internal(trunk, Point::new(150.0, y), WireSegment::default());
                 tree.node_mut(mid).buffer = Some(buf);
                 tree.add_sink(mid, Point::new(200.0, y), WireSegment::default(), i, 10.0);
             } else {
@@ -241,7 +240,10 @@ mod tests {
                 .iter()
                 .filter(|&&n| tree.node(n).buffer.is_some() && !buffers_before.contains(&n))
                 .count();
-            assert!(new_buffers <= 1, "sink {sid} gained {new_buffers} inverters");
+            assert!(
+                new_buffers <= 1,
+                "sink {sid} gained {new_buffers} inverters"
+            );
         }
     }
 

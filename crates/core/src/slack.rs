@@ -53,13 +53,9 @@ impl SlackAnalysis {
         for corner in [&report.nominal, &report.low] {
             for rise in [true, false] {
                 let latency = |sid: usize| -> Option<f64> {
-                    corner.sink(sid).map(|s| {
-                        if rise {
-                            s.rise.latency
-                        } else {
-                            s.fall.latency
-                        }
-                    })
+                    corner
+                        .sink(sid)
+                        .map(|s| if rise { s.rise.latency } else { s.fall.latency })
                 };
                 let mut t_min = f64::INFINITY;
                 let mut t_max = f64::NEG_INFINITY;
@@ -195,8 +191,16 @@ mod tests {
         }
         // The slowest sink has (near) zero slow-down slack, the fastest has
         // (near) zero speed-up slack.
-        let min_slow = slacks.sink_slow.iter().copied().fold(f64::INFINITY, f64::min);
-        let min_fast = slacks.sink_fast.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_slow = slacks
+            .sink_slow
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let min_fast = slacks
+            .sink_fast
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         assert!(min_slow < 1e-9);
         assert!(min_fast < 1e-9);
     }

@@ -90,10 +90,8 @@ pub fn slide_and_interleave(
         // Interleave repeater pairs where a trunk buffer's incoming edge has
         // grown longer than the configured gap.
         for &node in &trunk {
-            if tree.edge_length(node) > config.max_gap {
-                if interleave_pair(tree, node) {
-                    round_pairs += 1;
-                }
+            if tree.edge_length(node) > config.max_gap && interleave_pair(tree, node) {
+                round_pairs += 1;
             }
         }
 
@@ -136,7 +134,7 @@ fn interleave_pair(tree: &mut ClockTree, node: NodeId) -> bool {
     if !tree.node(node).wire.route.is_empty() {
         return false;
     }
-    let Some(buffer) = tree.node(node).buffer.clone() else {
+    let Some(buffer) = tree.node(node).buffer else {
         return false;
     };
     let from = tree.node(parent).location;
@@ -146,7 +144,7 @@ fn interleave_pair(tree: &mut ClockTree, node: NodeId) -> bool {
     // to the parent, so both new nodes land on the original edge.
     let lower = tree.split_edge(node, from.lerp(to, 2.0 / 3.0));
     let upper = tree.split_edge(lower, from.lerp(to, 1.0 / 3.0));
-    tree.node_mut(lower).buffer = Some(buffer.clone());
+    tree.node_mut(lower).buffer = Some(buffer);
     tree.node_mut(upper).buffer = Some(buffer);
     true
 }

@@ -171,7 +171,13 @@ pub fn greedy_matching_tree(instance: &ClockNetInstance) -> ClockTree {
     fn attach(tree: &mut ClockTree, parent: NodeId, cluster: Cluster) {
         match cluster.build {
             ClusterBuild::Sink { sink_id, cap } => {
-                tree.add_sink(parent, cluster.location, WireSegment::default(), sink_id, cap);
+                tree.add_sink(
+                    parent,
+                    cluster.location,
+                    WireSegment::default(),
+                    sink_id,
+                    cap,
+                );
             }
             ClusterBuild::Merge(a, b) => {
                 let node = tree.add_internal(parent, cluster.location, WireSegment::default());
@@ -248,9 +254,17 @@ fn build_h_level(
             let quadrant_center = Point::new(arm.x, center.y + vertical * quarter_h);
             let quadrant = Rect::new(
                 if arm_idx == 0 { region.lo.x } else { center.x },
-                if vertical < 0.0 { region.lo.y } else { center.y },
+                if vertical < 0.0 {
+                    region.lo.y
+                } else {
+                    center.y
+                },
                 if arm_idx == 0 { center.x } else { region.hi.x },
-                if vertical < 0.0 { center.y } else { region.hi.y },
+                if vertical < 0.0 {
+                    center.y
+                } else {
+                    region.hi.y
+                },
             );
             let quadrant_sinks: Vec<(usize, Point, f64)> = sinks
                 .iter()
@@ -327,7 +341,13 @@ pub fn fishbone_tree(instance: &ClockNetInstance) -> ClockTree {
                 prev_y = sink.location.y;
                 n
             };
-            tree.add_sink(node, sink.location, WireSegment::default(), sink.id, sink.cap);
+            tree.add_sink(
+                node,
+                sink.location,
+                WireSegment::default(),
+                sink.id,
+                sink.cap,
+            );
             prev = node;
         }
     };
@@ -416,7 +436,12 @@ mod tests {
             .die(0.0, 0.0, 2000.0, 2000.0)
             .source(Point::new(0.0, 1000.0))
             .cap_limit(1.0e6);
-        for (x, y) in [(500.0, 500.0), (1500.0, 500.0), (500.0, 1500.0), (1500.0, 1500.0)] {
+        for (x, y) in [
+            (500.0, 500.0),
+            (1500.0, 500.0),
+            (500.0, 1500.0),
+            (1500.0, 1500.0),
+        ] {
             b = b.sink(Point::new(x, y), 10.0);
         }
         let instance = b.build().expect("valid");
@@ -455,7 +480,11 @@ mod tests {
         let mut spine_xs: Vec<f64> = instance
             .sinks
             .iter()
-            .map(|s| tree.node(tree.node(tree.sink_node(s.id)).parent.expect("parent")).location.x)
+            .map(|s| {
+                tree.node(tree.node(tree.sink_node(s.id)).parent.expect("parent"))
+                    .location
+                    .x
+            })
             .collect();
         spine_xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         assert_eq!(spine_xs.len(), 1, "all ribs start on one spine");

@@ -321,7 +321,9 @@ impl ClockTree {
     ///
     /// Panics if `child` is the root.
     pub fn split_edge(&mut self, child: NodeId, location: Point) -> NodeId {
-        let parent = self.nodes[child].parent.expect("cannot split above the root");
+        let parent = self.nodes[child]
+            .parent
+            .expect("cannot split above the root");
         let width = self.nodes[child].wire.width;
         let new_id = self.nodes.len();
         self.nodes.push(Node {
@@ -394,8 +396,20 @@ mod tests {
     fn small_tree() -> ClockTree {
         let mut t = ClockTree::new(Point::new(0.0, 0.0));
         let trunk = t.add_internal(t.root(), Point::new(100.0, 0.0), WireSegment::default());
-        t.add_sink(trunk, Point::new(150.0, 50.0), WireSegment::default(), 0, 10.0);
-        t.add_sink(trunk, Point::new(150.0, -50.0), WireSegment::default(), 1, 12.0);
+        t.add_sink(
+            trunk,
+            Point::new(150.0, 50.0),
+            WireSegment::default(),
+            0,
+            10.0,
+        );
+        t.add_sink(
+            trunk,
+            Point::new(150.0, -50.0),
+            WireSegment::default(),
+            1,
+            12.0,
+        );
         t
     }
 
@@ -495,6 +509,12 @@ mod tests {
     #[should_panic(expected = "already present")]
     fn duplicate_sink_rejected() {
         let mut t = small_tree();
-        t.add_sink(t.root(), Point::new(1.0, 1.0), WireSegment::default(), 0, 1.0);
+        t.add_sink(
+            t.root(),
+            Point::new(1.0, 1.0),
+            WireSegment::default(),
+            0,
+            1.0,
+        );
     }
 }

@@ -236,7 +236,10 @@ mod tests {
         let baseline = ctx.evaluate(&tree);
         let tws = estimate_tws(&tree, &ctx, &baseline);
         assert!(tws > 0.0);
-        assert!(tws < 1.0, "Tws per µm should be a small fraction of a ps, got {tws}");
+        assert!(
+            tws < 1.0,
+            "Tws per µm should be a small fraction of a ps, got {tws}"
+        );
     }
 
     #[test]
@@ -296,8 +299,8 @@ mod tests {
             ..WireSizingConfig::default()
         };
         let _ = iterative_wiresizing(&mut tree, &ctx, cfg);
-        for id in 0..tree.len() {
-            if tree.node(id).wire.width != widths_before[id] {
+        for (id, &width_before) in widths_before.iter().enumerate() {
+            if tree.node(id).wire.width != width_before {
                 assert!(
                     matches!(tree.node(id).kind, crate::tree::NodeKind::Sink(_)),
                     "non-sink edge {id} was resized in bottom-level mode"

@@ -128,8 +128,8 @@ fn snake_round(
     while let Some((id, rslack)) = queue.pop_front() {
         let mut consumed = rslack;
         let is_sink_edge = matches!(tree.node(id).kind, NodeKind::Sink(_));
-        let eligible = tree.node(id).parent.is_some()
-            && (!config.bottom_level_only || is_sink_edge);
+        let eligible =
+            tree.node(id).parent.is_some() && (!config.bottom_level_only || is_sink_edge);
         if eligible && twn > 1e-12 {
             let available = (slacks.edge_slow[id] - rslack) * config.slack_usage;
             let units = ((available / twn).floor() as isize)
@@ -192,11 +192,7 @@ mod tests {
         (inst, tree)
     }
 
-    fn ctx<'a>(
-        tech: &'a Technology,
-        evaluator: &'a Evaluator,
-        cap_limit: f64,
-    ) -> OptContext<'a> {
+    fn ctx<'a>(tech: &'a Technology, evaluator: &'a Evaluator, cap_limit: f64) -> OptContext<'a> {
         OptContext {
             tech,
             source: SourceSpec::ispd09(),
@@ -252,8 +248,8 @@ mod tests {
         let evaluator = Evaluator::new(tech.clone());
         let c = ctx(&tech, &evaluator, inst.cap_limit);
         let _ = iterative_wiresnaking(&mut tree, &c, WireSnakingConfig::bottom_level());
-        for id in 0..tree.len() {
-            if (tree.node(id).wire.extra_length - snapshot[id]).abs() > 1e-9 {
+        for (id, &before) in snapshot.iter().enumerate() {
+            if (tree.node(id).wire.extra_length - before).abs() > 1e-9 {
                 assert!(matches!(tree.node(id).kind, NodeKind::Sink(_)));
             }
         }

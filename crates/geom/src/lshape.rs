@@ -131,7 +131,10 @@ mod tests {
         assert_eq!(first.a, l.from());
         assert_eq!(second.b, l.to());
         assert!(first.b.approx_eq(second.a));
-        assert!(crate::approx_eq(first.length() + second.length(), l.length()));
+        assert!(crate::approx_eq(
+            first.length() + second.length(),
+            l.length()
+        ));
     }
 
     #[test]

@@ -43,10 +43,7 @@ impl RoutePath {
 
     /// Total Manhattan length of the path.
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].manhattan(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].manhattan(w[1])).sum()
     }
 
     /// The individual segments of the path.
@@ -280,7 +277,7 @@ fn simplify_collinear(points: &[Point]) -> Vec<Point> {
         let next = points[i + 1];
         let collinear_x = crate::approx_eq(prev.x, cur.x) && crate::approx_eq(cur.x, next.x);
         let collinear_y = crate::approx_eq(prev.y, cur.y) && crate::approx_eq(cur.y, next.y);
-        if !(collinear_x || collinear_y) && !cur.approx_eq(prev) {
+        if !(collinear_x || collinear_y || cur.approx_eq(prev)) {
             out.push(cur);
         }
     }

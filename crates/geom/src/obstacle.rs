@@ -46,10 +46,7 @@ impl CompoundObstacle {
     /// one member.
     pub fn new(rects: Vec<Rect>) -> Self {
         assert!(!rects.is_empty(), "compound obstacle must not be empty");
-        let bounding_box = rects
-            .iter()
-            .skip(1)
-            .fold(rects[0], |acc, r| acc.union(r));
+        let bounding_box = rects.iter().skip(1).fold(rects[0], |acc, r| acc.union(r));
         Self {
             rects,
             bounding_box,
@@ -160,7 +157,7 @@ impl CompoundObstacle {
         // right-to-left, to produce a counter-clockwise rectilinear polygon.
         let mut contour: Vec<Point> = Vec::new();
         let push = |p: Point, contour: &mut Vec<Point>| {
-            if contour.last().map_or(true, |last| !last.approx_eq(p)) {
+            if contour.last().is_none_or(|last| !last.approx_eq(p)) {
                 contour.push(p);
             }
         };
@@ -348,7 +345,7 @@ fn group_touching(obstacles: &[Obstacle]) -> Vec<CompoundObstacle> {
     let n = obstacles.len();
     let mut parent: Vec<usize> = (0..n).collect();
 
-    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
             i = parent[i];
@@ -368,15 +365,13 @@ fn group_touching(obstacles: &[Obstacle]) -> Vec<CompoundObstacle> {
         }
     }
 
-    let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> = std::collections::BTreeMap::new();
-    for i in 0..n {
+    let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> =
+        std::collections::BTreeMap::new();
+    for (i, obstacle) in obstacles.iter().enumerate() {
         let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(obstacles[i].rect);
+        groups.entry(root).or_default().push(obstacle.rect);
     }
-    groups
-        .into_values()
-        .map(CompoundObstacle::new)
-        .collect()
+    groups.into_values().map(CompoundObstacle::new).collect()
 }
 
 #[cfg(test)]

@@ -116,7 +116,7 @@ impl SpatialIndex {
                         continue;
                     }
                     let d = self.points[i].manhattan(query);
-                    if best.map_or(true, |(bd, bi)| d < bd || (d == bd && i < bi)) {
+                    if best.is_none_or(|(bd, bi)| d < bd || (d == bd && i < bi)) {
                         best = Some((d, i));
                     }
                 }
@@ -160,7 +160,10 @@ impl SpatialIndex {
                 }
                 let cx = qx + dx;
                 let cy = qy + dy;
-                if cx >= 0 && cy >= 0 && (cx as usize) < self.cells_x && (cy as usize) < self.cells_y
+                if cx >= 0
+                    && cy >= 0
+                    && (cx as usize) < self.cells_x
+                    && (cy as usize) < self.cells_y
                 {
                     cells.push((cx as usize, cy as usize));
                 }
@@ -181,7 +184,12 @@ fn bounding_box(points: &[Point]) -> Rect {
         r = r.union(&Rect::new(p.x, p.y, p.x, p.y));
     }
     // Avoid degenerate zero-width grids for collinear point sets.
-    Rect::new(r.lo.x, r.lo.y, r.hi.x.max(r.lo.x + 1.0), r.hi.y.max(r.lo.y + 1.0))
+    Rect::new(
+        r.lo.x,
+        r.lo.y,
+        r.hi.x.max(r.lo.x + 1.0),
+        r.hi.y.max(r.lo.y + 1.0),
+    )
 }
 
 #[cfg(test)]
@@ -271,7 +279,9 @@ mod tests {
         points.push(Point::new(0.0, 0.0));
         let index = SpatialIndex::new(&points);
         assert_eq!(index.nearest(Point::new(1.0, 1.0), None), Some(50));
-        let far = index.nearest(Point::new(1002.0, 2003.0), None).expect("hit");
+        let far = index
+            .nearest(Point::new(1002.0, 2003.0), None)
+            .expect("hit");
         assert!(points[far].manhattan(Point::new(1002.0, 2003.0)) <= 1.0);
     }
 }

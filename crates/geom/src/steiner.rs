@@ -119,7 +119,7 @@ impl SteinerTree {
                     continue;
                 }
                 let (dist, attach, edge_a, edge_b) = tree.closest_point_on_tree(t, &connected);
-                if best.map_or(true, |(bd, ..)| dist < bd) {
+                if best.is_none_or(|(bd, ..)| dist < bd) {
                     best = Some((dist, ti, attach, edge_a, edge_b));
                 }
             }
@@ -134,11 +134,19 @@ impl SteinerTree {
     /// The closest point of the current tree to `target`: returns the
     /// distance, the point, and the edge `(a, b)` it lies on (`a == b` when
     /// the closest point is an existing node).
-    fn closest_point_on_tree(&self, target: Point, connected: &[bool]) -> (f64, Point, usize, usize) {
+    fn closest_point_on_tree(
+        &self,
+        target: Point,
+        connected: &[bool],
+    ) -> (f64, Point, usize, usize) {
         let mut best = (f64::INFINITY, self.nodes[0], 0usize, 0usize);
         // Existing connected terminals and all Steiner nodes are candidates.
         for (i, &p) in self.nodes.iter().enumerate() {
-            let usable = if i < connected.len() { connected[i] } else { true };
+            let usable = if i < connected.len() {
+                connected[i]
+            } else {
+                true
+            };
             if !usable {
                 continue;
             }
@@ -262,10 +270,8 @@ impl SteinerTree {
                 }
             }
         }
-        for t in 0..self.terminal_count {
-            if !seen[t] {
-                return Err(format!("terminal {t} is not connected"));
-            }
+        if let Some(t) = seen[..self.terminal_count].iter().position(|&s| !s) {
+            return Err(format!("terminal {t} is not connected"));
         }
         if self.edges.len() + 1 != seen.iter().filter(|&&s| s).count() {
             return Err("tree contains a cycle or disconnected Steiner points".to_string());

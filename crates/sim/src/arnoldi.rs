@@ -40,7 +40,10 @@ impl Moments {
     /// Panics if `k` is zero, exceeds [`Moments::order`], or `node` is out
     /// of range.
     pub fn moment(&self, k: usize, node: usize) -> f64 {
-        assert!(k >= 1 && k <= self.moments.len(), "moment order out of range");
+        assert!(
+            k >= 1 && k <= self.moments.len(),
+            "moment order out of range"
+        );
         self.moments[k - 1][node]
     }
 }
@@ -190,7 +193,8 @@ impl ReducedOrderModel {
         if !self.two_pole {
             return 1.0 - (-self.p1 * t).exp();
         }
-        let v = 1.0 - self.k1 / self.p1 * (-self.p1 * t).exp()
+        let v = 1.0
+            - self.k1 / self.p1 * (-self.p1 * t).exp()
             - self.k2 / self.p2 * (-self.p2 * t).exp();
         v.clamp(0.0, 1.0)
     }
@@ -292,8 +296,8 @@ mod tests {
         let tree = ladder(10);
         let m = higher_moments(&tree, 80.0, 3);
         let elmore = tree.elmore_from(80.0);
-        for i in 0..tree.len() {
-            assert!((m.moment(1, i) - elmore[i]).abs() < 1e-12);
+        for (i, &elmore_i) in elmore.iter().enumerate() {
+            assert!((m.moment(1, i) - elmore_i).abs() < 1e-12);
         }
     }
 
@@ -302,8 +306,8 @@ mod tests {
         let tree = ladder(6);
         let m = higher_moments(&tree, 55.0, 2);
         let (_, m2) = tree.moments_from(55.0);
-        for i in 0..tree.len() {
-            assert!((m.moment(2, i) - m2[i]).abs() < 1e-9);
+        for (i, &m2_i) in m2.iter().enumerate() {
+            assert!((m.moment(2, i) - m2_i).abs() < 1e-9);
         }
     }
 

@@ -313,7 +313,11 @@ mod tests {
     #[test]
     fn symmetric_netlist_has_negligible_skew() {
         let netlist = two_sink_netlist(0.0, 0.0);
-        for model in [DelayModel::Elmore, DelayModel::TwoPole, DelayModel::Transient] {
+        for model in [
+            DelayModel::Elmore,
+            DelayModel::TwoPole,
+            DelayModel::Transient,
+        ] {
             let eval = Evaluator::with_model(Technology::ispd09(), model);
             let report = eval.evaluate(&netlist);
             assert!(
@@ -328,10 +332,18 @@ mod tests {
     #[test]
     fn asymmetric_load_creates_skew_in_every_model() {
         let netlist = two_sink_netlist(300.0, 40.0);
-        for model in [DelayModel::Elmore, DelayModel::TwoPole, DelayModel::Transient] {
+        for model in [
+            DelayModel::Elmore,
+            DelayModel::TwoPole,
+            DelayModel::Transient,
+        ] {
             let eval = Evaluator::with_model(Technology::ispd09(), model);
             let report = eval.evaluate(&netlist);
-            assert!(report.skew() > 1.0, "model {model:?} skew {}", report.skew());
+            assert!(
+                report.skew() > 1.0,
+                "model {model:?} skew {}",
+                report.skew()
+            );
             // Sink 1 carries the extra wire, so it must be the slow one.
             let nominal = &report.nominal;
             let s0 = nominal.sink(0).expect("sink 0");
@@ -363,8 +375,8 @@ mod tests {
     #[test]
     fn transient_and_two_pole_agree_on_ordering() {
         let netlist = two_sink_netlist(500.0, 80.0);
-        let spice = Evaluator::with_model(Technology::ispd09(), DelayModel::Transient)
-            .evaluate(&netlist);
+        let spice =
+            Evaluator::with_model(Technology::ispd09(), DelayModel::Transient).evaluate(&netlist);
         let awe =
             Evaluator::with_model(Technology::ispd09(), DelayModel::TwoPole).evaluate(&netlist);
         let slow_spice = spice.nominal.sink(1).expect("sink").rise.latency

@@ -220,8 +220,8 @@ mod tests {
         // pole); just check positivity and monotonicity here.
         let t = branchy();
         let (m1, m2) = t.moments_from(100.0);
-        for i in 0..t.len() {
-            assert!(m2[i] > 0.0);
+        for &m2_i in &m2 {
+            assert!(m2_i > 0.0);
         }
         assert!(m2[2] > m2[1]);
         assert!(m1[2] > m1[1]);

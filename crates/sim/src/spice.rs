@@ -108,7 +108,11 @@ pub fn write_deck(netlist: &Netlist, tech: &Technology, options: &DeckOptions) -
     let mut out = String::new();
     let vdd = options.vdd;
     let derate = tech.derate(vdd);
-    let _ = writeln!(out, "* Contango clock-network deck ({} stages)", netlist.len());
+    let _ = writeln!(
+        out,
+        "* Contango clock-network deck ({} stages)",
+        netlist.len()
+    );
     let _ = writeln!(out, "* supply corner: {vdd} V, derate factor {derate:.4}");
     let _ = writeln!(out, ".param vdd={vdd}");
     let _ = writeln!(out, ".option post probe");
@@ -117,10 +121,7 @@ pub fn write_deck(netlist: &Netlist, tech: &Technology, options: &DeckOptions) -
     // Ideal clock edge at the chip input: rise from 0 to VDD over the 10-90
     // input slew (extended to the full 0-100 ramp).
     let ramp_ps = options.input_slew / 0.8;
-    let _ = writeln!(
-        out,
-        "Vclk clk_in 0 PWL(0ps 0V {ramp_ps:.3}ps {vdd}V)"
-    );
+    let _ = writeln!(out, "Vclk clk_in 0 PWL(0ps 0V {ramp_ps:.3}ps {vdd}V)");
     let _ = writeln!(out);
 
     for (si, stage) in netlist.stages.iter().enumerate() {

@@ -155,7 +155,13 @@ impl TransientSolver {
         let source_t50 = 0.5 * self.ramp;
         let delay50 = t50
             .iter()
-            .map(|&x| if x.is_nan() { f64::INFINITY } else { x - source_t50 })
+            .map(|&x| {
+                if x.is_nan() {
+                    f64::INFINITY
+                } else {
+                    x - source_t50
+                }
+            })
             .collect();
         let slew = t10
             .iter()

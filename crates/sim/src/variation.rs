@@ -205,12 +205,9 @@ fn perturb_netlist(netlist: &Netlist, model: &VariationModel, rng: &mut XorShift
         .stages
         .iter()
         .map(|stage| {
-            let res_factor =
-                factor(mix(sys_res, truncated_normal(rng)), model.wire_res_sigma);
-            let cap_factor =
-                factor(mix(sys_cap, truncated_normal(rng)), model.wire_cap_sigma);
-            let buf_factor =
-                factor(mix(sys_buf, truncated_normal(rng)), model.buffer_res_sigma);
+            let res_factor = factor(mix(sys_res, truncated_normal(rng)), model.wire_res_sigma);
+            let cap_factor = factor(mix(sys_cap, truncated_normal(rng)), model.wire_cap_sigma);
+            let buf_factor = factor(mix(sys_buf, truncated_normal(rng)), model.buffer_res_sigma);
 
             let mut tree = RcTree::new();
             for (idx, (parent, res, cap)) in stage.tree.iter().enumerate() {
@@ -366,14 +363,7 @@ mod tests {
         let netlist = test_netlist();
         let eval = evaluator();
         let tight = monte_carlo(&eval, &netlist, &VariationModel::none(), 16, 1e9, 7);
-        let wide = monte_carlo(
-            &eval,
-            &netlist,
-            &VariationModel::typical_45nm(),
-            64,
-            1e9,
-            7,
-        );
+        let wide = monte_carlo(&eval, &netlist, &VariationModel::typical_45nm(), 64, 1e9, 7);
         assert!(wide.skew.std_dev > tight.skew.std_dev);
         assert!(wide.skew.max >= wide.skew.min);
         assert!(wide.effective_skew() >= wide.skew.mean);
@@ -395,14 +385,7 @@ mod tests {
     fn yields_are_fractions() {
         let netlist = test_netlist();
         let eval = evaluator();
-        let report = monte_carlo(
-            &eval,
-            &netlist,
-            &VariationModel::typical_45nm(),
-            40,
-            0.0,
-            3,
-        );
+        let report = monte_carlo(&eval, &netlist, &VariationModel::typical_45nm(), 40, 0.0, 3);
         assert!(report.skew_yield >= 0.0 && report.skew_yield <= 1.0);
         assert!(report.slew_yield >= 0.0 && report.slew_yield <= 1.0);
         // A zero-ps skew target is unachievable for a physical network.

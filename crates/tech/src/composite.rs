@@ -32,7 +32,10 @@ impl CompositeBuffer {
     ///
     /// Panics if `parallel` is zero.
     pub fn new(base: InverterKind, parallel: u32) -> Self {
-        assert!(parallel >= 1, "a composite buffer needs at least one inverter");
+        assert!(
+            parallel >= 1,
+            "a composite buffer needs at least one inverter"
+        );
         Self { base, parallel }
     }
 
@@ -122,10 +125,7 @@ pub struct CompositeRow {
 /// Pareto sweep is a single pass; this mirrors the dynamic-programming
 /// selection described in the paper (whose details were omitted because the
 /// contest library has only two inverter types).
-pub fn enumerate_composites(
-    library: &InverterLibrary,
-    max_parallel: u32,
-) -> Vec<CompositeBuffer> {
+pub fn enumerate_composites(library: &InverterLibrary, max_parallel: u32) -> Vec<CompositeBuffer> {
     let mut all: Vec<CompositeBuffer> = Vec::new();
     for kind in library.kinds() {
         for n in 1..=max_parallel.max(1) {

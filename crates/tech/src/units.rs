@@ -34,7 +34,7 @@ pub const SLEW_LN9: f64 = 2.197224577336219;
 
 /// Delay factor relating an RC time constant to the 50% crossing of a
 /// single-pole response: `t_50 = ln(2) · RC ≈ 0.693 · RC`.
-pub const DELAY_LN2: f64 = 0.6931471805599453;
+pub const DELAY_LN2: f64 = std::f64::consts::LN_2;
 
 /// Dynamic switching power in microwatts for a capacitance switched at a
 /// given frequency and supply: `P = C · V² · f`.

@@ -34,7 +34,10 @@ fn main() -> Result<(), String> {
         .min_by_key(|s| s.sinks)
         .expect("suite is non-empty");
     let instance = make_instance(smallest);
-    println!("\nsynthesizing {} ({} sinks)…", smallest.name, smallest.sinks);
+    println!(
+        "\nsynthesizing {} ({} sinks)…",
+        smallest.name, smallest.sinks
+    );
     let result = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast()).run(&instance)?;
     println!(
         "skew {:.2} ps, CLR {:.2} ps, cap {:.1}% of limit, {} evaluator runs",

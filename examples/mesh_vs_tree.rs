@@ -31,8 +31,12 @@ fn main() -> Result<(), String> {
     let tech = Technology::ispd09();
     let result = ContangoFlow::new(tech.clone(), FlowConfig::fast()).run(&instance)?;
 
-    println!("tuned tree: skew {:.3} ps, CLR {:.2} ps, capacitance {:.1} fF",
-        result.skew(), result.clr(), result.report.total_cap);
+    println!(
+        "tuned tree: skew {:.3} ps, CLR {:.2} ps, capacitance {:.1} fF",
+        result.skew(),
+        result.clr(),
+        result.report.total_cap
+    );
 
     // Cross-links on the tuned tree.
     let analysis = propose_cross_links(&result.tree, &result.report, &tech, 4, 1500.0);
@@ -44,14 +48,21 @@ fn main() -> Result<(), String> {
             p.slow_sink, p.fast_sink, p.distance_um, p.latency_gap_ps, p.link_cap_ff
         );
     }
-    println!("estimated skew with links: {:.3} ps (from {:.3} ps)",
-        analysis.estimated_skew_after, analysis.skew_before);
-    println!("relative improvement     : {:.1} %", 100.0 * analysis.relative_improvement());
+    println!(
+        "estimated skew with links: {:.3} ps (from {:.3} ps)",
+        analysis.estimated_skew_after, analysis.skew_before
+    );
+    println!(
+        "relative improvement     : {:.1} %",
+        100.0 * analysis.relative_improvement()
+    );
 
     // Mesh overlays of several pitches.
     println!("\n-- leaf-mesh overlays --");
-    println!("{:>10} {:>8} {:>8} {:>14} {:>14} {:>10} {:>12}",
-        "pitch um", "rows", "cols", "wire um", "cap fF", "drivers", "power uW");
+    println!(
+        "{:>10} {:>8} {:>8} {:>14} {:>14} {:>10} {:>12}",
+        "pitch um", "rows", "cols", "wire um", "cap fF", "drivers", "power uW"
+    );
     for pitch in [800.0, 400.0, 200.0] {
         let mesh = MeshOverlay::design(&instance, &tech, pitch);
         println!(
@@ -65,8 +76,12 @@ fn main() -> Result<(), String> {
             mesh.switching_power_uw(&tech)
         );
     }
-    println!("\ntree capacitance is {:.1} fF — even the coarsest mesh adds a multiple of that,",
-        result.report.total_cap);
-    println!("which is the paper's argument for trees (with meshes reserved for CPU-class designs)");
+    println!(
+        "\ntree capacitance is {:.1} fF — even the coarsest mesh adds a multiple of that,",
+        result.report.total_cap
+    );
+    println!(
+        "which is the paper's argument for trees (with meshes reserved for CPU-class designs)"
+    );
     Ok(())
 }

@@ -33,9 +33,18 @@ fn main() -> Result<(), String> {
     println!("wirelength           : {:.0} um", result.tree.wirelength());
     println!("nominal skew         : {:.2} ps", result.skew());
     println!("clock latency range  : {:.2} ps", result.clr());
-    println!("max latency          : {:.1} ps", result.report.max_latency());
-    println!("worst slew           : {:.1} ps", result.report.worst_slew());
-    println!("capacitance          : {:.1}% of budget", 100.0 * result.cap_fraction(&instance));
+    println!(
+        "max latency          : {:.1} ps",
+        result.report.max_latency()
+    );
+    println!(
+        "worst slew           : {:.1} ps",
+        result.report.worst_slew()
+    );
+    println!(
+        "capacitance          : {:.1}% of budget",
+        100.0 * result.cap_fraction(&instance)
+    );
     println!("evaluator runs       : {}", result.spice_runs);
     println!();
     println!("stage-by-stage progress (Table III style):");

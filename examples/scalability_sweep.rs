@@ -13,7 +13,11 @@ fn main() -> Result<(), String> {
         .skip(1)
         .filter_map(|a| a.parse().ok())
         .collect();
-    let sizes = if sizes.is_empty() { vec![200, 500, 1000] } else { sizes };
+    let sizes = if sizes.is_empty() {
+        vec![200, 500, 1000]
+    } else {
+        sizes
+    };
 
     println!(
         "{:>8} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",

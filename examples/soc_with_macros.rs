@@ -44,16 +44,30 @@ fn main() -> Result<(), String> {
     }
     let instance = builder.build()?;
 
-    println!("instance '{}' with {} sinks, {} macros", instance.name, instance.sink_count(), instance.obstacles.len());
-    println!("compound obstacles: {}", instance.obstacles.compounds().len());
+    println!(
+        "instance '{}' with {} sinks, {} macros",
+        instance.name,
+        instance.sink_count(),
+        instance.obstacles.len()
+    );
+    println!(
+        "compound obstacles: {}",
+        instance.obstacles.compounds().len()
+    );
 
     let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
     let result = flow.run(&instance)?;
 
     println!("skew  : {:.2} ps", result.skew());
     println!("CLR   : {:.2} ps", result.clr());
-    println!("slew  : {:.1} ps (limit 100 ps)", result.report.worst_slew());
-    println!("cap   : {:.1}% of budget", 100.0 * result.cap_fraction(&instance));
+    println!(
+        "slew  : {:.1} ps (limit 100 ps)",
+        result.report.worst_slew()
+    );
+    println!(
+        "cap   : {:.1}% of budget",
+        100.0 * result.cap_fraction(&instance)
+    );
 
     // No buffer may sit strictly inside a macro.
     let mut illegal = 0;

@@ -41,8 +41,16 @@ fn main() -> Result<(), String> {
     let low_path = out_dir.join("clock_1v0.sp");
     std::fs::write(&nominal_path, &nominal).map_err(|e| e.to_string())?;
     std::fs::write(&low_path, &low).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} lines)", nominal_path.display(), nominal.lines().count());
-    println!("wrote {} ({} lines)", low_path.display(), low.lines().count());
+    println!(
+        "wrote {} ({} lines)",
+        nominal_path.display(),
+        nominal.lines().count()
+    );
+    println!(
+        "wrote {} ({} lines)",
+        low_path.display(),
+        low.lines().count()
+    );
 
     // Demonstrate the measurement path with the built-in evaluator standing
     // in for an external SPICE run: its per-sink numbers are formatted the

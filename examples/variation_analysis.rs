@@ -45,11 +45,26 @@ fn main() -> Result<(), String> {
         7,
     );
 
-    println!("-- Monte-Carlo ({} samples, typical 45 nm sigmas) --", report.samples);
-    println!("skew  mean / sigma  : {:.3} / {:.3} ps", report.skew.mean, report.skew.std_dev);
-    println!("skew  p95 / max     : {:.3} / {:.3} ps", report.skew.p95, report.skew.max);
-    println!("effective skew      : {:.3} ps (mean + 3 sigma)", report.effective_skew());
-    println!("CLR   mean / sigma  : {:.3} / {:.3} ps", report.clr.mean, report.clr.std_dev);
+    println!(
+        "-- Monte-Carlo ({} samples, typical 45 nm sigmas) --",
+        report.samples
+    );
+    println!(
+        "skew  mean / sigma  : {:.3} / {:.3} ps",
+        report.skew.mean, report.skew.std_dev
+    );
+    println!(
+        "skew  p95 / max     : {:.3} / {:.3} ps",
+        report.skew.p95, report.skew.max
+    );
+    println!(
+        "effective skew      : {:.3} ps (mean + 3 sigma)",
+        report.effective_skew()
+    );
+    println!(
+        "CLR   mean / sigma  : {:.3} / {:.3} ps",
+        report.clr.mean, report.clr.std_dev
+    );
     println!("skew < 20 ps yield  : {:.1} %", 100.0 * report.skew_yield);
     println!("slew-clean yield    : {:.1} %", 100.0 * report.slew_yield);
     Ok(())

@@ -30,7 +30,11 @@ fn flow_on_a_generated_benchmark_meets_constraints() {
     let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
     let result = flow.run(&instance).expect("flow runs");
     assert_eq!(result.report.sink_count(), instance.sink_count());
-    assert!(!result.report.has_slew_violation(), "slew {}", result.report.worst_slew());
+    assert!(
+        !result.report.has_slew_violation(),
+        "slew {}",
+        result.report.worst_slew()
+    );
     assert!(result.report.total_cap <= instance.cap_limit);
     let initial_skew = result.snapshots.first().expect("snapshots").skew;
     assert!(
@@ -49,7 +53,8 @@ fn optimized_flow_beats_untuned_baseline() {
     let contango = ContangoFlow::new(tech.clone(), FlowConfig::fast())
         .run(&instance)
         .expect("contango runs");
-    let baseline = run_baseline(BaselineKind::DmeNoTuning, &tech, &instance).expect("baseline runs");
+    let baseline =
+        run_baseline(BaselineKind::DmeNoTuning, &tech, &instance).expect("baseline runs");
     assert!(contango.skew() <= baseline.skew() + 1e-9);
     assert!(contango.clr() <= baseline.clr() + 1e-9);
 }

@@ -10,10 +10,7 @@ use contango::tech::Technology;
 use proptest::prelude::*;
 
 fn arbitrary_points(max: usize) -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
-    prop::collection::vec(
-        (10.0..1990.0_f64, 10.0..1990.0_f64, 2.0..40.0_f64),
-        2..max,
-    )
+    prop::collection::vec((10.0..1990.0_f64, 10.0..1990.0_f64, 2.0..40.0_f64), 2..max)
 }
 
 proptest! {

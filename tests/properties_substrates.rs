@@ -6,7 +6,9 @@ use contango::benchmarks::solution::{parse_solution, write_solution};
 use contango::core::instance::ClockNetInstance;
 use contango::core::topology::greedy_matching_tree;
 use contango::geom::steiner::edge_list_length;
-use contango::geom::{half_perimeter_wirelength, rectilinear_mst, Point, SpatialIndex, SteinerTree};
+use contango::geom::{
+    half_perimeter_wirelength, rectilinear_mst, Point, SpatialIndex, SteinerTree,
+};
 use contango::sim::spice::{parse_measurements, rise_latency_name};
 use contango::sim::{reduced_order_models, RcTree};
 use contango::tech::Technology;

@@ -1,0 +1,169 @@
+//! Vendored offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the `contango-bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! plain wall-clock mean over `sample_size` iterations after one warm-up
+//! iteration; results print as `group/id: mean <time>` lines. There is no
+//! statistical analysis, HTML report or history — the point is that the
+//! benches build, run and produce comparable numbers without crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&name.into(), 10, &mut routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub has a fixed one-iteration
+    /// warm-up.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub times exactly `sample_size`
+    /// iterations.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks a routine that needs no external input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&label, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(name: S) -> Self {
+        BenchmarkId(name.into())
+    }
+}
+
+/// Timer handle passed to benchmark routines.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+fn run_benchmark(label: &str, samples: usize, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        mean: None,
+    };
+    routine(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!("{label}: mean {mean:?} over {samples} samples"),
+        None => println!("{label}: no measurement (Bencher::iter never called)"),
+    }
+}
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,69 @@
+//! The [`Strategy`] trait and the range/tuple strategies the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty: {self:?}");
+        self.start + rng.next_unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "strategy range is empty: {self:?}");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        assert!(self.start < self.end, "strategy range is empty: {self:?}");
+        let span = self.end.abs_diff(self.start);
+        self.start + (rng.next_u64() % span) as i64
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($idx:tt $ty:ident),+) => {
+        impl<$($ty: Strategy),+> Strategy for ($($ty,)+) {
+            type Value = ($($ty::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(0 A);
+tuple_strategy!(0 A, 1 B);
+tuple_strategy!(0 A, 1 B, 2 C);
+tuple_strategy!(0 A, 1 B, 2 C, 3 D);
+tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E);
+tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E, 5 F);

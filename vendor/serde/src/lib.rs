@@ -1,0 +1,23 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as an API annotation but
+//! never serializes anything, so marker traits plus no-op derive macros are
+//! sufficient. Traits and derive macros live in different namespaces, so the
+//! paired `pub use`/`pub trait` below mirrors how the real `serde` crate
+//! exposes its derives.
+//!
+//! Note: the derives expand to nothing, so **no type actually implements
+//! these marker traits** — a generic bound like `T: serde::Serialize` will
+//! not compile against derived types. If future code needs real
+//! serialization (or trait bounds), replace this stub with the real crate
+//! or teach the derive in `serde_derive` to emit marker impls.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

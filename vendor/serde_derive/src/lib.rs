@@ -1,0 +1,25 @@
+//! Vendored offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as an API
+//! annotation — nothing in the tree ever serializes a value — so these
+//! derives only need to accept the syntax (including `#[serde(...)]` helper
+//! attributes) and emit no code. This keeps the build fully offline: no
+//! crates.io access is required.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` field/variant
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` field/variant
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
