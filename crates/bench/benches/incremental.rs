@@ -1,0 +1,164 @@
+//! Criterion benchmarks for the incremental evaluation engine: repeated
+//! evaluation after a single-edge mutation, incremental vs. full
+//! re-lowering + re-simulation, at the 80-sink scale the acceptance
+//! criterion names.
+//!
+//! Besides the criterion group, the custom `main` writes `BENCH_2.json` at
+//! the repository root (sinks, full-eval µs, incremental-eval µs, speedup)
+//! so the performance trajectory of the optimization loop is recorded
+//! run-over-run. Set `CONTANGO_BENCH_QUICK=1` for a fast CI-smoke run.
+
+use contango_benchmarks::ti_instance;
+use contango_core::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
+use contango_core::dme::{build_zero_skew_tree, DmeOptions};
+use contango_core::lower::{evaluate_incremental, to_netlist};
+use contango_core::polarity::correct_polarity;
+use contango_core::tree::ClockTree;
+use contango_sim::{Evaluator, IncrementalEvaluator, SourceSpec};
+use contango_tech::Technology;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Instant;
+
+const SINKS: usize = 80;
+const SEGMENT_UM: f64 = 100.0;
+
+fn quick_mode() -> bool {
+    std::env::var("CONTANGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Builds the buffered, polarity-corrected 80-sink tree every measurement
+/// uses.
+fn buffered_tree(sinks: usize) -> (Technology, ClockTree) {
+    let tech = Technology::ispd09();
+    let instance = ti_instance(sinks, 9);
+    let mut tree = build_zero_skew_tree(&instance, &tech, DmeOptions::default());
+    split_long_edges(&mut tree, 250.0);
+    choose_and_insert_buffers(
+        &mut tree,
+        &tech,
+        &default_candidates(&tech, false),
+        instance.cap_limit,
+        0.1,
+        &instance.obstacles,
+    )
+    .expect("buffering fits");
+    correct_polarity(&mut tree, tech.composite(tech.small_inverter(), 32));
+    (tech, tree)
+}
+
+/// Mutates a single sink edge so every evaluation sees genuinely new
+/// content (monotonically growing snaking never revisits a cached
+/// signature, which keeps the benchmark honest about re-lowering and
+/// re-solving the dirty cone).
+fn mutate_one_edge(tree: &mut ClockTree) {
+    let target = tree.sink_node(0);
+    tree.node_mut(target).wire.extra_length += 0.01;
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let (tech, tree) = buffered_tree(SINKS);
+    let source = SourceSpec::ispd09();
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(if quick_mode() { 3 } else { 10 });
+
+    // What every optimization round cost before the incremental engine:
+    // re-lower the whole tree, re-simulate every stage at both corners.
+    {
+        let evaluator = Evaluator::new(tech.clone());
+        let mut t = tree.clone();
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("full_eval/{SINKS}")),
+            |b| {
+                b.iter(|| {
+                    mutate_one_edge(&mut t);
+                    let netlist = to_netlist(&t, &tech, &source, SEGMENT_UM).expect("lowers");
+                    evaluator.evaluate(&netlist)
+                })
+            },
+        );
+    }
+
+    // The incremental path: only the mutated stage is re-lowered and only
+    // its downstream cone is re-solved.
+    {
+        let evaluator = IncrementalEvaluator::new(tech.clone());
+        let mut t = tree.clone();
+        let _ = evaluate_incremental(&t, &tech, &source, SEGMENT_UM, &evaluator);
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("incremental_eval/{SINKS}")),
+            |b| {
+                b.iter(|| {
+                    mutate_one_edge(&mut t);
+                    evaluate_incremental(&t, &tech, &source, SEGMENT_UM, &evaluator)
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+/// Times `iters` runs of `f` and returns the mean per-iteration time in µs.
+fn mean_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Measures the full-vs-incremental single-edge-mutation comparison outside
+/// criterion and records it in `BENCH_2.json` at the repository root.
+fn write_bench2() {
+    let (tech, tree) = buffered_tree(SINKS);
+    let source = SourceSpec::ispd09();
+    let (full_iters, inc_iters) = if quick_mode() { (3, 30) } else { (10, 100) };
+
+    let full_eval = Evaluator::new(tech.clone());
+    let mut full_tree = tree.clone();
+    let full_us = mean_us(full_iters, || {
+        mutate_one_edge(&mut full_tree);
+        let netlist = to_netlist(&full_tree, &tech, &source, SEGMENT_UM).expect("lowers");
+        full_eval.evaluate(&netlist);
+    });
+
+    let inc_eval = IncrementalEvaluator::new(tech.clone());
+    let mut inc_tree = tree.clone();
+    let _ = evaluate_incremental(&inc_tree, &tech, &source, SEGMENT_UM, &inc_eval);
+    let inc_us = mean_us(inc_iters, || {
+        mutate_one_edge(&mut inc_tree);
+        evaluate_incremental(&inc_tree, &tech, &source, SEGMENT_UM, &inc_eval);
+    });
+
+    // Insurance that the two timed paths still agree on the final tree.
+    let full =
+        full_eval.evaluate(&to_netlist(&inc_tree, &tech, &source, SEGMENT_UM).expect("lowers"));
+    let fast = evaluate_incremental(&inc_tree, &tech, &source, SEGMENT_UM, &inc_eval);
+    assert!(
+        (full.skew() - fast.skew()).abs() <= 1e-9 && (full.clr() - fast.clr()).abs() <= 1e-9,
+        "incremental and full evaluation diverged in the benchmark"
+    );
+
+    let speedup = full_us / inc_us;
+    // The acceptance floor for the incremental engine; timing noise has two
+    // orders of magnitude of margin, so tripping this means a real
+    // regression, and CI fails on it.
+    assert!(
+        speedup >= 5.0,
+        "incremental evaluation speedup regressed below the 5x floor: {speedup:.2}"
+    );
+    let json = format!(
+        "{{\n  \"sinks\": {SINKS},\n  \"full_eval_us\": {full_us:.1},\n  \
+         \"incremental_eval_us\": {inc_us:.1},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
+    std::fs::write(path, &json).expect("BENCH_2.json is writable");
+    println!("BENCH_2.json: {json}");
+}
+
+criterion_group!(benches, bench_incremental);
+
+fn main() {
+    benches();
+    write_bench2();
+}

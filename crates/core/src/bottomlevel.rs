@@ -116,7 +116,7 @@ mod tests {
     use crate::instance::ClockNetInstance;
     use crate::polarity::correct_polarity;
     use contango_geom::Point;
-    use contango_sim::{Evaluator, SourceSpec};
+    use contango_sim::{IncrementalEvaluator, SourceSpec};
     use contango_tech::Technology;
 
     #[test]
@@ -149,7 +149,7 @@ mod tests {
         .expect("buffers fit");
         correct_polarity(&mut tree, tech.composite(tech.small_inverter(), 32));
 
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),

@@ -81,13 +81,16 @@ pub fn branch_buffers(tree: &ClockTree, levels: usize) -> Vec<NodeId> {
         if trunk_set.contains(&id) {
             continue;
         }
-        // Count buffered ancestors that are not trunk buffers.
-        let buffer_level = tree
-            .path_to_root(id)
-            .iter()
-            .skip(1)
-            .filter(|&&a| tree.node(a).buffer.is_some() && !trunk_set.contains(&a))
-            .count();
+        // Count buffered ancestors that are not trunk buffers, walking the
+        // root path without materializing it.
+        let mut buffer_level = 0;
+        let mut cur = id;
+        while let Some(a) = tree.node(cur).parent {
+            if tree.node(a).buffer.is_some() && !trunk_set.contains(&a) {
+                buffer_level += 1;
+            }
+            cur = a;
+        }
         if buffer_level < levels {
             result.push(id);
         }
@@ -206,7 +209,7 @@ mod tests {
     use crate::instance::ClockNetInstance;
     use crate::polarity::correct_polarity;
     use contango_geom::Point;
-    use contango_sim::{Evaluator, SourceSpec};
+    use contango_sim::{IncrementalEvaluator, SourceSpec};
     use contango_tech::Technology;
 
     fn buffered_instance() -> (ClockNetInstance, ClockTree) {
@@ -267,7 +270,7 @@ mod tests {
     fn sizing_does_not_violate_constraints() {
         let tech = Technology::ispd09();
         let (inst, mut tree) = buffered_instance();
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),

@@ -32,7 +32,7 @@ use crate::topology::{build_topology, TopologyKind};
 use crate::tree::ClockTree;
 use crate::wiresizing::{iterative_wiresizing, WireSizingConfig};
 use crate::wiresnaking::{iterative_wiresnaking, WireSnakingConfig};
-use contango_sim::{DelayModel, EvalReport, Evaluator, Netlist};
+use contango_sim::{DelayModel, EvalReport, IncrementalEvaluator, Netlist};
 use contango_tech::Technology;
 use serde::Serialize;
 use std::time::Instant;
@@ -240,7 +240,7 @@ impl ContangoFlow {
     pub fn run(&self, instance: &ClockNetInstance) -> Result<FlowResult, String> {
         instance.validate()?;
         let started = Instant::now();
-        let evaluator = Evaluator::with_model(self.tech.clone(), self.config.model);
+        let evaluator = IncrementalEvaluator::with_model(self.tech.clone(), self.config.model);
         let ctx = OptContext {
             tech: &self.tech,
             source: instance.source_spec,

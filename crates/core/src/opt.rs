@@ -1,8 +1,8 @@
 //! Shared context for the SPICE-driven optimization passes.
 
-use crate::lower::to_netlist;
+use crate::lower::{evaluate_incremental, to_netlist};
 use crate::tree::ClockTree;
-use contango_sim::{EvalReport, Evaluator, SourceSpec};
+use contango_sim::{EvalReport, IncrementalEvaluator, SourceSpec};
 use contango_tech::Technology;
 
 /// Everything an optimization pass needs to evaluate candidate trees:
@@ -15,8 +15,10 @@ pub struct OptContext<'a> {
     pub tech: &'a Technology,
     /// Clock source electricals.
     pub source: SourceSpec,
-    /// The evaluator shared by the whole flow.
-    pub evaluator: &'a Evaluator,
+    /// The incremental evaluator shared by the whole flow; its stage caches
+    /// persist across passes so each evaluation costs roughly the size of
+    /// the change since the previous one.
+    pub evaluator: &'a IncrementalEvaluator,
     /// Maximum wire segment length used during lowering, in µm.
     pub segment_um: f64,
     /// Total capacitance budget, in fF.
@@ -24,11 +26,30 @@ pub struct OptContext<'a> {
 }
 
 impl<'a> OptContext<'a> {
-    /// Lowers and evaluates a tree (one "SPICE run").
+    /// Evaluates a tree incrementally (one "SPICE run"): only stages whose
+    /// nodes changed since the last evaluation are re-lowered and re-solved,
+    /// plus the downstream cone their slew changes reach. The report is
+    /// bit-identical to [`Self::evaluate_full`].
     pub fn evaluate(&self, tree: &ClockTree) -> EvalReport {
+        evaluate_incremental(
+            tree,
+            self.tech,
+            &self.source,
+            self.segment_um,
+            self.evaluator,
+        )
+    }
+
+    /// Lowers the whole tree to a fresh netlist and evaluates every stage
+    /// from scratch (one "SPICE run", on the same counter as
+    /// [`Self::evaluate`]).
+    ///
+    /// The escape hatch for construction-time callers that want netlist
+    /// validation, and for tests asserting incremental/full equivalence.
+    pub fn evaluate_full(&self, tree: &ClockTree) -> EvalReport {
         let netlist = to_netlist(tree, self.tech, &self.source, self.segment_um)
             .expect("optimization passes only produce structurally valid trees");
-        self.evaluator.evaluate(&netlist)
+        self.evaluator.evaluator().evaluate(&netlist)
     }
 
     /// Returns `true` when `report` violates the slew limit or the tree
@@ -78,7 +99,7 @@ mod tests {
             .build()
             .expect("valid");
         let tree = build_zero_skew_tree(&inst, &tech, DmeOptions::default());
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),
@@ -90,5 +111,10 @@ mod tests {
         let _r2 = ctx.evaluate(&tree);
         assert_eq!(evaluator.runs(), 2);
         assert!(!ctx.violates(&tree, &r1));
+        // The escape hatch counts on the same run counter and agrees bit
+        // for bit with the incremental path.
+        let full = ctx.evaluate_full(&tree);
+        assert_eq!(evaluator.runs(), 3);
+        assert_eq!(full, r1);
     }
 }

@@ -157,7 +157,7 @@ mod tests {
     use crate::instance::ClockNetInstance;
     use crate::polarity::correct_polarity;
     use contango_geom::Point;
-    use contango_sim::{Evaluator, SourceSpec};
+    use contango_sim::{IncrementalEvaluator, SourceSpec};
     use contango_tech::Technology;
 
     fn buffered_instance_tree(tech: &Technology) -> (ClockNetInstance, ClockTree) {
@@ -194,7 +194,7 @@ mod tests {
     fn sliding_never_worsens_clr_and_keeps_the_tree_valid() {
         let tech = Technology::ispd09();
         let (instance, mut tree) = buffered_instance_tree(&tech);
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),
@@ -222,7 +222,7 @@ mod tests {
             .build()
             .expect("valid");
         let mut tree = build_zero_skew_tree(&instance, &tech, DmeOptions::default());
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),

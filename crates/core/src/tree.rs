@@ -306,9 +306,44 @@ impl ClockTree {
         path
     }
 
-    /// Number of edges between `id` and the root.
+    /// Number of edges between `id` and the root (an allocation-free
+    /// O(depth) walk).
     pub fn depth(&self, id: NodeId) -> usize {
-        self.path_to_root(id).len() - 1
+        let mut depth = 0;
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            depth += 1;
+            cur = p;
+        }
+        depth
+    }
+
+    /// Depth of every node (edges from the root), computed in one O(n)
+    /// preorder pass.
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depths = vec![0usize; self.nodes.len()];
+        for id in self.preorder() {
+            if let Some(p) = self.nodes[id].parent {
+                depths[id] = depths[p] + 1;
+            }
+        }
+        depths
+    }
+
+    /// Returns `true` when `ancestor` lies on the path from `id` to the
+    /// root, inclusive of `id == ancestor` (an allocation-free O(depth)
+    /// walk).
+    pub fn is_on_root_path(&self, id: NodeId, ancestor: NodeId) -> bool {
+        let mut cur = id;
+        loop {
+            if cur == ancestor {
+                return true;
+            }
+            match self.nodes[cur].parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
     }
 
     /// Splits the edge from `child`'s parent to `child` by inserting a new
@@ -468,6 +503,21 @@ mod tests {
         assert_eq!(t.subtree_sinks(t.sink_node(1)), vec![1]);
         assert_eq!(t.depth(t.sink_node(0)), 2);
         assert_eq!(t.path_to_root(t.sink_node(0)).len(), 3);
+    }
+
+    #[test]
+    fn depths_and_ancestry_match_path_walks() {
+        let t = small_tree();
+        for (id, &depth) in t.depths().iter().enumerate() {
+            assert_eq!(t.depth(id), depth);
+            assert_eq!(t.depth(id), t.path_to_root(id).len() - 1);
+            for other in 0..t.len() {
+                assert_eq!(
+                    t.is_on_root_path(id, other),
+                    t.path_to_root(id).contains(&other)
+                );
+            }
+        }
     }
 
     #[test]

@@ -63,11 +63,8 @@ pub fn estimate_tws(tree: &ClockTree, ctx: &OptContext<'_>, baseline: &EvalRepor
 /// Picks up to `count` independent (non-ancestor) wide edges near the middle
 /// of the tree for `Tws` calibration.
 fn sample_mid_tree_edges(tree: &ClockTree, count: usize) -> Vec<NodeId> {
-    let max_depth = (0..tree.len())
-        .map(|i| tree.depth(i))
-        .max()
-        .unwrap_or(0)
-        .max(1);
+    let depths = tree.depths();
+    let max_depth = depths.iter().copied().max().unwrap_or(0).max(1);
     let target = max_depth / 2;
     let mut picked: Vec<NodeId> = Vec::new();
     for id in tree.preorder() {
@@ -77,7 +74,7 @@ fn sample_mid_tree_edges(tree: &ClockTree, count: usize) -> Vec<NodeId> {
         if tree.node(id).parent.is_none() {
             continue;
         }
-        if tree.depth(id) != target || tree.node(id).wire.width != WireWidth::Wide {
+        if depths[id] != target || tree.node(id).wire.width != WireWidth::Wide {
             continue;
         }
         if tree.edge_length(id) < 1.0 {
@@ -85,7 +82,7 @@ fn sample_mid_tree_edges(tree: &ClockTree, count: usize) -> Vec<NodeId> {
         }
         let independent = picked
             .iter()
-            .all(|&p| !tree.path_to_root(id).contains(&p) && !tree.path_to_root(p).contains(&id));
+            .all(|&p| !tree.is_on_root_path(id, p) && !tree.is_on_root_path(p, id));
         if independent {
             picked.push(id);
         }
@@ -188,7 +185,7 @@ mod tests {
     use crate::instance::ClockNetInstance;
     use crate::polarity::correct_polarity;
     use contango_geom::Point;
-    use contango_sim::{Evaluator, SourceSpec};
+    use contango_sim::{IncrementalEvaluator, SourceSpec};
     use contango_tech::Technology;
 
     fn buffered_instance() -> (ClockNetInstance, ClockTree) {
@@ -225,7 +222,7 @@ mod tests {
     fn tws_estimate_is_positive_and_small() {
         let tech = Technology::ispd09();
         let (inst, tree) = buffered_instance();
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),
@@ -246,7 +243,7 @@ mod tests {
     fn wiresizing_never_worsens_skew_and_respects_limits() {
         let tech = Technology::ispd09();
         let (inst, mut tree) = buffered_instance();
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),
@@ -267,7 +264,7 @@ mod tests {
         let tech = Technology::ispd09();
         let (inst, mut tree) = buffered_instance();
         let cap_before = tree.total_cap(&tech);
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),
@@ -286,7 +283,7 @@ mod tests {
         let tech = Technology::ispd09();
         let (inst, mut tree) = buffered_instance();
         let widths_before: Vec<_> = (0..tree.len()).map(|i| tree.node(i).wire.width).collect();
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let ctx = OptContext {
             tech: &tech,
             source: SourceSpec::ispd09(),

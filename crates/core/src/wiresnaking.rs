@@ -156,7 +156,7 @@ mod tests {
     use crate::polarity::correct_polarity;
     use crate::wiresizing::{iterative_wiresizing, WireSizingConfig};
     use contango_geom::Point;
-    use contango_sim::{Evaluator, SourceSpec};
+    use contango_sim::{IncrementalEvaluator, SourceSpec};
     use contango_tech::Technology;
 
     fn buffered_instance() -> (ClockNetInstance, ClockTree) {
@@ -192,7 +192,11 @@ mod tests {
         (inst, tree)
     }
 
-    fn ctx<'a>(tech: &'a Technology, evaluator: &'a Evaluator, cap_limit: f64) -> OptContext<'a> {
+    fn ctx<'a>(
+        tech: &'a Technology,
+        evaluator: &'a IncrementalEvaluator,
+        cap_limit: f64,
+    ) -> OptContext<'a> {
         OptContext {
             tech,
             source: SourceSpec::ispd09(),
@@ -206,7 +210,7 @@ mod tests {
     fn twn_estimate_is_positive() {
         let tech = Technology::ispd09();
         let (inst, tree) = buffered_instance();
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let c = ctx(&tech, &evaluator, inst.cap_limit);
         let baseline = c.evaluate(&tree);
         let twn = estimate_twn(&tree, &c, &baseline, 20.0);
@@ -217,7 +221,7 @@ mod tests {
     fn snaking_reduces_skew_after_wiresizing() {
         let tech = Technology::ispd09();
         let (inst, mut tree) = buffered_instance();
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let c = ctx(&tech, &evaluator, inst.cap_limit);
         let _ = iterative_wiresizing(&mut tree, &c, WireSizingConfig::default());
         let outcome = iterative_wiresnaking(&mut tree, &c, WireSnakingConfig::default());
@@ -232,7 +236,7 @@ mod tests {
         let tech = Technology::ispd09();
         let (inst, mut tree) = buffered_instance();
         let wl_before = tree.wirelength();
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let c = ctx(&tech, &evaluator, inst.cap_limit);
         let _ = iterative_wiresnaking(&mut tree, &c, WireSnakingConfig::default());
         assert!(tree.wirelength() + 1e-9 >= wl_before);
@@ -245,7 +249,7 @@ mod tests {
         let snapshot: Vec<f64> = (0..tree.len())
             .map(|i| tree.node(i).wire.extra_length)
             .collect();
-        let evaluator = Evaluator::new(tech.clone());
+        let evaluator = IncrementalEvaluator::new(tech.clone());
         let c = ctx(&tech, &evaluator, inst.cap_limit);
         let _ = iterative_wiresnaking(&mut tree, &c, WireSnakingConfig::bottom_level());
         for (id, &before) in snapshot.iter().enumerate() {

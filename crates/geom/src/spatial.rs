@@ -110,7 +110,7 @@ impl SpatialIndex {
                     break;
                 }
             }
-            for (cx, cy) in self.ring_cells(qx, qy, ring) {
+            self.for_each_ring_cell(qx, qy, ring, |cx, cy| {
                 for &i in &self.buckets[cy * self.cells_x + cx] {
                     if !self.alive[i] || Some(i) == exclude {
                         continue;
@@ -120,16 +120,34 @@ impl SpatialIndex {
                         best = Some((d, i));
                     }
                 }
-            }
+            });
         }
         best.map(|(_, i)| i)
     }
 
-    /// All alive points within Manhattan distance `radius` of `query`.
+    /// All alive points within Manhattan distance `radius` of `query`,
+    /// sorted ascending by index.
+    ///
+    /// Only the grid buckets overlapping the query ball's bounding box are
+    /// scanned; out-of-bounds points are clamped into the edge cells at
+    /// insertion time, so clamping the scan range the same way keeps them
+    /// reachable.
     pub fn within_radius(&self, query: Point, radius: f64) -> Vec<usize> {
-        let mut out: Vec<usize> = (0..self.points.len())
-            .filter(|&i| self.alive[i] && self.points[i].manhattan(query) <= radius)
-            .collect();
+        let mut out: Vec<usize> = Vec::new();
+        if self.alive_count == 0 || radius < 0.0 {
+            return out;
+        }
+        let (cx0, cy0) = self.cell_coords(Point::new(query.x - radius, query.y - radius));
+        let (cx1, cy1) = self.cell_coords(Point::new(query.x + radius, query.y + radius));
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for &i in &self.buckets[cy * self.cells_x + cx] {
+                    if self.alive[i] && self.points[i].manhattan(query) <= radius {
+                        out.push(i);
+                    }
+                }
+            }
+        }
         out.sort_unstable();
         out
     }
@@ -148,28 +166,38 @@ impl SpatialIndex {
         )
     }
 
-    /// Cells at Chebyshev ring `ring` around `(qx, qy)`, clipped to the grid.
-    fn ring_cells(&self, qx: usize, qy: usize, ring: usize) -> Vec<(usize, usize)> {
-        let mut cells = Vec::new();
+    /// Visits the cells at Chebyshev ring `ring` around `(qx, qy)`, clipped
+    /// to the grid, without allocating: only the ring's perimeter is
+    /// traversed (O(ring) per ring instead of scanning and filtering the
+    /// full (2·ring+1)² square).
+    fn for_each_ring_cell(
+        &self,
+        qx: usize,
+        qy: usize,
+        ring: usize,
+        mut f: impl FnMut(usize, usize),
+    ) {
         let r = ring as isize;
         let (qx, qy) = (qx as isize, qy as isize);
-        for dx in -r..=r {
-            for dy in -r..=r {
-                if dx.abs().max(dy.abs()) != r {
-                    continue;
-                }
-                let cx = qx + dx;
-                let cy = qy + dy;
-                if cx >= 0
-                    && cy >= 0
-                    && (cx as usize) < self.cells_x
-                    && (cy as usize) < self.cells_y
-                {
-                    cells.push((cx as usize, cy as usize));
-                }
+        let visit = |cx: isize, cy: isize, f: &mut dyn FnMut(usize, usize)| {
+            if cx >= 0 && cy >= 0 && (cx as usize) < self.cells_x && (cy as usize) < self.cells_y {
+                f(cx as usize, cy as usize);
             }
+        };
+        if r == 0 {
+            visit(qx, qy, &mut f);
+            return;
         }
-        cells
+        // Top and bottom rows of the ring …
+        for dx in -r..=r {
+            visit(qx + dx, qy - r, &mut f);
+            visit(qx + dx, qy + r, &mut f);
+        }
+        // … and the two side columns, excluding the corners already visited.
+        for dy in (-r + 1)..=(r - 1) {
+            visit(qx - r, qy + dy, &mut f);
+            visit(qx + r, qy + dy, &mut f);
+        }
     }
 }
 
@@ -258,6 +286,41 @@ mod tests {
         let hits = index.within_radius(Point::new(0.0, 0.0), 10.0);
         // (0,0), (10,0), (0,10) are within Manhattan distance 10.
         assert_eq!(hits, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let mut points = grid_points(80, 7.0);
+        // A far-out-of-grid outlier lands in a clamped edge cell and must
+        // still be found by queries near it.
+        points.push(Point::new(500.0, -300.0));
+        let mut index = SpatialIndex::new(&points);
+        index.remove(13);
+        index.remove(57);
+        let queries = [
+            (Point::new(0.0, 0.0), 15.0),
+            (Point::new(31.0, 42.0), 9.5),
+            (Point::new(-20.0, -20.0), 60.0),
+            (Point::new(495.0, -290.0), 20.0),
+            (Point::new(30.0, 30.0), 0.0),
+            (Point::new(30.0, 30.0), -1.0),
+            (Point::new(30.0, 30.0), 1e6),
+        ];
+        for (q, r) in queries {
+            let brute: Vec<usize> = (0..points.len())
+                .filter(|&i| index.is_alive(i) && r >= 0.0 && points[i].manhattan(q) <= r)
+                .collect();
+            assert_eq!(index.within_radius(q, r), brute, "query {q:?} radius {r}");
+        }
+    }
+
+    #[test]
+    fn within_radius_on_empty_index_is_empty() {
+        let empty = SpatialIndex::new(&[]);
+        assert!(empty.within_radius(Point::new(0.0, 0.0), 100.0).is_empty());
+        let mut index = SpatialIndex::new(&[Point::new(1.0, 1.0)]);
+        index.remove(0);
+        assert!(index.within_radius(Point::new(1.0, 1.0), 100.0).is_empty());
     }
 
     #[test]

@@ -32,18 +32,31 @@ impl Default for EvalOptions {
 
 /// State of one transition edge arriving at a stage's driver input.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct EdgeState {
+pub(crate) struct EdgeState {
     /// Arrival time relative to the corresponding source edge, in ps.
-    arrival: f64,
+    pub(crate) arrival: f64,
     /// 10%–90% slew of the transition, in ps.
-    slew: f64,
+    pub(crate) slew: f64,
 }
 
 /// Rising and falling edge state at one point of the network.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct NodeState {
-    rise: EdgeState,
-    fall: EdgeState,
+pub(crate) struct NodeState {
+    pub(crate) rise: EdgeState,
+    pub(crate) fall: EdgeState,
+}
+
+/// Timing of one output transition at one tap, relative to the arrival of
+/// the causing input edge. Adding the input arrival yields the absolute
+/// arrival, so these are the cacheable per-stage quantities: they depend on
+/// the stage content, the supply corner, the transition direction and the
+/// input slew — but not on when the input edge arrives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RelTiming {
+    /// Stage delay (gate delay plus network delay), in ps.
+    pub(crate) delay: f64,
+    /// 10%–90% output slew at the tap, in ps.
+    pub(crate) slew: f64,
 }
 
 /// The clock-network evaluator ("circuit simulation tool" of the paper).
@@ -98,9 +111,15 @@ impl Evaluator {
         self.runs.set(0);
     }
 
+    /// Counts one "SPICE run" (used by the incremental evaluator, whose
+    /// evaluations must share this counter).
+    pub(crate) fn count_run(&self) {
+        self.runs.set(self.runs.get() + 1);
+    }
+
     /// Evaluates the netlist at both supply corners.
     pub fn evaluate(&self, netlist: &Netlist) -> EvalReport {
-        self.runs.set(self.runs.get() + 1);
+        self.count_run();
         let nominal = self.evaluate_corner(netlist, self.tech.nominal_corner.vdd);
         let low = self.evaluate_corner(netlist, self.tech.low_corner.vdd);
         EvalReport {
@@ -145,8 +164,39 @@ impl Evaluator {
                 (input.rise, input.fall)
             };
 
-            let rise_out = self.stage_output(stage, &driver, is_source, vdd, true, in_for_rise);
-            let fall_out = self.stage_output(stage, &driver, is_source, vdd, false, in_for_fall);
+            let taps = stage.taps.iter().map(|t| t.node);
+            let rise_rel = self.stage_rel_outputs(
+                &stage.tree,
+                taps.clone(),
+                &driver,
+                is_source,
+                vdd,
+                true,
+                in_for_rise.slew,
+            );
+            let fall_rel = self.stage_rel_outputs(
+                &stage.tree,
+                taps,
+                &driver,
+                is_source,
+                vdd,
+                false,
+                in_for_fall.slew,
+            );
+            let rise_out: Vec<EdgeState> = rise_rel
+                .iter()
+                .map(|t| EdgeState {
+                    arrival: in_for_rise.arrival + t.delay,
+                    slew: t.slew,
+                })
+                .collect();
+            let fall_out: Vec<EdgeState> = fall_rel
+                .iter()
+                .map(|t| EdgeState {
+                    arrival: in_for_fall.arrival + t.delay,
+                    slew: t.slew,
+                })
+                .collect();
 
             let mut sink_latest: Vec<(usize, TransitionTiming, TransitionTiming)> = Vec::new();
             for (tap_idx, tap) in stage.taps.iter().enumerate() {
@@ -189,17 +239,25 @@ impl Evaluator {
         }
     }
 
-    /// Computes, for every tap of `stage`, the arrival time and slew of the
-    /// requested output transition, given the causing input edge.
-    fn stage_output(
+    /// Computes, for the given tap nodes of a stage's RC tree, the delay and
+    /// slew of the requested output transition relative to the causing input
+    /// edge's arrival.
+    ///
+    /// This is the single stage-solving primitive shared by the full
+    /// evaluation above and by [`crate::incremental::IncrementalEvaluator`]'s
+    /// cached path, which guarantees the two produce bit-identical timing
+    /// for identical inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn stage_rel_outputs(
         &self,
-        stage: &crate::netlist::Stage,
+        tree: &crate::RcTree,
+        taps: impl Iterator<Item = usize>,
         driver: &DriverSpec,
         is_source: bool,
         vdd: f64,
         output_rising: bool,
-        input: EdgeState,
-    ) -> Vec<EdgeState> {
+        input_slew: f64,
+    ) -> Vec<RelTiming> {
         // The clock source sits off-chip: it does not derate with the
         // on-chip supply and has no rise/fall asymmetry.
         let (res, intrinsic) = if is_source {
@@ -210,46 +268,35 @@ impl Evaluator {
                 driver.corner_intrinsic(&self.tech, vdd),
             )
         };
-        let gate_delay = intrinsic + crate::driver::SLEW_DELAY_SENSITIVITY * input.slew;
+        let gate_delay = intrinsic + crate::driver::SLEW_DELAY_SENSITIVITY * input_slew;
 
         match self.options.model {
             DelayModel::Elmore | DelayModel::TwoPole => {
                 let two_pole = self.options.model == DelayModel::TwoPole;
-                let (m1, m2) = stage.tree.moments_from(res);
-                stage
-                    .taps
-                    .iter()
-                    .map(|tap| {
-                        let t = analytic_tap_timing(
-                            m1[tap.node],
-                            m2[tap.node],
-                            intrinsic,
-                            input.slew,
-                            two_pole,
-                        );
-                        EdgeState {
-                            arrival: input.arrival + t.delay,
-                            slew: t.slew,
-                        }
-                    })
-                    .collect()
+                let (m1, m2) = tree.moments_from(res);
+                taps.map(|node| {
+                    let t =
+                        analytic_tap_timing(m1[node], m2[node], intrinsic, input_slew, two_pole);
+                    RelTiming {
+                        delay: t.delay,
+                        slew: t.slew,
+                    }
+                })
+                .collect()
             }
             DelayModel::Transient => {
                 // The gate output ramp steepens with a stronger driver and
                 // degrades with a slow input edge.
                 let intrinsic_ramp =
                     2.0 * contango_tech::units::rc_ps(res, driver.output_cap.max(1.0));
-                let ramp = (intrinsic_ramp + 0.4 * input.slew).max(2.0);
-                let solver = TransientSolver::new(&stage.tree, res, vdd, ramp);
+                let ramp = (intrinsic_ramp + 0.4 * input_slew).max(2.0);
+                let solver = TransientSolver::new(tree, res, vdd, ramp);
                 let result = solver.solve();
-                stage
-                    .taps
-                    .iter()
-                    .map(|tap| EdgeState {
-                        arrival: input.arrival + gate_delay + result.delay50[tap.node],
-                        slew: result.slew[tap.node],
-                    })
-                    .collect()
+                taps.map(|node| RelTiming {
+                    delay: gate_delay + result.delay50[node],
+                    slew: result.slew[node],
+                })
+                .collect()
             }
         }
     }

@@ -1,0 +1,808 @@
+//! Incremental stage-level evaluation with content-addressed caching.
+//!
+//! Every round of Contango's optimization passes mutates a handful of tree
+//! edges and re-evaluates. A full evaluation re-lowers every stage and
+//! re-simulates each of them at both supply corners, even though all but the
+//! mutated stages (and their downstream cone, whose input slews shift) are
+//! unchanged. The [`IncrementalEvaluator`] makes each evaluation proportional
+//! to the size of the change instead:
+//!
+//! * every stage is identified by a 128-bit **content signature**
+//!   ([`StageSig`]) over everything that affects its lowered electrical form
+//!   — driver electricals, wire lengths/widths, snaking, sink and
+//!   downstream-input capacitance, and the in-stage tree shape;
+//! * lowered stages ([`LoweredStage`]) are cached by signature, so only
+//!   stages whose nodes changed are re-lowered by the caller;
+//! * per-stage transition solves are cached by `(supply, direction, input
+//!   slew)`. A stage is re-solved only when it is new **or** an upstream
+//!   change altered the slew arriving at its driver — exactly the downstream
+//!   cone of the mutation. Arrival-time shifts alone are propagated by
+//!   addition, without re-solving.
+//!
+//! Because cached solves are produced by the same
+//! `Evaluator::stage_rel_outputs` primitive the full evaluation uses, an
+//! incremental report is bit-identical to a full re-evaluation of the same
+//! tree — a property the workspace enforces with equivalence tests rather
+//! than trusting the cache keys.
+//!
+//! "SPICE run" counting is preserved: one [`IncrementalEvaluator::
+//! evaluate_slots`] call increments the shared run counter by one, cache
+//! hits notwithstanding, so Table-V-style reporting is unchanged.
+
+use crate::evaluator::{EdgeState, EvalOptions, Evaluator, NodeState, RelTiming};
+use crate::netlist::StageDriver;
+use crate::report::{CornerReport, EvalReport, SinkTiming, TransitionTiming};
+use crate::RcTree;
+use contango_tech::Technology;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Cached entries untouched for this many evaluations are evicted; rollbacks
+/// in the optimization passes reach at most a few evaluations back, so this
+/// keeps rejected-round stages warm while bounding memory.
+const KEEP_GENERATIONS: u64 = 32;
+
+/// Upper bound on cached transition solves per stage. A stage in steady
+/// state sees four keys (two corners × two directions); stages downstream
+/// of a repeatedly mutated region accumulate a new input slew per
+/// evaluation, and without a bound their solve maps would grow for the
+/// flow's lifetime. Clearing a full map costs one redundant solve round for
+/// that stage — negligible at this size.
+const MAX_SOLVES_PER_STAGE: usize = 64;
+
+/// 128-bit content signature of one lowered stage.
+///
+/// Two stages with the same signature lower to the same electrical stage and
+/// therefore share cache entries (symmetric clock trees routinely contain
+/// electrically identical stages, which the cache deduplicates for free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageSig {
+    lo: u64,
+    hi: u64,
+}
+
+/// Streaming hasher producing a [`StageSig`] from the content walk of a
+/// stage. Two independent 64-bit streams (FNV-1a and a splitmix-style
+/// multiplier) make accidental collisions across a flow's lifetime
+/// negligible.
+#[derive(Debug, Clone)]
+pub struct SigBuilder {
+    lo: u64,
+    hi: u64,
+}
+
+impl SigBuilder {
+    /// Starts a new signature.
+    pub fn new() -> Self {
+        Self {
+            lo: 0xcbf2_9ce4_8422_2325,
+            hi: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    /// Mixes one 64-bit word into both streams.
+    pub fn write_u64(&mut self, v: u64) {
+        self.lo = (self.lo ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        self.lo ^= self.lo >> 32;
+        self.hi = (self.hi ^ v.rotate_left(32)).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        self.hi ^= self.hi >> 29;
+    }
+
+    /// Mixes a float by bit pattern (`-0.0` and `0.0` hash differently,
+    /// which errs on the side of re-lowering).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Mixes a small tag discriminating record kinds within the walk.
+    pub fn write_tag(&mut self, tag: u8) {
+        self.write_u64(u64::from(tag));
+    }
+
+    /// Mixes an index-sized integer.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Mixes a boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Finalizes the signature.
+    pub fn finish(&self) -> StageSig {
+        StageSig {
+            lo: self.lo,
+            hi: self.hi,
+        }
+    }
+}
+
+impl Default for SigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a tap of an isolated stage feeds, in stage-local terms: global stage
+/// indices shift when the tree's structure changes, so cached stages refer
+/// to their downstream stages by tap ordinal instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalTapKind {
+    /// A clock sink with the given sink id.
+    Sink(usize),
+    /// The `k`-th downstream stage fed by this stage (in lowering order);
+    /// resolved to a global stage index through [`StageSlot::children`].
+    Child(usize),
+}
+
+/// A tap of an isolated stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalTap {
+    /// Node index within the stage's [`RcTree`].
+    pub node: usize,
+    /// What the tap feeds.
+    pub kind: LocalTapKind,
+}
+
+/// One stage lowered in isolation: the cacheable unit of incremental
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct LoweredStage {
+    /// The stage's driver.
+    pub driver: StageDriver,
+    /// The RC tree driven by the driver (node 0 is the driver output).
+    pub tree: RcTree,
+    /// The taps of this stage, in lowering order.
+    pub taps: Vec<LocalTap>,
+}
+
+/// One stage of an incremental evaluation request. Slot 0 is the root
+/// (source-driven) stage; `children[k]` is the slot index of the stage a
+/// `LocalTapKind::Child(k)` tap feeds.
+#[derive(Debug, Clone)]
+pub struct StageSlot {
+    /// Content signature of the stage.
+    pub sig: StageSig,
+    /// Slot indices of the downstream stages, by tap ordinal.
+    pub children: Vec<usize>,
+    /// The freshly lowered stage; `None` when
+    /// [`IncrementalEvaluator::is_cached`] reported the signature as already
+    /// cached, in which case the cached lowering is reused.
+    pub fresh: Option<LoweredStage>,
+}
+
+/// Key of one cached per-stage transition solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SolveKey {
+    vdd: u64,
+    rising: bool,
+    input_slew: u64,
+}
+
+/// A cached stage: its lowering plus every transition solve seen so far.
+#[derive(Debug, Clone)]
+struct CachedStage {
+    stage: LoweredStage,
+    total_cap: f64,
+    solves: HashMap<SolveKey, Vec<RelTiming>>,
+    last_used: u64,
+}
+
+/// Cache statistics of an [`IncrementalEvaluator`], for tests, logging and
+/// benchmark reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Stage lookups answered from the cache (no re-lowering needed).
+    pub stage_hits: u64,
+    /// Stage lookups that required a fresh lowering.
+    pub stage_misses: u64,
+    /// Transition solves answered from the cache.
+    pub solve_hits: u64,
+    /// Transition solves that ran the stage solver.
+    pub solve_misses: u64,
+}
+
+/// A persistent, cache-backed clock-network evaluator.
+///
+/// Wraps a full [`Evaluator`] (sharing its "SPICE run" counter, so run
+/// accounting is identical whichever path produced a report) and adds the
+/// per-stage caches described in the module docs. Callers lower stages
+/// through `contango_core::lower`, which asks [`Self::is_cached`] before
+/// lowering so unchanged stages are never re-lowered.
+#[derive(Debug)]
+pub struct IncrementalEvaluator {
+    inner: Evaluator,
+    cache: RefCell<HashMap<StageSig, CachedStage>>,
+    generation: Cell<u64>,
+    stats: Cell<CacheStats>,
+}
+
+impl IncrementalEvaluator {
+    /// Creates an incremental evaluator with the default (transient) model.
+    pub fn new(tech: Technology) -> Self {
+        Self::from_evaluator(Evaluator::new(tech))
+    }
+
+    /// Creates an incremental evaluator with explicit options.
+    pub fn with_options(tech: Technology, options: EvalOptions) -> Self {
+        Self::from_evaluator(Evaluator::with_options(tech, options))
+    }
+
+    /// Creates an incremental evaluator using a specific delay model.
+    pub fn with_model(tech: Technology, model: crate::DelayModel) -> Self {
+        Self::from_evaluator(Evaluator::with_model(tech, model))
+    }
+
+    /// Wraps an existing full evaluator (its run counter is shared).
+    pub fn from_evaluator(inner: Evaluator) -> Self {
+        Self {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+            generation: Cell::new(0),
+            stats: Cell::new(CacheStats::default()),
+        }
+    }
+
+    /// The wrapped full evaluator — the escape hatch for callers that need a
+    /// plain netlist evaluation (construction-time code, verification).
+    /// Runs through it count against the same "SPICE run" counter.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.inner
+    }
+
+    /// The technology in use.
+    pub fn technology(&self) -> &Technology {
+        self.inner.technology()
+    }
+
+    /// The delay model in use.
+    pub fn model(&self) -> crate::DelayModel {
+        self.inner.model()
+    }
+
+    /// Number of evaluations performed so far (the "SPICE run" count),
+    /// incremental and full alike.
+    pub fn runs(&self) -> usize {
+        self.inner.runs()
+    }
+
+    /// Resets the run counter.
+    pub fn reset_runs(&self) {
+        self.inner.reset_runs();
+    }
+
+    /// Returns `true` when a stage with this signature is already cached (in
+    /// which case [`StageSlot::fresh`] may be `None`).
+    pub fn is_cached(&self, sig: StageSig) -> bool {
+        self.cache.borrow().contains_key(&sig)
+    }
+
+    /// Number of distinct stages currently cached.
+    pub fn cached_stages(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Cache statistics accumulated since construction (or the last
+    /// [`Self::reset_stats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats.get()
+    }
+
+    /// Resets the cache statistics.
+    pub fn reset_stats(&self) {
+        self.stats.set(CacheStats::default());
+    }
+
+    /// Drops every cached stage and solve.
+    pub fn clear_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Evaluates a clock network presented as stage slots (slot 0 = the
+    /// source-driven root stage) at both supply corners.
+    ///
+    /// Counts as exactly one "SPICE run" regardless of how much of the work
+    /// was answered from the caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty, or a slot has `fresh == None` for a
+    /// signature the cache does not hold (a caller contract violation), or a
+    /// child index is out of range.
+    pub fn evaluate_slots(&self, slots: Vec<StageSlot>) -> EvalReport {
+        assert!(!slots.is_empty(), "cannot evaluate an empty stage list");
+        self.inner.count_run();
+        let gen = self.generation.get() + 1;
+        self.generation.set(gen);
+        let mut stats = self.stats.get();
+
+        let mut cache = self.cache.borrow_mut();
+        let mut meta: Vec<(StageSig, Vec<usize>)> = Vec::with_capacity(slots.len());
+        // Per-slot stage capacitance, captured while the cache entry is in
+        // hand. Summed in slot order — the same order `Netlist::total_cap`
+        // sums per-stage subtotals — so the total is bit-identical to the
+        // full path.
+        let mut total_cap = 0.0_f64;
+        for slot in slots {
+            match cache.entry(slot.sig) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let entry = e.get_mut();
+                    entry.last_used = gen;
+                    total_cap += entry.total_cap;
+                    stats.stage_hits += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    let stage = slot
+                        .fresh
+                        .expect("stages missing from the cache must be lowered by the caller");
+                    let stage_cap = stage.tree.total_cap();
+                    total_cap += stage_cap;
+                    v.insert(CachedStage {
+                        stage,
+                        total_cap: stage_cap,
+                        solves: HashMap::new(),
+                        last_used: gen,
+                    });
+                    stats.stage_misses += 1;
+                }
+            }
+            meta.push((slot.sig, slot.children));
+        }
+
+        let tech = self.inner.technology();
+        let (nominal_vdd, low_vdd) = (tech.nominal_corner.vdd, tech.low_corner.vdd);
+        let slew_limit = tech.slew_limit;
+        let nominal = self.evaluate_corner(&mut cache, &mut stats, &meta, nominal_vdd);
+        let low = self.evaluate_corner(&mut cache, &mut stats, &meta, low_vdd);
+        let buffer_count = meta.len().saturating_sub(1);
+
+        cache.retain(|_, e| e.last_used + KEEP_GENERATIONS >= gen);
+        self.stats.set(stats);
+
+        EvalReport {
+            nominal,
+            low,
+            total_cap,
+            slew_limit,
+            buffer_count,
+        }
+    }
+
+    /// Evaluates one supply corner over the cached stages, mirroring
+    /// `Evaluator::evaluate_corner` step for step.
+    fn evaluate_corner(
+        &self,
+        cache: &mut HashMap<StageSig, CachedStage>,
+        stats: &mut CacheStats,
+        meta: &[(StageSig, Vec<usize>)],
+        vdd: f64,
+    ) -> CornerReport {
+        let n = meta.len();
+        let source_slew = match cache[&meta[0].0].stage.driver {
+            StageDriver::Source(s) => s.slew,
+            // `Netlist::validate` rejects buffer-driven roots on the full
+            // path; fail just as loudly here.
+            StageDriver::Buffer(_) => panic!("root stage must be driven by the clock source"),
+        };
+        let mut inputs: Vec<Option<NodeState>> = vec![None; n];
+        inputs[0] = Some(NodeState {
+            rise: EdgeState {
+                arrival: 0.0,
+                slew: source_slew,
+            },
+            fall: EdgeState {
+                arrival: 0.0,
+                slew: source_slew,
+            },
+        });
+
+        let mut sinks: Vec<SinkTiming> = Vec::new();
+        let mut max_slew = 0.0_f64;
+        // Per-slot drive tracking, mirroring `Netlist::validate`'s `driven`
+        // array: a doubly-driven slot fails at the offending tap, and the
+        // final count catches undriven slots.
+        let mut driven = vec![false; n];
+        driven[0] = true;
+        let mut visited = 0usize;
+        let mut stack = vec![0usize];
+        while let Some(si) = stack.pop() {
+            visited += 1;
+            let input = inputs[si].expect("stage order guarantees inputs are known");
+            let entry = cache
+                .get_mut(&meta[si].0)
+                .expect("every slot was installed above");
+            let inverting = entry.stage.driver.inverting();
+            let (in_for_rise, in_for_fall) = if inverting {
+                (input.fall, input.rise)
+            } else {
+                (input.rise, input.fall)
+            };
+
+            let rise_out =
+                Self::transition_outputs(&self.inner, stats, entry, vdd, true, in_for_rise);
+            let fall_out =
+                Self::transition_outputs(&self.inner, stats, entry, vdd, false, in_for_fall);
+
+            // Children are pushed in tap order and popped LIFO — the same
+            // traversal `Netlist::topological_order` produces.
+            let mut pushed: Vec<usize> = Vec::new();
+            for (tap_idx, tap) in entry.stage.taps.iter().enumerate() {
+                let r = rise_out[tap_idx];
+                let f = fall_out[tap_idx];
+                max_slew = max_slew.max(r.slew).max(f.slew);
+                match tap.kind {
+                    LocalTapKind::Sink(id) => {
+                        sinks.push(SinkTiming {
+                            sink_id: id,
+                            rise: TransitionTiming {
+                                latency: r.arrival,
+                                slew: r.slew,
+                            },
+                            fall: TransitionTiming {
+                                latency: f.arrival,
+                                slew: f.slew,
+                            },
+                        });
+                    }
+                    LocalTapKind::Child(k) => {
+                        let child = meta[si].1[k];
+                        assert!(
+                            !driven[child],
+                            "stage slot {child} is driven more than once"
+                        );
+                        driven[child] = true;
+                        pushed.push(child);
+                        inputs[child] = Some(NodeState { rise: r, fall: f });
+                    }
+                }
+            }
+            stack.extend(pushed);
+        }
+
+        // The structural checks `Netlist::new` performs on the full path,
+        // preserved here so malformed slot graphs fail loudly instead of
+        // producing silently wrong reports: every stage driven exactly once
+        // (checked per tap above) and no sink or stage left undriven.
+        assert_eq!(
+            visited, n,
+            "stage slots do not form a tree: only {visited} of {n} stages are driven"
+        );
+        sinks.sort_by_key(|s| s.sink_id);
+        for pair in sinks.windows(2) {
+            assert_ne!(
+                pair[0].sink_id, pair[1].sink_id,
+                "sink {} is driven more than once",
+                pair[0].sink_id
+            );
+        }
+        CornerReport {
+            vdd,
+            sinks,
+            max_slew,
+        }
+    }
+
+    /// Returns the absolute output edge state at every tap of a cached
+    /// stage, solving the stage only when this `(supply, direction, input
+    /// slew)` combination has not been seen before.
+    fn transition_outputs(
+        evaluator: &Evaluator,
+        stats: &mut CacheStats,
+        entry: &mut CachedStage,
+        vdd: f64,
+        output_rising: bool,
+        input: EdgeState,
+    ) -> Vec<EdgeState> {
+        let key = SolveKey {
+            vdd: vdd.to_bits(),
+            rising: output_rising,
+            input_slew: input.slew.to_bits(),
+        };
+        // Bound the per-stage solve map before taking an entry; the extra
+        // lookup only runs in the rare at-capacity case.
+        if entry.solves.len() >= MAX_SOLVES_PER_STAGE && !entry.solves.contains_key(&key) {
+            entry.solves.clear();
+        }
+        // Split borrows: the solve entry holds `solves` mutably while the
+        // solver reads the stage.
+        let CachedStage { stage, solves, .. } = entry;
+        let rel = match solves.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                stats.solve_hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                stats.solve_misses += 1;
+                let driver = stage.driver.spec();
+                v.insert(evaluator.stage_rel_outputs(
+                    &stage.tree,
+                    stage.taps.iter().map(|t| t.node),
+                    &driver,
+                    stage.driver.is_source(),
+                    vdd,
+                    output_rising,
+                    input.slew,
+                ))
+            }
+        };
+        rel.iter()
+            .map(|t| EdgeState {
+                arrival: input.arrival + t.delay,
+                slew: t.slew,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{DriverSpec, SourceSpec};
+    use crate::netlist::{Netlist, Stage, Tap, TapKind};
+
+    /// Source → trunk wire → inverter → two asymmetric sink branches, as a
+    /// netlist (for the full evaluator) and as slots (for the incremental
+    /// one).
+    fn two_sink_network() -> (Netlist, Vec<StageSlot>) {
+        let tech = Technology::ispd09();
+        let buf = tech.composite(tech.small_inverter(), 8);
+        let d = DriverSpec::from_composite(&buf);
+
+        let mut t0 = RcTree::new();
+        let r0 = t0.add_root(1.0);
+        let trunk = t0.add_node(r0, 120.0, 60.0 + d.input_cap);
+        let mut t1 = RcTree::new();
+        let r1 = t1.add_root(d.output_cap);
+        let a = t1.add_node(r1, 60.0, 35.0);
+        let b = t1.add_node(r1, 260.0, 75.0);
+
+        let stage0 = Stage {
+            driver: StageDriver::Source(SourceSpec::ispd09()),
+            tree: t0.clone(),
+            taps: vec![Tap {
+                node: trunk,
+                kind: TapKind::Stage(1),
+            }],
+        };
+        let stage1 = Stage {
+            driver: StageDriver::Buffer(d),
+            tree: t1.clone(),
+            taps: vec![
+                Tap {
+                    node: a,
+                    kind: TapKind::Sink(0),
+                },
+                Tap {
+                    node: b,
+                    kind: TapKind::Sink(1),
+                },
+            ],
+        };
+        let netlist = Netlist::new(vec![stage0, stage1], 0).expect("valid netlist");
+
+        let mut s0 = SigBuilder::new();
+        s0.write_tag(0);
+        let mut s1 = SigBuilder::new();
+        s1.write_tag(1);
+        let slots = vec![
+            StageSlot {
+                sig: s0.finish(),
+                children: vec![1],
+                fresh: Some(LoweredStage {
+                    driver: StageDriver::Source(SourceSpec::ispd09()),
+                    tree: t0,
+                    taps: vec![LocalTap {
+                        node: trunk,
+                        kind: LocalTapKind::Child(0),
+                    }],
+                }),
+            },
+            StageSlot {
+                sig: s1.finish(),
+                children: vec![],
+                fresh: Some(LoweredStage {
+                    driver: StageDriver::Buffer(d),
+                    tree: t1,
+                    taps: vec![
+                        LocalTap {
+                            node: a,
+                            kind: LocalTapKind::Sink(0),
+                        },
+                        LocalTap {
+                            node: b,
+                            kind: LocalTapKind::Sink(1),
+                        },
+                    ],
+                }),
+            },
+        ];
+        (netlist, slots)
+    }
+
+    #[test]
+    fn incremental_report_is_bit_identical_to_full() {
+        let (netlist, slots) = two_sink_network();
+        let tech = Technology::ispd09();
+        let full = Evaluator::new(tech.clone()).evaluate(&netlist);
+        let inc = IncrementalEvaluator::new(tech);
+        let report = inc.evaluate_slots(slots.clone());
+        assert_eq!(report, full);
+        // Second evaluation: everything hits the caches, result unchanged.
+        let report2 = inc.evaluate_slots(
+            slots
+                .iter()
+                .map(|s| StageSlot {
+                    sig: s.sig,
+                    children: s.children.clone(),
+                    fresh: None,
+                })
+                .collect(),
+        );
+        assert_eq!(report2, full);
+        let stats = inc.stats();
+        assert_eq!(stats.stage_misses, 2);
+        assert_eq!(stats.stage_hits, 2);
+        assert!(stats.solve_hits >= stats.solve_misses);
+    }
+
+    #[test]
+    fn every_evaluation_counts_one_run() {
+        let (netlist, slots) = two_sink_network();
+        let inc = IncrementalEvaluator::new(Technology::ispd09());
+        assert_eq!(inc.runs(), 0);
+        let _ = inc.evaluate_slots(slots.clone());
+        let _ = inc.evaluate_slots(
+            slots
+                .iter()
+                .map(|s| StageSlot {
+                    sig: s.sig,
+                    children: s.children.clone(),
+                    fresh: None,
+                })
+                .collect(),
+        );
+        // The escape hatch shares the same counter.
+        let _ = inc.evaluator().evaluate(&netlist);
+        assert_eq!(inc.runs(), 3);
+        inc.reset_runs();
+        assert_eq!(inc.runs(), 0);
+    }
+
+    #[test]
+    fn stale_entries_are_evicted() {
+        let (_netlist, slots) = two_sink_network();
+        let inc = IncrementalEvaluator::new(Technology::ispd09());
+        let _ = inc.evaluate_slots(slots.clone());
+        assert_eq!(inc.cached_stages(), 2);
+        // Re-evaluate only the root slot's worth of content under a fresh
+        // signature for many generations; the original entries age out.
+        for i in 0..(KEEP_GENERATIONS + 2) {
+            let mut slot = slots[1].clone();
+            let mut sig = SigBuilder::new();
+            sig.write_u64(1000 + i);
+            slot.sig = sig.finish();
+            slot.children = vec![];
+            let mut root = slots[0].clone();
+            let mut rsig = SigBuilder::new();
+            rsig.write_u64(5000 + i);
+            root.sig = rsig.finish();
+            let _ = inc.evaluate_slots(vec![root, slot]);
+        }
+        assert!(!inc.is_cached(slots[0].sig));
+        assert!(!inc.is_cached(slots[1].sig));
+    }
+
+    #[test]
+    fn bounded_solve_cache_stays_correct_under_slew_churn() {
+        // Keep the downstream stage's content fixed while the upstream
+        // stage changes every round, so a new input slew reaches the fixed
+        // stage each time. Past MAX_SOLVES_PER_STAGE entries its solve map
+        // is cleared; results must stay bit-identical to full evaluation
+        // throughout.
+        let tech = Technology::ispd09();
+        let (netlist, slots) = two_sink_network();
+        let inc = IncrementalEvaluator::new(tech.clone());
+        let full = Evaluator::new(tech);
+        for round in 0..(MAX_SOLVES_PER_STAGE + 8) {
+            let extra_res = round as f64;
+            let mut n = netlist.clone();
+            let mut t0 = RcTree::new();
+            let r0 = t0.add_root(1.0);
+            let input_cap = n.stages[1].driver.spec().input_cap;
+            let trunk = t0.add_node(r0, 120.0 + extra_res, 60.0 + input_cap);
+            n.stages[0].tree = t0.clone();
+            n.stages[0].taps[0].node = trunk;
+
+            let mut sig = SigBuilder::new();
+            sig.write_f64(extra_res);
+            let root_slot = StageSlot {
+                sig: sig.finish(),
+                children: vec![1],
+                fresh: Some(LoweredStage {
+                    driver: n.stages[0].driver,
+                    tree: t0,
+                    taps: vec![LocalTap {
+                        node: trunk,
+                        kind: LocalTapKind::Child(0),
+                    }],
+                }),
+            };
+            let fixed_slot = StageSlot {
+                sig: slots[1].sig,
+                children: vec![],
+                fresh: if inc.is_cached(slots[1].sig) {
+                    None
+                } else {
+                    slots[1].fresh.clone()
+                },
+            };
+            let fast = inc.evaluate_slots(vec![root_slot, fixed_slot]);
+            assert_eq!(fast, full.evaluate(&n), "round {round}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root stage must be driven by the clock source")]
+    fn buffer_driven_root_is_rejected() {
+        let (_netlist, mut slots) = two_sink_network();
+        let buffer_driver = slots[1].fresh.as_ref().expect("fresh").driver;
+        slots[0].fresh.as_mut().expect("fresh").driver = buffer_driver;
+        let inc = IncrementalEvaluator::new(Technology::ispd09());
+        let _ = inc.evaluate_slots(slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage slots do not form a tree")]
+    fn undriven_stage_is_rejected() {
+        let (_netlist, mut slots) = two_sink_network();
+        // Sever the root's child link: slot 1 is never driven.
+        slots[0].children.clear();
+        slots[0].fresh.as_mut().expect("fresh").taps.clear();
+        let inc = IncrementalEvaluator::new(Technology::ispd09());
+        let _ = inc.evaluate_slots(slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "driven more than once")]
+    fn doubly_driven_stage_is_rejected() {
+        // Root drives slot 1 through two taps while no one drives anyone
+        // else; a global visit count alone would not notice, the per-slot
+        // drive tracking must.
+        let (_netlist, mut slots) = two_sink_network();
+        let root = slots[0].fresh.as_mut().expect("fresh");
+        let tap = root.taps[0];
+        root.taps.push(LocalTap {
+            node: tap.node,
+            kind: LocalTapKind::Child(1),
+        });
+        slots[0].children = vec![1, 1];
+        let inc = IncrementalEvaluator::new(Technology::ispd09());
+        let _ = inc.evaluate_slots(slots);
+    }
+
+    #[test]
+    #[should_panic(expected = "driven more than once")]
+    fn doubly_driven_sink_is_rejected() {
+        let (_netlist, mut slots) = two_sink_network();
+        let taps = &mut slots[1].fresh.as_mut().expect("fresh").taps;
+        taps[1].kind = LocalTapKind::Sink(0);
+        let inc = IncrementalEvaluator::new(Technology::ispd09());
+        let _ = inc.evaluate_slots(slots);
+    }
+
+    #[test]
+    fn sig_builder_is_order_sensitive() {
+        let mut a = SigBuilder::new();
+        a.write_f64(1.0);
+        a.write_f64(2.0);
+        let mut b = SigBuilder::new();
+        b.write_f64(2.0);
+        b.write_f64(1.0);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = SigBuilder::new();
+        c.write_f64(1.0);
+        c.write_f64(2.0);
+        assert_eq!(a.finish(), c.finish());
+    }
+}

@@ -43,6 +43,7 @@
 pub mod arnoldi;
 mod driver;
 mod evaluator;
+pub mod incremental;
 mod models;
 mod netlist;
 mod rctree;
@@ -54,6 +55,10 @@ pub mod variation;
 pub use arnoldi::{higher_moments, reduced_order_models, Moments, ReducedOrderModel};
 pub use driver::{DriverSpec, SourceSpec, RISE_FALL_ASYMMETRY, SLEW_DELAY_SENSITIVITY};
 pub use evaluator::{EvalOptions, Evaluator};
+pub use incremental::{
+    CacheStats, IncrementalEvaluator, LocalTap, LocalTapKind, LoweredStage, SigBuilder, StageSig,
+    StageSlot,
+};
 pub use models::DelayModel;
 pub use netlist::{Netlist, Stage, StageDriver, Tap, TapKind};
 pub use rctree::RcTree;
