@@ -8,17 +8,24 @@
 //! the comparison isolates exactly what the paper claims: the integrated
 //! optimization methodology, not the front-end.
 //!
-//! | Baseline | Stands in for | What it does |
+//! Every baseline is expressed as a [`Pipeline`]: the full Contango pipeline
+//! minus the optimization passes the stand-in tool lacks. `compare` therefore
+//! exercises exactly the same machinery as the real flow — a baseline is just
+//! a shorter pass list.
+//!
+//! | Baseline | Stands in for | Pipeline |
 //! |---|---|---|
-//! | [`BaselineKind::DmeNoTuning`] | U. of Michigan entry | DME + buffering + polarity, no skew/CLR tuning |
-//! | [`BaselineKind::WiresizingOnly`] | NTU entry | adds only the wiresizing loop |
-//! | [`BaselineKind::WeakBuffering`] | NCTU entry | untuned flow driven by single large inverters |
+//! | [`BaselineKind::DmeNoTuning`] | U. of Michigan entry | INITIAL only |
+//! | [`BaselineKind::WiresizingOnly`] | NTU entry | INITIAL + TWSZ |
+//! | [`BaselineKind::WeakBuffering`] | NCTU entry | INITIAL only, single large inverters |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use contango_core::error::CoreError;
 use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult};
 use contango_core::instance::ClockNetInstance;
+use contango_core::pipeline::{NoopObserver, Pipeline};
 use contango_tech::Technology;
 use serde::Serialize;
 
@@ -54,31 +61,49 @@ impl BaselineKind {
         }
     }
 
-    /// The flow configuration implementing this baseline.
+    /// The flow configuration implementing this baseline: Contango's fast
+    /// configuration with the missing optimization stages disabled (and
+    /// large single inverters for the weak-buffering stand-in), so the
+    /// legacy `ContangoFlow::new(tech, kind.config()).run(..)` path
+    /// produces the same result as [`BaselineKind::pipeline`].
     pub fn config(&self) -> FlowConfig {
-        let base = FlowConfig::fast();
+        let base = FlowConfig {
+            use_large_inverters: matches!(self, BaselineKind::WeakBuffering),
+            enable_buffer_sizing: false,
+            enable_wiresizing: false,
+            enable_wiresnaking: false,
+            enable_bottom_level: false,
+            ..FlowConfig::fast()
+        };
         match self {
-            BaselineKind::DmeNoTuning => FlowConfig {
-                enable_buffer_sizing: false,
-                enable_wiresizing: false,
-                enable_wiresnaking: false,
-                enable_bottom_level: false,
-                ..base
-            },
             BaselineKind::WiresizingOnly => FlowConfig {
-                enable_buffer_sizing: false,
-                enable_wiresnaking: false,
-                enable_bottom_level: false,
+                enable_wiresizing: true,
                 ..base
             },
-            BaselineKind::WeakBuffering => FlowConfig {
-                use_large_inverters: true,
-                enable_buffer_sizing: false,
-                enable_wiresizing: false,
-                enable_wiresnaking: false,
-                enable_bottom_level: false,
-                ..base
-            },
+            BaselineKind::DmeNoTuning | BaselineKind::WeakBuffering => base,
+        }
+    }
+
+    /// This baseline's pipeline: the *full* Contango pipeline minus the
+    /// optimization passes the stand-in tool lacks. Equivalent to the
+    /// `enable_*` shims of [`BaselineKind::config`]; expressed with
+    /// combinators so baselines exercise the same machinery users compose
+    /// with.
+    pub fn pipeline(&self) -> Pipeline {
+        let full = Pipeline::contango(&FlowConfig {
+            enable_buffer_sizing: true,
+            enable_wiresizing: true,
+            enable_wiresnaking: true,
+            enable_bottom_level: true,
+            ..self.config()
+        });
+        match self {
+            BaselineKind::DmeNoTuning | BaselineKind::WeakBuffering => full
+                .without("TBSZ")
+                .without("TWSZ")
+                .without("TWSN")
+                .without("BWSN"),
+            BaselineKind::WiresizingOnly => full.without("TBSZ").without("TWSN").without("BWSN"),
         }
     }
 }
@@ -93,8 +118,12 @@ pub fn run_baseline(
     kind: BaselineKind,
     tech: &Technology,
     instance: &ClockNetInstance,
-) -> Result<FlowResult, String> {
-    ContangoFlow::new(tech.clone(), kind.config()).run(instance)
+) -> Result<FlowResult, CoreError> {
+    ContangoFlow::new(tech.clone(), kind.config()).run_pipeline(
+        &kind.pipeline(),
+        instance,
+        &mut NoopObserver,
+    )
 }
 
 #[cfg(test)]
@@ -126,6 +155,33 @@ mod tests {
         assert_eq!(result.snapshots.len(), 1);
         let result = run_baseline(BaselineKind::WiresizingOnly, &tech, &inst).expect("runs");
         assert_eq!(result.snapshots.len(), 2);
+    }
+
+    #[test]
+    fn baseline_pipelines_are_trimmed_contango_pipelines() {
+        assert_eq!(BaselineKind::DmeNoTuning.pipeline().acronyms(), ["INITIAL"]);
+        assert_eq!(
+            BaselineKind::WiresizingOnly.pipeline().acronyms(),
+            ["INITIAL", "TWSZ"]
+        );
+        assert_eq!(
+            BaselineKind::WeakBuffering.pipeline().acronyms(),
+            ["INITIAL"]
+        );
+    }
+
+    #[test]
+    fn config_shims_agree_with_the_pipelines() {
+        // The legacy config()+run() path and the pipeline path must select
+        // the same passes.
+        for kind in BaselineKind::all() {
+            assert_eq!(
+                Pipeline::contango(&kind.config()).acronyms(),
+                kind.pipeline().acronyms(),
+                "{}",
+                kind.label()
+            );
+        }
     }
 
     #[test]

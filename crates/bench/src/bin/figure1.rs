@@ -12,13 +12,14 @@ use contango_benchmarks::ispd09_suite;
 use contango_core::flow::{ContangoFlow, FlowConfig, FlowStage};
 use contango_tech::Technology;
 
-fn objective(stage: FlowStage) -> &'static str {
-    match stage {
-        FlowStage::Initial => "construction (ZST/DME, obstacles, buffering, polarity)",
-        FlowStage::BufferSizing => "CLR (sliding, interleaving, trunk/branch sizing)",
-        FlowStage::WireSizing => "skew (top-down wiresizing, Algorithm 1)",
-        FlowStage::WireSnaking => "skew (top-down wiresnaking)",
-        FlowStage::BottomLevel => "skew + CLR (bottom-level fine-tuning)",
+fn objective(acronym: &str) -> &'static str {
+    match FlowStage::from_acronym(acronym) {
+        Some(FlowStage::Initial) => "construction (ZST/DME, obstacles, buffering, polarity)",
+        Some(FlowStage::BufferSizing) => "CLR (sliding, interleaving, trunk/branch sizing)",
+        Some(FlowStage::WireSizing) => "skew (top-down wiresizing, Algorithm 1)",
+        Some(FlowStage::WireSnaking) => "skew (top-down wiresnaking)",
+        Some(FlowStage::BottomLevel) => "skew + CLR (bottom-level fine-tuning)",
+        None => "custom pass",
     }
 }
 
@@ -54,8 +55,8 @@ fn main() {
                 };
                 println!(
                     "{:<10} {:<55} {:>9.2} {:>9.3} {:>6}",
-                    snap.stage.acronym(),
-                    objective(snap.stage),
+                    snap.stage,
+                    objective(&snap.stage),
                     snap.clr,
                     snap.skew,
                     verdict

@@ -24,7 +24,7 @@ fn main() {
                     println!(
                         "{:<14} {:<9} {:>10.2} {:>10.3} {:>12.0} {:>10}",
                         instance.name,
-                        snap.stage.acronym(),
+                        snap.stage,
                         snap.clr,
                         snap.skew,
                         snap.total_cap,

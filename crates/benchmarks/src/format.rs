@@ -10,6 +10,7 @@
 //! obstacle <x1> <y1> <x2> <y2>
 //! ```
 
+use crate::error::ParseError;
 use contango_core::instance::ClockNetInstance;
 use contango_geom::{Point, Rect};
 
@@ -48,7 +49,7 @@ pub fn write_instance(instance: &ClockNetInstance) -> String {
 ///
 /// Returns a message naming the offending line for any malformed input, and
 /// propagates instance-validation errors.
-pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
+pub fn parse_instance(text: &str) -> Result<ClockNetInstance, ParseError> {
     let mut name = String::from("unnamed");
     let mut die = Rect::new(0.0, 0.0, 1000.0, 1000.0);
     let mut source: Option<Point> = None;
@@ -62,9 +63,9 @@ pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        let parse = |s: &str| -> Result<f64, String> {
+        let parse = |s: &str| -> Result<f64, ParseError> {
             s.parse::<f64>()
-                .map_err(|_| format!("line {}: invalid number `{s}`", lineno + 1))
+                .map_err(|_| ParseError::syntax(lineno + 1, format!("invalid number `{s}`")))
         };
         match fields[0] {
             "name" if fields.len() >= 2 => name = fields[1].to_string(),
@@ -83,7 +84,7 @@ pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
             "sink" if fields.len() == 5 => {
                 let id = fields[1]
                     .parse::<usize>()
-                    .map_err(|_| format!("line {}: invalid sink id", lineno + 1))?;
+                    .map_err(|_| ParseError::syntax(lineno + 1, "invalid sink id"))?;
                 sinks.push((
                     id,
                     Point::new(parse(fields[2])?, parse(fields[3])?),
@@ -99,9 +100,9 @@ pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
                 ));
             }
             other => {
-                return Err(format!(
-                    "line {}: unrecognized record `{other}`",
-                    lineno + 1
+                return Err(ParseError::syntax(
+                    lineno + 1,
+                    format!("unrecognized record `{other}`"),
                 ))
             }
         }
@@ -116,16 +117,14 @@ pub fn parse_instance(text: &str) -> Result<ClockNetInstance, String> {
     }
     for (expected, &(id, loc, cap)) in sinks.iter().enumerate() {
         if id != expected {
-            return Err(format!(
-                "sink ids must be contiguous; missing id {expected}"
-            ));
+            return Err(ParseError::NonContiguousSinkIds { missing: expected });
         }
         builder = builder.sink(loc, cap);
     }
     for r in obstacles {
         builder = builder.obstacle(r);
     }
-    builder.build()
+    Ok(builder.build()?)
 }
 
 #[cfg(test)]
@@ -151,16 +150,16 @@ mod tests {
     #[test]
     fn malformed_lines_are_reported_with_line_numbers() {
         let err = parse_instance("name x\nbogus 1 2 3\n").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
         let err = parse_instance("sink 0 1 2 notanumber\n").unwrap_err();
-        assert!(err.contains("invalid number"), "{err}");
+        assert!(err.to_string().contains("invalid number"), "{err}");
     }
 
     #[test]
     fn missing_sink_ids_are_rejected() {
         let text = "name t\ndie 0 0 10 10\nsink 0 1 1 5\nsink 2 2 2 5\ncap_limit 100\n";
         let err = parse_instance(text).unwrap_err();
-        assert!(err.contains("contiguous"), "{err}");
+        assert_eq!(err, ParseError::NonContiguousSinkIds { missing: 1 });
     }
 
     #[test]

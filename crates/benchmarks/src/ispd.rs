@@ -32,6 +32,7 @@
 //! use the same information with slightly different keywords, so adapting a
 //! real contest file is a mechanical transformation.
 
+use crate::error::ParseError;
 use contango_core::instance::ClockNetInstance;
 use contango_geom::{Point, Rect};
 use contango_tech::{
@@ -110,7 +111,7 @@ pub fn write_ispd(instance: &ClockNetInstance, tech: &Technology) -> String {
 ///
 /// Returns a message naming the offending line for malformed records,
 /// missing sections, or inconsistent counts.
-pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
+pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, ParseError> {
     let mut lines = text
         .lines()
         .enumerate()
@@ -128,9 +129,9 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
     let mut corners = (1.2, 1.0);
     let mut cap_limit: Option<f64> = None;
 
-    let parse_f = |lineno: usize, s: &str| -> Result<f64, String> {
+    let parse_f = |lineno: usize, s: &str| -> Result<f64, ParseError> {
         s.parse::<f64>()
-            .map_err(|_| format!("line {lineno}: invalid number `{s}`"))
+            .map_err(|_| ParseError::syntax(lineno, format!("invalid number `{s}`")))
     };
 
     while let Some((lineno, line)) = lines.next() {
@@ -151,18 +152,18 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
             ["num", "sink", count] => {
                 let count: usize = count
                     .parse()
-                    .map_err(|_| format!("line {lineno}: invalid sink count"))?;
+                    .map_err(|_| ParseError::syntax(lineno, "invalid sink count"))?;
                 for _ in 0..count {
                     let (ln, l) = lines
                         .next()
-                        .ok_or_else(|| "unexpected end of file in sink section".to_string())?;
+                        .ok_or(ParseError::UnexpectedEof { section: "sink" })?;
                     let f: Vec<&str> = l.split_whitespace().collect();
                     if f.len() != 4 {
-                        return Err(format!("line {ln}: sink records need `id x y cap`"));
+                        return Err(ParseError::syntax(ln, "sink records need `id x y cap`"));
                     }
-                    let id: usize = f[0]
-                        .parse()
-                        .map_err(|_| format!("line {ln}: invalid sink id `{}`", f[0]))?;
+                    let id: usize = f[0].parse().map_err(|_| {
+                        ParseError::syntax(ln, format!("invalid sink id `{}`", f[0]))
+                    })?;
                     sinks.push((
                         id,
                         Point::new(parse_f(ln, f[1])?, parse_f(ln, f[2])?),
@@ -173,14 +174,17 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
             ["num", "blockage", count] => {
                 let count: usize = count
                     .parse()
-                    .map_err(|_| format!("line {lineno}: invalid blockage count"))?;
+                    .map_err(|_| ParseError::syntax(lineno, "invalid blockage count"))?;
                 for _ in 0..count {
-                    let (ln, l) = lines
-                        .next()
-                        .ok_or_else(|| "unexpected end of file in blockage section".to_string())?;
+                    let (ln, l) = lines.next().ok_or(ParseError::UnexpectedEof {
+                        section: "blockage",
+                    })?;
                     let f: Vec<&str> = l.split_whitespace().collect();
                     if f.len() != 4 {
-                        return Err(format!("line {ln}: blockage records need four coordinates"));
+                        return Err(ParseError::syntax(
+                            ln,
+                            "blockage records need four coordinates",
+                        ));
                     }
                     blockages.push(Rect::new(
                         parse_f(ln, f[0])?,
@@ -193,14 +197,14 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
             ["num", "wirecode", count] => {
                 let count: usize = count
                     .parse()
-                    .map_err(|_| format!("line {lineno}: invalid wirecode count"))?;
+                    .map_err(|_| ParseError::syntax(lineno, "invalid wirecode count"))?;
                 for _ in 0..count {
-                    let (ln, l) = lines
-                        .next()
-                        .ok_or_else(|| "unexpected end of file in wirecode section".to_string())?;
+                    let (ln, l) = lines.next().ok_or(ParseError::UnexpectedEof {
+                        section: "wirecode",
+                    })?;
                     let f: Vec<&str> = l.split_whitespace().collect();
                     if f.len() != 3 {
-                        return Err(format!("line {ln}: wirecode records need `label r c`"));
+                        return Err(ParseError::syntax(ln, "wirecode records need `label r c`"));
                     }
                     wirecodes.push((f[0].to_string(), parse_f(ln, f[1])?, parse_f(ln, f[2])?));
                 }
@@ -208,15 +212,16 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
             ["num", "buffer", count] => {
                 let count: usize = count
                     .parse()
-                    .map_err(|_| format!("line {lineno}: invalid buffer count"))?;
+                    .map_err(|_| ParseError::syntax(lineno, "invalid buffer count"))?;
                 for _ in 0..count {
                     let (ln, l) = lines
                         .next()
-                        .ok_or_else(|| "unexpected end of file in buffer section".to_string())?;
+                        .ok_or(ParseError::UnexpectedEof { section: "buffer" })?;
                     let f: Vec<&str> = l.split_whitespace().collect();
                     if f.len() != 5 {
-                        return Err(format!(
-                            "line {ln}: buffer records need `name in_cap out_cap out_res intrinsic`"
+                        return Err(ParseError::syntax(
+                            ln,
+                            "buffer records need `name in_cap out_cap out_res intrinsic`",
                         ));
                     }
                     buffers.push((
@@ -233,30 +238,34 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
                 corners = (parse_f(lineno, nominal)?, parse_f(lineno, low)?);
             }
             ["total_cap_limit", value] => cap_limit = Some(parse_f(lineno, value)?),
-            _ => return Err(format!("line {lineno}: unrecognized record `{line}`")),
+            _ => {
+                return Err(ParseError::syntax(
+                    lineno,
+                    format!("unrecognized record `{line}`"),
+                ))
+            }
         }
     }
 
     // ---- assemble the technology ----
     if wirecodes.len() != 2 {
-        return Err(format!(
-            "expected exactly two wire codes (narrow, wide); found {}",
-            wirecodes.len()
-        ));
+        return Err(ParseError::WireCodeCount {
+            found: wirecodes.len(),
+        });
     }
-    let code_for = |label: &str, width: WireWidth| -> Result<WireCode, String> {
+    let code_for = |label: &'static str, width: WireWidth| -> Result<WireCode, ParseError> {
         wirecodes
             .iter()
             .find(|(l, _, _)| l == label)
             .map(|&(_, r, c)| WireCode::new(width, r, c))
-            .ok_or_else(|| format!("missing `{label}` wire code"))
+            .ok_or(ParseError::MissingWireCode { label })
     };
     let wires = WireLibrary::new(
         code_for("narrow", WireWidth::Narrow)?,
         code_for("wide", WireWidth::Wide)?,
     );
     if buffers.is_empty() {
-        return Err("benchmark defines no buffers".to_string());
+        return Err(ParseError::NoBuffers);
     }
     // Inverter names: reuse the reference library's static names when they
     // match so equality with `Technology::ispd09()` holds after a round
@@ -309,8 +318,12 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
     );
 
     // ---- assemble the instance ----
-    let source = source.ok_or_else(|| "missing `sourcenode` record".to_string())?;
-    let cap_limit = cap_limit.ok_or_else(|| "missing `total_cap_limit` record".to_string())?;
+    let source = source.ok_or(ParseError::MissingRecord {
+        record: "sourcenode",
+    })?;
+    let cap_limit = cap_limit.ok_or(ParseError::MissingRecord {
+        record: "total_cap_limit",
+    })?;
     let die = die.unwrap_or_else(|| {
         // The contest files imply the die from the sink/blockage extent.
         let mut bbox = Rect::new(source.x, source.y, source.x, source.y);
@@ -329,9 +342,7 @@ pub fn parse_ispd(text: &str) -> Result<IspdBenchmark, String> {
         .cap_limit(cap_limit);
     for (expected, &(id, location, cap)) in sinks.iter().enumerate() {
         if id != expected {
-            return Err(format!(
-                "sink ids must be contiguous; missing id {expected}"
-            ));
+            return Err(ParseError::NonContiguousSinkIds { missing: expected });
         }
         builder = builder.sink(location, cap);
     }
@@ -409,23 +420,36 @@ total_cap_limit 120000000
 
     #[test]
     fn missing_sections_are_reported() {
-        assert!(parse_ispd("sourcenode 0 0\n")
-            .unwrap_err()
-            .contains("wire codes"));
+        assert_eq!(
+            parse_ispd("sourcenode 0 0\n").unwrap_err(),
+            ParseError::WireCodeCount { found: 0 }
+        );
         let no_source = "num sink 1\n0 1 1 5\ntotal_cap_limit 100\nnum wirecode 2\nnarrow 0.1 0.2\nwide 0.05 0.3\nnum buffer 1\nX 1 2 3 4\n";
-        assert!(parse_ispd(no_source).unwrap_err().contains("sourcenode"));
+        assert_eq!(
+            parse_ispd(no_source).unwrap_err(),
+            ParseError::MissingRecord {
+                record: "sourcenode"
+            }
+        );
     }
 
     #[test]
     fn malformed_sections_are_reported_with_line_numbers() {
         let truncated_sinks = "sourcenode 0 0\nnum sink 2\n0 1 1 5\n";
-        assert!(parse_ispd(truncated_sinks)
-            .unwrap_err()
-            .contains("end of file"));
+        assert_eq!(
+            parse_ispd(truncated_sinks).unwrap_err(),
+            ParseError::UnexpectedEof { section: "sink" }
+        );
         let bad_number = "sourcenode 0 zero\n";
-        assert!(parse_ispd(bad_number).unwrap_err().contains("line 1"));
+        assert!(parse_ispd(bad_number)
+            .unwrap_err()
+            .to_string()
+            .contains("line 1"));
         let bad_record = "sourcenode 0 0\nfrobnicate 1 2\n";
-        assert!(parse_ispd(bad_record).unwrap_err().contains("line 2"));
+        assert!(parse_ispd(bad_record)
+            .unwrap_err()
+            .to_string()
+            .contains("line 2"));
     }
 
     #[test]
@@ -441,7 +465,10 @@ num buffer 1
 X 1 2 3 4
 total_cap_limit 1000
 ";
-        assert!(parse_ispd(text).unwrap_err().contains("narrow"));
+        assert_eq!(
+            parse_ispd(text).unwrap_err(),
+            ParseError::MissingWireCode { label: "narrow" }
+        );
     }
 
     #[test]

@@ -10,9 +10,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod format;
 pub mod generator;
 
+pub use error::ParseError;
 pub use generator::{ispd09_suite, make_instance, ti_instance, BenchmarkSpec};
 pub mod ispd;
 pub mod report;

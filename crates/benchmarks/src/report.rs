@@ -201,7 +201,7 @@ pub fn stage_table(benchmark: &str, result: &FlowResult) -> Table {
     for snapshot in &result.snapshots {
         table.push_row([
             benchmark.to_string(),
-            snapshot.stage.acronym().to_string(),
+            snapshot.stage.clone(),
             format_ps(snapshot.clr),
             format_ps(snapshot.skew),
             format!("{:.1}", snapshot.total_cap),

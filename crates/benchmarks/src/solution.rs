@@ -17,6 +17,7 @@
 //! the in-memory ids of the tree that produced the file; everything else —
 //! geometry, widths, snaking, buffers, sink bindings — round-trips exactly.
 
+use crate::error::ParseError;
 use contango_core::tree::{ClockTree, NodeKind, WireSegment};
 use contango_geom::Point;
 use contango_tech::{Technology, WireWidth};
@@ -82,7 +83,7 @@ pub fn write_solution(tree: &ClockTree) -> String {
 ///
 /// Returns a message naming the offending line for malformed input, unknown
 /// inverters, missing parents or duplicate sink ids.
-pub fn parse_solution(text: &str, tech: &Technology) -> Result<ClockTree, String> {
+pub fn parse_solution(text: &str, tech: &Technology) -> Result<ClockTree, ParseError> {
     let mut tree: Option<ClockTree> = None;
     let mut declared_nodes: Option<usize> = None;
     let mut seen_nodes = 0usize;
@@ -93,12 +94,12 @@ pub fn parse_solution(text: &str, tech: &Technology) -> Result<ClockTree, String
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
-        let line_err = |msg: &str| format!("line {}: {msg}", lineno + 1);
-        let parse_f64 = |s: &str| -> Result<f64, String> {
+        let line_err = |msg: &str| ParseError::syntax(lineno + 1, msg);
+        let parse_f64 = |s: &str| -> Result<f64, ParseError> {
             s.parse::<f64>()
                 .map_err(|_| line_err(&format!("invalid number `{s}`")))
         };
-        let parse_usize = |s: &str| -> Result<usize, String> {
+        let parse_usize = |s: &str| -> Result<usize, ParseError> {
             s.parse::<usize>()
                 .map_err(|_| line_err(&format!("invalid index `{s}`")))
         };
@@ -205,20 +206,21 @@ pub fn parse_solution(text: &str, tech: &Technology) -> Result<ClockTree, String
                 seen_nodes += 1;
             }
             other => {
-                return Err(format!(
-                    "line {}: unrecognized record `{other}`",
-                    lineno + 1
+                return Err(ParseError::syntax(
+                    lineno + 1,
+                    format!("unrecognized record `{other}`"),
                 ))
             }
         }
     }
 
-    let tree = tree.ok_or_else(|| "solution contains no nodes".to_string())?;
+    let tree = tree.ok_or(ParseError::EmptySolution)?;
     if let Some(declared) = declared_nodes {
         if declared != seen_nodes {
-            return Err(format!(
-                "node count mismatch: header declares {declared}, file contains {seen_nodes}"
-            ));
+            return Err(ParseError::NodeCountMismatch {
+                declared,
+                seen: seen_nodes,
+            });
         }
     }
     tree.validate()?;
@@ -298,17 +300,23 @@ mod tests {
         let missing_root = "node 0 parent 4 at 0 0 internal - - wire wide extra 0\n";
         assert!(parse_solution(missing_root, &tech)
             .unwrap_err()
+            .to_string()
             .contains("line 1"));
         let unknown_inverter =
             "node 0 parent - at 0 0 internal - - wire wide extra 0 buffer BOGUS 2\n";
         assert!(parse_solution(unknown_inverter, &tech)
             .unwrap_err()
+            .to_string()
             .contains("unknown inverter"));
         let bad_width = "node 0 parent - at 0 0 internal - - wire medium extra 0\n";
         assert!(parse_solution(bad_width, &tech)
             .unwrap_err()
+            .to_string()
             .contains("wire width"));
-        assert!(parse_solution("", &tech).unwrap_err().contains("no nodes"));
+        assert_eq!(
+            parse_solution("", &tech).unwrap_err(),
+            ParseError::EmptySolution
+        );
     }
 
     #[test]
@@ -317,6 +325,7 @@ mod tests {
         let text = "nodes 2\nnode 0 parent - at 0 0 internal - - wire wide extra 0\n";
         assert!(parse_solution(text, &tech)
             .unwrap_err()
+            .to_string()
             .contains("node count mismatch"));
     }
 
@@ -330,6 +339,7 @@ node 2 parent 0 at 20 0 sink 0 5 wire wide extra 0
 ";
         assert!(parse_solution(text, &tech)
             .unwrap_err()
+            .to_string()
             .contains("duplicate sink"));
     }
 

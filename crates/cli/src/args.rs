@@ -1,12 +1,69 @@
 //! Command-line argument parsing.
 //!
 //! The parser is hand-rolled (no external dependency) and purely
-//! functional: it turns an argument vector into a [`Command`] value or an
-//! error message, so it can be unit-tested without touching the filesystem
-//! or spawning processes.
+//! functional: it turns an argument vector into a [`Command`] value or a
+//! typed [`ArgError`], so it can be unit-tested without touching the
+//! filesystem or spawning processes.
 
+use contango_core::flow::FlowStage;
 use contango_core::topology::TopologyKind;
 use contango_sim::DelayModel;
+use std::fmt;
+
+/// A problem with the argument vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// The first argument names no known command.
+    UnknownCommand(String),
+    /// A required flag is absent.
+    MissingFlag(&'static str),
+    /// A flag that expects a value appeared last.
+    MissingValue(String),
+    /// An argument was neither a known flag nor a flag value.
+    Unrecognized(String),
+    /// A flag's value is not one of its accepted values.
+    InvalidValue {
+        /// The flag.
+        flag: &'static str,
+        /// The rejected value.
+        value: String,
+    },
+    /// `generate` needs exactly one of `--suite` and `--ti`.
+    GenerateSourceConflict,
+    /// `--stages`/`--skip` named something that is not a flow stage.
+    UnknownStage(String),
+    /// `--stages` was given without naming any stage.
+    EmptyStageList,
+    /// `--skip` tried to drop the construction stage.
+    SkipInitial,
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::UnknownCommand(cmd) => write!(f, "unknown command `{cmd}`\n\n{USAGE}"),
+            ArgError::MissingFlag(flag) => write!(f, "missing required flag `{flag}`"),
+            ArgError::MissingValue(flag) => write!(f, "flag `{flag}` expects a value"),
+            ArgError::Unrecognized(arg) => write!(f, "unrecognized argument `{arg}`"),
+            ArgError::InvalidValue { flag, value } => {
+                write!(f, "invalid value `{value}` for `{flag}`")
+            }
+            ArgError::GenerateSourceConflict => {
+                write!(f, "generate needs exactly one of --suite or --ti <sinks>")
+            }
+            ArgError::UnknownStage(stage) => write!(
+                f,
+                "unknown stage `{stage}` (expected one of INITIAL, TBSZ, TWSZ, TWSN, BWSN)"
+            ),
+            ArgError::EmptyStageList => write!(f, "`--stages` needs at least one stage"),
+            ArgError::SkipInitial => {
+                write!(f, "the INITIAL construction stage cannot be skipped")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
 
 /// Output format of tabular reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,6 +88,11 @@ pub struct FlowOptions {
     pub topology: TopologyKind,
     /// Delay model driving the optimization loops.
     pub model: DelayModel,
+    /// Run only these optimization stages (INITIAL always runs), in
+    /// methodology order; `None` keeps the configuration's stages.
+    pub stages: Option<Vec<String>>,
+    /// Optimization stages to drop from the pipeline.
+    pub skip: Vec<String>,
 }
 
 impl Default for FlowOptions {
@@ -40,6 +102,8 @@ impl Default for FlowOptions {
             large_inverters: false,
             topology: TopologyKind::Dme,
             model: DelayModel::Transient,
+            stages: None,
+            skip: Vec::new(),
         }
     }
 }
@@ -107,18 +171,24 @@ USAGE:
   contango-cts run --input <file> [--solution-out <file>] [--fast]
                    [--large-inverters] [--topology dme|greedy-matching|h-tree|fishbone]
                    [--model elmore|two-pole|transient] [--format text|markdown|csv]
+                   [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]]
   contango-cts evaluate --instance <file> --solution <file>
   contango-cts compare --input <file> [--fast] [--format text|markdown|csv]
+                   [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]]
   contango-cts spice-deck --instance <file> --solution <file> [--low-corner] --out <file>
   contango-cts help
+
+  --stages runs only the listed optimization stages, in the order listed
+  (the INITIAL construction always runs first); --skip drops stages from
+  the pipeline.
 ";
 
 /// Parses an argument vector (excluding the program name).
 ///
 /// # Errors
 ///
-/// Returns a human-readable message describing the first problem found.
-pub fn parse_args(args: &[String]) -> Result<Command, String> {
+/// Returns an [`ArgError`] describing the first problem found.
+pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
     let mut it = args.iter().map(String::as_str);
     let command = it.next().unwrap_or("help");
     let rest: Vec<&str> = it.collect();
@@ -129,7 +199,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "evaluate" => parse_evaluate(&rest),
         "compare" => parse_compare(&rest),
         "spice-deck" => parse_spice_deck(&rest),
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
 
@@ -159,11 +229,11 @@ impl<'a> Scanner<'a> {
     }
 
     /// Returns the value following `name`, if present.
-    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+    fn value(&mut self, name: &str) -> Result<Option<String>, ArgError> {
         for (i, &a) in self.args.iter().enumerate() {
             if !self.used[i] && a == name {
                 let Some(&value) = self.args.get(i + 1) else {
-                    return Err(format!("flag `{name}` expects a value"));
+                    return Err(ArgError::MissingValue(name.to_string()));
                 };
                 self.used[i] = true;
                 self.used[i + 1] = true;
@@ -174,23 +244,40 @@ impl<'a> Scanner<'a> {
     }
 
     /// Like [`Scanner::value`] but the flag is mandatory.
-    fn required(&mut self, name: &str) -> Result<String, String> {
-        self.value(name)?
-            .ok_or_else(|| format!("missing required flag `{name}`"))
+    fn required(&mut self, name: &'static str) -> Result<String, ArgError> {
+        self.value(name)?.ok_or(ArgError::MissingFlag(name))
     }
 
     /// Errors on any argument that was not consumed.
-    fn finish(&self) -> Result<(), String> {
+    fn finish(&self) -> Result<(), ArgError> {
         for (i, &a) in self.args.iter().enumerate() {
             if !self.used[i] {
-                return Err(format!("unrecognized argument `{a}`"));
+                return Err(ArgError::Unrecognized(a.to_string()));
             }
         }
         Ok(())
     }
 }
 
-fn parse_flow_options(scan: &mut Scanner<'_>) -> Result<FlowOptions, String> {
+/// Parses a comma-separated stage list, normalizing to upper-case Table-III
+/// acronyms and rejecting anything that is not one of the canonical five.
+fn parse_stage_list(value: &str) -> Result<Vec<String>, ArgError> {
+    let mut stages = Vec::new();
+    for raw in value.split(',') {
+        let token = raw.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let acronym = token.to_ascii_uppercase();
+        if FlowStage::from_acronym(&acronym).is_none() {
+            return Err(ArgError::UnknownStage(token.to_string()));
+        }
+        stages.push(acronym);
+    }
+    Ok(stages)
+}
+
+fn parse_flow_options(scan: &mut Scanner<'_>) -> Result<FlowOptions, ArgError> {
     let mut flow = FlowOptions {
         fast: scan.flag("--fast"),
         large_inverters: scan.flag("--large-inverters"),
@@ -202,7 +289,12 @@ fn parse_flow_options(scan: &mut Scanner<'_>) -> Result<FlowOptions, String> {
             "greedy-matching" => TopologyKind::GreedyMatching,
             "h-tree" => TopologyKind::HTree,
             "fishbone" => TopologyKind::Fishbone,
-            other => return Err(format!("unknown topology `{other}`")),
+            _ => {
+                return Err(ArgError::InvalidValue {
+                    flag: "--topology",
+                    value: topology,
+                })
+            }
         };
     }
     if let Some(model) = scan.value("--model")? {
@@ -210,35 +302,61 @@ fn parse_flow_options(scan: &mut Scanner<'_>) -> Result<FlowOptions, String> {
             "elmore" => DelayModel::Elmore,
             "two-pole" => DelayModel::TwoPole,
             "transient" => DelayModel::Transient,
-            other => return Err(format!("unknown delay model `{other}`")),
+            _ => {
+                return Err(ArgError::InvalidValue {
+                    flag: "--model",
+                    value: model,
+                })
+            }
         };
+    }
+    if let Some(stages) = scan.value("--stages")? {
+        let parsed = parse_stage_list(&stages)?;
+        if parsed.is_empty() {
+            return Err(ArgError::EmptyStageList);
+        }
+        flow.stages = Some(parsed);
+    }
+    if let Some(skip) = scan.value("--skip")? {
+        let stages = parse_stage_list(&skip)?;
+        if stages.iter().any(|s| s == "INITIAL") {
+            return Err(ArgError::SkipInitial);
+        }
+        flow.skip = stages;
     }
     Ok(flow)
 }
 
-fn parse_format(scan: &mut Scanner<'_>) -> Result<ReportFormat, String> {
+fn parse_format(scan: &mut Scanner<'_>) -> Result<ReportFormat, ArgError> {
     Ok(match scan.value("--format")?.as_deref() {
         None | Some("text") => ReportFormat::Text,
         Some("markdown") | Some("md") => ReportFormat::Markdown,
         Some("csv") => ReportFormat::Csv,
-        Some(other) => return Err(format!("unknown report format `{other}`")),
+        Some(other) => {
+            return Err(ArgError::InvalidValue {
+                flag: "--format",
+                value: other.to_string(),
+            })
+        }
     })
 }
 
-fn parse_generate(args: &[&str]) -> Result<Command, String> {
+fn parse_generate(args: &[&str]) -> Result<Command, ArgError> {
     let mut scan = Scanner::new(args);
     let suite = scan.flag("--suite");
     let ti_sinks = scan
         .value("--ti")?
         .map(|v| {
-            v.parse::<usize>()
-                .map_err(|_| format!("invalid sink count `{v}`"))
+            v.parse::<usize>().map_err(|_| ArgError::InvalidValue {
+                flag: "--ti",
+                value: v.clone(),
+            })
         })
         .transpose()?;
     let out = scan.required("--out")?;
     scan.finish()?;
     if suite == ti_sinks.is_some() {
-        return Err("generate needs exactly one of --suite or --ti <sinks>".to_string());
+        return Err(ArgError::GenerateSourceConflict);
     }
     Ok(Command::Generate {
         suite,
@@ -247,7 +365,7 @@ fn parse_generate(args: &[&str]) -> Result<Command, String> {
     })
 }
 
-fn parse_run(args: &[&str]) -> Result<Command, String> {
+fn parse_run(args: &[&str]) -> Result<Command, ArgError> {
     let mut scan = Scanner::new(args);
     let input = scan.required("--input")?;
     let solution_out = scan.value("--solution-out")?;
@@ -262,7 +380,7 @@ fn parse_run(args: &[&str]) -> Result<Command, String> {
     })
 }
 
-fn parse_evaluate(args: &[&str]) -> Result<Command, String> {
+fn parse_evaluate(args: &[&str]) -> Result<Command, ArgError> {
     let mut scan = Scanner::new(args);
     let instance = scan.required("--instance")?;
     let solution = scan.required("--solution")?;
@@ -270,7 +388,7 @@ fn parse_evaluate(args: &[&str]) -> Result<Command, String> {
     Ok(Command::Evaluate { instance, solution })
 }
 
-fn parse_compare(args: &[&str]) -> Result<Command, String> {
+fn parse_compare(args: &[&str]) -> Result<Command, ArgError> {
     let mut scan = Scanner::new(args);
     let input = scan.required("--input")?;
     let flow = parse_flow_options(&mut scan)?;
@@ -283,7 +401,7 @@ fn parse_compare(args: &[&str]) -> Result<Command, String> {
     })
 }
 
-fn parse_spice_deck(args: &[&str]) -> Result<Command, String> {
+fn parse_spice_deck(args: &[&str]) -> Result<Command, ArgError> {
     let mut scan = Scanner::new(args);
     let instance = scan.required("--instance")?;
     let solution = scan.required("--solution")?;
@@ -345,6 +463,8 @@ mod tests {
                 assert!(!flow.large_inverters);
                 assert_eq!(flow.topology, TopologyKind::HTree);
                 assert_eq!(flow.model, DelayModel::TwoPole);
+                assert_eq!(flow.stages, None);
+                assert!(flow.skip.is_empty());
                 assert_eq!(format, ReportFormat::Csv);
             }
             other => panic!("unexpected command {other:?}"),
@@ -352,8 +472,80 @@ mod tests {
     }
 
     #[test]
+    fn stages_parse_as_normalized_acronym_lists() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--input",
+            "b.txt",
+            "--stages",
+            "tbsz,TWSZ",
+            "--skip",
+            "bwsn",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Run { flow, .. } => {
+                assert_eq!(
+                    flow.stages,
+                    Some(vec!["TBSZ".to_string(), "TWSZ".to_string()])
+                );
+                assert_eq!(flow.skip, vec!["BWSN".to_string()]);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_lists_tolerate_spaces_and_empty_items() {
+        assert_eq!(
+            parse_stage_list("TBSZ, twsn,,").expect("parses"),
+            vec!["TBSZ".to_string(), "TWSN".to_string()]
+        );
+    }
+
+    #[test]
+    fn wholly_empty_stage_list_is_rejected() {
+        for value in ["", ",", " , "] {
+            let err = parse_args(&args(&["run", "--input", "b", "--stages", value])).unwrap_err();
+            assert_eq!(err, ArgError::EmptyStageList, "value: {value:?}");
+        }
+        // An empty --skip is a harmless no-op, not an error.
+        assert!(parse_args(&args(&["run", "--input", "b", "--skip", ""])).is_ok());
+    }
+
+    #[test]
+    fn unknown_stages_are_rejected() {
+        let err = parse_args(&args(&["run", "--input", "b", "--stages", "TBSZ,MESH"])).unwrap_err();
+        assert_eq!(err, ArgError::UnknownStage("MESH".to_string()));
+        assert!(err.to_string().contains("MESH"));
+        let err = parse_args(&args(&["compare", "--input", "b", "--skip", "wat"])).unwrap_err();
+        assert_eq!(err, ArgError::UnknownStage("wat".to_string()));
+    }
+
+    #[test]
+    fn skipping_initial_is_rejected() {
+        let err = parse_args(&args(&["run", "--input", "b", "--skip", "INITIAL"])).unwrap_err();
+        assert_eq!(err, ArgError::SkipInitial);
+        // ...but selecting it via --stages is fine (it always runs anyway).
+        assert!(parse_args(&args(&["run", "--input", "b", "--stages", "INITIAL,TWSZ"])).is_ok());
+    }
+
+    #[test]
+    fn compare_accepts_stage_flags() {
+        let cmd = parse_args(&args(&["compare", "--input", "b.txt", "--stages", "TWSZ"]))
+            .expect("parses");
+        match cmd {
+            Command::Compare { flow, .. } => {
+                assert_eq!(flow.stages, Some(vec!["TWSZ".to_string()]));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
     fn generate_requires_exactly_one_source() {
-        assert!(parse_args(&args(&["generate", "--out", "d"])).is_err());
+        let err = parse_args(&args(&["generate", "--out", "d"])).unwrap_err();
+        assert_eq!(err, ArgError::GenerateSourceConflict);
         assert!(parse_args(&args(&["generate", "--suite", "--ti", "100", "--out", "d"])).is_err());
         let cmd = parse_args(&args(&["generate", "--ti", "500", "--out", "ti.txt"])).expect("ok");
         assert_eq!(
@@ -369,13 +561,22 @@ mod tests {
     #[test]
     fn missing_and_unknown_flags_are_reported() {
         let err = parse_args(&args(&["run"])).unwrap_err();
-        assert!(err.contains("--input"));
+        assert_eq!(err, ArgError::MissingFlag("--input"));
+        assert!(err.to_string().contains("--input"));
         let err = parse_args(&args(&["run", "--input", "x", "--bogus"])).unwrap_err();
-        assert!(err.contains("--bogus"));
+        assert_eq!(err, ArgError::Unrecognized("--bogus".to_string()));
         let err = parse_args(&args(&["run", "--input", "x", "--topology", "ring"])).unwrap_err();
-        assert!(err.contains("topology"));
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--topology",
+                value: "ring".to_string()
+            }
+        );
+        assert!(err.to_string().contains("topology"));
         let err = parse_args(&args(&["frobnicate"])).unwrap_err();
-        assert!(err.contains("unknown command"));
+        assert_eq!(err, ArgError::UnknownCommand("frobnicate".to_string()));
+        assert!(err.to_string().contains("unknown command"));
     }
 
     #[test]
@@ -420,6 +621,7 @@ mod tests {
     #[test]
     fn flag_value_pairs_cannot_dangle() {
         let err = parse_args(&args(&["run", "--input"])).unwrap_err();
-        assert!(err.contains("expects a value"));
+        assert_eq!(err, ArgError::MissingValue("--input".to_string()));
+        assert!(err.to_string().contains("expects a value"));
     }
 }

@@ -10,7 +10,10 @@
 //! * `spice-deck` — emit a transient SPICE deck for external validation.
 //!
 //! All I/O goes through [`execute`], which returns the report text, so the
-//! whole tool is unit-testable without spawning processes.
+//! whole tool is unit-testable without spawning processes. Synthesis is
+//! driven through the [`Pipeline`] API: `--stages`/`--skip` trim the
+//! default pass list, and a [`FlowObserver`] streams per-stage progress to
+//! stderr while the flow runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,28 +22,143 @@ pub mod args;
 
 use args::{Command, FlowOptions, ReportFormat};
 use contango_baselines::{run_baseline, BaselineKind};
+use contango_benchmarks::error::ParseError;
 use contango_benchmarks::format::{parse_instance, write_instance};
 use contango_benchmarks::generator::{ispd09_suite, make_instance, ti_instance};
 use contango_benchmarks::report::{comparison_table, stage_table, RunSummary, Table};
 use contango_benchmarks::solution::{parse_solution, write_solution};
-use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult};
+use contango_core::error::CoreError;
+use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult, StageSnapshot};
 use contango_core::instance::ClockNetInstance;
 use contango_core::lower::to_netlist;
+use contango_core::opt::PassOutcome;
+use contango_core::pipeline::{FlowObserver, Pass, Pipeline};
 use contango_sim::spice::{write_deck, DeckOptions};
 use contango_sim::Evaluator;
 use contango_tech::Technology;
+use std::fmt;
 use std::fs;
+use std::io;
 use std::path::Path;
 
 pub use args::{parse_args, USAGE};
+
+/// Any failure of a CLI command.
+///
+/// Argument-vector problems are reported separately, as
+/// [`ArgError`](args::ArgError) from [`parse_args`], because the binary
+/// distinguishes usage errors (exit code 2) from runtime errors (exit
+/// code 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// A file could not be read, written or created.
+    Io {
+        /// What was being attempted: `"read"`, `"write"` or `"create"`.
+        action: &'static str,
+        /// The path involved.
+        path: String,
+        /// The operating-system error message.
+        message: String,
+    },
+    /// An input file failed to parse.
+    Parse {
+        /// The path of the offending file.
+        path: String,
+        /// The underlying parse failure.
+        source: ParseError,
+    },
+    /// The synthesis flow failed.
+    Flow(CoreError),
+    /// A solution file does not match its instance.
+    SinkMismatch {
+        /// Sinks driven by the solution.
+        solution: usize,
+        /// Sinks in the instance.
+        instance: usize,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io {
+                action,
+                path,
+                message,
+            } => write!(f, "cannot {action} `{path}`: {message}"),
+            CliError::Parse { path, source } => write!(f, "{path}: {source}"),
+            CliError::Flow(e) => e.fmt(f),
+            CliError::SinkMismatch { solution, instance } => write!(
+                f,
+                "solution drives {solution} sinks but the instance has {instance}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Parse { source, .. } => Some(source),
+            CliError::Flow(e) => Some(e),
+            CliError::Io { .. } | CliError::SinkMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Flow(e)
+    }
+}
+
+/// A [`FlowObserver`] that streams per-stage progress lines to stderr, so
+/// long runs show liveness without polluting the report on stdout.
+#[derive(Debug, Default)]
+pub struct StderrProgress {
+    /// Label printed in front of every line (e.g. the flow being run).
+    pub label: String,
+}
+
+impl StderrProgress {
+    /// Creates a progress observer with the given line label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+        }
+    }
+}
+
+impl FlowObserver for StderrProgress {
+    fn on_pass_start(&mut self, pass: &dyn Pass, index: usize, total: usize) {
+        eprintln!(
+            "[{label}] {i}/{total} {acronym}: {name}...",
+            label = self.label,
+            i = index + 1,
+            acronym = pass.acronym(),
+            name = pass.name(),
+        );
+    }
+
+    fn on_pass_end(&mut self, pass: &dyn Pass, snapshot: &StageSnapshot, outcome: &PassOutcome) {
+        eprintln!(
+            "[{label}] {acronym} done: clr {clr:.1} ps, skew {skew:.1} ps ({rounds} rounds)",
+            label = self.label,
+            acronym = pass.acronym(),
+            clr = snapshot.clr,
+            skew = snapshot.skew,
+            rounds = outcome.rounds,
+        );
+    }
+}
 
 /// Runs one parsed command and returns the text to print on stdout.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for I/O failures, malformed input files
-/// and flow errors.
-pub fn execute(command: &Command) -> Result<String, String> {
+/// Returns a [`CliError`] for I/O failures, malformed input files and flow
+/// errors.
+pub fn execute(command: &Command) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Generate {
@@ -82,6 +200,27 @@ pub fn flow_config(options: &FlowOptions) -> FlowConfig {
     config
 }
 
+/// Builds the pipeline implied by the CLI options: the default pipeline of
+/// the configuration, restricted to `--stages` in the order the user listed
+/// them (INITIAL always runs first), and with every `--skip` stage removed.
+pub fn build_pipeline(options: &FlowOptions) -> Pipeline {
+    let mut pipeline = Pipeline::contango(&flow_config(options));
+    if let Some(stages) = &options.stages {
+        let mut keep: Vec<&str> = vec!["INITIAL"];
+        keep.extend(
+            stages
+                .iter()
+                .map(String::as_str)
+                .filter(|&s| s != "INITIAL"),
+        );
+        pipeline = pipeline.select(&keep);
+    }
+    for stage in &options.skip {
+        pipeline = pipeline.without(stage);
+    }
+    pipeline
+}
+
 fn technology_for(options: &FlowOptions) -> Technology {
     if options.large_inverters {
         Technology::ti45()
@@ -90,18 +229,26 @@ fn technology_for(options: &FlowOptions) -> Technology {
     }
 }
 
-fn read(path: &str) -> Result<String, String> {
-    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+fn io_error(action: &'static str, path: impl Into<String>) -> impl FnOnce(io::Error) -> CliError {
+    let path = path.into();
+    move |e| CliError::Io {
+        action,
+        path,
+        message: e.to_string(),
+    }
 }
 
-fn write(path: &str, contents: &str) -> Result<(), String> {
+fn read(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(io_error("read", path))
+}
+
+fn write(path: &str, contents: &str) -> Result<(), CliError> {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)
-                .map_err(|e| format!("cannot create `{}`: {e}", parent.display()))?;
+            fs::create_dir_all(parent).map_err(io_error("create", parent.display().to_string()))?;
         }
     }
-    fs::write(path, contents).map_err(|e| format!("cannot write `{path}`: {e}"))
+    fs::write(path, contents).map_err(io_error("write", path))
 }
 
 fn render(table: &Table, format: ReportFormat) -> String {
@@ -112,9 +259,9 @@ fn render(table: &Table, format: ReportFormat) -> String {
     }
 }
 
-fn generate(suite: bool, ti_sinks: Option<usize>, out: &str) -> Result<String, String> {
+fn generate(suite: bool, ti_sinks: Option<usize>, out: &str) -> Result<String, CliError> {
     if suite {
-        fs::create_dir_all(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
+        fs::create_dir_all(out).map_err(io_error("create", out))?;
         let mut lines = Vec::new();
         for spec in ispd09_suite() {
             let instance = make_instance(&spec);
@@ -135,12 +282,25 @@ fn generate(suite: bool, ti_sinks: Option<usize>, out: &str) -> Result<String, S
     }
 }
 
-fn load_instance(path: &str) -> Result<ClockNetInstance, String> {
-    parse_instance(&read(path)?).map_err(|e| format!("{path}: {e}"))
+fn load_instance(path: &str) -> Result<ClockNetInstance, CliError> {
+    parse_instance(&read(path)?).map_err(|source| CliError::Parse {
+        path: path.to_string(),
+        source,
+    })
 }
 
-fn run_flow(instance: &ClockNetInstance, options: &FlowOptions) -> Result<FlowResult, String> {
-    ContangoFlow::new(technology_for(options), flow_config(options)).run(instance)
+fn load_solution(path: &str, tech: &Technology) -> Result<contango_core::ClockTree, CliError> {
+    parse_solution(&read(path)?, tech).map_err(|source| CliError::Parse {
+        path: path.to_string(),
+        source,
+    })
+}
+
+fn run_flow(instance: &ClockNetInstance, options: &FlowOptions) -> Result<FlowResult, CliError> {
+    let flow = ContangoFlow::new(technology_for(options), flow_config(options));
+    let pipeline = build_pipeline(options);
+    let mut progress = StderrProgress::new(instance.name.clone());
+    Ok(flow.run_pipeline(&pipeline, instance, &mut progress)?)
 }
 
 fn summary_block(instance: &ClockNetInstance, result: &FlowResult) -> String {
@@ -167,7 +327,7 @@ fn run(
     solution_out: Option<&str>,
     options: &FlowOptions,
     format: ReportFormat,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let instance = load_instance(input)?;
     let result = run_flow(&instance, options)?;
     let mut out = summary_block(&instance, &result);
@@ -180,17 +340,15 @@ fn run(
     Ok(out)
 }
 
-fn evaluate(instance_path: &str, solution_path: &str) -> Result<String, String> {
+fn evaluate(instance_path: &str, solution_path: &str) -> Result<String, CliError> {
     let instance = load_instance(instance_path)?;
     let tech = Technology::ispd09();
-    let tree = parse_solution(&read(solution_path)?, &tech)
-        .map_err(|e| format!("{solution_path}: {e}"))?;
+    let tree = load_solution(solution_path, &tech)?;
     if tree.sink_count() != instance.sink_count() {
-        return Err(format!(
-            "solution drives {} sinks but the instance has {}",
-            tree.sink_count(),
-            instance.sink_count()
-        ));
+        return Err(CliError::SinkMismatch {
+            solution: tree.sink_count(),
+            instance: instance.sink_count(),
+        });
     }
     let netlist = to_netlist(&tree, &tech, &instance.source_spec, 100.0)?;
     let report = Evaluator::new(tech.clone()).evaluate(&netlist);
@@ -209,7 +367,7 @@ fn evaluate(instance_path: &str, solution_path: &str) -> Result<String, String> 
     ))
 }
 
-fn compare(input: &str, options: &FlowOptions, format: ReportFormat) -> Result<String, String> {
+fn compare(input: &str, options: &FlowOptions, format: ReportFormat) -> Result<String, CliError> {
     let instance = load_instance(input)?;
     let tech = technology_for(options);
     let mut rows = Vec::new();
@@ -237,11 +395,10 @@ fn spice_deck(
     solution_path: &str,
     low_corner: bool,
     out: &str,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let instance = load_instance(instance_path)?;
     let tech = Technology::ispd09();
-    let tree = parse_solution(&read(solution_path)?, &tech)
-        .map_err(|e| format!("{solution_path}: {e}"))?;
+    let tree = load_solution(solution_path, &tech)?;
     let netlist = to_netlist(&tree, &tech, &instance.source_spec, 100.0)?;
     let options = if low_corner {
         DeckOptions::low(&tech)
@@ -296,6 +453,7 @@ mod tests {
             large_inverters: true,
             topology: TopologyKind::GreedyMatching,
             model: DelayModel::TwoPole,
+            ..FlowOptions::default()
         };
         let config = flow_config(&options);
         assert!(config.use_large_inverters);
@@ -308,10 +466,53 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_reflects_stage_selection() {
+        let options = FlowOptions {
+            stages: Some(vec!["TBSZ".to_string(), "TWSZ".to_string()]),
+            ..fast_options()
+        };
+        assert_eq!(
+            build_pipeline(&options).acronyms(),
+            ["INITIAL", "TBSZ", "TWSZ"]
+        );
+        let options = FlowOptions {
+            skip: vec!["TWSN".to_string(), "BWSN".to_string()],
+            ..fast_options()
+        };
+        assert_eq!(
+            build_pipeline(&options).acronyms(),
+            ["INITIAL", "TBSZ", "TWSZ"]
+        );
+        assert_eq!(
+            build_pipeline(&fast_options()).acronyms(),
+            ["INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"]
+        );
+    }
+
+    #[test]
+    fn stage_selection_honors_the_listed_order() {
+        let options = FlowOptions {
+            stages: Some(vec!["TWSN".to_string(), "TWSZ".to_string()]),
+            ..fast_options()
+        };
+        assert_eq!(
+            build_pipeline(&options).acronyms(),
+            ["INITIAL", "TWSN", "TWSZ"]
+        );
+        // Listing INITIAL explicitly neither duplicates nor moves it.
+        let options = FlowOptions {
+            stages: Some(vec!["BWSN".to_string(), "INITIAL".to_string()]),
+            ..fast_options()
+        };
+        assert_eq!(build_pipeline(&options).acronyms(), ["INITIAL", "BWSN"]);
+    }
+
+    #[test]
     fn help_prints_usage() {
         let out = execute(&Command::Help).expect("help");
         assert!(out.contains("contango-cts"));
         assert!(out.contains("spice-deck"));
+        assert!(out.contains("--stages"));
     }
 
     #[test]
@@ -359,6 +560,27 @@ mod tests {
     }
 
     #[test]
+    fn run_with_stage_selection_reports_only_those_stages() {
+        let dir = scratch("stage-selection");
+        let instance_path = small_instance_file(&dir);
+        let out = execute(&Command::Run {
+            input: instance_path,
+            solution_out: None,
+            flow: FlowOptions {
+                stages: Some(vec!["TWSZ".to_string()]),
+                ..fast_options()
+            },
+            format: ReportFormat::Text,
+        })
+        .expect("run succeeds");
+        assert!(out.contains("INITIAL"));
+        assert!(out.contains("TWSZ"));
+        assert!(!out.contains("TBSZ"));
+        assert!(!out.contains("BWSN"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn generate_writes_a_ti_instance() {
         let dir = scratch("generate-ti");
         let out_path = dir.join("ti200.cts").to_string_lossy().into_owned();
@@ -401,12 +623,12 @@ mod tests {
             format: ReportFormat::Text,
         })
         .unwrap_err();
-        assert!(err.contains("cannot read"));
+        assert!(err.to_string().contains("cannot read"));
         let err = execute(&Command::Evaluate {
             instance: "/nonexistent/bench.cts".to_string(),
             solution: "/nonexistent/sol.tree".to_string(),
         })
         .unwrap_err();
-        assert!(err.contains("cannot read"));
+        assert!(err.to_string().contains("cannot read"));
     }
 }

@@ -16,6 +16,7 @@
 //!    budget, reserving γ = 10% for downstream optimizations
 //!    ([`choose_and_insert_buffers`]).
 
+use crate::error::CoreError;
 use crate::tree::{ClockTree, NodeId, NodeKind};
 use contango_geom::{LShape, ObstacleSet, Point};
 use contango_tech::{CompositeBuffer, Technology};
@@ -267,7 +268,7 @@ pub fn choose_and_insert_buffers(
     cap_limit: f64,
     power_reserve: f64,
     obstacles: &ObstacleSet,
-) -> Result<BufferingReport, String> {
+) -> Result<BufferingReport, CoreError> {
     assert!(
         !candidates.is_empty(),
         "need at least one composite candidate"
@@ -296,10 +297,10 @@ pub fn choose_and_insert_buffers(
             });
         }
     }
-    Err(format!(
-        "no composite configuration fits within {budget:.1} fF ({:.0}% of the capacitance limit)",
-        100.0 * (1.0 - power_reserve)
-    ))
+    Err(CoreError::BufferBudget {
+        budget_ff: budget,
+        budget_pct: 100.0 * (1.0 - power_reserve),
+    })
 }
 
 /// Default composite-buffer candidates for a technology: groups of parallel

@@ -1,7 +1,7 @@
 //! Zero-skew tree construction by Deferred Merge Embedding (DME).
 //!
 //! Contango builds its initial tree with a ZST/DME algorithm (paper,
-//! Section IV and reference [3]): a balanced connection topology is chosen
+//! Section IV and reference \[3\]): a balanced connection topology is chosen
 //! over the sinks, merging segments are computed bottom-up so that the
 //! Elmore delays of the two merged subtrees are equal (snaking one side when
 //! necessary), and exact embedding locations are chosen top-down, pulling

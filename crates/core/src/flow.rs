@@ -17,27 +17,35 @@
 //! Each optimization is followed by an Improvement- & Violation-Check (the
 //! passes themselves roll back non-improving or violating rounds), matching
 //! the IVC/CNE loop of the paper.
+//!
+//! The stage sequence itself lives in [`crate::pipeline`]: every stage is a
+//! [`Pass`](crate::pipeline::Pass) object and [`ContangoFlow::run`] simply
+//! drives the default [`Pipeline`] built from
+//! the [`FlowConfig`]. To reorder stages, drop stages, swap in replacements
+//! or add user-defined passes, build a custom pipeline with
+//! [`ContangoFlow::pipeline`] (or [`Pipeline::contango`]) and run it with
+//! [`ContangoFlow::run_pipeline`]; attach a
+//! [`crate::pipeline::FlowObserver`] for per-stage progress.
 
-use crate::bottomlevel::{bottom_level_tuning, BottomLevelConfig};
-use crate::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
-use crate::buffersizing::{iterative_buffer_sizing, BufferSizingConfig};
+use crate::error::CoreError;
 use crate::instance::ClockNetInstance;
 use crate::lower::to_netlist;
-use crate::obstacles::repair_obstacle_violations;
-use crate::opt::OptContext;
-use crate::polarity::{correct_polarity, PolarityReport};
+use crate::opt::{OptContext, PassOutcome};
+use crate::pipeline::{FlowObserver, NoopObserver, PassCtx, Pipeline};
+use crate::polarity::PolarityReport;
 use crate::slack::SlackAnalysis;
-use crate::sliding::{slide_and_interleave, SlidingConfig};
-use crate::topology::{build_topology, TopologyKind};
+use crate::topology::TopologyKind;
 use crate::tree::ClockTree;
-use crate::wiresizing::{iterative_wiresizing, WireSizingConfig};
-use crate::wiresnaking::{iterative_wiresnaking, WireSnakingConfig};
 use contango_sim::{DelayModel, EvalReport, IncrementalEvaluator, Netlist};
 use contango_tech::Technology;
 use serde::Serialize;
 use std::time::Instant;
 
 /// Configuration of the Contango flow.
+///
+/// The `enable_*` flags are compatibility shims: they are interpreted once,
+/// by [`Pipeline::contango`], when the default pipeline is built. Code that
+/// composes its own [`Pipeline`] ignores them entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FlowConfig {
     /// Delay model used for the SPICE-style evaluations.
@@ -128,7 +136,12 @@ impl FlowConfig {
     }
 }
 
-/// Identifier of a flow stage, matching the acronyms of Table III.
+/// Identifier of one of the paper's five flow stages, matching the acronyms
+/// of Table III.
+///
+/// Pipelines identify passes by their acronym strings (custom passes bring
+/// their own); this enum names the canonical five for code that works with
+/// the default flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum FlowStage {
     /// Initial tree + buffering + polarity correction.
@@ -144,6 +157,17 @@ pub enum FlowStage {
 }
 
 impl FlowStage {
+    /// The five stages in methodology order.
+    pub fn all() -> [FlowStage; 5] {
+        [
+            FlowStage::Initial,
+            FlowStage::BufferSizing,
+            FlowStage::WireSizing,
+            FlowStage::WireSnaking,
+            FlowStage::BottomLevel,
+        ]
+    }
+
     /// The acronym used in Table III of the paper.
     pub fn acronym(&self) -> &'static str {
         match self {
@@ -154,13 +178,22 @@ impl FlowStage {
             FlowStage::BottomLevel => "BWSN",
         }
     }
+
+    /// The stage carrying the given Table-III acronym, if it is one of the
+    /// canonical five.
+    pub fn from_acronym(acronym: &str) -> Option<FlowStage> {
+        FlowStage::all()
+            .into_iter()
+            .find(|s| s.acronym() == acronym)
+    }
 }
 
 /// Metrics snapshot taken after one flow stage (one row of Table III).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StageSnapshot {
-    /// Which stage this snapshot follows.
-    pub stage: FlowStage,
+    /// Acronym of the pass this snapshot follows (e.g. `"TBSZ"`; custom
+    /// passes report their own acronym).
+    pub stage: String,
     /// Clock Latency Range, ps.
     pub clr: f64,
     /// Nominal skew, ps.
@@ -188,7 +221,13 @@ pub struct FlowResult {
     pub slacks: SlackAnalysis,
     /// Per-stage snapshots (Table III).
     pub snapshots: Vec<StageSnapshot>,
-    /// Polarity-correction statistics (Table II).
+    /// Per-pass improvement/rollback outcomes, parallel to `snapshots`.
+    pub outcomes: Vec<PassOutcome>,
+    /// Polarity-correction statistics (Table II), as recorded in
+    /// [`PassCtx::polarity`](crate::pipeline::PassCtx) by the construction
+    /// pass. All-zero when no pass reported them — a custom construction
+    /// pass that corrects polarity should set `ctx.polarity` so its
+    /// statistics are not mistaken for "nothing to correct".
     pub polarity: PolarityReport,
     /// Number of evaluator invocations ("SPICE runs").
     pub spice_runs: usize,
@@ -231,96 +270,105 @@ impl ContangoFlow {
         &self.config
     }
 
-    /// Runs the full flow on `instance`.
+    /// The default pipeline implied by the flow's configuration; the
+    /// starting point for custom pipelines.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::contango(&self.config)
+    }
+
+    /// Runs the default pipeline on `instance`.
     ///
     /// # Errors
     ///
-    /// Returns an error if the instance is invalid or no buffer
-    /// configuration fits within the capacitance budget.
-    pub fn run(&self, instance: &ClockNetInstance) -> Result<FlowResult, String> {
+    /// Returns an error if the instance is invalid or a pass fails (for
+    /// example when no buffer configuration fits within the capacitance
+    /// budget).
+    pub fn run(&self, instance: &ClockNetInstance) -> Result<FlowResult, CoreError> {
+        self.run_pipeline(&self.pipeline(), instance, &mut NoopObserver)
+    }
+
+    /// Runs the default pipeline on `instance`, reporting per-pass progress
+    /// to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ContangoFlow::run`].
+    pub fn run_with_observer(
+        &self,
+        instance: &ClockNetInstance,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<FlowResult, CoreError> {
+        self.run_pipeline(&self.pipeline(), instance, observer)
+    }
+
+    /// Runs an arbitrary [`Pipeline`] on `instance`, evaluating the tree and
+    /// taking a [`StageSnapshot`] after every pass and reporting progress to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Instance`] for an invalid instance,
+    /// [`CoreError::EmptyPipeline`] for a pipeline with no passes,
+    /// [`CoreError::MissingSinks`] when the pipeline finishes without a
+    /// tree driving every sink (a pipeline lacking a construction pass),
+    /// and [`CoreError::Pass`] wrapping the underlying failure when a pass
+    /// errors.
+    ///
+    /// The result's [`FlowResult::polarity`] is whatever the construction
+    /// pass recorded in [`PassCtx::polarity`]; it stays all-zero when no
+    /// pass reports polarity statistics.
+    pub fn run_pipeline(
+        &self,
+        pipeline: &Pipeline,
+        instance: &ClockNetInstance,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<FlowResult, CoreError> {
         instance.validate()?;
+        if pipeline.is_empty() {
+            return Err(CoreError::EmptyPipeline);
+        }
         let started = Instant::now();
         let evaluator = IncrementalEvaluator::with_model(self.tech.clone(), self.config.model);
-        let ctx = OptContext {
-            tech: &self.tech,
-            source: instance.source_spec,
-            evaluator: &evaluator,
-            segment_um: self.config.segment_um,
-            cap_limit: instance.cap_limit,
+        let mut ctx = PassCtx {
+            instance,
+            opt: OptContext {
+                tech: &self.tech,
+                source: instance.source_spec,
+                evaluator: &evaluator,
+                segment_um: self.config.segment_um,
+                cap_limit: instance.cap_limit,
+            },
+            polarity: None,
+            buffering: None,
+            last_report: None,
         };
-        let mut snapshots = Vec::new();
+        let mut tree = ClockTree::new(instance.source);
+        let mut snapshots = Vec::with_capacity(pipeline.len());
+        let mut outcomes = Vec::with_capacity(pipeline.len());
 
-        // ---- INITIAL: topology + obstacles + buffering + polarity ----
-        let mut tree = build_topology(self.config.topology, instance, &self.tech);
-        let candidates = default_candidates(&self.tech, self.config.use_large_inverters);
-        let strongest_res = candidates
-            .iter()
-            .map(|c| c.output_res())
-            .fold(f64::INFINITY, f64::min);
-        repair_obstacle_violations(&mut tree, instance, &self.tech, strongest_res);
-        split_long_edges(&mut tree, self.config.max_edge_len);
-        let buffering = choose_and_insert_buffers(
-            &mut tree,
-            &self.tech,
-            &candidates,
-            instance.cap_limit,
-            self.config.power_reserve,
-            &instance.obstacles,
-        )?;
-        // Corrective inverters must be able to drive the subtree they are
-        // spliced in front of, so they reuse the composite chosen for the
-        // main buffering.
-        let polarity = correct_polarity(&mut tree, buffering.composite);
-        let mut report = ctx.evaluate(&tree);
-        snapshots.push(self.snapshot(FlowStage::Initial, &tree, &report));
-
-        // ---- TBSZ: buffer sliding/interleaving, then sizing, for CLR ----
-        if self.config.enable_buffer_sizing {
-            if self.config.enable_buffer_sliding {
-                slide_and_interleave(&mut tree, &ctx, SlidingConfig::default());
-            }
-            let cfg = BufferSizingConfig {
-                max_iterations: self.config.buffer_sizing_iterations,
-                ..BufferSizingConfig::default()
-            };
-            iterative_buffer_sizing(&mut tree, &ctx, cfg);
-            report = ctx.evaluate(&tree);
-            snapshots.push(self.snapshot(FlowStage::BufferSizing, &tree, &report));
+        for (index, pass) in pipeline.passes().iter().enumerate() {
+            observer.on_pass_start(pass.as_ref(), index, pipeline.len());
+            let outcome = pass
+                .run(&mut tree, &mut ctx)
+                .map_err(|source| CoreError::Pass {
+                    pass: pass.acronym().to_string(),
+                    source: Box::new(source),
+                })?;
+            let report = ctx.opt.evaluate(&tree);
+            let snapshot = self.snapshot(pass.acronym(), &tree, &report);
+            observer.on_pass_end(pass.as_ref(), &snapshot, &outcome);
+            snapshots.push(snapshot);
+            outcomes.push(outcome);
+            ctx.last_report = Some(report);
         }
 
-        // ---- TWSZ: top-down wiresizing ----
-        if self.config.enable_wiresizing {
-            let cfg = WireSizingConfig {
-                max_rounds: self.config.wiresizing_rounds,
-                ..WireSizingConfig::default()
-            };
-            iterative_wiresizing(&mut tree, &ctx, cfg);
-            report = ctx.evaluate(&tree);
-            snapshots.push(self.snapshot(FlowStage::WireSizing, &tree, &report));
+        if tree.sink_count() != instance.sink_count() {
+            return Err(CoreError::MissingSinks {
+                driven: tree.sink_count(),
+                expected: instance.sink_count(),
+            });
         }
-
-        // ---- TWSN: top-down wiresnaking ----
-        if self.config.enable_wiresnaking {
-            let cfg = WireSnakingConfig {
-                max_rounds: self.config.wiresnaking_rounds,
-                ..WireSnakingConfig::default()
-            };
-            iterative_wiresnaking(&mut tree, &ctx, cfg);
-            report = ctx.evaluate(&tree);
-            snapshots.push(self.snapshot(FlowStage::WireSnaking, &tree, &report));
-        }
-
-        // ---- BWSN: bottom-level fine-tuning ----
-        if self.config.enable_bottom_level {
-            let cfg = BottomLevelConfig {
-                max_rounds: self.config.bottom_rounds,
-                ..BottomLevelConfig::default()
-            };
-            bottom_level_tuning(&mut tree, &ctx, cfg);
-            report = ctx.evaluate(&tree);
-            snapshots.push(self.snapshot(FlowStage::BottomLevel, &tree, &report));
-        }
-
+        let report = ctx.last_report.expect("non-empty pipeline was evaluated");
         let netlist = to_netlist(
             &tree,
             &self.tech,
@@ -334,15 +382,16 @@ impl ContangoFlow {
             report,
             slacks,
             snapshots,
-            polarity,
+            outcomes,
+            polarity: ctx.polarity.unwrap_or_default(),
             spice_runs: evaluator.runs(),
             runtime_s: started.elapsed().as_secs_f64(),
         })
     }
 
-    fn snapshot(&self, stage: FlowStage, tree: &ClockTree, report: &EvalReport) -> StageSnapshot {
+    fn snapshot(&self, stage: &str, tree: &ClockTree, report: &EvalReport) -> StageSnapshot {
         StageSnapshot {
-            stage,
+            stage: stage.to_string(),
             clr: report.clr(),
             skew: report.skew(),
             max_latency: report.max_latency(),
@@ -390,6 +439,7 @@ mod tests {
             result.skew()
         );
         assert!(result.spice_runs > 3);
+        assert_eq!(result.outcomes.len(), result.snapshots.len());
     }
 
     #[test]
@@ -397,7 +447,7 @@ mod tests {
         let inst = small_instance();
         let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
         let result = flow.run(&inst).expect("flow runs");
-        let order: Vec<&str> = result.snapshots.iter().map(|s| s.stage.acronym()).collect();
+        let order: Vec<&str> = result.snapshots.iter().map(|s| s.stage.as_str()).collect();
         assert_eq!(order, vec!["INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"]);
         // The flow's skew after the wire optimizations must not exceed the
         // initial skew.
@@ -418,7 +468,7 @@ mod tests {
         };
         let flow = ContangoFlow::new(Technology::ispd09(), config);
         let result = flow.run(&inst).expect("flow runs");
-        let order: Vec<&str> = result.snapshots.iter().map(|s| s.stage.acronym()).collect();
+        let order: Vec<&str> = result.snapshots.iter().map(|s| s.stage.as_str()).collect();
         assert_eq!(order, vec!["INITIAL", "TWSZ"]);
     }
 
@@ -430,5 +480,41 @@ mod tests {
         // With inverting buffers some sinks are initially inverted, and the
         // correction never adds more inverters than inverted sinks.
         assert!(result.polarity.added_inverters <= result.polarity.inverted_sinks.max(1));
+    }
+
+    #[test]
+    fn flow_stage_round_trips_through_acronyms() {
+        for stage in FlowStage::all() {
+            assert_eq!(FlowStage::from_acronym(stage.acronym()), Some(stage));
+        }
+        assert_eq!(FlowStage::from_acronym("NOPE"), None);
+    }
+
+    #[test]
+    fn empty_pipeline_is_rejected() {
+        let inst = small_instance();
+        let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+        let err = flow
+            .run_pipeline(&Pipeline::new(), &inst, &mut NoopObserver)
+            .unwrap_err();
+        assert_eq!(err, CoreError::EmptyPipeline);
+    }
+
+    #[test]
+    fn pipeline_without_construction_is_rejected() {
+        use crate::pipeline::WireSizingPass;
+        let inst = small_instance();
+        let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+        let pipeline = Pipeline::new().with_pass(WireSizingPass { rounds: 2 });
+        let err = flow
+            .run_pipeline(&pipeline, &inst, &mut NoopObserver)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::MissingSinks {
+                driven: 0,
+                expected: inst.sink_count()
+            }
+        );
     }
 }

@@ -5,6 +5,7 @@
 //! capacitances, the placement obstacles (macros) and the total capacitance
 //! budget.
 
+use crate::error::InstanceError;
 use contango_geom::{ObstacleSet, Point, Rect};
 use contango_sim::SourceSpec;
 use serde::{Deserialize, Serialize};
@@ -71,28 +72,28 @@ impl ClockNetInstance {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first problem found: no sinks,
-    /// non-contiguous sink ids, sinks outside the die, a non-positive
-    /// capacitance limit or non-positive sink capacitances.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first problem found: no sinks, non-contiguous sink ids,
+    /// sinks outside the die, a non-positive capacitance limit or
+    /// non-positive sink capacitances.
+    pub fn validate(&self) -> Result<(), InstanceError> {
         if self.sinks.is_empty() {
-            return Err("instance has no sinks".to_string());
+            return Err(InstanceError::NoSinks);
         }
         if self.cap_limit <= 0.0 {
-            return Err("capacitance limit must be positive".to_string());
+            return Err(InstanceError::NonPositiveCapLimit);
         }
         for (i, sink) in self.sinks.iter().enumerate() {
             if sink.id != i {
-                return Err(format!(
-                    "sink ids must be contiguous; found {} at {i}",
-                    sink.id
-                ));
+                return Err(InstanceError::NonContiguousSinkIds {
+                    found: sink.id,
+                    index: i,
+                });
             }
             if sink.cap <= 0.0 {
-                return Err(format!("sink {i} has non-positive capacitance"));
+                return Err(InstanceError::NonPositiveSinkCap { sink: i });
             }
             if !self.die.contains(sink.location) {
-                return Err(format!("sink {i} lies outside the die"));
+                return Err(InstanceError::SinkOutsideDie { sink: i });
             }
         }
         Ok(())
@@ -168,7 +169,7 @@ impl ClockNetInstanceBuilder {
     ///
     /// Propagates [`ClockNetInstance::validate`] errors; the source defaults
     /// to the middle of the die's left edge when not set.
-    pub fn build(self) -> Result<ClockNetInstance, String> {
+    pub fn build(self) -> Result<ClockNetInstance, InstanceError> {
         let source = self
             .source
             .unwrap_or_else(|| Point::new(self.die.lo.x, 0.5 * (self.die.lo.y + self.die.hi.y)));
@@ -215,7 +216,7 @@ mod tests {
             .cap_limit(10.0)
             .build()
             .unwrap_err();
-        assert!(err.contains("no sinks"));
+        assert_eq!(err, InstanceError::NoSinks);
     }
 
     #[test]
@@ -224,13 +225,13 @@ mod tests {
             .sink(Point::new(500.0, 500.0), 5.0)
             .build()
             .unwrap_err();
-        assert!(err.contains("outside the die"));
+        assert_eq!(err, InstanceError::SinkOutsideDie { sink: 2 });
     }
 
     #[test]
     fn non_positive_cap_limit_rejected() {
         let err = builder().cap_limit(0.0).build().unwrap_err();
-        assert!(err.contains("capacitance limit"));
+        assert_eq!(err, InstanceError::NonPositiveCapLimit);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //!   ([`buffering`]) and sink-polarity correction ([`polarity`]);
 //! * the slack framework ([`slack`]) and the SPICE-driven optimizations
 //!   ([`wiresizing`], [`wiresnaking`], [`bottomlevel`], [`buffersizing`]),
-//!   orchestrated by [`flow::ContangoFlow`].
+//!   orchestrated by [`flow::ContangoFlow`] as a composable [`pipeline`] of
+//!   [`pipeline::Pass`] objects.
 //!
 //! # Quick start
 //!
@@ -52,11 +53,13 @@ pub mod buffering;
 pub mod buffersizing;
 pub mod crosslink;
 pub mod dme;
+pub mod error;
 pub mod flow;
 pub mod instance;
 pub mod lower;
 pub mod obstacles;
 pub mod opt;
+pub mod pipeline;
 pub mod polarity;
 pub mod slack;
 pub mod sliding;
@@ -66,8 +69,11 @@ pub mod visualize;
 pub mod wiresizing;
 pub mod wiresnaking;
 
-pub use flow::{ContangoFlow, FlowConfig, FlowResult, StageSnapshot};
+pub use error::{CoreError, InstanceError, TreeError};
+pub use flow::{ContangoFlow, FlowConfig, FlowResult, FlowStage, StageSnapshot};
 pub use instance::{ClockNetInstance, ClockNetInstanceBuilder, SinkSpec};
+pub use opt::{OptContext, PassOutcome};
+pub use pipeline::{FlowObserver, NoopObserver, Pass, PassCtx, Pipeline};
 pub use slack::SlackAnalysis;
 pub use topology::TopologyKind;
 pub use tree::{ClockTree, Node, NodeId, NodeKind, WireSegment};

@@ -15,6 +15,7 @@
 //! stage, handing cached-or-fresh stage slots to an
 //! [`IncrementalEvaluator`].
 
+use crate::error::CoreError;
 use crate::tree::{ClockTree, NodeId, NodeKind};
 use contango_sim::{
     DriverSpec, EvalReport, IncrementalEvaluator, LocalTap, LocalTapKind, LoweredStage, Netlist,
@@ -218,7 +219,7 @@ pub fn to_netlist(
     tech: &Technology,
     source: &SourceSpec,
     max_segment_um: f64,
-) -> Result<Netlist, String> {
+) -> Result<Netlist, CoreError> {
     let plan = plan_stages(tree);
     let mut stages: Vec<Stage> = Vec::with_capacity(plan.len());
     for si in 0..plan.len() {
@@ -241,7 +242,7 @@ pub fn to_netlist(
             taps,
         });
     }
-    Netlist::new(stages, 0)
+    Ok(Netlist::new(stages, 0)?)
 }
 
 /// Evaluates `tree` incrementally: plans the stage partition, re-lowers only

@@ -75,6 +75,19 @@ pub struct PassOutcome {
 }
 
 impl PassOutcome {
+    /// The outcome of a pass with no before/after metrics of its own, such
+    /// as a construction pass or a user-defined pass that delegates metric
+    /// reporting to the pipeline's end-of-pass snapshot.
+    pub const fn zero() -> Self {
+        Self {
+            rounds: 0,
+            skew_before: 0.0,
+            skew_after: 0.0,
+            clr_before: 0.0,
+            clr_after: 0.0,
+        }
+    }
+
     /// Returns `true` when the pass improved its primary objective.
     pub fn improved(&self) -> bool {
         self.skew_after < self.skew_before - 1e-9 || self.clr_after < self.clr_before - 1e-9

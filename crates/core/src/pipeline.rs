@@ -1,0 +1,690 @@
+//! The composable pass pipeline behind the Contango flow.
+//!
+//! The paper's methodology is a *sequence of passes with an improvement- and
+//! violation-check after each* (Figure 1). This module makes that sequence a
+//! first-class value: each stage is a [`Pass`] object, a [`Pipeline`] is an
+//! ordered list of passes, and [`ContangoFlow::run_pipeline`](crate::flow::ContangoFlow::run_pipeline) drives any
+//! pipeline — the default one, a trimmed one, or one extended with
+//! user-defined passes — taking a [`StageSnapshot`] after every pass and
+//! reporting progress through a [`FlowObserver`].
+//!
+//! [`ContangoFlow::run`](crate::flow::ContangoFlow::run) is now a thin wrapper over
+//! [`Pipeline::contango`], and the `FlowConfig::enable_*` flags are
+//! compatibility shims interpreted once, when that default pipeline is
+//! built.
+//!
+//! # Composing pipelines
+//!
+//! ```
+//! use contango_core::flow::FlowConfig;
+//! use contango_core::pipeline::Pipeline;
+//!
+//! // The default flow of the paper: INITIAL, TBSZ, TWSZ, TWSN, BWSN.
+//! let full = Pipeline::contango(&FlowConfig::fast());
+//! assert_eq!(full.acronyms(), ["INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"]);
+//!
+//! // An ablation: drop wiresnaking, keep everything else.
+//! let no_snaking = Pipeline::contango(&FlowConfig::fast()).without("TWSN");
+//! assert_eq!(no_snaking.acronyms(), ["INITIAL", "TBSZ", "TWSZ", "BWSN"]);
+//! ```
+//!
+//! # Writing a pass
+//!
+//! A pass mutates the tree through `&mut ClockTree` and reads everything
+//! else (technology, evaluator, instance, the previous report) from the
+//! [`PassCtx`]. The flow evaluates the tree after the pass returns, so a
+//! pass does not need a final evaluation of its own:
+//!
+//! ```
+//! use contango_core::error::CoreError;
+//! use contango_core::flow::{ContangoFlow, FlowConfig};
+//! use contango_core::instance::ClockNetInstance;
+//! use contango_core::opt::PassOutcome;
+//! use contango_core::pipeline::{NoopObserver, Pass, PassCtx, Pipeline};
+//! use contango_core::tree::ClockTree;
+//! use contango_geom::Point;
+//! use contango_tech::Technology;
+//!
+//! /// Widens the root's outgoing wires; a (naive) user-defined pass.
+//! struct WidenTrunk;
+//!
+//! impl Pass for WidenTrunk {
+//!     fn name(&self) -> &str {
+//!         "widen trunk wires"
+//!     }
+//!     fn acronym(&self) -> &str {
+//!         "WIDEN"
+//!     }
+//!     fn run(
+//!         &self,
+//!         tree: &mut ClockTree,
+//!         _ctx: &mut PassCtx<'_>,
+//!     ) -> Result<PassOutcome, CoreError> {
+//!         use contango_tech::WireWidth;
+//!         for child in tree.node(tree.root()).children.clone() {
+//!             tree.node_mut(child).wire.width = WireWidth::Wide;
+//!         }
+//!         Ok(PassOutcome::zero())
+//!     }
+//! }
+//!
+//! let instance = ClockNetInstance::builder("custom-pass")
+//!     .die(0.0, 0.0, 1000.0, 1000.0)
+//!     .sink(Point::new(250.0, 250.0), 10.0)
+//!     .sink(Point::new(750.0, 750.0), 10.0)
+//!     .cap_limit(100_000.0)
+//!     .build()?;
+//! let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+//! let pipeline = flow.pipeline().insert_after("INITIAL", WidenTrunk);
+//! let result = flow.run_pipeline(&pipeline, &instance, &mut NoopObserver)?;
+//! assert_eq!(result.snapshots[1].stage, "WIDEN");
+//! # Ok::<(), contango_core::error::CoreError>(())
+//! ```
+
+use crate::bottomlevel::{bottom_level_tuning, BottomLevelConfig};
+use crate::buffering::{
+    choose_and_insert_buffers, default_candidates, split_long_edges, BufferingReport,
+};
+use crate::buffersizing::{iterative_buffer_sizing, BufferSizingConfig};
+use crate::error::CoreError;
+use crate::flow::{FlowConfig, StageSnapshot};
+use crate::instance::ClockNetInstance;
+use crate::obstacles::repair_obstacle_violations;
+use crate::opt::{OptContext, PassOutcome};
+use crate::polarity::{correct_polarity, PolarityReport};
+use crate::sliding::{slide_and_interleave, SlidingConfig};
+use crate::topology::{build_topology, TopologyKind};
+use crate::tree::ClockTree;
+use crate::wiresizing::{iterative_wiresizing, WireSizingConfig};
+use crate::wiresnaking::{iterative_wiresnaking, WireSnakingConfig};
+use contango_sim::EvalReport;
+use std::fmt;
+
+/// Everything a [`Pass`] can see besides the tree it mutates: the instance,
+/// the shared optimization context and the state accumulated by earlier
+/// passes.
+#[derive(Debug)]
+pub struct PassCtx<'a> {
+    /// The instance being synthesized.
+    pub instance: &'a ClockNetInstance,
+    /// The shared optimization context (technology, evaluator, budgets).
+    pub opt: OptContext<'a>,
+    /// Polarity-correction statistics, recorded by the construction pass.
+    pub polarity: Option<PolarityReport>,
+    /// Buffering decision, recorded by the construction pass.
+    pub buffering: Option<BufferingReport>,
+    /// The end-of-pass evaluation of the previous pass, if any.
+    pub last_report: Option<EvalReport>,
+}
+
+/// One stage of the synthesis flow.
+///
+/// Implementations mutate the tree and report a [`PassOutcome`]; the
+/// pipeline driver evaluates the tree after every pass and takes the
+/// [`StageSnapshot`], so passes never need a trailing evaluation of their
+/// own. See the [module docs](self) for a worked user-defined pass.
+pub trait Pass {
+    /// Human-readable pass name, e.g. `"top-down wiresizing"`.
+    fn name(&self) -> &str;
+
+    /// Short stage acronym used in snapshots and reports, e.g. `"TWSZ"`.
+    ///
+    /// Acronyms identify passes in [`Pipeline::without`],
+    /// [`Pipeline::replace`] and [`Pipeline::insert_after`], so they should
+    /// be unique within a pipeline.
+    fn acronym(&self) -> &str;
+
+    /// Runs the pass on `tree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when the pass cannot complete (for example
+    /// when no buffering configuration fits the capacitance budget). The
+    /// pipeline driver wraps the error with the pass acronym.
+    fn run(&self, tree: &mut ClockTree, ctx: &mut PassCtx<'_>) -> Result<PassOutcome, CoreError>;
+}
+
+/// Hooks called by the pipeline driver around every pass.
+///
+/// The CLI attaches an observer for live progress; batch or parallel
+/// drivers can attach their own to stream per-stage metrics without waiting
+/// for the flow to finish. All methods have empty default bodies, so an
+/// observer only implements the hooks it cares about.
+pub trait FlowObserver {
+    /// Called before pass `index` (0-based) of `total` starts.
+    fn on_pass_start(&mut self, _pass: &dyn Pass, _index: usize, _total: usize) {}
+
+    /// Called after a pass finished and its end-of-pass snapshot was taken.
+    fn on_pass_end(&mut self, _pass: &dyn Pass, _snapshot: &StageSnapshot, _outcome: &PassOutcome) {
+    }
+}
+
+/// An observer that ignores every hook; used by [`crate::flow::ContangoFlow::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl FlowObserver for NoopObserver {}
+
+/// An ordered, composable list of [`Pass`] objects.
+///
+/// Built either from a [`FlowConfig`] (via [`Pipeline::contango`], which
+/// interprets the `enable_*` compatibility flags) or pass by pass with
+/// [`Pipeline::with_pass`], then refined with [`Pipeline::without`],
+/// [`Pipeline::replace`], [`Pipeline::insert_after`] and
+/// [`Pipeline::insert_before`]. Run it with
+/// [`ContangoFlow::run_pipeline`](crate::flow::ContangoFlow::run_pipeline).
+#[derive(Default)]
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("passes", &self.acronyms())
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default Contango pipeline for `config`: INITIAL, then the
+    /// optimization stages whose `enable_*` flag is set, in the order of
+    /// Figure 1 (TBSZ, TWSZ, TWSN, BWSN).
+    ///
+    /// This is the single place where the legacy `FlowConfig::enable_*`
+    /// flags are interpreted; everything downstream sees only the pass
+    /// list.
+    pub fn contango(config: &FlowConfig) -> Self {
+        let mut pipeline = Pipeline::new().with_pass(InitialConstruction::from_config(config));
+        if config.enable_buffer_sizing {
+            pipeline = pipeline.with_pass(BufferSizingPass::from_config(config));
+        }
+        if config.enable_wiresizing {
+            pipeline = pipeline.with_pass(WireSizingPass::from_config(config));
+        }
+        if config.enable_wiresnaking {
+            pipeline = pipeline.with_pass(WireSnakingPass::from_config(config));
+        }
+        if config.enable_bottom_level {
+            pipeline = pipeline.with_pass(BottomLevelPass::from_config(config));
+        }
+        pipeline
+    }
+
+    /// Appends a pass.
+    #[must_use]
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Removes the pass with the given acronym; a no-op when absent.
+    #[must_use]
+    pub fn without(mut self, acronym: &str) -> Self {
+        self.passes.retain(|p| p.acronym() != acronym);
+        self
+    }
+
+    /// Keeps only the passes whose acronym appears in `acronyms`, preserving
+    /// pipeline order.
+    #[must_use]
+    pub fn only(mut self, acronyms: &[&str]) -> Self {
+        self.passes.retain(|p| acronyms.contains(&p.acronym()));
+        self
+    }
+
+    /// Keeps only the passes whose acronym appears in `acronyms`, in the
+    /// order *given* (unlike [`Pipeline::only`], which preserves pipeline
+    /// order). Acronyms that match no pass are ignored; duplicates take the
+    /// pass once, at its first mention.
+    #[must_use]
+    pub fn select(mut self, acronyms: &[&str]) -> Self {
+        let mut selected = Vec::with_capacity(acronyms.len());
+        for &acronym in acronyms {
+            if let Some(at) = self.passes.iter().position(|p| p.acronym() == acronym) {
+                selected.push(self.passes.remove(at));
+            }
+        }
+        self.passes = selected;
+        self
+    }
+
+    /// Replaces the pass with the given acronym in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass carries `acronym`; use [`Pipeline::try_replace`]
+    /// for a recoverable error, or [`Pipeline::with_pass`] to append.
+    #[must_use]
+    pub fn replace(self, acronym: &str, pass: impl Pass + 'static) -> Self {
+        let available = format!("{:?}", self.acronyms());
+        self.try_replace(acronym, pass)
+            .unwrap_or_else(|_| panic!("no pass with acronym `{acronym}` in pipeline {available}"))
+    }
+
+    /// Replaces the pass with the given acronym in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownPass`] when no pass carries `acronym`.
+    pub fn try_replace(
+        mut self,
+        acronym: &str,
+        pass: impl Pass + 'static,
+    ) -> Result<Self, CoreError> {
+        let at = self.find(acronym)?;
+        self.passes[at] = Box::new(pass);
+        Ok(self)
+    }
+
+    /// Inserts a pass directly after the pass with the given acronym.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass carries `acronym`; use
+    /// [`Pipeline::try_insert_after`] for a recoverable error.
+    #[must_use]
+    pub fn insert_after(self, acronym: &str, pass: impl Pass + 'static) -> Self {
+        let available = format!("{:?}", self.acronyms());
+        self.try_insert_after(acronym, pass)
+            .unwrap_or_else(|_| panic!("no pass with acronym `{acronym}` in pipeline {available}"))
+    }
+
+    /// Inserts a pass directly after the pass with the given acronym.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownPass`] when no pass carries `acronym`.
+    pub fn try_insert_after(
+        mut self,
+        acronym: &str,
+        pass: impl Pass + 'static,
+    ) -> Result<Self, CoreError> {
+        let at = self.find(acronym)?;
+        self.passes.insert(at + 1, Box::new(pass));
+        Ok(self)
+    }
+
+    /// Inserts a pass directly before the pass with the given acronym.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass carries `acronym`; use
+    /// [`Pipeline::try_insert_before`] for a recoverable error.
+    #[must_use]
+    pub fn insert_before(self, acronym: &str, pass: impl Pass + 'static) -> Self {
+        let available = format!("{:?}", self.acronyms());
+        self.try_insert_before(acronym, pass)
+            .unwrap_or_else(|_| panic!("no pass with acronym `{acronym}` in pipeline {available}"))
+    }
+
+    /// Inserts a pass directly before the pass with the given acronym.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownPass`] when no pass carries `acronym`.
+    pub fn try_insert_before(
+        mut self,
+        acronym: &str,
+        pass: impl Pass + 'static,
+    ) -> Result<Self, CoreError> {
+        let at = self.find(acronym)?;
+        self.passes.insert(at, Box::new(pass));
+        Ok(self)
+    }
+
+    /// Position of the pass with the given acronym, if present.
+    pub fn position(&self, acronym: &str) -> Option<usize> {
+        self.passes.iter().position(|p| p.acronym() == acronym)
+    }
+
+    fn find(&self, acronym: &str) -> Result<usize, CoreError> {
+        self.position(acronym)
+            .ok_or_else(|| CoreError::UnknownPass {
+                acronym: acronym.to_string(),
+            })
+    }
+
+    /// The acronyms of the passes, in execution order.
+    pub fn acronyms(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.acronym()).collect()
+    }
+
+    /// The passes, in execution order.
+    pub fn passes(&self) -> &[Box<dyn Pass>] {
+        &self.passes
+    }
+
+    /// Number of passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Whether the pipeline has no passes.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The five default passes of the paper's flow (Figure 1).
+// ---------------------------------------------------------------------------
+
+/// INITIAL: topology construction, obstacle repair, edge splitting,
+/// composite-buffer insertion and sink-polarity correction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InitialConstruction {
+    /// How the initial topology is built.
+    pub topology: TopologyKind,
+    /// Drive the tree with groups of large inverters.
+    pub use_large_inverters: bool,
+    /// Maximum edge length before splitting, µm.
+    pub max_edge_len: f64,
+    /// Fraction of the capacitance budget reserved for later optimizations.
+    pub power_reserve: f64,
+}
+
+impl InitialConstruction {
+    /// The construction settings implied by a [`FlowConfig`].
+    pub fn from_config(config: &FlowConfig) -> Self {
+        Self {
+            topology: config.topology,
+            use_large_inverters: config.use_large_inverters,
+            max_edge_len: config.max_edge_len,
+            power_reserve: config.power_reserve,
+        }
+    }
+}
+
+impl Pass for InitialConstruction {
+    fn name(&self) -> &str {
+        "initial construction"
+    }
+
+    fn acronym(&self) -> &str {
+        "INITIAL"
+    }
+
+    fn run(&self, tree: &mut ClockTree, ctx: &mut PassCtx<'_>) -> Result<PassOutcome, CoreError> {
+        *tree = build_topology(self.topology, ctx.instance, ctx.opt.tech);
+        let candidates = default_candidates(ctx.opt.tech, self.use_large_inverters);
+        let strongest_res = candidates
+            .iter()
+            .map(|c| c.output_res())
+            .fold(f64::INFINITY, f64::min);
+        repair_obstacle_violations(tree, ctx.instance, ctx.opt.tech, strongest_res);
+        split_long_edges(tree, self.max_edge_len);
+        let buffering = choose_and_insert_buffers(
+            tree,
+            ctx.opt.tech,
+            &candidates,
+            ctx.instance.cap_limit,
+            self.power_reserve,
+            &ctx.instance.obstacles,
+        )?;
+        // Corrective inverters must be able to drive the subtree they are
+        // spliced in front of, so they reuse the composite chosen for the
+        // main buffering.
+        ctx.polarity = Some(correct_polarity(tree, buffering.composite));
+        ctx.buffering = Some(buffering);
+        Ok(PassOutcome::zero())
+    }
+}
+
+/// TBSZ: buffer sliding/interleaving followed by trunk and branch buffer
+/// sizing; the CLR-reduction stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferSizingPass {
+    /// Run buffer sliding and interleaving before sizing (Section IV-H).
+    pub enable_sliding: bool,
+    /// Iteration budget for trunk buffer sizing.
+    pub iterations: usize,
+}
+
+impl BufferSizingPass {
+    /// The sizing settings implied by a [`FlowConfig`].
+    pub fn from_config(config: &FlowConfig) -> Self {
+        Self {
+            enable_sliding: config.enable_buffer_sliding,
+            iterations: config.buffer_sizing_iterations,
+        }
+    }
+}
+
+impl Pass for BufferSizingPass {
+    fn name(&self) -> &str {
+        "buffer sliding and sizing"
+    }
+
+    fn acronym(&self) -> &str {
+        "TBSZ"
+    }
+
+    fn run(&self, tree: &mut ClockTree, ctx: &mut PassCtx<'_>) -> Result<PassOutcome, CoreError> {
+        let mut sliding_outcome = None;
+        if self.enable_sliding {
+            sliding_outcome = Some(slide_and_interleave(
+                tree,
+                &ctx.opt,
+                SlidingConfig::default(),
+            ));
+        }
+        let cfg = BufferSizingConfig {
+            max_iterations: self.iterations,
+            ..BufferSizingConfig::default()
+        };
+        let sizing = iterative_buffer_sizing(tree, &ctx.opt, cfg);
+        // Fold the sliding rounds into the stage outcome so the combined
+        // stage reports its full trajectory (sliding's "before" is the
+        // stage's "before").
+        Ok(match sliding_outcome {
+            Some(report) => PassOutcome {
+                rounds: report.outcome.rounds + sizing.rounds,
+                skew_before: report.outcome.skew_before,
+                clr_before: report.outcome.clr_before,
+                ..sizing
+            },
+            None => sizing,
+        })
+    }
+}
+
+/// TWSZ: iterative top-down wiresizing; the big skew reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSizingPass {
+    /// Round budget.
+    pub rounds: usize,
+}
+
+impl WireSizingPass {
+    /// The wiresizing settings implied by a [`FlowConfig`].
+    pub fn from_config(config: &FlowConfig) -> Self {
+        Self {
+            rounds: config.wiresizing_rounds,
+        }
+    }
+}
+
+impl Pass for WireSizingPass {
+    fn name(&self) -> &str {
+        "top-down wiresizing"
+    }
+
+    fn acronym(&self) -> &str {
+        "TWSZ"
+    }
+
+    fn run(&self, tree: &mut ClockTree, ctx: &mut PassCtx<'_>) -> Result<PassOutcome, CoreError> {
+        let cfg = WireSizingConfig {
+            max_rounds: self.rounds,
+            ..WireSizingConfig::default()
+        };
+        Ok(iterative_wiresizing(tree, &ctx.opt, cfg))
+    }
+}
+
+/// TWSN: iterative top-down wiresnaking; refines skew further.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSnakingPass {
+    /// Round budget.
+    pub rounds: usize,
+}
+
+impl WireSnakingPass {
+    /// The wiresnaking settings implied by a [`FlowConfig`].
+    pub fn from_config(config: &FlowConfig) -> Self {
+        Self {
+            rounds: config.wiresnaking_rounds,
+        }
+    }
+}
+
+impl Pass for WireSnakingPass {
+    fn name(&self) -> &str {
+        "top-down wiresnaking"
+    }
+
+    fn acronym(&self) -> &str {
+        "TWSN"
+    }
+
+    fn run(&self, tree: &mut ClockTree, ctx: &mut PassCtx<'_>) -> Result<PassOutcome, CoreError> {
+        let cfg = WireSnakingConfig {
+            max_rounds: self.rounds,
+            ..WireSnakingConfig::default()
+        };
+        Ok(iterative_wiresnaking(tree, &ctx.opt, cfg))
+    }
+}
+
+/// BWSN: bottom-level wiresizing/wiresnaking fine-tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BottomLevelPass {
+    /// Round budget.
+    pub rounds: usize,
+}
+
+impl BottomLevelPass {
+    /// The bottom-level settings implied by a [`FlowConfig`].
+    pub fn from_config(config: &FlowConfig) -> Self {
+        Self {
+            rounds: config.bottom_rounds,
+        }
+    }
+}
+
+impl Pass for BottomLevelPass {
+    fn name(&self) -> &str {
+        "bottom-level fine-tuning"
+    }
+
+    fn acronym(&self) -> &str {
+        "BWSN"
+    }
+
+    fn run(&self, tree: &mut ClockTree, ctx: &mut PassCtx<'_>) -> Result<PassOutcome, CoreError> {
+        let cfg = BottomLevelConfig {
+            max_rounds: self.rounds,
+            ..BottomLevelConfig::default()
+        };
+        Ok(bottom_level_tuning(tree, &ctx.opt, cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(&'static str);
+
+    impl Pass for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn acronym(&self) -> &str {
+            self.0
+        }
+        fn run(
+            &self,
+            _tree: &mut ClockTree,
+            _ctx: &mut PassCtx<'_>,
+        ) -> Result<PassOutcome, CoreError> {
+            Ok(PassOutcome::zero())
+        }
+    }
+
+    #[test]
+    fn default_pipeline_follows_the_methodology_order() {
+        let full = Pipeline::contango(&FlowConfig::default());
+        assert_eq!(full.acronyms(), ["INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"]);
+    }
+
+    #[test]
+    fn enable_flags_are_interpreted_as_pipeline_shims() {
+        let config = FlowConfig {
+            enable_buffer_sizing: false,
+            enable_wiresnaking: false,
+            ..FlowConfig::default()
+        };
+        let pipeline = Pipeline::contango(&config);
+        assert_eq!(pipeline.acronyms(), ["INITIAL", "TWSZ", "BWSN"]);
+    }
+
+    #[test]
+    fn combinators_edit_the_pass_list() {
+        let p = Pipeline::contango(&FlowConfig::default())
+            .without("TWSN")
+            .insert_after("INITIAL", Dummy("A"))
+            .insert_before("BWSN", Dummy("B"))
+            .replace("TWSZ", Dummy("C"));
+        assert_eq!(p.acronyms(), ["INITIAL", "A", "TBSZ", "C", "B", "BWSN"]);
+        assert_eq!(p.position("C"), Some(3));
+        assert_eq!(p.position("TWSZ"), None);
+        let p = p.only(&["INITIAL", "A", "BWSN"]);
+        assert_eq!(p.acronyms(), ["INITIAL", "A", "BWSN"]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn without_missing_acronym_is_a_noop() {
+        let p = Pipeline::contango(&FlowConfig::default()).without("NOPE");
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn select_reorders_to_the_given_order() {
+        let p = Pipeline::contango(&FlowConfig::default())
+            .select(&["INITIAL", "TWSN", "TWSZ", "TWSN", "NOPE"]);
+        assert_eq!(p.acronyms(), ["INITIAL", "TWSN", "TWSZ"]);
+    }
+
+    #[test]
+    fn try_combinators_return_typed_errors_instead_of_panicking() {
+        let err = Pipeline::new()
+            .try_insert_after("NOPE", Dummy("A"))
+            .expect_err("unknown acronym");
+        assert_eq!(
+            err,
+            CoreError::UnknownPass {
+                acronym: "NOPE".to_string()
+            }
+        );
+        let p = Pipeline::contango(&FlowConfig::default())
+            .try_insert_before("TWSZ", Dummy("A"))
+            .and_then(|p| p.try_replace("TWSN", Dummy("B")))
+            .expect("valid anchors");
+        assert_eq!(p.acronyms(), ["INITIAL", "TBSZ", "A", "TWSZ", "B", "BWSN"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pass with acronym")]
+    fn insert_after_missing_acronym_panics() {
+        let _ = Pipeline::new().insert_after("NOPE", Dummy("A"));
+    }
+}

@@ -14,7 +14,7 @@ use serde::Serialize;
 
 /// Outcome of polarity correction (the quantities reported in Table II of
 /// the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct PolarityReport {
     /// Number of sinks with inverted polarity before correction.
     pub inverted_sinks: usize,

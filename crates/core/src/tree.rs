@@ -8,6 +8,7 @@
 //! All optimization passes of the flow operate on this structure and the
 //! electrical netlist derived from it by [`crate::lower`].
 
+use crate::error::TreeError;
 use contango_geom::Point;
 use contango_tech::{CompositeBuffer, Technology, WireWidth};
 use serde::Serialize;
@@ -385,38 +386,41 @@ impl ClockTree {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated invariant as a [`TreeError`].
+    pub fn validate(&self) -> Result<(), TreeError> {
         for (id, node) in self.nodes.iter().enumerate() {
             match node.parent {
                 None => {
                     if id != self.root {
-                        return Err(format!("node {id} has no parent but is not the root"));
+                        return Err(TreeError::OrphanNode { node: id });
                     }
                 }
                 Some(p) => {
                     if !self.nodes[p].children.contains(&id) {
-                        return Err(format!("node {id} missing from its parent's child list"));
+                        return Err(TreeError::MissingChildLink { node: id });
                     }
                 }
             }
             for &c in &node.children {
                 if self.nodes[c].parent != Some(id) {
-                    return Err(format!("child {c} of node {id} has a different parent"));
+                    return Err(TreeError::ParentMismatch { node: id, child: c });
                 }
             }
             if let NodeKind::Sink(sid) = node.kind {
                 if !node.children.is_empty() {
-                    return Err(format!("sink node {id} is not a leaf"));
+                    return Err(TreeError::SinkNotLeaf { node: id });
                 }
                 if self.sink_nodes.get(sid).copied() != Some(id) {
-                    return Err(format!("sink {sid} not registered to node {id}"));
+                    return Err(TreeError::SinkNotRegistered {
+                        sink: sid,
+                        node: id,
+                    });
                 }
             }
         }
         // Reachability: every node must be reachable from the root.
         if self.preorder().len() != self.nodes.len() {
-            return Err("tree contains unreachable nodes".to_string());
+            return Err(TreeError::UnreachableNodes);
         }
         Ok(())
     }

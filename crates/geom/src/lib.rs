@@ -50,7 +50,7 @@ pub use point::Point;
 pub use rect::Rect;
 pub use segment::Segment;
 pub use spatial::SpatialIndex;
-pub use steiner::{half_perimeter_wirelength, rectilinear_mst, SteinerTree};
+pub use steiner::{half_perimeter_wirelength, rectilinear_mst, SteinerError, SteinerTree};
 pub use trr::TiltedRect;
 
 /// Tolerance used for floating-point geometric comparisons, in micrometres.

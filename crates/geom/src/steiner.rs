@@ -16,6 +16,54 @@
 //!   Its wirelength never exceeds the MST wirelength.
 
 use crate::{Point, Rect, Segment};
+use std::fmt;
+
+/// A structural invariant violated by a [`SteinerTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteinerError {
+    /// An edge references a node index beyond the node list.
+    MissingNode {
+        /// First endpoint of the offending edge.
+        a: usize,
+        /// Second endpoint of the offending edge.
+        b: usize,
+    },
+    /// An edge is not axis-parallel.
+    NotRectilinear {
+        /// First endpoint of the offending edge.
+        a: usize,
+        /// Second endpoint of the offending edge.
+        b: usize,
+    },
+    /// A terminal is not connected to the rest of the tree.
+    DisconnectedTerminal {
+        /// Index of the disconnected terminal.
+        terminal: usize,
+    },
+    /// The edge set contains a cycle or disconnected Steiner points.
+    CycleOrDisconnected,
+}
+
+impl fmt::Display for SteinerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SteinerError::MissingNode { a, b } => {
+                write!(f, "edge ({a}, {b}) references a missing node")
+            }
+            SteinerError::NotRectilinear { a, b } => {
+                write!(f, "edge ({a}, {b}) is not axis-parallel")
+            }
+            SteinerError::DisconnectedTerminal { terminal } => {
+                write!(f, "terminal {terminal} is not connected")
+            }
+            SteinerError::CycleOrDisconnected => {
+                write!(f, "tree contains a cycle or disconnected Steiner points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SteinerError {}
 
 /// Returns the edges of the rectilinear (Manhattan) minimum spanning tree
 /// over `points`, as index pairs, using Prim's algorithm in `O(n²)`.
@@ -241,15 +289,15 @@ impl SteinerTree {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated invariant as a [`SteinerError`].
+    pub fn validate(&self) -> Result<(), SteinerError> {
         for &(a, b) in &self.edges {
             if a >= self.nodes.len() || b >= self.nodes.len() {
-                return Err(format!("edge ({a}, {b}) references a missing node"));
+                return Err(SteinerError::MissingNode { a, b });
             }
             let seg = Segment::new(self.nodes[a], self.nodes[b]);
             if !seg.is_rectilinear() {
-                return Err(format!("edge ({a}, {b}) is not axis-parallel"));
+                return Err(SteinerError::NotRectilinear { a, b });
             }
         }
         // Connectivity over the undirected edge set.
@@ -271,10 +319,10 @@ impl SteinerTree {
             }
         }
         if let Some(t) = seen[..self.terminal_count].iter().position(|&s| !s) {
-            return Err(format!("terminal {t} is not connected"));
+            return Err(SteinerError::DisconnectedTerminal { terminal: t });
         }
         if self.edges.len() + 1 != seen.iter().filter(|&&s| s).count() {
-            return Err("tree contains a cycle or disconnected Steiner points".to_string());
+            return Err(SteinerError::CycleOrDisconnected);
         }
         Ok(())
     }

@@ -1,0 +1,137 @@
+//! Typed errors of the delay-evaluation substrate.
+//!
+//! Two failure domains exist in this crate: structural validation of a
+//! [`Netlist`](crate::Netlist) and parsing of external SPICE measurement
+//! output. Each gets its own enum so callers can match on exactly the
+//! failures they can handle; both implement [`std::error::Error`] so they
+//! compose with any error-reporting stack.
+
+use std::fmt;
+
+/// A structural problem found while validating a [`Netlist`](crate::Netlist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// The root stage index is beyond the stage list.
+    RootOutOfRange {
+        /// The offending root index.
+        root: usize,
+    },
+    /// The root stage is not driven by the clock source.
+    RootNotSource,
+    /// A stage has an empty RC tree.
+    EmptyStage {
+        /// Index of the empty stage.
+        stage: usize,
+    },
+    /// A tap references an RC node beyond its stage's tree.
+    TapOutOfRange {
+        /// Stage holding the tap.
+        stage: usize,
+        /// The out-of-range RC node.
+        node: usize,
+    },
+    /// A tap references a stage that does not exist.
+    MissingStage {
+        /// Stage holding the tap.
+        stage: usize,
+        /// The missing child stage.
+        child: usize,
+    },
+    /// A stage's tap drives the root stage.
+    RootDriven,
+    /// Two taps drive the same sink.
+    DuplicateSink {
+        /// The doubly-driven sink id.
+        sink: usize,
+    },
+    /// A non-root stage is never driven.
+    NeverDriven {
+        /// The undriven stage.
+        stage: usize,
+    },
+    /// A non-root stage is driven more than once.
+    MultiplyDriven {
+        /// The multiply-driven stage.
+        stage: usize,
+        /// How many taps drive it.
+        count: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::RootOutOfRange { root } => {
+                write!(f, "root stage {root} out of range")
+            }
+            NetlistError::RootNotSource => {
+                write!(f, "root stage must be driven by the clock source")
+            }
+            NetlistError::EmptyStage { stage } => {
+                write!(f, "stage {stage} has an empty RC tree")
+            }
+            NetlistError::TapOutOfRange { stage, node } => {
+                write!(f, "stage {stage} tap node {node} out of range")
+            }
+            NetlistError::MissingStage { stage, child } => {
+                write!(f, "stage {stage} references missing stage {child}")
+            }
+            NetlistError::RootDriven => {
+                write!(f, "the root stage cannot be driven by another stage")
+            }
+            NetlistError::DuplicateSink { sink } => {
+                write!(f, "sink {sink} is driven more than once")
+            }
+            NetlistError::NeverDriven { stage } => {
+                write!(f, "stage {stage} is never driven")
+            }
+            NetlistError::MultiplyDriven { stage, count } => {
+                write!(f, "stage {stage} is driven {count} times")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A problem found while reading external SPICE measurement output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpiceError {
+    /// The simulator reported a measurement as `failed`.
+    MeasurementFailed {
+        /// Name of the failed measurement.
+        name: String,
+    },
+    /// A measurement value could not be parsed as a SPICE number.
+    UnparsableValue {
+        /// Name of the measurement.
+        name: String,
+        /// The unparsable token.
+        value: String,
+    },
+    /// A sink's measurement is missing from the parsed output.
+    MissingMeasurement {
+        /// The sink whose timing is incomplete.
+        sink: usize,
+        /// Name of the missing measurement.
+        name: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::MeasurementFailed { name } => {
+                write!(f, "measurement '{name}' failed in the SPICE run")
+            }
+            SpiceError::UnparsableValue { name, value } => {
+                write!(f, "measurement '{name}' has unparsable value '{value}'")
+            }
+            SpiceError::MissingMeasurement { sink, name } => {
+                write!(f, "sink {sink}: measurement '{name}' missing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}

@@ -42,6 +42,7 @@
 
 pub mod arnoldi;
 mod driver;
+mod error;
 mod evaluator;
 pub mod incremental;
 mod models;
@@ -54,6 +55,7 @@ pub mod variation;
 
 pub use arnoldi::{higher_moments, reduced_order_models, Moments, ReducedOrderModel};
 pub use driver::{DriverSpec, SourceSpec, RISE_FALL_ASYMMETRY, SLEW_DELAY_SENSITIVITY};
+pub use error::{NetlistError, SpiceError};
 pub use evaluator::{EvalOptions, Evaluator};
 pub use incremental::{
     CacheStats, IncrementalEvaluator, LocalTap, LocalTapKind, LoweredStage, SigBuilder, StageSig,

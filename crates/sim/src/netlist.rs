@@ -1,6 +1,7 @@
 //! Stage-level electrical netlist of a buffered clock network.
 
 use crate::driver::{DriverSpec, SourceSpec};
+use crate::error::NetlistError;
 use crate::RcTree;
 use serde::{Deserialize, Serialize};
 
@@ -88,42 +89,45 @@ impl Netlist {
     /// out-of-range root or tap reference, a non-root stage that is never
     /// driven or driven more than once, a non-source root driver, or a
     /// duplicated sink id.
-    pub fn new(stages: Vec<Stage>, root: usize) -> Result<Self, String> {
+    pub fn new(stages: Vec<Stage>, root: usize) -> Result<Self, NetlistError> {
         let netlist = Self { stages, root };
         netlist.validate()?;
         Ok(netlist)
     }
 
-    fn validate(&self) -> Result<(), String> {
+    fn validate(&self) -> Result<(), NetlistError> {
         if self.root >= self.stages.len() {
-            return Err(format!("root stage {} out of range", self.root));
+            return Err(NetlistError::RootOutOfRange { root: self.root });
         }
         if !self.stages[self.root].driver.is_source() {
-            return Err("root stage must be driven by the clock source".to_string());
+            return Err(NetlistError::RootNotSource);
         }
         let mut driven = vec![0usize; self.stages.len()];
         let mut sink_seen = std::collections::BTreeSet::new();
         for (si, stage) in self.stages.iter().enumerate() {
             if stage.tree.is_empty() {
-                return Err(format!("stage {si} has an empty RC tree"));
+                return Err(NetlistError::EmptyStage { stage: si });
             }
             for tap in &stage.taps {
                 if tap.node >= stage.tree.len() {
-                    return Err(format!("stage {si} tap node {} out of range", tap.node));
+                    return Err(NetlistError::TapOutOfRange {
+                        stage: si,
+                        node: tap.node,
+                    });
                 }
                 match tap.kind {
                     TapKind::Stage(child) => {
                         if child >= self.stages.len() {
-                            return Err(format!("stage {si} references missing stage {child}"));
+                            return Err(NetlistError::MissingStage { stage: si, child });
                         }
                         if child == self.root {
-                            return Err("the root stage cannot be driven by another stage".into());
+                            return Err(NetlistError::RootDriven);
                         }
                         driven[child] += 1;
                     }
                     TapKind::Sink(id) => {
                         if !sink_seen.insert(id) {
-                            return Err(format!("sink {id} is driven more than once"));
+                            return Err(NetlistError::DuplicateSink { sink: id });
                         }
                     }
                 }
@@ -134,10 +138,10 @@ impl Netlist {
                 continue;
             }
             if count == 0 {
-                return Err(format!("stage {si} is never driven"));
+                return Err(NetlistError::NeverDriven { stage: si });
             }
             if count > 1 {
-                return Err(format!("stage {si} is driven {count} times"));
+                return Err(NetlistError::MultiplyDriven { stage: si, count });
             }
         }
         Ok(())
@@ -270,7 +274,8 @@ mod tests {
         let mut n = tiny_netlist();
         n.stages[0].taps.clear();
         let err = Netlist::new(n.stages, 0).unwrap_err();
-        assert!(err.contains("never driven"), "{err}");
+        assert_eq!(err, NetlistError::NeverDriven { stage: 1 });
+        assert!(err.to_string().contains("never driven"), "{err}");
     }
 
     #[test]

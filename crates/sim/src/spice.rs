@@ -21,6 +21,7 @@
 //! `slew_r_<sink>` / `slew_f_<sink>`; values are in seconds in the deck
 //! (SPICE convention) and converted to picoseconds on parsing.
 
+use crate::error::SpiceError;
 use crate::netlist::{Netlist, TapKind};
 use crate::report::{CornerReport, SinkTiming, TransitionTiming};
 use contango_tech::Technology;
@@ -286,7 +287,7 @@ pub type Measurements = BTreeMap<String, f64>;
 ///
 /// Returns an error naming the first measurement whose value cannot be
 /// parsed or that the simulator reported as `failed`.
-pub fn parse_measurements(text: &str) -> Result<Measurements, String> {
+pub fn parse_measurements(text: &str) -> Result<Measurements, SpiceError> {
     let mut out = Measurements::new();
     for raw in text.lines() {
         let line = raw.trim();
@@ -306,10 +307,13 @@ pub fn parse_measurements(text: &str) -> Result<Measurements, String> {
         let rest = line[eq + 1..].trim();
         let value_token = rest.split_whitespace().next().unwrap_or("");
         if value_token.eq_ignore_ascii_case("failed") {
-            return Err(format!("measurement '{name}' failed in the SPICE run"));
+            return Err(SpiceError::MeasurementFailed { name });
         }
-        let seconds: f64 = parse_spice_number(value_token)
-            .ok_or_else(|| format!("measurement '{name}' has unparsable value '{value_token}'"))?;
+        let seconds: f64 =
+            parse_spice_number(value_token).ok_or_else(|| SpiceError::UnparsableValue {
+                name: name.clone(),
+                value: value_token.to_string(),
+            })?;
         out.insert(name, seconds / S_PER_PS);
     }
     Ok(out)
@@ -352,17 +356,17 @@ pub fn report_from_measurements(
     netlist: &Netlist,
     vdd: f64,
     measurements: &Measurements,
-) -> Result<CornerReport, String> {
+) -> Result<CornerReport, SpiceError> {
     let mut sinks = Vec::new();
     let mut max_slew = 0.0_f64;
     let mut ids = netlist.sink_ids();
     ids.sort_unstable();
     for sink in ids {
-        let lookup = |name: String| -> Result<f64, String> {
+        let lookup = |name: String| -> Result<f64, SpiceError> {
             measurements
                 .get(&name)
                 .copied()
-                .ok_or_else(|| format!("sink {sink}: measurement '{name}' missing"))
+                .ok_or(SpiceError::MissingMeasurement { sink, name })
         };
         let rise = TransitionTiming {
             latency: lookup(rise_latency_name(sink))?,
@@ -498,7 +502,7 @@ temper = 25.0
     #[test]
     fn failed_measurements_are_reported() {
         let err = parse_measurements("lat_r_0 = failed\n").expect_err("fails");
-        assert!(err.contains("lat_r_0"));
+        assert!(err.to_string().contains("lat_r_0"));
     }
 
     #[test]
@@ -525,7 +529,7 @@ temper = 25.0
         let mut m = Measurements::new();
         m.insert(rise_latency_name(0), 500.0);
         let err = report_from_measurements(&netlist, 1.2, &m).expect_err("incomplete");
-        assert!(err.contains("missing"));
+        assert!(err.to_string().contains("missing"));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use contango::benchmarks::format::{parse_instance, write_instance};
 use contango::benchmarks::{ispd09_suite, make_instance};
 use contango::{ContangoFlow, FlowConfig, Technology};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = ispd09_suite();
     println!("{} benchmarks in the suite", suite.len());
 

@@ -14,7 +14,7 @@ use contango::core::instance::ClockNetInstance;
 use contango::geom::Point;
 use contango::{ContangoFlow, FlowConfig, Technology};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut builder = ClockNetInstance::builder("mesh-vs-tree")
         .die(0.0, 0.0, 2500.0, 2500.0)
         .source(Point::new(0.0, 1250.0))

@@ -8,7 +8,7 @@ use contango::core::visualize::tree_to_svg;
 use contango::geom::Point;
 use contango::{ContangoFlow, FlowConfig, Technology};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2 mm x 2 mm block with a dozen clock sinks.
     let mut builder = ClockNetInstance::builder("quickstart")
         .die(0.0, 0.0, 2000.0, 2000.0)
@@ -51,16 +51,13 @@ fn main() -> Result<(), String> {
     for s in &result.snapshots {
         println!(
             "  {:<8} skew {:>7.2} ps   CLR {:>7.2} ps   cap {:>9.0} fF",
-            s.stage.acronym(),
-            s.skew,
-            s.clr,
-            s.total_cap
+            s.stage, s.skew, s.clr, s.total_cap
         );
     }
 
     // Emit the slack-colored layout (Figure 3 style).
     let svg = tree_to_svg(&result.tree, &instance, Some(&result.slacks));
-    std::fs::write("quickstart_tree.svg", svg).map_err(|e| e.to_string())?;
+    std::fs::write("quickstart_tree.svg", svg)?;
     println!("\nwrote quickstart_tree.svg");
     Ok(())
 }

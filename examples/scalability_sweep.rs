@@ -8,7 +8,7 @@
 use contango::benchmarks::ti_instance;
 use contango::{ContangoFlow, FlowConfig, Technology};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sizes: Vec<usize> = std::env::args()
         .skip(1)
         .filter_map(|a| a.parse().ok())

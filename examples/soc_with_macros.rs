@@ -9,7 +9,7 @@ use contango::core::instance::ClockNetInstance;
 use contango::geom::{Point, Rect};
 use contango::{ContangoFlow, FlowConfig, Technology};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut builder = ClockNetInstance::builder("soc_with_macros")
         .die(0.0, 0.0, 6000.0, 6000.0)
         .source(Point::new(0.0, 3000.0))
@@ -80,7 +80,7 @@ fn main() -> Result<(), String> {
     println!("buffers inside macros: {illegal}");
 
     // Persist the instance in the text format so it can be re-run later.
-    std::fs::write("soc_with_macros.cns", write_instance(&instance)).map_err(|e| e.to_string())?;
+    std::fs::write("soc_with_macros.cns", write_instance(&instance))?;
     println!("wrote soc_with_macros.cns");
     Ok(())
 }

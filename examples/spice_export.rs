@@ -16,7 +16,7 @@ use contango::sim::spice::{
 };
 use contango::{ContangoFlow, FlowConfig, Technology};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut builder = ClockNetInstance::builder("spice-export")
         .die(0.0, 0.0, 1500.0, 1500.0)
         .source(Point::new(0.0, 750.0))
@@ -36,11 +36,11 @@ fn main() -> Result<(), String> {
     let nominal = write_deck(&netlist, &tech, &DeckOptions::nominal(&tech));
     let low = write_deck(&netlist, &tech, &DeckOptions::low(&tech));
     let out_dir = std::env::temp_dir().join("contango-spice-export");
-    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out_dir)?;
     let nominal_path = out_dir.join("clock_1v2.sp");
     let low_path = out_dir.join("clock_1v0.sp");
-    std::fs::write(&nominal_path, &nominal).map_err(|e| e.to_string())?;
-    std::fs::write(&low_path, &low).map_err(|e| e.to_string())?;
+    std::fs::write(&nominal_path, &nominal)?;
+    std::fs::write(&low_path, &low)?;
     println!(
         "wrote {} ({} lines)",
         nominal_path.display(),

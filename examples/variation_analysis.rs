@@ -14,7 +14,7 @@ use contango::sim::variation::{monte_carlo, VariationModel};
 use contango::sim::{DelayModel, Evaluator};
 use contango::{ContangoFlow, FlowConfig, Technology};
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut builder = ClockNetInstance::builder("variation-demo")
         .die(0.0, 0.0, 3000.0, 3000.0)
         .source(Point::new(0.0, 1500.0))

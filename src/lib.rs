@@ -6,14 +6,24 @@
 //! * [`geom`] — Manhattan geometry, obstacles, maze routing.
 //! * [`tech`] — technology data, composite-buffer analysis.
 //! * [`sim`] — the delay-evaluation substrate (Elmore, two-pole, transient).
-//! * [`core`] — the Contango clock-tree synthesis flow.
+//! * [`core`] — the Contango clock-tree synthesis flow and its composable
+//!   pass [`pipeline`](contango_core::pipeline).
 //! * [`benchmarks`] — ISPD'09-style benchmark generators and file format.
 //! * [`baselines`] — baseline flows for comparisons.
+//!
+//! For everyday use, `use contango::prelude::*;` pulls in the flow, the
+//! pipeline API and the common data types in one line.
 //!
 //! See the repository's `README.md` for a quick start and the `examples/`
 //! directory for runnable end-to-end scenarios.
 
 #![forbid(unsafe_code)]
+
+// Compile the README's Rust examples as doctests so the documented
+// pipeline API can never drift from the code.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+mod readme_doctests {}
 
 pub use contango_baselines as baselines;
 pub use contango_benchmarks as benchmarks;
@@ -25,3 +35,36 @@ pub use contango_tech as tech;
 pub use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult};
 pub use contango_core::instance::ClockNetInstance;
 pub use contango_tech::Technology;
+
+/// The commonly used types in one import: the flow and its configuration,
+/// the pipeline API ([`Pass`](prelude::Pass), [`Pipeline`](prelude::Pipeline),
+/// [`FlowObserver`](prelude::FlowObserver)), the typed errors, and the core
+/// data model (instances, trees, technology, geometry).
+///
+/// ```
+/// use contango::prelude::*;
+///
+/// let instance = ClockNetInstance::builder("prelude")
+///     .die(0.0, 0.0, 1000.0, 1000.0)
+///     .sink(Point::new(300.0, 300.0), 10.0)
+///     .sink(Point::new(700.0, 700.0), 10.0)
+///     .cap_limit(100_000.0)
+///     .build()?;
+/// let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+/// let pipeline = flow.pipeline().without("BWSN");
+/// let result = flow.run_pipeline(&pipeline, &instance, &mut NoopObserver)?;
+/// assert_eq!(result.snapshots.last().unwrap().stage, "TWSN");
+/// # Ok::<(), CoreError>(())
+/// ```
+pub mod prelude {
+    pub use contango_core::error::{CoreError, InstanceError, TreeError};
+    pub use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult, FlowStage, StageSnapshot};
+    pub use contango_core::instance::ClockNetInstance;
+    pub use contango_core::opt::{OptContext, PassOutcome};
+    pub use contango_core::pipeline::{FlowObserver, NoopObserver, Pass, PassCtx, Pipeline};
+    pub use contango_core::topology::TopologyKind;
+    pub use contango_core::tree::{ClockTree, NodeId, NodeKind, WireSegment};
+    pub use contango_geom::{Point, Rect};
+    pub use contango_sim::{DelayModel, EvalReport};
+    pub use contango_tech::Technology;
+}

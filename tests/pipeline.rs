@@ -1,0 +1,243 @@
+//! Integration tests for the composable pass-pipeline API.
+//!
+//! The pipeline refactor must be behavior-preserving: the default pipeline
+//! (and every `enable_*`-flag combination, now a compatibility shim over
+//! pipeline construction) has to reproduce the monolithic flow's results
+//! bit-identically — same snapshots, same evaluator ("SPICE run") counts,
+//! same CLR/skew. On top of that, the API must accept user-defined passes
+//! and reordered pipelines without touching `contango_core`.
+
+use contango::prelude::*;
+
+fn instance() -> ClockNetInstance {
+    let mut b = ClockNetInstance::builder("pipeline-test")
+        .die(0.0, 0.0, 3000.0, 3000.0)
+        .source(Point::new(0.0, 1500.0))
+        .obstacle(Rect::new(1300.0, 1200.0, 1900.0, 1800.0))
+        .cap_limit(500_000.0);
+    for j in 0..4 {
+        for i in 0..4 {
+            b = b.sink(
+                Point::new(320.0 + 700.0 * i as f64, 380.0 + 680.0 * j as f64),
+                9.0 + 4.0 * ((i + j) % 3) as f64,
+            );
+        }
+    }
+    b.build().expect("valid instance")
+}
+
+/// Asserts that two flow results are bit-identical in every deterministic
+/// field (runtime is wall-clock and therefore excluded).
+fn assert_results_identical(a: &FlowResult, b: &FlowResult) {
+    assert_eq!(a.snapshots, b.snapshots);
+    assert_eq!(a.spice_runs, b.spice_runs);
+    assert_eq!(a.polarity, b.polarity);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.clr().to_bits(), b.clr().to_bits());
+    assert_eq!(a.skew().to_bits(), b.skew().to_bits());
+    assert_eq!(a.tree.wirelength().to_bits(), b.tree.wirelength().to_bits());
+}
+
+#[test]
+fn default_pipeline_reproduces_the_flagged_flow_bit_identically() {
+    let inst = instance();
+    let tech = Technology::ispd09();
+
+    // Every enable_* combination the baselines and ablations use.
+    let configs = [
+        FlowConfig::fast(),
+        FlowConfig {
+            enable_buffer_sizing: false,
+            ..FlowConfig::fast()
+        },
+        FlowConfig {
+            enable_wiresnaking: false,
+            enable_bottom_level: false,
+            ..FlowConfig::fast()
+        },
+        FlowConfig {
+            enable_buffer_sliding: false,
+            ..FlowConfig::fast()
+        },
+        FlowConfig {
+            enable_buffer_sizing: false,
+            enable_wiresizing: false,
+            enable_wiresnaking: false,
+            enable_bottom_level: false,
+            ..FlowConfig::fast()
+        },
+    ];
+
+    for config in configs {
+        let flow = ContangoFlow::new(tech.clone(), config);
+        // `run` interprets the enable_* flags through Pipeline::contango...
+        let via_flags = flow.run(&inst).expect("flagged run succeeds");
+        // ...and must agree bit for bit with an explicitly built pipeline.
+        let pipeline = Pipeline::contango(&config);
+        let via_pipeline = flow
+            .run_pipeline(&pipeline, &inst, &mut NoopObserver)
+            .expect("pipeline run succeeds");
+        assert_results_identical(&via_flags, &via_pipeline);
+    }
+}
+
+#[test]
+fn explicit_without_matches_disabled_flags() {
+    let inst = instance();
+    let tech = Technology::ispd09();
+    let flagged = ContangoFlow::new(
+        tech.clone(),
+        FlowConfig {
+            enable_wiresnaking: false,
+            enable_bottom_level: false,
+            ..FlowConfig::fast()
+        },
+    )
+    .run(&inst)
+    .expect("runs");
+
+    // The same ablation, expressed as pipeline combinators over the full
+    // configuration.
+    let full_flow = ContangoFlow::new(tech, FlowConfig::fast());
+    let trimmed = full_flow.pipeline().without("TWSN").without("BWSN");
+    let composed = full_flow
+        .run_pipeline(&trimmed, &inst, &mut NoopObserver)
+        .expect("runs");
+    assert_results_identical(&flagged, &composed);
+}
+
+/// A user-defined pass that only counts how often it ran: the tree is
+/// untouched, so the surrounding stages must behave exactly as without it.
+struct NoopPass;
+
+impl Pass for NoopPass {
+    fn name(&self) -> &str {
+        "no-op"
+    }
+    fn acronym(&self) -> &str {
+        "NOOP"
+    }
+    fn run(&self, _tree: &mut ClockTree, _ctx: &mut PassCtx<'_>) -> Result<PassOutcome, CoreError> {
+        Ok(PassOutcome::zero())
+    }
+}
+
+#[test]
+fn user_defined_noop_pass_is_transparent() {
+    let inst = instance();
+    let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+    let plain = flow.run(&inst).expect("runs");
+
+    let pipeline = flow.pipeline().insert_after("TBSZ", NoopPass);
+    let with_noop = flow
+        .run_pipeline(&pipeline, &inst, &mut NoopObserver)
+        .expect("runs");
+
+    // The no-op contributes one snapshot (and its evaluation is cached, so
+    // one extra "SPICE run") but changes nothing else.
+    assert_eq!(
+        with_noop.snapshots.len(),
+        plain.snapshots.len() + 1,
+        "no-op pass adds exactly one snapshot"
+    );
+    assert_eq!(with_noop.snapshots[2].stage, "NOOP");
+    assert_eq!(with_noop.spice_runs, plain.spice_runs + 1);
+    assert_eq!(with_noop.report, plain.report);
+    // The NOOP snapshot equals the TBSZ snapshot in everything but name.
+    let tbsz = &with_noop.snapshots[1];
+    let noop = &with_noop.snapshots[2];
+    assert_eq!(tbsz.clr.to_bits(), noop.clr.to_bits());
+    assert_eq!(tbsz.skew.to_bits(), noop.skew.to_bits());
+    assert_eq!(tbsz.total_cap.to_bits(), noop.total_cap.to_bits());
+}
+
+#[test]
+fn reordered_pipeline_runs_and_produces_a_valid_tree() {
+    let inst = instance();
+    let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+
+    // Swap the wire optimizations: snaking before sizing. Not the paper's
+    // order, but a legal pipeline — it must run and keep the tree valid.
+    let reordered = flow.pipeline().without("TWSN").insert_before(
+        "TWSZ",
+        contango::core::pipeline::WireSnakingPass { rounds: 4 },
+    );
+    assert_eq!(
+        reordered.acronyms(),
+        ["INITIAL", "TBSZ", "TWSN", "TWSZ", "BWSN"]
+    );
+    let result = flow
+        .run_pipeline(&reordered, &inst, &mut NoopObserver)
+        .expect("reordered pipeline runs");
+    assert!(result.tree.validate().is_ok());
+    assert_eq!(result.report.sink_count(), inst.sink_count());
+    let stages: Vec<&str> = result.snapshots.iter().map(|s| s.stage.as_str()).collect();
+    assert_eq!(stages, ["INITIAL", "TBSZ", "TWSN", "TWSZ", "BWSN"]);
+    // The optimizations must still help, whatever the order.
+    let initial = &result.snapshots[0];
+    let last = result.snapshots.last().expect("snapshots");
+    assert!(last.skew <= initial.skew + 1e-9);
+}
+
+/// An observer that records the hook sequence.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<String>,
+}
+
+impl FlowObserver for Recorder {
+    fn on_pass_start(&mut self, pass: &dyn Pass, index: usize, total: usize) {
+        self.events
+            .push(format!("start {}/{} {}", index + 1, total, pass.acronym()));
+    }
+    fn on_pass_end(&mut self, pass: &dyn Pass, snapshot: &StageSnapshot, _outcome: &PassOutcome) {
+        assert_eq!(snapshot.stage, pass.acronym());
+        self.events.push(format!("end {}", pass.acronym()));
+    }
+}
+
+#[test]
+fn observer_sees_every_pass_in_order() {
+    let inst = instance();
+    let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+    let mut recorder = Recorder::default();
+    flow.run_with_observer(&inst, &mut recorder).expect("runs");
+    assert_eq!(
+        recorder.events,
+        [
+            "start 1/5 INITIAL",
+            "end INITIAL",
+            "start 2/5 TBSZ",
+            "end TBSZ",
+            "start 3/5 TWSZ",
+            "end TWSZ",
+            "start 4/5 TWSN",
+            "end TWSN",
+            "start 5/5 BWSN",
+            "end BWSN",
+        ]
+    );
+}
+
+#[test]
+fn pass_errors_carry_the_pass_acronym() {
+    // A budget so small that no buffering configuration fits: INITIAL fails
+    // and the error must say so, wrapping the typed budget error.
+    let mut b = ClockNetInstance::builder("tiny-budget")
+        .die(0.0, 0.0, 3000.0, 3000.0)
+        .cap_limit(10.0);
+    for i in 0..4 {
+        b = b.sink(Point::new(500.0 + 500.0 * i as f64, 1500.0), 10.0);
+    }
+    let inst = b.build().expect("valid instance");
+    let flow = ContangoFlow::new(Technology::ispd09(), FlowConfig::fast());
+    let err = flow.run(&inst).expect_err("budget is infeasible");
+    match &err {
+        CoreError::Pass { pass, source } => {
+            assert_eq!(pass, "INITIAL");
+            assert!(matches!(**source, CoreError::BufferBudget { .. }));
+        }
+        other => panic!("expected a pass error, got {other:?}"),
+    }
+    assert!(err.to_string().contains("pass INITIAL"));
+}

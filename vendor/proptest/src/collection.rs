@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// The length specification accepted by [`vec`]: a fixed length or a
+/// The length specification accepted by [`vec()`]: a fixed length or a
 /// half-open range of lengths.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
