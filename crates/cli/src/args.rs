@@ -93,6 +93,9 @@ pub struct FlowOptions {
     pub stages: Option<Vec<String>>,
     /// Optimization stages to drop from the pipeline.
     pub skip: Vec<String>,
+    /// Construction-engine worker threads (0 = auto-detect); results are
+    /// bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for FlowOptions {
@@ -104,6 +107,7 @@ impl Default for FlowOptions {
             model: DelayModel::Transient,
             stages: None,
             skip: Vec::new(),
+            threads: 1,
         }
     }
 }
@@ -171,16 +175,17 @@ USAGE:
   contango-cts run --input <file> [--solution-out <file>] [--fast]
                    [--large-inverters] [--topology dme|greedy-matching|h-tree|fishbone]
                    [--model elmore|two-pole|transient] [--format text|markdown|csv]
-                   [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]]
+                   [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]] [--threads N]
   contango-cts evaluate --instance <file> --solution <file>
   contango-cts compare --input <file> [--fast] [--format text|markdown|csv]
-                   [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]]
+                   [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]] [--threads N]
   contango-cts spice-deck --instance <file> --solution <file> [--low-corner] --out <file>
   contango-cts help
 
   --stages runs only the listed optimization stages, in the order listed
   (the INITIAL construction always runs first); --skip drops stages from
-  the pipeline.
+  the pipeline. --threads fans tree construction out over N worker
+  threads (0 = auto-detect); results are identical for every N.
 ";
 
 /// Parses an argument vector (excluding the program name).
@@ -324,6 +329,14 @@ fn parse_flow_options(scan: &mut Scanner<'_>) -> Result<FlowOptions, ArgError> {
         }
         flow.skip = stages;
     }
+    if let Some(threads) = scan.value("--threads")? {
+        flow.threads = threads
+            .parse::<usize>()
+            .map_err(|_| ArgError::InvalidValue {
+                flag: "--threads",
+                value: threads.clone(),
+            })?;
+    }
     Ok(flow)
 }
 
@@ -422,6 +435,36 @@ mod tests {
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_flag_parses_and_validates() {
+        let cmd =
+            parse_args(&args(&["run", "--input", "a.cns", "--threads", "4"])).expect("parses");
+        match cmd {
+            Command::Run { flow, .. } => assert_eq!(flow.threads, 4),
+            other => panic!("unexpected command {other:?}"),
+        }
+        // 0 means auto-detect.
+        let cmd =
+            parse_args(&args(&["compare", "--input", "a.cns", "--threads", "0"])).expect("parses");
+        match cmd {
+            Command::Compare { flow, .. } => assert_eq!(flow.threads, 0),
+            other => panic!("unexpected command {other:?}"),
+        }
+        // Default is single-threaded.
+        let cmd = parse_args(&args(&["run", "--input", "a.cns"])).expect("parses");
+        match cmd {
+            Command::Run { flow, .. } => assert_eq!(flow.threads, 1),
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert_eq!(
+            parse_args(&args(&["run", "--input", "a.cns", "--threads", "many"])).unwrap_err(),
+            ArgError::InvalidValue {
+                flag: "--threads",
+                value: "many".to_string()
+            }
+        );
     }
 
     #[test]

@@ -197,6 +197,7 @@ pub fn flow_config(options: &FlowOptions) -> FlowConfig {
     config.use_large_inverters = options.large_inverters;
     config.topology = options.topology;
     config.model = options.model;
+    config.parallel = contango_core::ParallelConfig::with_threads(options.threads);
     config
 }
 
@@ -453,12 +454,17 @@ mod tests {
             large_inverters: true,
             topology: TopologyKind::GreedyMatching,
             model: DelayModel::TwoPole,
+            threads: 8,
             ..FlowOptions::default()
         };
         let config = flow_config(&options);
         assert!(config.use_large_inverters);
         assert_eq!(config.topology, TopologyKind::GreedyMatching);
         assert_eq!(config.model, DelayModel::TwoPole);
+        assert_eq!(
+            config.parallel,
+            contango_core::ParallelConfig::with_threads(8)
+        );
         assert_eq!(
             config.wiresizing_rounds,
             FlowConfig::fast().wiresizing_rounds

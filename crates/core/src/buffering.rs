@@ -15,6 +15,12 @@
 //!    keeps the strongest one that fits within 90% of the capacitance
 //!    budget, reserving γ = 10% for downstream optimizations
 //!    ([`choose_and_insert_buffers`]).
+//!
+//! These functions are the *pinned reference* formulation: the `INITIAL`
+//! pipeline pass runs the allocation-lean engine equivalent
+//! ([`crate::construct::choose_buffers_with`]), which plans the same
+//! decisions on an overlay instead of cloning the tree per candidate and
+//! is tested bit-for-bit against this module.
 
 use crate::error::CoreError;
 use crate::tree::{ClockTree, NodeId, NodeKind};

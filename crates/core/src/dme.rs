@@ -6,7 +6,19 @@
 //! Elmore delays of the two merged subtrees are equal (snaking one side when
 //! necessary), and exact embedding locations are chosen top-down, pulling
 //! every merging segment as close to the clock source as possible.
+//!
+//! Two implementations share the merge mathematics:
+//!
+//! * [`build_zero_skew_tree`] drives the allocation-lean, optionally
+//!   parallel construction engine in [`crate::construct`] — the production
+//!   path;
+//! * [`reference_zero_skew_tree`] is the direct recursive formulation,
+//!   kept as the readable specification of the algorithm. Equivalence
+//!   tests pin the engine bit-for-bit to this reference, and the
+//!   `construction` benchmark group measures the engine's speedup against
+//!   it (`BENCH_4.json`).
 
+use crate::construct::{zero_skew_tree_with, ConstructArena, ParallelConfig};
 use crate::instance::ClockNetInstance;
 use crate::tree::{ClockTree, NodeId, WireSegment};
 use contango_geom::{Point, TiltedRect};
@@ -19,12 +31,16 @@ pub struct DmeOptions {
     /// Wire width used for the initial tree (wide by default, leaving the
     /// narrow width available as a slow-down knob for wire sizing).
     pub wire_width: WireWidth,
+    /// Thread fan-out for independent subtree merges; results are
+    /// bit-identical for every thread count.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for DmeOptions {
     fn default() -> Self {
         Self {
             wire_width: WireWidth::Wide,
+            parallel: ParallelConfig::serial(),
         }
     }
 }
@@ -39,21 +55,42 @@ enum Topology {
 
 /// Per-topology-node merging data computed bottom-up.
 #[derive(Debug, Clone)]
-struct MergeData {
-    region: TiltedRect,
+pub(crate) struct MergeData {
+    pub(crate) region: TiltedRect,
     /// Downstream capacitance in fF (wire + sink pins).
-    cap: f64,
+    pub(crate) cap: f64,
     /// Elmore delay from this merge point to every downstream sink, ps.
-    delay: f64,
+    pub(crate) delay: f64,
     /// Wirelength assigned to the edges toward the left/right children, µm.
-    edge_left: f64,
-    edge_right: f64,
+    pub(crate) edge_left: f64,
+    pub(crate) edge_right: f64,
 }
 
 /// Builds the initial zero-skew (under Elmore delay) clock tree for an
 /// instance: the tree root sits at the clock source and a trunk wire leads
 /// to the DME merging point of all sinks.
+///
+/// This drives the construction engine in [`crate::construct`]; callers
+/// that build many trees can amortize the engine's scratch memory with
+/// [`zero_skew_tree_with`]. The result is bit-identical to
+/// [`reference_zero_skew_tree`] for every [`ParallelConfig`].
 pub fn build_zero_skew_tree(
+    instance: &ClockNetInstance,
+    tech: &Technology,
+    options: DmeOptions,
+) -> ClockTree {
+    let mut arena = ConstructArena::new();
+    zero_skew_tree_with(instance, tech, options, &mut arena)
+}
+
+/// The direct recursive DME formulation: the pre-engine reference
+/// implementation.
+///
+/// Kept as the executable specification that equivalence tests pin
+/// [`build_zero_skew_tree`] against, and as the baseline the `construction`
+/// benchmark group measures the engine's speedup over. Ignores
+/// [`DmeOptions::parallel`].
+pub fn reference_zero_skew_tree(
     instance: &ClockNetInstance,
     tech: &Technology,
     options: DmeOptions,
@@ -189,7 +226,7 @@ fn merge_bottom_up(
 }
 
 /// Elmore delay (ps) of a wire of length `len` (µm) driving `load` (fF).
-fn edge_elmore(unit_res: f64, unit_cap: f64, len: f64, load: f64) -> f64 {
+pub(crate) fn edge_elmore(unit_res: f64, unit_cap: f64, len: f64, load: f64) -> f64 {
     unit_res * len * (0.5 * unit_cap * len + load) * contango_tech::units::RC_TO_PS
 }
 
@@ -197,7 +234,7 @@ fn edge_elmore(unit_res: f64, unit_cap: f64, len: f64, load: f64) -> f64 {
 /// Elmore delays seen at the merge point are equal, snaking the faster side
 /// when the balance point would fall outside the connecting wire. Also
 /// returns the merging region of the parent.
-fn balance_merge(
+pub(crate) fn balance_merge(
     a: &MergeData,
     b: &MergeData,
     unit_res: f64,
@@ -242,7 +279,7 @@ fn balance_merge(
 
 /// Solves `r·l(c·l/2 + cap)·RC_TO_PS = delay_gap` for `l ≥ 0` (the snaked
 /// length needed to add `delay_gap` picoseconds in front of a subtree).
-fn solve_extension(r: f64, c: f64, cap: f64, delay_gap: f64) -> f64 {
+pub(crate) fn solve_extension(r: f64, c: f64, cap: f64, delay_gap: f64) -> f64 {
     if delay_gap <= 0.0 {
         return 0.0;
     }

@@ -81,6 +81,10 @@ pub struct FlowConfig {
     pub bottom_rounds: usize,
     /// Iteration budget for trunk buffer sizing.
     pub buffer_sizing_iterations: usize,
+    /// Thread fan-out for the construction engine (subtree merges and
+    /// per-branch buffer planning). Results are bit-identical for every
+    /// thread count; see [`crate::construct::ParallelConfig`].
+    pub parallel: crate::construct::ParallelConfig,
 }
 
 impl Default for FlowConfig {
@@ -101,6 +105,7 @@ impl Default for FlowConfig {
             wiresnaking_rounds: 8,
             bottom_rounds: 3,
             buffer_sizing_iterations: 5,
+            parallel: crate::construct::ParallelConfig::serial(),
         }
     }
 }

@@ -14,7 +14,8 @@
 //!   stage-level electrical netlist ([`lower`]);
 //! * the construction algorithms — DME/ZST topology and embedding
 //!   ([`dme`]), obstacle avoidance ([`obstacles`]), buffer insertion
-//!   ([`buffering`]) and sink-polarity correction ([`polarity`]);
+//!   ([`buffering`]) and sink-polarity correction ([`polarity`]) — driven
+//!   by the parallel, allocation-lean engine in [`construct`];
 //! * the slack framework ([`slack`]) and the SPICE-driven optimizations
 //!   ([`wiresizing`], [`wiresnaking`], [`bottomlevel`], [`buffersizing`]),
 //!   orchestrated by [`flow::ContangoFlow`] as a composable [`pipeline`] of
@@ -51,6 +52,7 @@
 pub mod bottomlevel;
 pub mod buffering;
 pub mod buffersizing;
+pub mod construct;
 pub mod crosslink;
 pub mod dme;
 pub mod error;
@@ -69,6 +71,7 @@ pub mod visualize;
 pub mod wiresizing;
 pub mod wiresnaking;
 
+pub use construct::{ConstructArena, ParallelConfig};
 pub use error::{CoreError, InstanceError, TreeError};
 pub use flow::{ContangoFlow, FlowConfig, FlowResult, FlowStage, StageSnapshot};
 pub use instance::{ClockNetInstance, ClockNetInstanceBuilder, SinkSpec};

@@ -1,4 +1,11 @@
 //! Shared context for the SPICE-driven optimization passes.
+//!
+//! [`OptContext`] bundles what every pass reads — the technology, the
+//! clock-source electricals, the shared incremental evaluator (see
+//! [`contango_sim::incremental`]), the lowering granularity and the
+//! capacitance budget — and [`PassOutcome`] is the per-pass summary the
+//! [`crate::pipeline`] driver collects alongside each
+//! [`StageSnapshot`](crate::flow::StageSnapshot).
 
 use crate::lower::{evaluate_incremental, to_netlist};
 use crate::tree::ClockTree;

@@ -82,18 +82,16 @@
 //! ```
 
 use crate::bottomlevel::{bottom_level_tuning, BottomLevelConfig};
-use crate::buffering::{
-    choose_and_insert_buffers, default_candidates, split_long_edges, BufferingReport,
-};
+use crate::buffering::BufferingReport;
 use crate::buffersizing::{iterative_buffer_sizing, BufferSizingConfig};
+use crate::construct::{construct_initial, ConstructArena, ConstructConfig, ParallelConfig};
 use crate::error::CoreError;
 use crate::flow::{FlowConfig, StageSnapshot};
 use crate::instance::ClockNetInstance;
-use crate::obstacles::repair_obstacle_violations;
 use crate::opt::{OptContext, PassOutcome};
-use crate::polarity::{correct_polarity, PolarityReport};
+use crate::polarity::PolarityReport;
 use crate::sliding::{slide_and_interleave, SlidingConfig};
-use crate::topology::{build_topology, TopologyKind};
+use crate::topology::TopologyKind;
 use crate::tree::ClockTree;
 use crate::wiresizing::{iterative_wiresizing, WireSizingConfig};
 use crate::wiresnaking::{iterative_wiresnaking, WireSnakingConfig};
@@ -377,6 +375,13 @@ impl Pipeline {
 
 /// INITIAL: topology construction, obstacle repair, edge splitting,
 /// composite-buffer insertion and sink-polarity correction.
+///
+/// The pass body is the construction engine
+/// ([`crate::construct::construct_initial`]): arena-driven topology and
+/// merging, overlay-planned buffering, and a deterministic thread fan-out
+/// controlled by [`InitialConstruction::parallel`]. Observers see the
+/// engine's runtime like any other stage, through the usual
+/// [`FlowObserver::on_pass_start`]/[`FlowObserver::on_pass_end`] pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InitialConstruction {
     /// How the initial topology is built.
@@ -387,6 +392,9 @@ pub struct InitialConstruction {
     pub max_edge_len: f64,
     /// Fraction of the capacitance budget reserved for later optimizations.
     pub power_reserve: f64,
+    /// Thread fan-out for subtree merges and per-branch buffer planning;
+    /// results are bit-identical for every thread count.
+    pub parallel: ParallelConfig,
 }
 
 impl InitialConstruction {
@@ -397,6 +405,7 @@ impl InitialConstruction {
             use_large_inverters: config.use_large_inverters,
             max_edge_len: config.max_edge_len,
             power_reserve: config.power_reserve,
+            parallel: config.parallel,
         }
     }
 }
@@ -411,27 +420,18 @@ impl Pass for InitialConstruction {
     }
 
     fn run(&self, tree: &mut ClockTree, ctx: &mut PassCtx<'_>) -> Result<PassOutcome, CoreError> {
-        *tree = build_topology(self.topology, ctx.instance, ctx.opt.tech);
-        let candidates = default_candidates(ctx.opt.tech, self.use_large_inverters);
-        let strongest_res = candidates
-            .iter()
-            .map(|c| c.output_res())
-            .fold(f64::INFINITY, f64::min);
-        repair_obstacle_violations(tree, ctx.instance, ctx.opt.tech, strongest_res);
-        split_long_edges(tree, self.max_edge_len);
-        let buffering = choose_and_insert_buffers(
-            tree,
-            ctx.opt.tech,
-            &candidates,
-            ctx.instance.cap_limit,
-            self.power_reserve,
-            &ctx.instance.obstacles,
-        )?;
-        // Corrective inverters must be able to drive the subtree they are
-        // spliced in front of, so they reuse the composite chosen for the
-        // main buffering.
-        ctx.polarity = Some(correct_polarity(tree, buffering.composite));
-        ctx.buffering = Some(buffering);
+        let config = ConstructConfig {
+            topology: self.topology,
+            use_large_inverters: self.use_large_inverters,
+            max_edge_len: self.max_edge_len,
+            power_reserve: self.power_reserve,
+            parallel: self.parallel,
+        };
+        let mut arena = ConstructArena::new();
+        let (built, reports) = construct_initial(ctx.instance, ctx.opt.tech, &config, &mut arena)?;
+        *tree = built;
+        ctx.polarity = Some(reports.polarity);
+        ctx.buffering = Some(reports.buffering);
         Ok(PassOutcome::zero())
     }
 }

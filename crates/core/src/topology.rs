@@ -15,10 +15,11 @@
 //!   box, with sinks attached to their quadrant's subtree.
 //! * [`TopologyKind::Fishbone`] — a central spine with one rib per sink.
 
+use crate::construct::{greedy_matching_with, ConstructArena};
 use crate::dme::{build_zero_skew_tree, DmeOptions};
 use crate::instance::ClockNetInstance;
 use crate::tree::{ClockTree, NodeId, WireSegment};
-use contango_geom::{Point, Rect, SpatialIndex};
+use contango_geom::{Point, Rect};
 use contango_tech::Technology;
 use serde::Serialize;
 
@@ -76,14 +77,181 @@ pub fn build_topology(
     }
 }
 
-/// Builds a clock tree by recursive nearest-neighbour pairing.
+/// Builds a clock tree by iterated nearest-neighbour pairing.
 ///
 /// Each round pairs every cluster with its nearest unpaired neighbour and
 /// replaces the pair by a merge node at the capacitance-weighted balance
 /// point (Edahiro's clustering heuristic under a geometric cost). Rounds
 /// repeat until a single cluster remains, which is then connected to the
 /// clock source.
+///
+/// This drives the O(n log n) engine in [`crate::construct`]
+/// ([`greedy_matching_with`]); the pairing is bit-identical to
+/// [`reference_greedy_matching_tree`], which retains the original
+/// per-round index rebuild and mask-based removal.
 pub fn greedy_matching_tree(instance: &ClockNetInstance) -> ClockTree {
+    let mut arena = ConstructArena::new();
+    greedy_matching_with(instance, &mut arena)
+}
+
+/// A verbatim copy of the pre-engine grid index, pinning the baseline cost
+/// profile of [`reference_greedy_matching_tree`]: removal is a mask (dead
+/// points stay in the buckets and are re-scanned by every later query),
+/// cell *counts* are square regardless of the die aspect ratio, and every
+/// pairing round pays a fresh allocation. Query results are identical to
+/// [`SpatialIndex`]; only the cost differs.
+mod frozen_index {
+    use contango_geom::{Point, Rect};
+
+    pub(super) struct FrozenSpatialIndex {
+        points: Vec<Point>,
+        bounds: Rect,
+        cells_x: usize,
+        cells_y: usize,
+        cell_w: f64,
+        cell_h: f64,
+        buckets: Vec<Vec<usize>>,
+        alive: Vec<bool>,
+        alive_count: usize,
+    }
+
+    impl FrozenSpatialIndex {
+        pub(super) fn new(points: &[Point]) -> Self {
+            let n = points.len();
+            let bounds = bounding_box(points);
+            let target_cells = (n.max(1) as f64 / 2.0).sqrt().ceil() as usize;
+            let cells_x = target_cells.max(1);
+            let cells_y = target_cells.max(1);
+            let cell_w = (bounds.width() / cells_x as f64).max(1e-9);
+            let cell_h = (bounds.height() / cells_y as f64).max(1e-9);
+            let mut index = Self {
+                points: points.to_vec(),
+                bounds,
+                cells_x,
+                cells_y,
+                cell_w,
+                cell_h,
+                buckets: vec![Vec::new(); cells_x * cells_y],
+                alive: vec![true; n],
+                alive_count: n,
+            };
+            for (i, &p) in points.iter().enumerate() {
+                let b = index.bucket_of(p);
+                index.buckets[b].push(i);
+            }
+            index
+        }
+
+        pub(super) fn remove(&mut self, index: usize) {
+            if index < self.alive.len() && self.alive[index] {
+                self.alive[index] = false;
+                self.alive_count -= 1;
+            }
+        }
+
+        pub(super) fn nearest(&self, query: Point, exclude: Option<usize>) -> Option<usize> {
+            if self.alive_count == 0 {
+                return None;
+            }
+            let (qx, qy) = self.cell_coords(query);
+            let max_ring = self.cells_x.max(self.cells_y);
+            let mut best: Option<(f64, usize)> = None;
+            for ring in 0..=max_ring {
+                if let Some((dist, _)) = best {
+                    let ring_min = (ring.saturating_sub(1)) as f64 * self.cell_w.min(self.cell_h);
+                    if ring_min > dist {
+                        break;
+                    }
+                }
+                self.for_each_ring_cell(qx, qy, ring, |cx, cy| {
+                    for &i in &self.buckets[cy * self.cells_x + cx] {
+                        if !self.alive[i] || Some(i) == exclude {
+                            continue;
+                        }
+                        let d = self.points[i].manhattan(query);
+                        if best.is_none_or(|(bd, bi)| d < bd || (d == bd && i < bi)) {
+                            best = Some((d, i));
+                        }
+                    }
+                });
+            }
+            best.map(|(_, i)| i)
+        }
+
+        fn bucket_of(&self, p: Point) -> usize {
+            let (cx, cy) = self.cell_coords(p);
+            cy * self.cells_x + cx
+        }
+
+        fn cell_coords(&self, p: Point) -> (usize, usize) {
+            let cx = ((p.x - self.bounds.lo.x) / self.cell_w).floor() as isize;
+            let cy = ((p.y - self.bounds.lo.y) / self.cell_h).floor() as isize;
+            (
+                cx.clamp(0, self.cells_x as isize - 1) as usize,
+                cy.clamp(0, self.cells_y as isize - 1) as usize,
+            )
+        }
+
+        fn for_each_ring_cell(
+            &self,
+            qx: usize,
+            qy: usize,
+            ring: usize,
+            mut f: impl FnMut(usize, usize),
+        ) {
+            let r = ring as isize;
+            let (qx, qy) = (qx as isize, qy as isize);
+            let visit = |cx: isize, cy: isize, f: &mut dyn FnMut(usize, usize)| {
+                if cx >= 0
+                    && cy >= 0
+                    && (cx as usize) < self.cells_x
+                    && (cy as usize) < self.cells_y
+                {
+                    f(cx as usize, cy as usize);
+                }
+            };
+            if r == 0 {
+                visit(qx, qy, &mut f);
+                return;
+            }
+            for dx in -r..=r {
+                visit(qx + dx, qy - r, &mut f);
+                visit(qx + dx, qy + r, &mut f);
+            }
+            for dy in (-r + 1)..=(r - 1) {
+                visit(qx - r, qy + dy, &mut f);
+                visit(qx + r, qy + dy, &mut f);
+            }
+        }
+    }
+
+    fn bounding_box(points: &[Point]) -> Rect {
+        if points.is_empty() {
+            return Rect::new(0.0, 0.0, 1.0, 1.0);
+        }
+        let mut r = Rect::new(points[0].x, points[0].y, points[0].x, points[0].y);
+        for p in points {
+            r = r.union(&Rect::new(p.x, p.y, p.x, p.y));
+        }
+        Rect::new(
+            r.lo.x,
+            r.lo.y,
+            r.hi.x.max(r.lo.x + 1.0),
+            r.hi.y.max(r.lo.y + 1.0),
+        )
+    }
+}
+
+/// The pre-engine greedy-matching formulation: the pinned reference the
+/// engine is tested against and benchmarked over.
+///
+/// Runs verbatim pre-engine code, including its own frozen copy of the
+/// grid index: per-round index construction allocates from scratch,
+/// removal is mask-only (dead points stay in the buckets), and the grid's
+/// cell count is square regardless of the die aspect ratio — so
+/// late-round nearest-neighbour queries degenerate towards full scans
+/// (the O(n²) tail the engine removes).
+pub fn reference_greedy_matching_tree(instance: &ClockNetInstance) -> ClockTree {
     let mut tree = ClockTree::new(instance.source);
 
     /// One cluster of the matching hierarchy.
@@ -121,7 +289,7 @@ pub fn greedy_matching_tree(instance: &ClockNetInstance) -> ClockTree {
 
     while clusters.len() > 1 {
         let points: Vec<Point> = clusters.iter().map(|c| c.location).collect();
-        let mut index = SpatialIndex::new(&points);
+        let mut index = frozen_index::FrozenSpatialIndex::new(&points);
         let mut order: Vec<usize> = (0..clusters.len()).collect();
         // Pair clusters in a deterministic order: densest neighbourhoods
         // first is not required for correctness, plain index order keeps the

@@ -5,16 +5,32 @@
 //! point?". A uniform grid of buckets answers that in near-constant time for
 //! the clustered, roughly uniform point sets that occur in clock-network
 //! synthesis, without pulling in a full k-d tree implementation.
+//!
+//! Two properties matter to the construction engine that drives every
+//! greedy-matching pairing round through this index:
+//!
+//! * [`SpatialIndex::remove`] *physically* deletes the point from its grid
+//!   bucket (a swap-remove via a stored per-point bucket position), so
+//!   queries late in a pairing round — when almost every point has been
+//!   matched — never scan dead entries. With a pure "removed" mask the ring
+//!   search degenerates towards a full scan per query and the matching round
+//!   towards O(n²).
+//! * [`SpatialIndex::rebuild`] re-buckets the index in bulk for a new point
+//!   set while reusing every existing allocation, so per-round index
+//!   construction costs no heap traffic in steady state.
 
 use crate::{Point, Rect};
+
+/// Marker for "point not bucketed" in the per-point bucket bookkeeping.
+const NO_BUCKET: u32 = u32::MAX;
 
 /// A uniform-grid spatial index over a fixed set of points.
 ///
 /// Points are addressed by their index in the slice passed to
-/// [`SpatialIndex::new`]. Queries support an optional "removed" mask so
-/// matching algorithms can take points out of consideration without
-/// rebuilding the index.
-#[derive(Debug, Clone)]
+/// [`SpatialIndex::new`] (or the latest [`SpatialIndex::rebuild`]). Queries
+/// see only points that have not been [`SpatialIndex::remove`]d; removal is
+/// physical, so query cost tracks the number of *alive* points.
+#[derive(Debug, Clone, Default)]
 pub struct SpatialIndex {
     points: Vec<Point>,
     bounds: Rect,
@@ -23,9 +39,25 @@ pub struct SpatialIndex {
     cell_w: f64,
     cell_h: f64,
     buckets: Vec<Vec<usize>>,
+    /// Bucket index of every point (`NO_BUCKET` once removed).
+    point_bucket: Vec<u32>,
+    /// Position of every point inside its bucket (kept in sync by
+    /// swap-removal).
+    point_pos: Vec<u32>,
+    /// Compact list of alive point indices (swap-removed in step with the
+    /// buckets), so drained index states can be scanned directly instead of
+    /// ring-walking a nearly empty grid.
+    alive_list: Vec<usize>,
+    /// Position of every alive point in `alive_list`.
+    list_pos: Vec<u32>,
     alive: Vec<bool>,
     alive_count: usize,
 }
+
+/// Below this many alive points, `nearest` scans the alive list directly:
+/// cheaper than expanding rings across a sparse grid, with identical
+/// results.
+const BRUTE_FORCE_THRESHOLD: usize = 48;
 
 impl SpatialIndex {
     /// Builds an index over `points`.
@@ -33,29 +65,62 @@ impl SpatialIndex {
     /// The grid resolution is chosen so each bucket holds a handful of
     /// points on average.
     pub fn new(points: &[Point]) -> Self {
+        let mut index = Self::default();
+        index.rebuild(points);
+        index
+    }
+
+    /// Re-buckets the index over a new point set in bulk, reusing the
+    /// existing bucket allocations.
+    ///
+    /// Equivalent to `*self = SpatialIndex::new(points)` but without
+    /// discarding the grid's heap storage; the greedy-matching engine calls
+    /// this once per pairing round.
+    pub fn rebuild(&mut self, points: &[Point]) {
         let n = points.len();
         let bounds = bounding_box(points);
-        let target_cells = (n.max(1) as f64 / 2.0).sqrt().ceil() as usize;
-        let cells_x = target_cells.max(1);
-        let cells_y = target_cells.max(1);
-        let cell_w = (bounds.width() / cells_x as f64).max(1e-9);
-        let cell_h = (bounds.height() / cells_y as f64).max(1e-9);
-        let mut index = Self {
-            points: points.to_vec(),
-            bounds,
-            cells_x,
-            cells_y,
-            cell_w,
-            cell_h,
-            buckets: vec![Vec::new(); cells_x * cells_y],
-            alive: vec![true; n],
-            alive_count: n,
-        };
-        for (i, &p) in points.iter().enumerate() {
-            let b = index.bucket_of(p);
-            index.buckets[b].push(i);
+        // Aim for ~2 points per bucket with *square* cells: proportioning
+        // the grid to the bounding-box aspect ratio keeps nearest-neighbour
+        // ring searches cheap on elongated point sets (register-bank rows),
+        // where a square cell *count* would produce needle-shaped cells and
+        // force queries through the whole grid.
+        let target_cells = (n.max(1) as f64 / 2.0).max(1.0);
+        // Clamping the aspect keeps degenerate (near-1-D) point sets from
+        // exploding the cell count along the long axis.
+        let aspect = (bounds.width() / bounds.height()).clamp(1.0 / 32.0, 32.0);
+        let cells_x = ((target_cells * aspect).sqrt().ceil() as usize).max(1);
+        let cells_y = ((target_cells / cells_x as f64).ceil() as usize).max(1);
+
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        self.bounds = bounds;
+        self.cells_x = cells_x;
+        self.cells_y = cells_y;
+        self.cell_w = (bounds.width() / cells_x as f64).max(1e-9);
+        self.cell_h = (bounds.height() / cells_y as f64).max(1e-9);
+
+        for bucket in &mut self.buckets {
+            bucket.clear();
         }
-        index
+        self.buckets.resize(cells_x * cells_y, Vec::new());
+        self.point_bucket.clear();
+        self.point_bucket.resize(n, NO_BUCKET);
+        self.point_pos.clear();
+        self.point_pos.resize(n, 0);
+        self.alive_list.clear();
+        self.alive_list.extend(0..n);
+        self.list_pos.clear();
+        self.list_pos.extend(0..n as u32);
+        self.alive.clear();
+        self.alive.resize(n, true);
+        self.alive_count = n;
+
+        for (i, &p) in points.iter().enumerate() {
+            let b = self.bucket_of(p);
+            self.point_bucket[i] = b as u32;
+            self.point_pos[i] = self.buckets[b].len() as u32;
+            self.buckets[b].push(i);
+        }
     }
 
     /// Number of points still alive (not removed).
@@ -84,11 +149,26 @@ impl SpatialIndex {
 
     /// Removes a point from future queries.
     ///
-    /// Removing an already-removed point is a no-op.
+    /// The point is physically deleted from its grid bucket (an O(1)
+    /// swap-remove), so subsequent queries never revisit it. Removing an
+    /// already-removed point is a no-op.
     pub fn remove(&mut self, index: usize) {
         if index < self.alive.len() && self.alive[index] {
             self.alive[index] = false;
             self.alive_count -= 1;
+            let b = self.point_bucket[index] as usize;
+            let pos = self.point_pos[index] as usize;
+            let bucket = &mut self.buckets[b];
+            bucket.swap_remove(pos);
+            if let Some(&moved) = bucket.get(pos) {
+                self.point_pos[moved] = pos as u32;
+            }
+            self.point_bucket[index] = NO_BUCKET;
+            let lp = self.list_pos[index] as usize;
+            self.alive_list.swap_remove(lp);
+            if let Some(&moved) = self.alive_list.get(lp) {
+                self.list_pos[moved] = lp as u32;
+            }
         }
     }
 
@@ -98,8 +178,24 @@ impl SpatialIndex {
         if self.alive_count == 0 {
             return None;
         }
+        // Drained index: scan the compact alive list directly. Selection is
+        // by (distance, index), so the result is identical to the grid walk.
+        if self.alive_count <= BRUTE_FORCE_THRESHOLD {
+            let mut best: Option<(f64, usize)> = None;
+            for &i in &self.alive_list {
+                if Some(i) == exclude {
+                    continue;
+                }
+                let d = self.points[i].manhattan(query);
+                if best.is_none_or(|(bd, bi)| d < bd || (d == bd && i < bi)) {
+                    best = Some((d, i));
+                }
+            }
+            return best.map(|(_, i)| i);
+        }
         let (qx, qy) = self.cell_coords(query);
-        let max_ring = self.cells_x.max(self.cells_y);
+        // Rings beyond the furthest grid edge contain no cells at all.
+        let max_ring = (qx.max(self.cells_x - 1 - qx)).max(qy.max(self.cells_y - 1 - qy));
         let mut best: Option<(f64, usize)> = None;
         for ring in 0..=max_ring {
             // Once a candidate is known, stop after the first ring whose
@@ -110,19 +206,66 @@ impl SpatialIndex {
                     break;
                 }
             }
-            self.for_each_ring_cell(qx, qy, ring, |cx, cy| {
-                for &i in &self.buckets[cy * self.cells_x + cx] {
-                    if !self.alive[i] || Some(i) == exclude {
-                        continue;
-                    }
-                    let d = self.points[i].manhattan(query);
-                    if best.is_none_or(|(bd, bi)| d < bd || (d == bd && i < bi)) {
-                        best = Some((d, i));
-                    }
+            let r = ring as isize;
+            let (qx, qy) = (qx as isize, qy as isize);
+            if r == 0 {
+                self.scan_bucket(qx as usize, qy as usize, query, exclude, &mut best);
+                continue;
+            }
+            // Top and bottom rows of the ring, clipped to the grid …
+            let x0 = (qx - r).max(0) as usize;
+            let x1 = (qx + r).min(self.cells_x as isize - 1) as usize;
+            if qy - r >= 0 {
+                let cy = (qy - r) as usize;
+                for cx in x0..=x1 {
+                    self.scan_bucket(cx, cy, query, exclude, &mut best);
                 }
-            });
+            }
+            if qy + r < self.cells_y as isize {
+                let cy = (qy + r) as usize;
+                for cx in x0..=x1 {
+                    self.scan_bucket(cx, cy, query, exclude, &mut best);
+                }
+            }
+            // … and the two side columns, excluding the corners already
+            // visited.
+            let y0 = (qy - r + 1).max(0) as usize;
+            let y1 = (qy + r - 1).min(self.cells_y as isize - 1) as usize;
+            if qx - r >= 0 {
+                let cx = (qx - r) as usize;
+                for cy in y0..=y1 {
+                    self.scan_bucket(cx, cy, query, exclude, &mut best);
+                }
+            }
+            if qx + r < self.cells_x as isize {
+                let cx = (qx + r) as usize;
+                for cy in y0..=y1 {
+                    self.scan_bucket(cx, cy, query, exclude, &mut best);
+                }
+            }
         }
         best.map(|(_, i)| i)
+    }
+
+    /// Scans one grid bucket for the nearest-candidate update.
+    #[inline]
+    fn scan_bucket(
+        &self,
+        cx: usize,
+        cy: usize,
+        query: Point,
+        exclude: Option<usize>,
+        best: &mut Option<(f64, usize)>,
+    ) {
+        for &i in &self.buckets[cy * self.cells_x + cx] {
+            if Some(i) == exclude {
+                continue;
+            }
+            let d = self.points[i].manhattan(query);
+            if best.is_none_or(|(bd, bi)| d < bd || (d == bd && i < bi)) {
+                *best = Some((d, i));
+            }
+        }
     }
 
     /// All alive points within Manhattan distance `radius` of `query`,
@@ -164,40 +307,6 @@ impl SpatialIndex {
             cx.clamp(0, self.cells_x as isize - 1) as usize,
             cy.clamp(0, self.cells_y as isize - 1) as usize,
         )
-    }
-
-    /// Visits the cells at Chebyshev ring `ring` around `(qx, qy)`, clipped
-    /// to the grid, without allocating: only the ring's perimeter is
-    /// traversed (O(ring) per ring instead of scanning and filtering the
-    /// full (2·ring+1)² square).
-    fn for_each_ring_cell(
-        &self,
-        qx: usize,
-        qy: usize,
-        ring: usize,
-        mut f: impl FnMut(usize, usize),
-    ) {
-        let r = ring as isize;
-        let (qx, qy) = (qx as isize, qy as isize);
-        let visit = |cx: isize, cy: isize, f: &mut dyn FnMut(usize, usize)| {
-            if cx >= 0 && cy >= 0 && (cx as usize) < self.cells_x && (cy as usize) < self.cells_y {
-                f(cx as usize, cy as usize);
-            }
-        };
-        if r == 0 {
-            visit(qx, qy, &mut f);
-            return;
-        }
-        // Top and bottom rows of the ring …
-        for dx in -r..=r {
-            visit(qx + dx, qy - r, &mut f);
-            visit(qx + dx, qy + r, &mut f);
-        }
-        // … and the two side columns, excluding the corners already visited.
-        for dy in (-r + 1)..=(r - 1) {
-            visit(qx - r, qy + dy, &mut f);
-            visit(qx + r, qy + dy, &mut f);
-        }
     }
 }
 
@@ -321,6 +430,73 @@ mod tests {
         let mut index = SpatialIndex::new(&[Point::new(1.0, 1.0)]);
         index.remove(0);
         assert!(index.within_radius(Point::new(1.0, 1.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn rebuild_reuses_the_index_like_a_fresh_one() {
+        let a = grid_points(70, 9.0);
+        let mut b = grid_points(31, 17.0);
+        b.push(Point::new(-40.0, 333.0));
+        let mut reused = SpatialIndex::new(&a);
+        reused.remove(3);
+        reused.remove(40);
+        reused.rebuild(&b);
+        let fresh = SpatialIndex::new(&b);
+        assert_eq!(reused.len(), fresh.len());
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 40.0),
+            Point::new(-39.0, 330.0),
+        ] {
+            assert_eq!(reused.nearest(q, None), fresh.nearest(q, None));
+            assert_eq!(reused.within_radius(q, 25.0), fresh.within_radius(q, 25.0));
+        }
+        // Removed state from before the rebuild must not leak through.
+        assert!(reused.is_alive(3));
+    }
+
+    #[test]
+    fn drained_index_stays_exact() {
+        // Physical removal + the brute-force fallback: queries against a
+        // nearly drained index must still return the exact nearest point.
+        let points = grid_points(120, 11.0);
+        let mut index = SpatialIndex::new(&points);
+        let mut alive: Vec<usize> = (0..points.len()).collect();
+        // Drain in an interleaved order, checking after every removal.
+        for step in 0..points.len() - 1 {
+            let victim = alive.remove((step * 7) % alive.len());
+            index.remove(victim);
+            let q = Point::new(37.0 + step as f64, 59.0);
+            let brute = alive
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    points[a]
+                        .manhattan(q)
+                        .partial_cmp(&points[b].manhattan(q))
+                        .expect("finite")
+                        .then(a.cmp(&b))
+                })
+                .expect("non-empty");
+            let got = index.nearest(q, None).expect("found");
+            assert_eq!(
+                points[got].manhattan(q),
+                points[brute].manhattan(q),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn elongated_point_sets_keep_square_cells() {
+        // A single row of points: the clamped-aspect grid must still answer
+        // nearest queries exactly at both ends.
+        let points: Vec<Point> = (0..400).map(|i| Point::new(25.0 * i as f64, 5.0)).collect();
+        let mut index = SpatialIndex::new(&points);
+        assert_eq!(index.nearest(Point::new(-10.0, 5.0), None), Some(0));
+        assert_eq!(index.nearest(Point::new(9990.0, 5.0), None), Some(399));
+        index.remove(0);
+        assert_eq!(index.nearest(Point::new(-10.0, 5.0), None), Some(1));
     }
 
     #[test]

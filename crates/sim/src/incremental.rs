@@ -19,6 +19,11 @@
 //!   cone of the mutation. Arrival-time shifts alone are propagated by
 //!   addition, without re-solving.
 //!
+//! With evaluation incremental, tree *construction* dominates what is left
+//! of flow runtime; the complementary construction engine lives in
+//! `contango_core::construct` (see `docs/architecture.md` at the
+//! repository root).
+//!
 //! Because cached solves are produced by the same
 //! `Evaluator::stage_rel_outputs` primitive the full evaluation uses, an
 //! incremental report is bit-identical to a full re-evaluation of the same

@@ -1,0 +1,145 @@
+//! Ad-hoc profiling of the construction engine vs. the pinned reference
+//! implementations (not part of the benchmark suite; see
+//! `crates/bench/benches/construction.rs` for the CI-asserted numbers).
+
+use contango_benchmarks::ti_instance;
+use contango_core::buffering::{choose_and_insert_buffers, default_candidates, split_long_edges};
+use contango_core::construct::{
+    choose_buffers_with, greedy_matching_with, zero_skew_tree_with, ConstructArena, ParallelConfig,
+};
+use contango_core::dme::{build_zero_skew_tree, reference_zero_skew_tree, DmeOptions};
+use contango_core::topology::reference_greedy_matching_tree;
+use contango_tech::Technology;
+use std::time::Instant;
+
+fn mean_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn main() {
+    let tech = Technology::ispd09();
+    let mut arena = ConstructArena::new();
+    for &n in &[1000usize, 4000, 10000] {
+        let instance = ti_instance(n, 7);
+        let iters = (4000 / n).max(2);
+
+        // Bit-identity checks first.
+        let reference = reference_zero_skew_tree(&instance, &tech, DmeOptions::default());
+        let engine = zero_skew_tree_with(&instance, &tech, DmeOptions::default(), &mut arena);
+        assert_eq!(reference, engine, "ZST engine diverged at n={n}");
+        let engine4 = zero_skew_tree_with(
+            &instance,
+            &tech,
+            DmeOptions {
+                parallel: ParallelConfig::with_threads(4),
+                ..DmeOptions::default()
+            },
+            &mut arena,
+        );
+        assert_eq!(reference, engine4, "4-thread ZST diverged at n={n}");
+        let g_ref = reference_greedy_matching_tree(&instance);
+        let g_eng = greedy_matching_with(&instance, &mut arena);
+        assert_eq!(g_ref, g_eng, "greedy engine diverged at n={n}");
+
+        // Buffering equivalence on the split ZST.
+        let candidates = default_candidates(&tech, false);
+        let mut t_ref = reference.clone();
+        split_long_edges(&mut t_ref, 250.0);
+        let mut t_eng = t_ref.clone();
+        let r_ref = choose_and_insert_buffers(
+            &mut t_ref,
+            &tech,
+            &candidates,
+            instance.cap_limit,
+            0.1,
+            &instance.obstacles,
+        )
+        .unwrap();
+        let r_eng = choose_buffers_with(
+            &mut t_eng,
+            &tech,
+            &candidates,
+            instance.cap_limit,
+            0.1,
+            &instance.obstacles,
+            ParallelConfig::serial(),
+            &mut arena,
+        )
+        .unwrap();
+        assert_eq!(r_ref, r_eng, "buffer report diverged at n={n}");
+        assert_eq!(t_ref, t_eng, "buffered tree diverged at n={n}");
+
+        // Timings.
+        let zst_ref = mean_us(iters, || {
+            std::hint::black_box(reference_zero_skew_tree(
+                &instance,
+                &tech,
+                DmeOptions::default(),
+            ));
+        });
+        let zst_eng = mean_us(iters, || {
+            std::hint::black_box(zero_skew_tree_with(
+                &instance,
+                &tech,
+                DmeOptions::default(),
+                &mut arena,
+            ));
+        });
+        let zst_api = mean_us(iters, || {
+            std::hint::black_box(build_zero_skew_tree(
+                &instance,
+                &tech,
+                DmeOptions::default(),
+            ));
+        });
+        let g_ref_us = mean_us(iters, || {
+            std::hint::black_box(reference_greedy_matching_tree(&instance));
+        });
+        let g_eng_us = mean_us(iters, || {
+            std::hint::black_box(greedy_matching_with(&instance, &mut arena));
+        });
+        let base = t_eng.clone();
+        let buf_ref_us = mean_us(iters, || {
+            let mut t = base.clone();
+            contango_core::buffering::strip_buffers(&mut t);
+            let mut attempt = t.clone();
+            let _ = choose_and_insert_buffers(
+                &mut attempt,
+                &tech,
+                &candidates,
+                instance.cap_limit,
+                0.1,
+                &instance.obstacles,
+            );
+            std::hint::black_box(attempt);
+        });
+        let buf_eng_us = mean_us(iters, || {
+            let mut t = base.clone();
+            contango_core::buffering::strip_buffers(&mut t);
+            let _ = choose_buffers_with(
+                &mut t,
+                &tech,
+                &candidates,
+                instance.cap_limit,
+                0.1,
+                &instance.obstacles,
+                ParallelConfig::serial(),
+                &mut arena,
+            );
+            std::hint::black_box(t);
+        });
+
+        println!(
+            "n={n}: zst ref {zst_ref:.0}us eng {zst_eng:.0}us ({:.1}x; cold-arena {zst_api:.0}us) | \
+             greedy ref {g_ref_us:.0}us eng {g_eng_us:.0}us ({:.1}x) | \
+             buffering ref {buf_ref_us:.0}us eng {buf_eng_us:.0}us ({:.1}x)",
+            zst_ref / zst_eng,
+            g_ref_us / g_eng_us,
+            buf_ref_us / buf_eng_us,
+        );
+    }
+}

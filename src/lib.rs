@@ -57,6 +57,7 @@ pub use contango_tech::Technology;
 /// # Ok::<(), CoreError>(())
 /// ```
 pub mod prelude {
+    pub use contango_core::construct::{ConstructArena, ParallelConfig};
     pub use contango_core::error::{CoreError, InstanceError, TreeError};
     pub use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult, FlowStage, StageSnapshot};
     pub use contango_core::instance::ClockNetInstance;

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Fails when any relative markdown link in README.md or docs/ points at a
+# file that does not exist. External links (http/https/mailto) and pure
+# anchors are ignored. Run from the repository root; CI runs this in the
+# docs job.
+set -euo pipefail
+
+fail=0
+for file in README.md docs/*.md; do
+  dir=$(dirname "$file")
+  # Extract (target) parts of [text](target) links.
+  while IFS= read -r target; do
+    # Strip a trailing anchor.
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    case "$path" in
+      http://*|https://*|mailto:*) continue ;;
+      # Site-relative GitHub paths (e.g. the CI badge) escape the repo.
+      ../../*) continue ;;
+    esac
+    # Resolve only against the containing file's directory — that is how
+    # GitHub renders relative links, so a repo-root fallback would hide
+    # exactly the 404s this check exists to catch.
+    if [ ! -e "$dir/$path" ]; then
+      echo "dangling link in $file: $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check failed" >&2
+  exit 1
+fi
+echo "doc links OK"
