@@ -1,0 +1,159 @@
+//! Criterion benchmarks for the campaign executor: a TI-style scalability
+//! suite run serially vs. sharded over 4 workers.
+//!
+//! Besides the criterion group, the custom `main` writes `BENCH_5.json` at
+//! the repository root (job count, serial and 4-worker wall-clock, speedup
+//! and parallel efficiency) so the suite-throughput trajectory is recorded
+//! run-over-run. The ≥1.5× speedup floor at 4 workers is asserted only
+//! when the host actually has ≥4 cores (CI's runners do; a 1-core
+//! container cannot demonstrate parallel speedup and would only measure
+//! scheduling overhead). Determinism — parallel records bit-identical to
+//! serial — is asserted unconditionally.
+//!
+//! Set `CONTANGO_BENCH_QUICK=1` for a fast CI-smoke run.
+
+use contango_benchmarks::ti_instance;
+use contango_campaign::{Campaign, CampaignResult, Job};
+use contango_core::flow::FlowConfig;
+use contango_tech::Technology;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Instant;
+
+/// The ≥-floor asserted in CI for the 4-worker suite speedup.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+fn quick_mode() -> bool {
+    std::env::var("CONTANGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn host_cores() -> usize {
+    contango_core::ParallelConfig::auto().resolved()
+}
+
+/// The benchmark's job matrix: one Contango scalability-configuration run
+/// per TI instance size. Sizes are deliberately heterogeneous so the
+/// longest-job-first scheduler has real balancing work.
+fn suite_jobs(quick: bool) -> Vec<Job> {
+    let sizes: &[usize] = if quick {
+        &[40, 50, 60, 70, 80, 90, 100, 110]
+    } else {
+        &[100, 140, 180, 220, 260, 300, 340, 380]
+    };
+    let tech = Technology::ti45();
+    sizes
+        .iter()
+        .map(|&n| {
+            let instance = ti_instance(n, 0xC0FFEE + n as u64);
+            Job::contango(&tech, FlowConfig::scalability(), &instance)
+        })
+        .collect()
+}
+
+fn run_suite(jobs: &[Job], threads: usize) -> CampaignResult {
+    Campaign::new()
+        .threads(threads)
+        .extend(jobs.iter().cloned())
+        .run()
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let jobs = suite_jobs(quick_mode());
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(if quick_mode() { 2 } else { 5 });
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("suite_serial/{}", jobs.len())),
+        |b| b.iter(|| run_suite(&jobs, 1)),
+    );
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("suite_threads4/{}", jobs.len())),
+        |b| b.iter(|| run_suite(&jobs, 4)),
+    );
+    group.finish();
+}
+
+/// Times `iters` runs of `f` and returns the mean per-iteration seconds.
+fn mean_s(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Zeroes wall-clock fields so serial and parallel records compare bitwise.
+fn masked(mut result: CampaignResult) -> CampaignResult {
+    for record in &mut result.records {
+        if let Ok(metrics) = &mut record.outcome {
+            metrics.summary.runtime_s = 0.0;
+        }
+    }
+    result.threads = 0;
+    result
+}
+
+/// Measures the serial-vs-4-worker suite comparison outside criterion and
+/// records it in `BENCH_5.json` at the repository root.
+fn write_bench5() {
+    let quick = quick_mode();
+    let jobs = suite_jobs(quick);
+    let iters = if quick { 2 } else { 3 };
+
+    // Determinism insurance before timing: the sharded run must reproduce
+    // the serial records bit for bit.
+    let serial_records = masked(run_suite(&jobs, 1));
+    let parallel_records = masked(run_suite(&jobs, 4));
+    assert_eq!(
+        serial_records, parallel_records,
+        "4-worker campaign diverged from the serial reference"
+    );
+    assert!(
+        serial_records.records.iter().all(|r| r.outcome.is_ok()),
+        "benchmark suite jobs must all succeed"
+    );
+
+    let serial_s = mean_s(iters, || {
+        run_suite(&jobs, 1);
+    });
+    let parallel_s = mean_s(iters, || {
+        run_suite(&jobs, 4);
+    });
+    let speedup = serial_s / parallel_s;
+    let efficiency = speedup / 4.0;
+    let cores = host_cores();
+    // The CI-asserted floor: conservative (the 4-core CI runners measure
+    // ~2.5-3.5x on 8 balanced jobs), so tripping it means a real
+    // scheduling or session-reuse regression, not timing noise. Hosts with
+    // fewer than 4 cores cannot express the speedup and only record the
+    // measurement.
+    let floor_asserted = cores >= 4;
+    if floor_asserted {
+        assert!(
+            speedup >= SPEEDUP_FLOOR,
+            "campaign suite speedup at 4 workers regressed below the \
+             {SPEEDUP_FLOOR}x floor: {speedup:.2} (serial {serial_s:.3}s, \
+             4 workers {parallel_s:.3}s)"
+        );
+    } else {
+        println!(
+            "note: {cores} host core(s) < 4; recording the measurement without \
+             asserting the {SPEEDUP_FLOOR}x floor"
+        );
+    }
+    let json = format!(
+        "{{\n  \"jobs\": {},\n  \"serial_s\": {serial_s:.3},\n  \"threads\": 4,\n  \
+         \"parallel_s\": {parallel_s:.3},\n  \"speedup\": {speedup:.2},\n  \
+         \"parallel_efficiency\": {efficiency:.2},\n  \"host_cores\": {cores},\n  \
+         \"floor\": {SPEEDUP_FLOOR},\n  \"floor_asserted\": {floor_asserted}\n}}\n",
+        jobs.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
+    std::fs::write(path, &json).expect("BENCH_5.json is writable");
+    println!("BENCH_5.json: {json}");
+}
+
+criterion_group!(benches, bench_campaign);
+
+fn main() {
+    benches();
+    write_bench5();
+}

@@ -10,7 +10,7 @@
 //! * scalability rows with sink count, CLR, skew, latency, capacitance and
 //!   evaluator-run counts (Table V).
 
-use contango_core::flow::FlowResult;
+use contango_core::flow::{FlowResult, StageSnapshot};
 use contango_core::instance::ClockNetInstance;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -210,6 +210,157 @@ pub fn stage_table(benchmark: &str, result: &FlowResult) -> Table {
     table
 }
 
+/// Builds a suite summary table from run summaries: one row per
+/// (benchmark, tool), canonically sorted so the table is identical however
+/// the runs were scheduled. Unlike [`comparison_table`] it carries no
+/// wall-clock column, so suite reports are bit-identical for every worker
+/// count.
+pub fn suite_table(rows: &[RunSummary]) -> Table {
+    let mut sorted: Vec<&RunSummary> = rows.iter().collect();
+    sorted.sort_by(|a, b| (&a.benchmark, &a.tool).cmp(&(&b.benchmark, &b.tool)));
+    let mut table = Table::new([
+        "benchmark",
+        "tool",
+        "CLR (ps)",
+        "skew (ps)",
+        "cap (%)",
+        "buffers",
+        "SPICE runs",
+    ]);
+    for r in sorted {
+        table.push_row([
+            r.benchmark.clone(),
+            r.tool.clone(),
+            format_ps(r.clr),
+            format_ps(r.skew),
+            format!("{:.2}", r.cap_pct),
+            r.buffers.to_string(),
+            r.spice_runs.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Per-stage CLR/skew means of one tool across a benchmark suite (an
+/// aggregated Table-III row).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StageAggregate {
+    /// Flow/tool label.
+    pub tool: String,
+    /// Stage acronym.
+    pub stage: String,
+    /// Number of benchmark runs contributing to the means.
+    pub benchmarks: usize,
+    /// Mean CLR after this stage, ps.
+    pub mean_clr: f64,
+    /// Mean nominal skew after this stage, ps.
+    pub mean_skew: f64,
+}
+
+/// Aggregates per-run stage snapshots into per-(tool, stage) means.
+///
+/// Runs are reduced in canonical `(tool, benchmark)` order regardless of
+/// the order given — ties on that key (two runs sharing a tool *and*
+/// benchmark label) are broken by the snapshot content itself, bitwise —
+/// so the floating-point sums, and therefore the aggregate, are
+/// bit-identical however the runs were produced, scheduled or permuted.
+/// Stages appear in the order the first run of each tool reports them
+/// (methodology order for the standard pipeline).
+pub fn aggregate_stages<'a, I>(runs: I) -> Vec<StageAggregate>
+where
+    I: IntoIterator<Item = (&'a str, &'a str, &'a [StageSnapshot])>,
+{
+    // Decorate-sort: the content tie-break key is computed once per run,
+    // not on every comparison.
+    type DecoratedRun<'a> = (
+        &'a str,
+        &'a str,
+        &'a [StageSnapshot],
+        Vec<(&'a str, u64, u64)>,
+    );
+    let mut sorted: Vec<DecoratedRun<'_>> = runs
+        .into_iter()
+        .map(|(tool, benchmark, snapshots)| {
+            let key: Vec<(&str, u64, u64)> = snapshots
+                .iter()
+                .map(|s| (s.stage.as_str(), s.clr.to_bits(), s.skew.to_bits()))
+                .collect();
+            (tool, benchmark, snapshots, key)
+        })
+        .collect();
+    sorted.sort_by(|a, b| (a.0, a.1, &a.3).cmp(&(b.0, b.1, &b.3)));
+    // (tool, stage) -> (count, clr sum, skew sum), in first-seen order of
+    // the canonical walk.
+    let mut acc: Vec<(String, String, usize, f64, f64)> = Vec::new();
+    for (tool, _benchmark, snapshots, _key) in sorted {
+        for snapshot in snapshots {
+            match acc
+                .iter_mut()
+                .find(|(t, s, ..)| t == tool && *s == snapshot.stage)
+            {
+                Some((_, _, count, clr, skew)) => {
+                    *count += 1;
+                    *clr += snapshot.clr;
+                    *skew += snapshot.skew;
+                }
+                None => acc.push((
+                    tool.to_string(),
+                    snapshot.stage.clone(),
+                    1,
+                    snapshot.clr,
+                    snapshot.skew,
+                )),
+            }
+        }
+    }
+    acc.into_iter()
+        .map(|(tool, stage, count, clr, skew)| StageAggregate {
+            tool,
+            stage,
+            benchmarks: count,
+            mean_clr: clr / count as f64,
+            mean_skew: skew / count as f64,
+        })
+        .collect()
+}
+
+/// Renders stage aggregates as a table (aggregated Table III).
+pub fn stage_aggregate_table(aggregates: &[StageAggregate]) -> Table {
+    let mut table = Table::new([
+        "tool",
+        "stage",
+        "benchmarks",
+        "mean CLR (ps)",
+        "mean skew (ps)",
+    ]);
+    for a in aggregates {
+        table.push_row([
+            a.tool.clone(),
+            a.stage.clone(),
+            a.benchmarks.to_string(),
+            format_ps(a.mean_clr),
+            format_ps(a.mean_skew),
+        ]);
+    }
+    table
+}
+
+/// Builds a Table-V-style evaluator-run-count table, canonically sorted by
+/// (benchmark, tool).
+pub fn run_count_table(rows: &[RunSummary]) -> Table {
+    let mut sorted: Vec<&RunSummary> = rows.iter().collect();
+    sorted.sort_by(|a, b| (&a.benchmark, &a.tool).cmp(&(&b.benchmark, &b.tool)));
+    let mut table = Table::new(["benchmark", "tool", "SPICE runs"]);
+    for r in sorted {
+        table.push_row([
+            r.benchmark.clone(),
+            r.tool.clone(),
+            r.spice_runs.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Ratio of each tool's average CLR to the reference tool's average CLR,
 /// reproducing the "Relative" row of Table IV. Returns `(tool, ratio)` pairs
 /// for every tool present in `rows`; the reference tool has ratio 1.0.
@@ -316,6 +467,73 @@ mod tests {
         assert!((find("contango") - 1.0).abs() < 1e-12);
         assert!((find("baseline") - 2.0).abs() < 1e-9);
         assert!(relative_clr(&[], "contango").is_empty());
+    }
+
+    #[test]
+    fn suite_and_run_count_tables_sort_canonically_and_drop_wallclock() {
+        let (instance, result) = small_run();
+        let mut a = RunSummary::from_result("bbb", "contango", &instance, &result);
+        a.runtime_s = 1.23;
+        let mut b = a.clone();
+        b.benchmark = "aaa".to_string();
+        b.tool = "dme-no-tuning".to_string();
+        let rows = vec![a, b];
+        let suite = suite_table(&rows);
+        assert_eq!(suite.rows[0][0], "aaa");
+        assert_eq!(suite.rows[1][0], "bbb");
+        assert!(!suite.to_text().contains("runtime"));
+        let runs = run_count_table(&rows);
+        assert_eq!(runs.rows[0][1], "dme-no-tuning");
+        assert_eq!(runs.rows[1][2], rows[0].spice_runs.to_string());
+    }
+
+    #[test]
+    fn stage_aggregates_are_order_independent_means() {
+        let (_, result) = small_run();
+        let snaps: &[_] = &result.snapshots;
+        let forward = aggregate_stages(vec![
+            ("contango", "b1", snaps),
+            ("contango", "b2", snaps),
+            ("dme", "b1", &snaps[..1]),
+        ]);
+        let shuffled = aggregate_stages(vec![
+            ("dme", "b1", &snaps[..1]),
+            ("contango", "b2", snaps),
+            ("contango", "b1", snaps),
+        ]);
+        assert_eq!(forward, shuffled);
+        let first = &forward[0];
+        assert_eq!(first.tool, "contango");
+        assert_eq!(first.stage, "INITIAL");
+        assert_eq!(first.benchmarks, 2);
+        assert_eq!(first.mean_clr.to_bits(), result.snapshots[0].clr.to_bits());
+        let table = stage_aggregate_table(&forward);
+        assert_eq!(table.len(), forward.len());
+        assert!(table.to_text().contains("INITIAL"));
+    }
+
+    #[test]
+    fn duplicate_tool_benchmark_keys_still_reduce_in_a_canonical_order() {
+        // Two runs sharing the same (tool, benchmark) label but with
+        // different metrics: the bitwise content tie-break must make the
+        // reduction order — and therefore the FP sums — permutation-proof.
+        let (_, result) = small_run();
+        let snaps = result.snapshots.clone();
+        let mut other = snaps.clone();
+        for s in &mut other {
+            s.clr *= 1.5;
+            s.skew *= 0.5;
+        }
+        let forward = aggregate_stages(vec![
+            ("contango", "b1", &snaps[..]),
+            ("contango", "b1", &other[..]),
+        ]);
+        let reversed = aggregate_stages(vec![
+            ("contango", "b1", &other[..]),
+            ("contango", "b1", &snaps[..]),
+        ]);
+        assert_eq!(forward, reversed);
+        assert_eq!(forward[0].benchmarks, 2);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Campaign jobs: one whole flow run, described declaratively.
+//!
+//! A [`Job`] carries everything a worker needs to run one flow — instance,
+//! technology, configuration and stage selection — as plain data, so jobs
+//! can be built on one thread and executed on another; the worker builds
+//! the [`Pipeline`] locally from the description.
+
+use contango_baselines::BaselineKind;
+use contango_core::flow::FlowConfig;
+use contango_core::instance::ClockNetInstance;
+use contango_core::pipeline::Pipeline;
+use contango_tech::Technology;
+
+/// One whole-flow run of a campaign.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Benchmark name reported for this job (defaults to the instance
+    /// name).
+    pub benchmark: String,
+    /// Flow/tool label reported for this job (`"contango"`, a baseline
+    /// label, or an ablation label).
+    pub tool: String,
+    /// Technology the flow runs under.
+    pub tech: Technology,
+    /// Flow configuration (rounds, model, topology, …).
+    pub config: FlowConfig,
+    /// The instance to synthesize.
+    pub instance: ClockNetInstance,
+    /// Run only these optimization stages (INITIAL always runs first), in
+    /// the order listed; `None` keeps the configuration's stages.
+    pub stages: Option<Vec<String>>,
+    /// Stages to drop from the pipeline.
+    pub skip: Vec<String>,
+}
+
+impl Job {
+    /// A full Contango run of `instance` under `config`.
+    pub fn contango(tech: &Technology, config: FlowConfig, instance: &ClockNetInstance) -> Self {
+        Self {
+            benchmark: instance.name.clone(),
+            tool: "contango".to_string(),
+            tech: tech.clone(),
+            config,
+            instance: instance.clone(),
+            stages: None,
+            skip: Vec::new(),
+        }
+    }
+
+    /// A baseline stand-in run of `instance`: the baseline's trimmed
+    /// configuration, labeled with [`BaselineKind::label`]. Equivalent to
+    /// [`contango_baselines::run_baseline`] (the config shims and the
+    /// baseline pipelines select the same passes with the same budgets).
+    pub fn baseline(kind: BaselineKind, tech: &Technology, instance: &ClockNetInstance) -> Self {
+        Self {
+            tool: kind.label().to_string(),
+            config: kind.config(),
+            ..Self::contango(tech, FlowConfig::fast(), instance)
+        }
+    }
+
+    /// Overrides the reported tool label (e.g. for ablation variants).
+    #[must_use]
+    pub fn with_tool(mut self, tool: impl Into<String>) -> Self {
+        self.tool = tool.into();
+        self
+    }
+
+    /// Overrides the reported benchmark name.
+    #[must_use]
+    pub fn with_benchmark(mut self, benchmark: impl Into<String>) -> Self {
+        self.benchmark = benchmark.into();
+        self
+    }
+
+    /// Restricts the run to the listed optimization stages (INITIAL always
+    /// runs first); `None` keeps the configuration's stages.
+    #[must_use]
+    pub fn with_stages(mut self, stages: Option<Vec<String>>) -> Self {
+        self.stages = stages;
+        self
+    }
+
+    /// Drops the listed stages from the pipeline — an ablation job.
+    #[must_use]
+    pub fn with_skip(mut self, skip: Vec<String>) -> Self {
+        self.skip = skip;
+        self
+    }
+
+    /// The pipeline this job runs: the configuration's default pipeline,
+    /// restricted to [`Job::stages`] in the order listed (INITIAL always
+    /// first) and with every [`Job::skip`] stage removed — the same
+    /// semantics as the CLI's `--stages`/`--skip` flags, shared through
+    /// [`Pipeline::with_stage_selection`].
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::contango(&self.config).with_stage_selection(self.stages.as_deref(), &self.skip)
+    }
+
+    /// Scheduling cost estimate: sinks × passes (plus one for
+    /// construction-dominated single-pass jobs). Only the relative order
+    /// matters — the executor dispatches the costliest jobs first so a
+    /// long job never lands last on an otherwise drained queue.
+    pub fn cost(&self) -> u64 {
+        (self.instance.sink_count() as u64 + 1) * (self.pipeline().len() as u64 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contango_geom::Point;
+
+    fn instance(sinks: usize) -> ClockNetInstance {
+        let mut b = ClockNetInstance::builder("job-test")
+            .die(0.0, 0.0, 2000.0, 2000.0)
+            .cap_limit(300_000.0);
+        for i in 0..sinks {
+            b = b.sink(
+                Point::new(200.0 + 150.0 * i as f64, 300.0 + 90.0 * i as f64),
+                10.0,
+            );
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn stage_selection_mirrors_the_cli_semantics() {
+        let tech = Technology::ispd09();
+        let job = Job::contango(&tech, FlowConfig::fast(), &instance(4));
+        assert_eq!(
+            job.pipeline().acronyms(),
+            ["INITIAL", "TBSZ", "TWSZ", "TWSN", "BWSN"]
+        );
+        let job = job
+            .with_stages(Some(vec!["TWSN".to_string(), "TWSZ".to_string()]))
+            .with_skip(vec!["TWSZ".to_string()]);
+        assert_eq!(job.pipeline().acronyms(), ["INITIAL", "TWSN"]);
+    }
+
+    #[test]
+    fn baseline_jobs_match_the_baseline_pipelines() {
+        let tech = Technology::ispd09();
+        let inst = instance(4);
+        for kind in BaselineKind::all() {
+            let job = Job::baseline(kind, &tech, &inst);
+            assert_eq!(job.tool, kind.label());
+            assert_eq!(job.pipeline().acronyms(), kind.pipeline().acronyms());
+        }
+    }
+
+    #[test]
+    fn cost_orders_bigger_work_first() {
+        let tech = Technology::ispd09();
+        let small = Job::baseline(BaselineKind::DmeNoTuning, &tech, &instance(4));
+        let large = Job::contango(&tech, FlowConfig::fast(), &instance(9));
+        assert!(large.cost() > small.cost());
+    }
+}

@@ -1,0 +1,150 @@
+//! JSON Lines rendering of campaign records.
+//!
+//! One line per job. Only deterministic fields are emitted — wall-clock
+//! runtime is deliberately absent — so the JSONL stream from the same job
+//! matrix is bit-identical for any worker count, and two streams differ
+//! only in line order (sort lines for a canonical comparison).
+//!
+//! The workspace's vendored `serde` is a no-op stand-in, so the encoder is
+//! hand-rolled; floats use Rust's shortest round-trip `Display`, which is
+//! deterministic across runs and platforms.
+
+use crate::runner::JobRecord;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (quotes, backslashes and
+/// control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, "\"{key}\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+/// Renders one job record as a single JSON object (no trailing newline).
+pub fn record_line(record: &JobRecord) -> String {
+    let mut out = String::new();
+    out.push('{');
+    push_str_field(&mut out, "benchmark", &record.benchmark);
+    out.push(',');
+    push_str_field(&mut out, "tool", &record.tool);
+    let _ = write!(out, ",\"sinks\":{}", record.sinks);
+    match &record.outcome {
+        Ok(metrics) => {
+            let s = &metrics.summary;
+            let _ = write!(
+                out,
+                ",\"status\":\"ok\",\"clr_ps\":{},\"skew_ps\":{},\"max_latency_ps\":{},\
+                 \"cap_pct\":{},\"wirelength_um\":{},\"buffers\":{},\"spice_runs\":{}",
+                s.clr, s.skew, s.max_latency, s.cap_pct, s.wirelength, s.buffers, s.spice_runs
+            );
+            out.push_str(",\"stages\":[");
+            for (i, snapshot) in metrics.snapshots.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                push_str_field(&mut out, "stage", &snapshot.stage);
+                let _ = write!(
+                    out,
+                    ",\"clr_ps\":{},\"skew_ps\":{}}}",
+                    snapshot.clr, snapshot.skew
+                );
+            }
+            out.push(']');
+        }
+        Err(error) => {
+            out.push_str(",\"status\":\"error\",");
+            push_str_field(&mut out, "error", &error.to_string());
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::JobMetrics;
+    use contango_benchmarks::report::RunSummary;
+    use contango_core::error::CoreError;
+    use contango_core::flow::StageSnapshot;
+
+    fn summary() -> RunSummary {
+        RunSummary {
+            benchmark: "b\"1\"".to_string(),
+            tool: "contango".to_string(),
+            clr: 12.5,
+            skew: 0.125,
+            max_latency: 300.0,
+            cap_pct: 42.42,
+            wirelength: 12345.5,
+            buffers: 7,
+            spice_runs: 41,
+            runtime_s: 9.87,
+        }
+    }
+
+    #[test]
+    fn ok_lines_carry_metrics_and_stages_but_no_wallclock() {
+        let record = JobRecord {
+            benchmark: "b\"1\"".to_string(),
+            tool: "contango".to_string(),
+            sinks: 10,
+            outcome: Ok(JobMetrics {
+                summary: summary(),
+                snapshots: vec![StageSnapshot {
+                    stage: "INITIAL".to_string(),
+                    clr: 20.0,
+                    skew: 5.5,
+                    max_latency: 300.0,
+                    total_cap: 1.0,
+                    wirelength: 2.0,
+                    slew_violation: false,
+                }],
+            }),
+        };
+        let line = record_line(&record);
+        assert!(line.starts_with("{\"benchmark\":\"b\\\"1\\\"\""));
+        assert!(line.contains("\"status\":\"ok\""));
+        assert!(line.contains("\"clr_ps\":12.5"));
+        assert!(line.contains("\"stages\":[{\"stage\":\"INITIAL\",\"clr_ps\":20,\"skew_ps\":5.5}]"));
+        assert!(!line.contains("runtime"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn error_lines_carry_the_per_job_failure() {
+        let record = JobRecord {
+            benchmark: "b".to_string(),
+            tool: "contango".to_string(),
+            sinks: 3,
+            outcome: Err(CoreError::EmptyPipeline),
+        };
+        let line = record_line(&record);
+        assert!(line.contains("\"status\":\"error\""));
+        assert!(line.contains("pipeline contains no passes"));
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\tb\u{1}c\\d");
+        assert_eq!(out, "a\\tb\\u0001c\\\\d");
+    }
+}

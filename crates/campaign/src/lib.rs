@@ -1,0 +1,67 @@
+//! Sharded multi-instance campaign runner for the Contango flow.
+//!
+//! The paper's results are about *suites*: the ISPD'09 benchmark battery,
+//! baseline comparisons (Table IV), stage ablations and scalability sweeps
+//! (Table V) — whole-flow work that is embarrassingly parallel across
+//! instances. This crate turns a matrix of such runs into a [`Campaign`]:
+//!
+//! * a [`Job`] is one whole flow — an instance plus a technology, a
+//!   [`FlowConfig`](contango_core::flow::FlowConfig) and an optional
+//!   stage selection (Contango, a baseline stand-in, or an ablation);
+//! * the executor shards jobs across a deterministic worker pool. Jobs are
+//!   dispatched **longest-first** (cost ≈ sinks × passes) so heterogeneous
+//!   workloads balance, each worker owns a reusable
+//!   [`EngineSession`](contango_core::session::EngineSession) (warm
+//!   evaluator caches and construction arenas across jobs), and results
+//!   are reduced in **submission order**, so every aggregate is
+//!   bit-identical for any thread count — and identical to a serial
+//!   reference loop, because session reuse affects wall-clock only;
+//! * per-job results stream as JSON Lines while the campaign runs
+//!   ([`Campaign::run_streaming`]), and the collected
+//!   [`CampaignResult`] renders the aggregate suite report: per-benchmark
+//!   summaries, per-stage CLR/skew means and evaluator-run counts
+//!   (Tables III–V), all canonically sorted. JSONL records carry only
+//!   deterministic fields (no wall-clock), so suite outputs can be
+//!   compared across machines and thread counts.
+//!
+//! A failing job never aborts the campaign: its error is recorded in the
+//! job's [`JobRecord`] and every other job still completes.
+//!
+//! ```
+//! use contango_campaign::{Campaign, Job};
+//! use contango_core::flow::FlowConfig;
+//! use contango_core::instance::ClockNetInstance;
+//! use contango_geom::Point;
+//! use contango_tech::Technology;
+//!
+//! let tech = Technology::ispd09();
+//! let mut campaign = Campaign::new().threads(2);
+//! for (name, die) in [("small", 900.0), ("wide", 1400.0)] {
+//!     let instance = ClockNetInstance::builder(name)
+//!         .die(0.0, 0.0, die, die)
+//!         .sink(Point::new(250.0, 250.0), 10.0)
+//!         .sink(Point::new(die - 250.0, die - 250.0), 10.0)
+//!         .cap_limit(100_000.0)
+//!         .build()?;
+//!     campaign = campaign
+//!         .push(Job::contango(&tech, FlowConfig::fast(), &instance))
+//!         .push(Job::contango(&tech, FlowConfig::fast(), &instance)
+//!             .with_tool("no-snaking")
+//!             .with_skip(vec!["TWSN".to_string()]));
+//! }
+//! let result = campaign.run();
+//! assert_eq!(result.records.len(), 4);
+//! assert!(result.failures().is_empty());
+//! println!("{}", result.suite_table().to_text());
+//! # Ok::<(), contango_core::error::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod jsonl;
+pub mod runner;
+
+pub use job::Job;
+pub use runner::{Campaign, CampaignResult, JobMetrics, JobRecord};

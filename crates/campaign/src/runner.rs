@@ -1,0 +1,293 @@
+//! The deterministic campaign executor and its results.
+//!
+//! Scheduling model: jobs are sorted **longest-first** by [`Job::cost`]
+//! (ties keep submission order) into a dispatch queue; `N` workers pop from
+//! the queue through a shared atomic cursor. Each worker owns one
+//! [`EngineSession`] for its whole lifetime, retargeted per job, so
+//! evaluator caches and construction arenas stay warm across jobs.
+//!
+//! Reduction model: each job's record lands in a slot indexed by its
+//! submission position, and [`CampaignResult::records`] is that fixed
+//! order — *not* completion order. Because a job's result depends only on
+//! the job (session warmth changes wall-clock, never reports), every
+//! record, aggregate table and JSONL document is bit-identical for any
+//! worker count, and identical to a serial loop over the same jobs.
+
+use crate::job::Job;
+use crate::jsonl::record_line;
+use contango_benchmarks::report::{
+    aggregate_stages, comparison_table, run_count_table, stage_aggregate_table, suite_table,
+    RunSummary, Table,
+};
+use contango_core::construct::ParallelConfig;
+use contango_core::error::CoreError;
+use contango_core::flow::StageSnapshot;
+use contango_core::pipeline::NoopObserver;
+use contango_core::session::EngineSession;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A campaign: a job matrix plus a worker-pool width, built fluently and
+/// executed with [`Campaign::run`] or [`Campaign::run_streaming`].
+#[derive(Debug, Default)]
+pub struct Campaign {
+    jobs: Vec<Job>,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Creates an empty, single-threaded campaign.
+    pub fn new() -> Self {
+        Self {
+            jobs: Vec::new(),
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-pool width (0 = one worker per available core).
+    /// Results are bit-identical for every value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Appends one job.
+    #[must_use]
+    pub fn push(mut self, job: Job) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Appends many jobs.
+    #[must_use]
+    pub fn extend(mut self, jobs: impl IntoIterator<Item = Job>) -> Self {
+        self.jobs.extend(jobs);
+        self
+    }
+
+    /// The jobs submitted so far, in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the campaign has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every job and collects the records in submission order.
+    pub fn run(self) -> CampaignResult {
+        self.run_streaming(|_| {})
+    }
+
+    /// Runs every job, invoking `on_record` as each job completes (in
+    /// completion order — nondeterministic across workers; the collected
+    /// [`CampaignResult::records`] are always in submission order). The
+    /// callback is serialized behind a lock, so it may write to a shared
+    /// stream (a JSONL file, stderr progress) without interleaving.
+    pub fn run_streaming<F>(self, mut on_record: F) -> CampaignResult
+    where
+        F: FnMut(&JobRecord) + Send,
+    {
+        let n = self.jobs.len();
+        let workers = ParallelConfig::with_threads(self.threads)
+            .resolved()
+            .min(n.max(1));
+        // Longest-first dispatch order; stable sort keeps submission order
+        // among equal costs. Costs are precomputed — Job::cost builds the
+        // job's pipeline, which should happen once per job, not per
+        // comparison.
+        let costs: Vec<u64> = self.jobs.iter().map(Job::cost).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+
+        if workers <= 1 {
+            let mut session: Option<EngineSession> = None;
+            let mut slots: Vec<Option<JobRecord>> = (0..n).map(|_| None).collect();
+            for &ji in &order {
+                let record = run_job(&self.jobs[ji], &mut session);
+                on_record(&record);
+                slots[ji] = Some(record);
+            }
+            return CampaignResult {
+                records: slots
+                    .into_iter()
+                    .map(|r| r.expect("every job ran"))
+                    .collect(),
+                threads: 1,
+            };
+        }
+
+        let jobs = &self.jobs;
+        let order = &order;
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let sink = Mutex::new(&mut on_record);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut session: Option<EngineSession> = None;
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&ji) = order.get(k) else { break };
+                        let record = run_job(&jobs[ji], &mut session);
+                        {
+                            let mut cb = sink.lock().expect("record sink lock");
+                            (*cb)(&record);
+                        }
+                        *slots[ji].lock().expect("record slot lock") = Some(record);
+                    }
+                });
+            }
+        });
+        CampaignResult {
+            records: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("record slot lock")
+                        .expect("every job ran")
+                })
+                .collect(),
+            threads: workers,
+        }
+    }
+}
+
+/// Runs one job inside the worker's session, creating or retargeting the
+/// session as needed.
+fn run_job(job: &Job, session: &mut Option<EngineSession>) -> JobRecord {
+    let sess = match session {
+        Some(sess) => {
+            sess.retarget(&job.tech, job.config.model);
+            sess
+        }
+        None => session.insert(EngineSession::new(job.tech.clone(), job.config.model)),
+    };
+    let outcome = sess
+        .run(
+            &job.config,
+            &job.pipeline(),
+            &job.instance,
+            &mut NoopObserver,
+        )
+        .map(|result| JobMetrics {
+            summary: RunSummary::from_result(&job.benchmark, &job.tool, &job.instance, &result),
+            snapshots: result.snapshots,
+        });
+    JobRecord {
+        benchmark: job.benchmark.clone(),
+        tool: job.tool.clone(),
+        sinks: job.instance.sink_count(),
+        outcome,
+    }
+}
+
+/// The deterministic metrics of one completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMetrics {
+    /// The Table-IV-style summary row (CLR, skew, capacitance, runs;
+    /// `runtime_s` is wall-clock and excluded from JSONL).
+    pub summary: RunSummary,
+    /// Per-stage snapshots (Table III rows).
+    pub snapshots: Vec<StageSnapshot>,
+}
+
+/// One job's result: its identity plus either the metrics or the per-job
+/// error. A failed job never aborts the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Flow/tool label.
+    pub tool: String,
+    /// Sink count of the job's instance.
+    pub sinks: usize,
+    /// The metrics, or the flow error that failed this job.
+    pub outcome: Result<JobMetrics, CoreError>,
+}
+
+/// Every job's record in submission order, plus aggregate-report builders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Per-job records, in **submission** order (the fixed reduction
+    /// order), regardless of scheduling.
+    pub records: Vec<JobRecord>,
+    /// The resolved worker count that executed the campaign.
+    pub threads: usize,
+}
+
+impl CampaignResult {
+    /// Summary rows of the successful jobs, in submission order.
+    pub fn summaries(&self) -> Vec<RunSummary> {
+        self.records
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|m| m.summary.clone())
+            .collect()
+    }
+
+    /// The failed jobs and their errors, in submission order.
+    pub fn failures(&self) -> Vec<(&JobRecord, &CoreError)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().err().map(|e| (r, e)))
+            .collect()
+    }
+
+    /// Table-IV-style comparison table over the successful jobs, in
+    /// submission order (includes wall-clock runtime; use
+    /// [`CampaignResult::suite_table`] for thread-count-invariant output).
+    pub fn comparison_table(&self) -> Table {
+        comparison_table(&self.summaries())
+    }
+
+    /// Canonically sorted per-(benchmark, tool) suite summary without
+    /// wall-clock columns: bit-identical for every thread count.
+    pub fn suite_table(&self) -> Table {
+        suite_table(&self.summaries())
+    }
+
+    /// Canonically reduced per-(tool, stage) CLR/skew means (aggregated
+    /// Table III): bit-identical for every thread count.
+    pub fn stage_aggregate_table(&self) -> Table {
+        let runs: Vec<(&str, &str, &[StageSnapshot])> = self
+            .records
+            .iter()
+            .filter_map(|r| {
+                r.outcome.as_ref().ok().map(|m| {
+                    (
+                        r.tool.as_str(),
+                        r.benchmark.as_str(),
+                        m.snapshots.as_slice(),
+                    )
+                })
+            })
+            .collect();
+        stage_aggregate_table(&aggregate_stages(runs))
+    }
+
+    /// Canonically sorted evaluator-run-count table (Table-V style).
+    pub fn run_count_table(&self) -> Table {
+        run_count_table(&self.summaries())
+    }
+
+    /// The whole campaign as JSON Lines, one record per job in submission
+    /// order. Records carry only deterministic fields (no wall-clock), so
+    /// two JSONL documents from the same job matrix are identical whatever
+    /// the thread count.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record_line(record));
+            out.push('\n');
+        }
+        out
+    }
+}

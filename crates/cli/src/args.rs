@@ -5,6 +5,7 @@
 //! typed [`ArgError`], so it can be unit-tested without touching the
 //! filesystem or spawning processes.
 
+use contango_baselines::BaselineKind;
 use contango_core::flow::FlowStage;
 use contango_core::topology::TopologyKind;
 use contango_sim::DelayModel;
@@ -19,6 +20,10 @@ pub enum ArgError {
     MissingFlag(&'static str),
     /// A flag that expects a value appeared last.
     MissingValue(String),
+    /// A value flag was given more than once (e.g. `--threads 2 --threads
+    /// 4`); flags are not repeatable, and silently picking one of the
+    /// values would hide the conflict.
+    DuplicateFlag(String),
     /// An argument was neither a known flag nor a flag value.
     Unrecognized(String),
     /// A flag's value is not one of its accepted values.
@@ -44,6 +49,9 @@ impl fmt::Display for ArgError {
             ArgError::UnknownCommand(cmd) => write!(f, "unknown command `{cmd}`\n\n{USAGE}"),
             ArgError::MissingFlag(flag) => write!(f, "missing required flag `{flag}`"),
             ArgError::MissingValue(flag) => write!(f, "flag `{flag}` expects a value"),
+            ArgError::DuplicateFlag(flag) => {
+                write!(f, "flag `{flag}` is given more than once")
+            }
             ArgError::Unrecognized(arg) => write!(f, "unrecognized argument `{arg}`"),
             ArgError::InvalidValue { flag, value } => {
                 write!(f, "invalid value `{value}` for `{flag}`")
@@ -64,6 +72,16 @@ impl fmt::Display for ArgError {
 }
 
 impl std::error::Error for ArgError {}
+
+/// What `suite` prints: the aggregate tables or the per-job JSON Lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuiteReport {
+    /// Aggregate suite tables (summary, per-stage means, run counts).
+    #[default]
+    Table,
+    /// One JSON object per job, streaming-friendly and wall-clock-free.
+    Jsonl,
+}
 
 /// Output format of tabular reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -144,6 +162,20 @@ pub enum Command {
         /// Path of the solution file.
         solution: String,
     },
+    /// Run a whole benchmark suite (optionally with baselines) through the
+    /// sharded campaign executor.
+    Suite {
+        /// Suite name (`ispd09`).
+        suite: String,
+        /// Baselines to run next to Contango on every instance.
+        baselines: Vec<BaselineKind>,
+        /// Flow options (applied to the Contango runs).
+        flow: FlowOptions,
+        /// What to print: aggregate tables or per-job JSONL.
+        report: SuiteReport,
+        /// Report format for the aggregate tables.
+        format: ReportFormat,
+    },
     /// Run Contango and every baseline on an instance and compare.
     Compare {
         /// Path of the instance file.
@@ -179,13 +211,27 @@ USAGE:
   contango-cts evaluate --instance <file> --solution <file>
   contango-cts compare --input <file> [--fast] [--format text|markdown|csv]
                    [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]] [--threads N]
+  contango-cts suite --suite ispd09 [--baselines all|none|LABEL[,LABEL...]]
+                   [--threads N] [--report table|jsonl] [--fast]
+                   [--format text|markdown|csv] [--stages ...] [--skip ...]
   contango-cts spice-deck --instance <file> --solution <file> [--low-corner] --out <file>
   contango-cts help
 
   --stages runs only the listed optimization stages, in the order listed
   (the INITIAL construction always runs first); --skip drops stages from
-  the pipeline. --threads fans tree construction out over N worker
-  threads (0 = auto-detect); results are identical for every N.
+  the pipeline. --threads means: for run, fan tree construction out over
+  N worker threads; for compare and suite, run N whole flows concurrently
+  on the campaign executor (construction stays serial inside each job).
+  0 = auto-detect; results are identical for every N either way.
+
+  suite runs the whole benchmark battery through the sharded campaign
+  executor: --threads N runs N whole flows concurrently (0 = one per
+  core; aggregate output is identical for every N), --baselines adds the
+  stand-in flows (wiresizing-only, weak-buffering, dme-no-tuning) next to
+  Contango, and --report jsonl prints one JSON object per job instead of
+  the aggregate tables. A failing job never aborts the suite — it is
+  reported in the output per job — but the exit status is nonzero when
+  any job failed.
 ";
 
 /// Parses an argument vector (excluding the program name).
@@ -203,6 +249,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         "run" => parse_run(&rest),
         "evaluate" => parse_evaluate(&rest),
         "compare" => parse_compare(&rest),
+        "suite" => parse_suite(&rest),
         "spice-deck" => parse_spice_deck(&rest),
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
@@ -233,19 +280,37 @@ impl<'a> Scanner<'a> {
         false
     }
 
-    /// Returns the value following `name`, if present.
+    /// Returns the value following `name`, if present. A second unconsumed
+    /// occurrence of the flag is a [`ArgError::DuplicateFlag`] — repeating
+    /// a value flag is a conflict, not a precedence rule.
     fn value(&mut self, name: &str) -> Result<Option<String>, ArgError> {
-        for (i, &a) in self.args.iter().enumerate() {
-            if !self.used[i] && a == name {
-                let Some(&value) = self.args.get(i + 1) else {
+        let mut found: Option<usize> = None;
+        let mut i = 0;
+        while i < self.args.len() {
+            if !self.used[i] && self.args[i] == name {
+                if found.is_some() {
+                    return Err(ArgError::DuplicateFlag(name.to_string()));
+                }
+                if i + 1 >= self.args.len() {
                     return Err(ArgError::MissingValue(name.to_string()));
-                };
-                self.used[i] = true;
-                self.used[i + 1] = true;
-                return Ok(Some(value.to_string()));
+                }
+                found = Some(i);
+                // Step over the flag's value so a value that happens to
+                // equal the flag (e.g. `--label --label`) is not misread
+                // as a repeat.
+                i += 2;
+            } else {
+                i += 1;
             }
         }
-        Ok(None)
+        match found {
+            Some(i) => {
+                self.used[i] = true;
+                self.used[i + 1] = true;
+                Ok(Some(self.args[i + 1].to_string()))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Like [`Scanner::value`] but the flag is mandatory.
@@ -410,6 +475,69 @@ fn parse_compare(args: &[&str]) -> Result<Command, ArgError> {
     Ok(Command::Compare {
         input,
         flow,
+        format,
+    })
+}
+
+/// Parses the `--baselines` selection: `all`, `none`, or a comma-separated
+/// list of baseline labels.
+fn parse_baseline_list(value: &str) -> Result<Vec<BaselineKind>, ArgError> {
+    match value {
+        "all" => return Ok(BaselineKind::all().to_vec()),
+        "none" => return Ok(Vec::new()),
+        _ => {}
+    }
+    let mut kinds = Vec::new();
+    for raw in value.split(',') {
+        let token = raw.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let kind = BaselineKind::all()
+            .into_iter()
+            .find(|k| k.label() == token)
+            .ok_or(ArgError::InvalidValue {
+                flag: "--baselines",
+                value: token.to_string(),
+            })?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    Ok(kinds)
+}
+
+fn parse_suite(args: &[&str]) -> Result<Command, ArgError> {
+    let mut scan = Scanner::new(args);
+    let suite = scan.required("--suite")?;
+    if suite != "ispd09" {
+        return Err(ArgError::InvalidValue {
+            flag: "--suite",
+            value: suite,
+        });
+    }
+    let baselines = match scan.value("--baselines")? {
+        Some(value) => parse_baseline_list(&value)?,
+        None => Vec::new(),
+    };
+    let report = match scan.value("--report")?.as_deref() {
+        None | Some("table") => SuiteReport::Table,
+        Some("jsonl") => SuiteReport::Jsonl,
+        Some(other) => {
+            return Err(ArgError::InvalidValue {
+                flag: "--report",
+                value: other.to_string(),
+            })
+        }
+    };
+    let flow = parse_flow_options(&mut scan)?;
+    let format = parse_format(&mut scan)?;
+    scan.finish()?;
+    Ok(Command::Suite {
+        suite,
+        baselines,
+        flow,
+        report,
         format,
     })
 }
@@ -659,6 +787,155 @@ mod tests {
             }
             other => panic!("unexpected command {other:?}"),
         }
+    }
+
+    #[test]
+    fn duplicate_value_flags_are_rejected_with_a_clear_error() {
+        let err = parse_args(&args(&[
+            "run",
+            "--input",
+            "a.cns",
+            "--threads",
+            "2",
+            "--threads",
+            "4",
+        ]))
+        .unwrap_err();
+        assert_eq!(err, ArgError::DuplicateFlag("--threads".to_string()));
+        assert!(err.to_string().contains("more than once"));
+        // Duplicates are caught even when the second pair comes first in
+        // scanning order or for a different flag family.
+        let err =
+            parse_args(&args(&["run", "--input", "a", "--input", "b", "--fast"])).unwrap_err();
+        assert_eq!(err, ArgError::DuplicateFlag("--input".to_string()));
+        let err = parse_args(&args(&[
+            "compare", "--input", "a", "--format", "csv", "--format", "text",
+        ]))
+        .unwrap_err();
+        assert_eq!(err, ArgError::DuplicateFlag("--format".to_string()));
+    }
+
+    #[test]
+    fn a_value_equal_to_its_flag_is_not_a_duplicate() {
+        // `--solution-out` takes the literal value `--solution-out`:
+        // pathological, but it must parse as a value, not as a repeat.
+        let cmd = parse_args(&args(&[
+            "run",
+            "--input",
+            "a.cns",
+            "--solution-out",
+            "--solution-out",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Run { solution_out, .. } => {
+                assert_eq!(solution_out.as_deref(), Some("--solution-out"));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suite_parses_baselines_report_and_flow_options() {
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--baselines",
+            "all",
+            "--threads",
+            "4",
+            "--report",
+            "jsonl",
+            "--fast",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite {
+                suite,
+                baselines,
+                flow,
+                report,
+                format,
+            } => {
+                assert_eq!(suite, "ispd09");
+                assert_eq!(baselines, BaselineKind::all().to_vec());
+                assert_eq!(flow.threads, 4);
+                assert!(flow.fast);
+                assert_eq!(report, SuiteReport::Jsonl);
+                assert_eq!(format, ReportFormat::Text);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suite_defaults_and_label_lists() {
+        let cmd = parse_args(&args(&["suite", "--suite", "ispd09"])).expect("parses");
+        match cmd {
+            Command::Suite {
+                baselines, report, ..
+            } => {
+                assert!(baselines.is_empty());
+                assert_eq!(report, SuiteReport::Table);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--baselines",
+            "dme-no-tuning, wiresizing-only,dme-no-tuning",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite { baselines, .. } => {
+                assert_eq!(
+                    baselines,
+                    vec![BaselineKind::DmeNoTuning, BaselineKind::WiresizingOnly]
+                );
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suite_rejects_unknown_suites_baselines_and_reports() {
+        let err = parse_args(&args(&["suite", "--suite", "ispd10"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--suite",
+                value: "ispd10".to_string()
+            }
+        );
+        let err = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--baselines",
+            "ntu2009",
+        ]))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--baselines",
+                value: "ntu2009".to_string()
+            }
+        );
+        let err =
+            parse_args(&args(&["suite", "--suite", "ispd09", "--report", "xml"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--report",
+                value: "xml".to_string()
+            }
+        );
+        let err = parse_args(&args(&["suite"])).unwrap_err();
+        assert_eq!(err, ArgError::MissingFlag("--suite"));
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! * `run` — synthesize a clock tree for an instance and report the paper's
 //!   metrics (CLR, skew, capacitance, evaluator runs, runtime);
 //! * `evaluate` — re-evaluate a previously written solution;
-//! * `compare` — run Contango and the baseline flows side by side;
+//! * `compare` — run Contango and the baseline flows side by side (the
+//!   four whole flows shard across `--threads` campaign workers);
+//! * `suite` — run a whole benchmark battery (optionally × baselines)
+//!   through the sharded campaign executor and print the aggregate suite
+//!   report, or stream per-job JSONL;
 //! * `spice-deck` — emit a transient SPICE deck for external validation.
 //!
 //! All I/O goes through [`execute`], which returns the report text, so the
@@ -20,13 +24,14 @@
 
 pub mod args;
 
-use args::{Command, FlowOptions, ReportFormat};
-use contango_baselines::{run_baseline, BaselineKind};
+use args::{Command, FlowOptions, ReportFormat, SuiteReport};
+use contango_baselines::BaselineKind;
 use contango_benchmarks::error::ParseError;
 use contango_benchmarks::format::{parse_instance, write_instance};
 use contango_benchmarks::generator::{ispd09_suite, make_instance, ti_instance};
-use contango_benchmarks::report::{comparison_table, stage_table, RunSummary, Table};
+use contango_benchmarks::report::{stage_table, Table};
 use contango_benchmarks::solution::{parse_solution, write_solution};
+use contango_campaign::{Campaign, Job, JobRecord};
 use contango_core::error::CoreError;
 use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult, StageSnapshot};
 use contango_core::instance::ClockNetInstance;
@@ -76,6 +81,18 @@ pub enum CliError {
         /// Sinks in the instance.
         instance: usize,
     },
+    /// Some suite jobs failed. The campaign never aborts on a per-job
+    /// failure, so the aggregate report (which lists the failures) was
+    /// still produced and is carried here for the binary to print — but
+    /// scripted callers must see a failing exit status.
+    SuiteFailures {
+        /// Number of failed jobs.
+        failed: usize,
+        /// Total jobs in the campaign.
+        total: usize,
+        /// The report text that would have been printed on success.
+        output: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -92,6 +109,9 @@ impl fmt::Display for CliError {
                 f,
                 "solution drives {solution} sinks but the instance has {instance}"
             ),
+            CliError::SuiteFailures { failed, total, .. } => {
+                write!(f, "{failed} of {total} suite jobs failed")
+            }
         }
     }
 }
@@ -101,7 +121,9 @@ impl std::error::Error for CliError {
         match self {
             CliError::Parse { source, .. } => Some(source),
             CliError::Flow(e) => Some(e),
-            CliError::Io { .. } | CliError::SinkMismatch { .. } => None,
+            CliError::Io { .. }
+            | CliError::SinkMismatch { .. }
+            | CliError::SuiteFailures { .. } => None,
         }
     }
 }
@@ -173,6 +195,13 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             format,
         } => run(input, solution_out.as_deref(), flow, *format),
         Command::Evaluate { instance, solution } => evaluate(instance, solution),
+        Command::Suite {
+            suite: name,
+            baselines,
+            flow,
+            report,
+            format,
+        } => suite(name, baselines, flow, *report, *format),
         Command::Compare {
             input,
             flow,
@@ -205,21 +234,8 @@ pub fn flow_config(options: &FlowOptions) -> FlowConfig {
 /// the configuration, restricted to `--stages` in the order the user listed
 /// them (INITIAL always runs first), and with every `--skip` stage removed.
 pub fn build_pipeline(options: &FlowOptions) -> Pipeline {
-    let mut pipeline = Pipeline::contango(&flow_config(options));
-    if let Some(stages) = &options.stages {
-        let mut keep: Vec<&str> = vec!["INITIAL"];
-        keep.extend(
-            stages
-                .iter()
-                .map(String::as_str)
-                .filter(|&s| s != "INITIAL"),
-        );
-        pipeline = pipeline.select(&keep);
-    }
-    for stage in &options.skip {
-        pipeline = pipeline.without(stage);
-    }
-    pipeline
+    Pipeline::contango(&flow_config(options))
+        .with_stage_selection(options.stages.as_deref(), &options.skip)
 }
 
 fn technology_for(options: &FlowOptions) -> Technology {
@@ -368,27 +384,122 @@ fn evaluate(instance_path: &str, solution_path: &str) -> Result<String, CliError
     ))
 }
 
+/// Per-job stderr progress line used by the campaign-backed commands.
+fn campaign_progress(label: &str, total: usize) -> impl FnMut(&JobRecord) + Send + '_ {
+    let mut done = 0usize;
+    move |record: &JobRecord| {
+        done += 1;
+        match &record.outcome {
+            Ok(metrics) => eprintln!(
+                "[{label}] {done}/{total} {bench}/{tool}: clr {clr:.1} ps, skew {skew:.1} ps \
+                 ({runs} runs)",
+                bench = record.benchmark,
+                tool = record.tool,
+                clr = metrics.summary.clr,
+                skew = metrics.summary.skew,
+                runs = metrics.summary.spice_runs,
+            ),
+            Err(error) => eprintln!(
+                "[{label}] {done}/{total} {bench}/{tool}: FAILED: {error}",
+                bench = record.benchmark,
+                tool = record.tool,
+            ),
+        }
+    }
+}
+
+/// The Contango job implied by the CLI flow options (same pipeline
+/// semantics as [`build_pipeline`]). Construction stays serial inside the
+/// job: under the campaign executor `--threads` shards whole flows, so N
+/// workers use N cores instead of oversubscribing them with a nested
+/// construction fan-out (results are bit-identical either way).
+fn contango_job(instance: &ClockNetInstance, options: &FlowOptions) -> Job {
+    let mut config = flow_config(options);
+    config.parallel = contango_core::ParallelConfig::serial();
+    Job::contango(&technology_for(options), config, instance)
+        .with_stages(options.stages.clone())
+        .with_skip(options.skip.clone())
+}
+
 fn compare(input: &str, options: &FlowOptions, format: ReportFormat) -> Result<String, CliError> {
     let instance = load_instance(input)?;
     let tech = technology_for(options);
-    let mut rows = Vec::new();
-    let contango = run_flow(&instance, options)?;
-    rows.push(RunSummary::from_result(
-        &instance.name,
-        "contango",
-        &instance,
-        &contango,
-    ));
+    // Contango and the three baselines are independent whole flows; the
+    // campaign executor runs them concurrently under `--threads`, and its
+    // fixed-order reduction keeps the report rows in the order the serial
+    // loop produced them.
+    let mut campaign = Campaign::new()
+        .threads(options.threads)
+        .push(contango_job(&instance, options));
     for kind in BaselineKind::all() {
-        let result = run_baseline(kind, &tech, &instance)?;
-        rows.push(RunSummary::from_result(
-            &instance.name,
-            kind.label(),
-            &instance,
-            &result,
-        ));
+        campaign = campaign.push(Job::baseline(kind, &tech, &instance));
     }
-    Ok(render(&comparison_table(&rows), format))
+    let total = campaign.len();
+    let result = campaign.run_streaming(campaign_progress(&instance.name, total));
+    if let Some((_, error)) = result.failures().first() {
+        return Err(CliError::Flow((*error).clone()));
+    }
+    Ok(render(&result.comparison_table(), format))
+}
+
+fn suite(
+    name: &str,
+    baselines: &[BaselineKind],
+    options: &FlowOptions,
+    report: SuiteReport,
+    format: ReportFormat,
+) -> Result<String, CliError> {
+    let tech = technology_for(options);
+    let mut campaign = Campaign::new().threads(options.threads);
+    for spec in ispd09_suite() {
+        let instance = make_instance(&spec);
+        campaign = campaign.push(contango_job(&instance, options));
+        for &kind in baselines {
+            campaign = campaign.push(Job::baseline(kind, &tech, &instance));
+        }
+    }
+    let total = campaign.len();
+    let result = campaign.run_streaming(campaign_progress(name, total));
+    let output = match report {
+        SuiteReport::Jsonl => result.to_jsonl(),
+        SuiteReport::Table => {
+            let mut out = String::new();
+            out.push_str(&render(&result.suite_table(), format));
+            out.push('\n');
+            out.push_str(&render(&result.stage_aggregate_table(), format));
+            out.push('\n');
+            out.push_str(&render(&result.run_count_table(), format));
+            // Failures go out as one more table so csv/markdown output
+            // stays parseable (they are also on stderr and in the exit
+            // status).
+            let failures = result.failures();
+            if !failures.is_empty() {
+                let mut table = Table::new(["benchmark", "tool", "error"]);
+                for (record, error) in failures {
+                    table.push_row([
+                        record.benchmark.clone(),
+                        record.tool.clone(),
+                        error.to_string(),
+                    ]);
+                }
+                out.push('\n');
+                out.push_str(&render(&table, format));
+            }
+            out
+        }
+    };
+    // The campaign reports failures per job and never aborts, but the
+    // process exit status must still tell scripts something failed; the
+    // binary prints `output` either way.
+    let failed = result.failures().len();
+    if failed > 0 {
+        return Err(CliError::SuiteFailures {
+            failed,
+            total,
+            output,
+        });
+    }
+    Ok(output)
 }
 
 fn spice_deck(
@@ -519,6 +630,8 @@ mod tests {
         assert!(out.contains("contango-cts"));
         assert!(out.contains("spice-deck"));
         assert!(out.contains("--stages"));
+        assert!(out.contains("suite --suite ispd09"));
+        assert!(out.contains("--baselines"));
     }
 
     #[test]

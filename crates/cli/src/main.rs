@@ -1,6 +1,6 @@
 //! `contango-cts`: command-line front-end of the Contango reproduction.
 
-use contango_cli::{execute, parse_args};
+use contango_cli::{execute, parse_args, CliError};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -16,6 +16,15 @@ fn main() -> ExitCode {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
+        }
+        // Per-job suite failures still produced a report: print it, then
+        // fail so scripts notice.
+        Err(error @ CliError::SuiteFailures { .. }) => {
+            if let CliError::SuiteFailures { output, .. } = &error {
+                print!("{output}");
+            }
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
         }
         Err(message) => {
             eprintln!("error: {message}");

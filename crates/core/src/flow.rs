@@ -29,17 +29,16 @@
 
 use crate::error::CoreError;
 use crate::instance::ClockNetInstance;
-use crate::lower::to_netlist;
-use crate::opt::{OptContext, PassOutcome};
-use crate::pipeline::{FlowObserver, NoopObserver, PassCtx, Pipeline};
+use crate::opt::PassOutcome;
+use crate::pipeline::{FlowObserver, NoopObserver, Pipeline};
 use crate::polarity::PolarityReport;
+use crate::session::EngineSession;
 use crate::slack::SlackAnalysis;
 use crate::topology::TopologyKind;
 use crate::tree::ClockTree;
-use contango_sim::{DelayModel, EvalReport, IncrementalEvaluator, Netlist};
+use contango_sim::{DelayModel, EvalReport, Netlist};
 use contango_tech::Technology;
 use serde::Serialize;
-use std::time::Instant;
 
 /// Configuration of the Contango flow.
 ///
@@ -310,6 +309,11 @@ impl ContangoFlow {
     /// taking a [`StageSnapshot`] after every pass and reporting progress to
     /// `observer`.
     ///
+    /// Each call drives a transient [`EngineSession`]; callers running many
+    /// flows should create one session per worker with
+    /// [`ContangoFlow::session`] and reuse it through
+    /// [`ContangoFlow::run_in`] — same results, warm caches.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Instance`] for an invalid instance,
@@ -320,90 +324,43 @@ impl ContangoFlow {
     /// errors.
     ///
     /// The result's [`FlowResult::polarity`] is whatever the construction
-    /// pass recorded in [`PassCtx::polarity`]; it stays all-zero when no
-    /// pass reports polarity statistics.
+    /// pass recorded in
+    /// [`PassCtx::polarity`](crate::pipeline::PassCtx::polarity); it stays
+    /// all-zero when no pass reports polarity statistics.
     pub fn run_pipeline(
         &self,
         pipeline: &Pipeline,
         instance: &ClockNetInstance,
         observer: &mut dyn FlowObserver,
     ) -> Result<FlowResult, CoreError> {
-        instance.validate()?;
-        if pipeline.is_empty() {
-            return Err(CoreError::EmptyPipeline);
-        }
-        let started = Instant::now();
-        let evaluator = IncrementalEvaluator::with_model(self.tech.clone(), self.config.model);
-        let mut ctx = PassCtx {
-            instance,
-            opt: OptContext {
-                tech: &self.tech,
-                source: instance.source_spec,
-                evaluator: &evaluator,
-                segment_um: self.config.segment_um,
-                cap_limit: instance.cap_limit,
-            },
-            polarity: None,
-            buffering: None,
-            last_report: None,
-        };
-        let mut tree = ClockTree::new(instance.source);
-        let mut snapshots = Vec::with_capacity(pipeline.len());
-        let mut outcomes = Vec::with_capacity(pipeline.len());
-
-        for (index, pass) in pipeline.passes().iter().enumerate() {
-            observer.on_pass_start(pass.as_ref(), index, pipeline.len());
-            let outcome = pass
-                .run(&mut tree, &mut ctx)
-                .map_err(|source| CoreError::Pass {
-                    pass: pass.acronym().to_string(),
-                    source: Box::new(source),
-                })?;
-            let report = ctx.opt.evaluate(&tree);
-            let snapshot = self.snapshot(pass.acronym(), &tree, &report);
-            observer.on_pass_end(pass.as_ref(), &snapshot, &outcome);
-            snapshots.push(snapshot);
-            outcomes.push(outcome);
-            ctx.last_report = Some(report);
-        }
-
-        if tree.sink_count() != instance.sink_count() {
-            return Err(CoreError::MissingSinks {
-                driven: tree.sink_count(),
-                expected: instance.sink_count(),
-            });
-        }
-        let report = ctx.last_report.expect("non-empty pipeline was evaluated");
-        let netlist = to_netlist(
-            &tree,
-            &self.tech,
-            &instance.source_spec,
-            self.config.segment_um,
-        )?;
-        let slacks = SlackAnalysis::compute(&tree, &report);
-        Ok(FlowResult {
-            tree,
-            netlist,
-            report,
-            slacks,
-            snapshots,
-            outcomes,
-            polarity: ctx.polarity.unwrap_or_default(),
-            spice_runs: evaluator.runs(),
-            runtime_s: started.elapsed().as_secs_f64(),
-        })
+        self.session()
+            .run(&self.config, pipeline, instance, observer)
     }
 
-    fn snapshot(&self, stage: &str, tree: &ClockTree, report: &EvalReport) -> StageSnapshot {
-        StageSnapshot {
-            stage: stage.to_string(),
-            clr: report.clr(),
-            skew: report.skew(),
-            max_latency: report.max_latency(),
-            total_cap: tree.total_cap(&self.tech),
-            wirelength: tree.wirelength(),
-            slew_violation: report.has_slew_violation(),
-        }
+    /// Creates a reusable [`EngineSession`] for this flow's technology and
+    /// delay model. One session per worker; run flows through it with
+    /// [`ContangoFlow::run_in`].
+    pub fn session(&self) -> EngineSession {
+        EngineSession::new(self.tech.clone(), self.config.model)
+    }
+
+    /// Runs `pipeline` on `instance` inside an existing session, retargeting
+    /// the session to this flow's technology and model first. Results are
+    /// bit-identical to [`ContangoFlow::run_pipeline`]; only wall-clock
+    /// changes with cache warmth.
+    ///
+    /// # Errors
+    ///
+    /// See [`ContangoFlow::run_pipeline`].
+    pub fn run_in(
+        &self,
+        session: &mut EngineSession,
+        pipeline: &Pipeline,
+        instance: &ClockNetInstance,
+        observer: &mut dyn FlowObserver,
+    ) -> Result<FlowResult, CoreError> {
+        session.retarget(&self.tech, self.config.model);
+        session.run(&self.config, pipeline, instance, observer)
     }
 }
 

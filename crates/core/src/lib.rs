@@ -63,6 +63,7 @@ pub mod obstacles;
 pub mod opt;
 pub mod pipeline;
 pub mod polarity;
+pub mod session;
 pub mod slack;
 pub mod sliding;
 pub mod topology;
@@ -77,6 +78,7 @@ pub use flow::{ContangoFlow, FlowConfig, FlowResult, FlowStage, StageSnapshot};
 pub use instance::{ClockNetInstance, ClockNetInstanceBuilder, SinkSpec};
 pub use opt::{OptContext, PassOutcome};
 pub use pipeline::{FlowObserver, NoopObserver, Pass, PassCtx, Pipeline};
+pub use session::EngineSession;
 pub use slack::SlackAnalysis;
 pub use topology::TopologyKind;
 pub use tree::{ClockTree, Node, NodeId, NodeKind, WireSegment};

@@ -107,6 +107,11 @@ pub struct PassCtx<'a> {
     pub instance: &'a ClockNetInstance,
     /// The shared optimization context (technology, evaluator, budgets).
     pub opt: OptContext<'a>,
+    /// The session's construction arena: reusable scratch memory for
+    /// construction passes, owned by the
+    /// [`EngineSession`](crate::session::EngineSession) so warm workers
+    /// build trees without re-growing buffers run after run.
+    pub arena: &'a mut ConstructArena,
     /// Polarity-correction statistics, recorded by the construction pass.
     pub polarity: Option<PolarityReport>,
     /// Buffering decision, recorded by the construction pass.
@@ -249,6 +254,28 @@ impl Pipeline {
             }
         }
         self.passes = selected;
+        self
+    }
+
+    /// Applies the `--stages`/`--skip`-style stage selection shared by the
+    /// CLI and the campaign runner: when `stages` is given, keep only
+    /// those passes in the order listed (the INITIAL construction always
+    /// runs first, whether listed or not); then drop every `skip` stage.
+    #[must_use]
+    pub fn with_stage_selection(mut self, stages: Option<&[String]>, skip: &[String]) -> Self {
+        if let Some(stages) = stages {
+            let mut keep: Vec<&str> = vec!["INITIAL"];
+            keep.extend(
+                stages
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|&s| s != "INITIAL"),
+            );
+            self = self.select(&keep);
+        }
+        for stage in skip {
+            self = self.without(stage);
+        }
         self
     }
 
@@ -427,8 +454,7 @@ impl Pass for InitialConstruction {
             power_reserve: self.power_reserve,
             parallel: self.parallel,
         };
-        let mut arena = ConstructArena::new();
-        let (built, reports) = construct_initial(ctx.instance, ctx.opt.tech, &config, &mut arena)?;
+        let (built, reports) = construct_initial(ctx.instance, ctx.opt.tech, &config, ctx.arena)?;
         *tree = built;
         ctx.polarity = Some(reports.polarity);
         ctx.buffering = Some(reports.buffering);

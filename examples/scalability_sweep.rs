@@ -2,41 +2,71 @@
 //! of increasing sink count and report CLR, skew, latency, capacitance and
 //! evaluator-run counts.
 //!
+//! The sweep runs on the campaign executor: every sink count is one
+//! [`Job`], the worker pool shards them longest-first, and the fixed-order
+//! reduction prints the rows in sweep order whatever the thread count.
+//!
 //! Run with `cargo run --release --example scalability_sweep -- 200 500 1000`
-//! (arguments are sink counts; defaults keep the run short).
+//! (plain arguments are sink counts; `--threads N` sets the worker-pool
+//! width, 0 = one per core; defaults keep the run short).
 
 use contango::benchmarks::ti_instance;
-use contango::{ContangoFlow, FlowConfig, Technology};
+use contango::campaign::{Campaign, Job};
+use contango::{FlowConfig, Technology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sizes: Vec<usize> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
-    let sizes = if sizes.is_empty() {
-        vec![200, 500, 1000]
-    } else {
-        sizes
-    };
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut threads = 0usize; // one worker per core
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+        } else if let Ok(n) = arg.parse() {
+            sizes.push(n);
+        }
+    }
+    if sizes.is_empty() {
+        sizes = vec![200, 500, 1000];
+    }
+
+    let tech = Technology::ti45();
+    let mut campaign = Campaign::new().threads(threads);
+    for &n in &sizes {
+        let instance = ti_instance(n, 0xC0FFEE);
+        campaign = campaign.push(Job::contango(&tech, FlowConfig::scalability(), &instance));
+    }
+    let result = campaign.run();
 
     println!(
         "{:>8} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}",
         "# sinks", "CLR, ps", "Skew, ps", "Latency, ps", "Cap, pF", "runs", "CPU, s"
     );
-    for &n in &sizes {
-        let instance = ti_instance(n, 0xC0FFEE);
-        let flow = ContangoFlow::new(Technology::ti45(), FlowConfig::scalability());
-        let result = flow.run(&instance)?;
+    let mut failed = 0usize;
+    for (record, &n) in result.records.iter().zip(&sizes) {
+        let metrics = match &record.outcome {
+            Ok(metrics) => metrics,
+            Err(error) => {
+                println!("{n:>8} FAILED: {error}");
+                failed += 1;
+                continue;
+            }
+        };
+        let s = &metrics.summary;
         println!(
             "{:>8} {:>10.2} {:>10.3} {:>12.1} {:>12.1} {:>10} {:>8.1}",
             n,
-            result.clr(),
-            result.skew(),
-            result.report.max_latency(),
-            result.report.total_cap / 1000.0,
-            result.spice_runs,
-            result.runtime_s
+            s.clr,
+            s.skew,
+            s.max_latency,
+            // cap_pct is a percentage of the TI budget; recover pF from the
+            // final stage snapshot instead (fF -> pF).
+            metrics.snapshots.last().map_or(0.0, |x| x.total_cap) / 1000.0,
+            s.spice_runs,
+            s.runtime_s
         );
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {} sweep jobs failed", sizes.len()).into());
     }
     Ok(())
 }

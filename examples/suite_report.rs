@@ -1,0 +1,57 @@
+//! End-to-end suite report: run the full `ispd09_suite()` battery (plus
+//! one untuned baseline for contrast) through the sharded campaign
+//! executor and print the aggregate suite report — the per-benchmark
+//! summary, the per-stage CLR/skew means (aggregated Table III) and the
+//! evaluator-run counts (Table-V style).
+//!
+//! Run with `cargo run --release --example suite_report -- [--threads N]`
+//! (`--threads 0`, the default, uses one worker per core; the aggregate
+//! output is bit-identical for every worker count).
+
+use contango::baselines::BaselineKind;
+use contango::benchmarks::{ispd09_suite, make_instance};
+use contango::campaign::{Campaign, Job};
+use contango::{FlowConfig, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+        }
+    }
+
+    let tech = Technology::ispd09();
+    let config = FlowConfig::fast();
+    let mut campaign = Campaign::new().threads(threads);
+    for spec in ispd09_suite() {
+        let instance = make_instance(&spec);
+        campaign = campaign
+            .push(Job::contango(&tech, config, &instance))
+            .push(Job::baseline(BaselineKind::DmeNoTuning, &tech, &instance));
+    }
+
+    let total = campaign.len();
+    let result = campaign.run_streaming(|record| {
+        eprintln!(
+            "[suite] {}/{} done (completion order)",
+            record.benchmark, record.tool
+        );
+    });
+    eprintln!("[suite] {total} jobs on {} workers", result.threads);
+
+    println!("{}", result.suite_table().to_text());
+    println!("{}", result.stage_aggregate_table().to_text());
+    println!("{}", result.run_count_table().to_text());
+    let failures = result.failures();
+    for (record, error) in &failures {
+        println!("FAILED {}/{}: {error}", record.benchmark, record.tool);
+    }
+    // Mirror the CLI `suite` command: failures are reported per job, but
+    // the process must still exit nonzero so CI notices.
+    if !failures.is_empty() {
+        return Err(format!("{} of {total} suite jobs failed", failures.len()).into());
+    }
+    Ok(())
+}

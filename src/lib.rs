@@ -10,6 +10,9 @@
 //!   pass [`pipeline`](contango_core::pipeline).
 //! * [`benchmarks`] — ISPD'09-style benchmark generators and file format.
 //! * [`baselines`] — baseline flows for comparisons.
+//! * [`campaign`] — the sharded multi-instance campaign runner (suites,
+//!   baseline comparisons and ablation sweeps over a deterministic worker
+//!   pool).
 //!
 //! For everyday use, `use contango::prelude::*;` pulls in the flow, the
 //! pipeline API and the common data types in one line.
@@ -27,6 +30,7 @@ mod readme_doctests {}
 
 pub use contango_baselines as baselines;
 pub use contango_benchmarks as benchmarks;
+pub use contango_campaign as campaign;
 pub use contango_core as core;
 pub use contango_geom as geom;
 pub use contango_sim as sim;
@@ -57,12 +61,14 @@ pub use contango_tech::Technology;
 /// # Ok::<(), CoreError>(())
 /// ```
 pub mod prelude {
+    pub use contango_campaign::{Campaign, CampaignResult, Job, JobRecord};
     pub use contango_core::construct::{ConstructArena, ParallelConfig};
     pub use contango_core::error::{CoreError, InstanceError, TreeError};
     pub use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult, FlowStage, StageSnapshot};
     pub use contango_core::instance::ClockNetInstance;
     pub use contango_core::opt::{OptContext, PassOutcome};
     pub use contango_core::pipeline::{FlowObserver, NoopObserver, Pass, PassCtx, Pipeline};
+    pub use contango_core::session::EngineSession;
     pub use contango_core::topology::TopologyKind;
     pub use contango_core::tree::{ClockTree, NodeId, NodeKind, WireSegment};
     pub use contango_geom::{Point, Rect};
