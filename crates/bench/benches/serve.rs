@@ -1,0 +1,243 @@
+//! Load test for the `contango serve` daemon.
+//!
+//! Two phases besides the criterion group:
+//!
+//! * **Identity.** Responses from pools of 1, 2 and 8 workers are asserted
+//!   bit-identical to each other and to an offline [`Campaign`] run of the
+//!   same manifest — the serving layer may never change results.
+//! * **Load.** A fleet of client threads hammers one daemon with ≥ 1000
+//!   requests over concurrent connections, retrying typed `overloaded`
+//!   refusals. Every request is accounted for (accepted + rejected ==
+//!   sent; the daemon's own counters must agree), and per-request latency
+//!   percentiles plus throughput go to `BENCH_6.json` at the repository
+//!   root.
+//!
+//! Set `CONTANGO_BENCH_QUICK=1` for a fast CI-smoke run (same request
+//! floor, fewer criterion samples).
+
+use contango_campaign::output::suite_output;
+use contango_campaign::{
+    Client, Manifest, ReportKind, Response, ServeConfig, ServeSummary, Server, TableFormat,
+};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::net::SocketAddr;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The manifest each load-test request carries: one tiny TI instance,
+/// construction only, so a request is dominated by protocol + scheduling
+/// cost rather than synthesis (the point is to stress the daemon).
+const LOAD_MANIFEST: &str = "\
+instance ti:6
+profile fast
+model elmore
+stages INITIAL
+";
+
+/// The identity-phase manifest: two instances and a stage ablation, the
+/// same shape the integration tests pin down.
+const IDENTITY_MANIFEST: &str = "\
+instance ti:6
+instance ti:9:7
+profile fast
+model elmore
+skip BWSN
+";
+
+/// The load test must complete at least this many requests (the PR's
+/// acceptance floor).
+const REQUEST_FLOOR: usize = 1000;
+
+/// Concurrent client connections during the load phase.
+const CLIENTS: usize = 16;
+
+fn quick_mode() -> bool {
+    std::env::var("CONTANGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn spawn_server(
+    workers: usize,
+    queue_capacity: usize,
+) -> (
+    SocketAddr,
+    thread::JoinHandle<std::io::Result<ServeSummary>>,
+) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity,
+        allow_file_instances: false,
+    })
+    .expect("bind serve port");
+    let addr = server.local_addr();
+    (addr, thread::spawn(move || server.run()))
+}
+
+/// Runs one manifest against a fresh daemon and returns the rendered
+/// output, shutting the daemon down afterwards.
+fn served_output(workers: usize, manifest: &str) -> String {
+    let (addr, daemon) = spawn_server(workers, 64);
+    let mut client = Client::connect(addr).expect("connect");
+    let output = match client
+        .run_manifest(manifest, ReportKind::Table, TableFormat::Text)
+        .expect("run manifest")
+    {
+        Response::RunOk {
+            failed: 0, output, ..
+        } => output,
+        other => panic!("expected a clean run, got {other:?}"),
+    };
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+    output
+}
+
+/// Phase 1: served responses are bit-identical across pool sizes and to
+/// the offline campaign run.
+fn assert_pool_identity() -> bool {
+    let offline = Manifest::parse(IDENTITY_MANIFEST)
+        .expect("parse manifest")
+        .compile()
+        .expect("compile manifest")
+        .run();
+    let expected = suite_output(&offline, ReportKind::Table, TableFormat::Text);
+    for workers in [1_usize, 2, 8] {
+        assert_eq!(
+            served_output(workers, IDENTITY_MANIFEST),
+            expected,
+            "pool size {workers} diverged from the offline campaign run"
+        );
+    }
+    true
+}
+
+/// One client's share of the load: synchronous request/response over its
+/// own connection, retrying typed `overloaded` refusals. Returns
+/// (per-request latencies, completed, rejections-retried).
+fn client_load(addr: SocketAddr, requests: usize) -> (Vec<Duration>, usize, usize) {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut latencies = Vec::with_capacity(requests);
+    let mut rejected = 0usize;
+    for _ in 0..requests {
+        loop {
+            let start = Instant::now();
+            match client
+                .run_manifest(LOAD_MANIFEST, ReportKind::Table, TableFormat::Text)
+                .expect("run manifest")
+            {
+                Response::RunOk { failed: 0, .. } => {
+                    latencies.push(start.elapsed());
+                    break;
+                }
+                Response::Error { kind, .. } if kind == "overloaded" => {
+                    // Typed backpressure: the job was refused, not lost.
+                    rejected += 1;
+                    thread::sleep(Duration::from_millis(2));
+                }
+                other => panic!("unexpected response under load: {other:?}"),
+            }
+        }
+    }
+    let completed = latencies.len();
+    (latencies, completed, rejected)
+}
+
+fn percentile_ms(sorted: &[Duration], pct: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank].as_secs_f64() * 1e3
+}
+
+/// Phase 2: the load test proper. Returns the JSON body for BENCH_6.
+fn run_load_test(pool_identity: bool) -> String {
+    let per_client = REQUEST_FLOOR.div_ceil(CLIENTS);
+    let total = per_client * CLIENTS;
+    // A deliberately small queue relative to the client count, so
+    // backpressure is actually exercised while most requests still land.
+    let queue_capacity = 32;
+    let (addr, daemon) = spawn_server(0, queue_capacity);
+    let workers = contango_core::ParallelConfig::auto().resolved();
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..CLIENTS {
+        handles.push(thread::spawn(move || client_load(addr, per_client)));
+    }
+    let mut latencies = Vec::with_capacity(total);
+    let mut completed = 0usize;
+    let mut rejected = 0usize;
+    for handle in handles {
+        let (lat, done, rej) = handle.join().expect("client thread");
+        latencies.extend(lat);
+        completed += done;
+        rejected += rej;
+    }
+    let elapsed = start.elapsed();
+
+    let mut shutdown_client = Client::connect(addr).expect("connect for shutdown");
+    shutdown_client.shutdown().expect("shutdown");
+    let summary = daemon.join().expect("daemon thread").expect("clean exit");
+
+    // Zero dropped-but-unreported jobs: every client request got exactly
+    // one response (the synchronous clients prove that by construction),
+    // and the daemon's own ledger agrees — everything accepted completed,
+    // and nothing beyond the typed rejections went missing.
+    assert_eq!(completed, total, "every request must complete");
+    assert_eq!(
+        summary.accepted, summary.completed,
+        "shutdown must drain every accepted job"
+    );
+    assert_eq!(summary.accepted, total as u64);
+    assert_eq!(summary.rejected, rejected as u64);
+    assert_eq!(summary.jobs_run, total as u64);
+
+    latencies.sort();
+    let p50 = percentile_ms(&latencies, 50.0);
+    let p95 = percentile_ms(&latencies, 95.0);
+    let p99 = percentile_ms(&latencies, 99.0);
+    let throughput = completed as f64 / elapsed.as_secs_f64();
+
+    format!(
+        "{{\n  \"requests\": {total},\n  \"clients\": {CLIENTS},\n  \
+         \"workers\": {workers},\n  \"queue_capacity\": {queue_capacity},\n  \
+         \"completed\": {completed},\n  \"rejected_retried\": {rejected},\n  \
+         \"p50_ms\": {p50:.3},\n  \"p95_ms\": {p95:.3},\n  \"p99_ms\": {p99:.3},\n  \
+         \"throughput_rps\": {throughput:.1},\n  \"elapsed_s\": {:.3},\n  \
+         \"pool_identity\": {pool_identity}\n}}\n",
+        elapsed.as_secs_f64()
+    )
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (addr, daemon) = spawn_server(1, 64);
+    let mut client = Client::connect(addr).expect("connect");
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(if quick_mode() { 3 } else { 10 });
+    group.bench_function(BenchmarkId::from_parameter("round_trip/ti6"), |b| {
+        b.iter(|| {
+            match client
+                .run_manifest(LOAD_MANIFEST, ReportKind::Table, TableFormat::Text)
+                .expect("run manifest")
+            {
+                Response::RunOk {
+                    failed: 0, output, ..
+                } => output.len(),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        })
+    });
+    group.finish();
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread").expect("clean exit");
+}
+
+criterion_group!(benches, bench_serve);
+
+fn main() {
+    benches();
+    let pool_identity = assert_pool_identity();
+    let json = run_load_test(pool_identity);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    std::fs::write(path, &json).expect("BENCH_6.json is writable");
+    println!("BENCH_6.json: {json}");
+}

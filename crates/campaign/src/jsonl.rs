@@ -13,8 +13,8 @@ use crate::runner::JobRecord;
 use std::fmt::Write as _;
 
 /// Escapes a string for a JSON string literal (quotes, backslashes and
-/// control characters).
-fn escape_into(out: &mut String, s: &str) {
+/// control characters). The matching decoder lives in [`crate::json`].
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -27,6 +27,22 @@
 //! A failing job never aborts the campaign: its error is recorded in the
 //! job's [`JobRecord`] and every other job still completes.
 //!
+//! Around the executor sit the service layers added for
+//! clock-synthesis-as-a-service:
+//!
+//! * [`manifest`] — a declarative, checked-in description of a whole
+//!   experiment with a typed parser; the single `Manifest -> Campaign`
+//!   path shared by the CLI, the library and the daemon;
+//! * [`json`] / [`jsonl`] — the hand-rolled JSON decoder and encoder
+//!   (NDJSON framing for reports and protocol alike);
+//! * [`protocol`] — typed request/response frames for the wire;
+//! * [`serve`] — the `contango serve` daemon: a warm-session worker pool
+//!   behind a bounded queue with backpressure and graceful shutdown, plus
+//!   the blocking [`Client`];
+//! * [`output`] — the one rendering path ([`output::suite_output`]) both
+//!   the CLI and the daemon use, making served responses bit-identical to
+//!   offline output by construction.
+//!
 //! ```
 //! use contango_campaign::{Campaign, Job};
 //! use contango_core::flow::FlowConfig;
@@ -60,8 +76,18 @@
 #![warn(missing_docs)]
 
 pub mod job;
+pub mod json;
 pub mod jsonl;
+pub mod manifest;
+pub mod output;
+pub mod protocol;
 pub mod runner;
+pub mod serve;
 
 pub use job::Job;
+pub use json::{JsonError, JsonValue};
+pub use manifest::{InstanceSource, Manifest, ManifestError};
+pub use output::{ReportKind, TableFormat};
+pub use protocol::{Request, RequestBody, RequestId, Response, ServerError};
 pub use runner::{Campaign, CampaignResult, JobMetrics, JobRecord};
+pub use serve::{Client, ClientError, ServeConfig, ServeSummary, Server};

@@ -1,0 +1,832 @@
+//! Declarative campaign manifests: an experiment as a checked-in file.
+//!
+//! A manifest describes a whole experiment — which instances, which
+//! technology, which pipeline stages, which baselines, how many workers —
+//! as plain `key value` lines instead of flag soup:
+//!
+//! ```text
+//! # Full ISPD'09 battery, fast profile, two baselines, four workers.
+//! suite ispd09
+//! profile fast
+//! baselines wiresizing-only,dme-no-tuning
+//! threads 4
+//! ```
+//!
+//! The same description drives every front-end: the CLI's `suite` command
+//! desugars its flags into a [`Manifest`] (or loads one with
+//! `--manifest FILE`), `contango serve` accepts manifest text in `run`
+//! requests ([`crate::protocol`]), and library code calls
+//! [`Manifest::compile`] to obtain the equivalent [`Campaign`] directly.
+//! One `Manifest -> Campaign` path means the daemon, the CLI and offline
+//! scripts can never drift apart — serve responses are bit-identical to
+//! offline suite output by construction.
+//!
+//! The parser is hand-rolled (the vendored `serde` is a no-op stand-in) and
+//! returns a typed [`ManifestError`] with the offending line number for
+//! every problem. See `docs/manifest.md` in the repository for the format
+//! reference.
+
+use crate::job::Job;
+use crate::runner::Campaign;
+use contango_baselines::BaselineKind;
+use contango_core::construct::ParallelConfig;
+use contango_core::flow::{FlowConfig, FlowStage};
+use contango_core::instance::ClockNetInstance;
+use contango_core::topology::TopologyKind;
+use contango_sim::DelayModel;
+use contango_tech::Technology;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Default seed for `instance ti:N` sources, matching the CLI's
+/// `generate --ti N` instances.
+const DEFAULT_TI_SEED: u64 = 45;
+
+/// Where a manifest's instances come from, in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceSource {
+    /// A named built-in suite (`suite ispd09`): the seven ISPD'09-style
+    /// instances.
+    Suite(String),
+    /// A generated TI-style instance (`instance ti:SINKS` or
+    /// `instance ti:SINKS:SEED`).
+    Ti {
+        /// Sink count.
+        sinks: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// An instance file on disk (`instance file:PATH`). Rejected by the
+    /// serve daemon unless file access is explicitly enabled.
+    File(String),
+}
+
+/// Effort profile naming one of the canonical [`FlowConfig`] presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// [`FlowConfig::default`]: full round budgets.
+    #[default]
+    Default,
+    /// [`FlowConfig::fast`]: reduced rounds, coarser segmentation.
+    Fast,
+    /// [`FlowConfig::scalability`]: the TI scalability-study configuration.
+    Scalability,
+}
+
+/// Technology the jobs run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TechnologyKind {
+    /// [`Technology::ispd09`].
+    #[default]
+    Ispd09,
+    /// [`Technology::ti45`].
+    Ti45,
+}
+
+/// A parsed, validated campaign manifest. See the [module docs](self) for
+/// the format and [`Manifest::compile`] for the `Manifest -> Campaign`
+/// path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Instance sources, in declaration order.
+    pub sources: Vec<InstanceSource>,
+    /// Technology the flows run under.
+    pub technology: TechnologyKind,
+    /// Flow-configuration preset.
+    pub profile: Profile,
+    /// Initial topology.
+    pub topology: TopologyKind,
+    /// Delay model driving the optimization loops.
+    pub model: DelayModel,
+    /// Drive the tree with groups of large inverters.
+    pub large_inverters: bool,
+    /// Run only these optimization stages, in order (INITIAL always runs);
+    /// `None` keeps the profile's stages.
+    pub stages: Option<Vec<String>>,
+    /// Stages dropped from the pipeline.
+    pub skip: Vec<String>,
+    /// Baselines run next to Contango on every instance.
+    pub baselines: Vec<BaselineKind>,
+    /// Campaign worker-pool width (0 = one per core). Offline execution
+    /// only; the serve daemon's pool width is fixed by the server.
+    pub threads: usize,
+}
+
+impl Default for Manifest {
+    fn default() -> Self {
+        Self {
+            sources: Vec::new(),
+            technology: TechnologyKind::Ispd09,
+            profile: Profile::Default,
+            topology: TopologyKind::Dme,
+            model: DelayModel::Transient,
+            large_inverters: false,
+            stages: None,
+            skip: Vec::new(),
+            baselines: Vec::new(),
+            threads: 1,
+        }
+    }
+}
+
+/// A problem with a manifest: parse-time (with the offending line) or
+/// compile-time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestError {
+    /// A line is not `key value` (no value after the key).
+    MissingValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key.
+        key: String,
+    },
+    /// A key the grammar does not define.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown key.
+        key: String,
+    },
+    /// A single-valued key appeared twice.
+    DuplicateKey {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated key.
+        key: String,
+    },
+    /// A value outside a key's accepted set.
+    InvalidValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key.
+        key: String,
+        /// The rejected value.
+        value: String,
+    },
+    /// `stages`/`skip` named something that is not a flow stage.
+    UnknownStage {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown stage.
+        stage: String,
+    },
+    /// `stages` named no stage at all.
+    EmptyStages {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// `skip` tried to drop the construction stage.
+    SkipInitial {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// `suite` named an unknown suite.
+    UnknownSuite {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown suite name.
+        suite: String,
+    },
+    /// The manifest declares no instance source.
+    NoSources,
+    /// A `file:` source in a context that forbids filesystem access (the
+    /// serve daemon, unless explicitly enabled).
+    FileSourceForbidden {
+        /// The rejected path.
+        path: String,
+    },
+    /// A `file:` source could not be read.
+    Io {
+        /// The path.
+        path: String,
+        /// The operating-system error message.
+        message: String,
+    },
+    /// A `file:` source did not parse as an instance.
+    Parse {
+        /// The path.
+        path: String,
+        /// The instance-format error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::MissingValue { line, key } => {
+                write!(f, "line {line}: key `{key}` has no value")
+            }
+            ManifestError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown manifest key `{key}`")
+            }
+            ManifestError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: key `{key}` is given more than once")
+            }
+            ManifestError::InvalidValue { line, key, value } => {
+                write!(f, "line {line}: invalid value `{value}` for `{key}`")
+            }
+            ManifestError::UnknownStage { line, stage } => write!(
+                f,
+                "line {line}: unknown stage `{stage}` (expected one of INITIAL, TBSZ, TWSZ, \
+                 TWSN, BWSN)"
+            ),
+            ManifestError::EmptyStages { line } => {
+                write!(f, "line {line}: `stages` needs at least one stage")
+            }
+            ManifestError::SkipInitial { line } => {
+                write!(
+                    f,
+                    "line {line}: the INITIAL construction stage cannot be skipped"
+                )
+            }
+            ManifestError::UnknownSuite { line, suite } => {
+                write!(
+                    f,
+                    "line {line}: unknown suite `{suite}` (expected `ispd09`)"
+                )
+            }
+            ManifestError::NoSources => {
+                write!(f, "manifest declares no `suite` or `instance` source")
+            }
+            ManifestError::FileSourceForbidden { path } => {
+                write!(f, "file instance source `{path}` is not allowed here")
+            }
+            ManifestError::Io { path, message } => {
+                write!(f, "cannot read instance file `{path}`: {message}")
+            }
+            ManifestError::Parse { path, message } => {
+                write!(f, "instance file `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Parses a comma-separated stage list against the canonical acronyms.
+fn parse_stages(line: usize, value: &str) -> Result<Vec<String>, ManifestError> {
+    let mut stages = Vec::new();
+    for raw in value.split(',') {
+        let token = raw.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let acronym = token.to_ascii_uppercase();
+        if FlowStage::from_acronym(&acronym).is_none() {
+            return Err(ManifestError::UnknownStage {
+                line,
+                stage: token.to_string(),
+            });
+        }
+        stages.push(acronym);
+    }
+    Ok(stages)
+}
+
+/// Parses the `baselines` value: `all`, `none`, or comma-separated labels.
+fn parse_baselines(line: usize, value: &str) -> Result<Vec<BaselineKind>, ManifestError> {
+    match value {
+        "all" => return Ok(BaselineKind::all().to_vec()),
+        "none" => return Ok(Vec::new()),
+        _ => {}
+    }
+    let mut kinds = Vec::new();
+    for raw in value.split(',') {
+        let token = raw.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let kind = BaselineKind::all()
+            .into_iter()
+            .find(|k| k.label() == token)
+            .ok_or(ManifestError::InvalidValue {
+                line,
+                key: "baselines".to_string(),
+                value: token.to_string(),
+            })?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    Ok(kinds)
+}
+
+/// Parses an `instance` source: `ti:SINKS[:SEED]` or `file:PATH`.
+fn parse_source(line: usize, value: &str) -> Result<InstanceSource, ManifestError> {
+    let invalid = || ManifestError::InvalidValue {
+        line,
+        key: "instance".to_string(),
+        value: value.to_string(),
+    };
+    if let Some(spec) = value.strip_prefix("ti:") {
+        let mut parts = spec.splitn(2, ':');
+        let sinks = parts
+            .next()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(invalid)?;
+        let seed = match parts.next() {
+            None => DEFAULT_TI_SEED,
+            Some(s) => match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).map_err(|_| invalid())?,
+                None => s.parse::<u64>().map_err(|_| invalid())?,
+            },
+        };
+        Ok(InstanceSource::Ti { sinks, seed })
+    } else if let Some(path) = value.strip_prefix("file:") {
+        if path.is_empty() {
+            return Err(invalid());
+        }
+        Ok(InstanceSource::File(path.to_string()))
+    } else {
+        Err(invalid())
+    }
+}
+
+fn parse_bool(line: usize, key: &str, value: &str) -> Result<bool, ManifestError> {
+    match value {
+        "true" | "on" | "yes" => Ok(true),
+        "false" | "off" | "no" => Ok(false),
+        _ => Err(ManifestError::InvalidValue {
+            line,
+            key: key.to_string(),
+            value: value.to_string(),
+        }),
+    }
+}
+
+impl Manifest {
+    /// Parses manifest text: one `key value` pair per line, `#` comments
+    /// and blank lines ignored. `suite` and `instance` may repeat (sources
+    /// accumulate in order); every other key is single-valued.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ManifestError`] naming the first offending line.
+    pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+        let mut manifest = Manifest::default();
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut once = |line: usize, key: &'static str| -> Result<(), ManifestError> {
+            if seen.contains(&key) {
+                return Err(ManifestError::DuplicateKey {
+                    line,
+                    key: key.to_string(),
+                });
+            }
+            seen.push(key);
+            Ok(())
+        };
+        for (index, raw) in text.lines().enumerate() {
+            let line = index + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let (key, value) = match content.split_once(char::is_whitespace) {
+                Some((key, value)) => (key, value.trim()),
+                None => {
+                    return Err(ManifestError::MissingValue {
+                        line,
+                        key: content.to_string(),
+                    })
+                }
+            };
+            let invalid = |key: &str| ManifestError::InvalidValue {
+                line,
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            match key {
+                "suite" => {
+                    if value != "ispd09" {
+                        return Err(ManifestError::UnknownSuite {
+                            line,
+                            suite: value.to_string(),
+                        });
+                    }
+                    manifest
+                        .sources
+                        .push(InstanceSource::Suite(value.to_string()));
+                }
+                "instance" => manifest.sources.push(parse_source(line, value)?),
+                "technology" => {
+                    once(line, "technology")?;
+                    manifest.technology = match value {
+                        "ispd09" => TechnologyKind::Ispd09,
+                        "ti45" => TechnologyKind::Ti45,
+                        _ => return Err(invalid("technology")),
+                    };
+                }
+                "profile" => {
+                    once(line, "profile")?;
+                    manifest.profile = match value {
+                        "default" => Profile::Default,
+                        "fast" => Profile::Fast,
+                        "scalability" => Profile::Scalability,
+                        _ => return Err(invalid("profile")),
+                    };
+                }
+                "topology" => {
+                    once(line, "topology")?;
+                    manifest.topology = match value {
+                        "dme" => TopologyKind::Dme,
+                        "greedy-matching" => TopologyKind::GreedyMatching,
+                        "h-tree" => TopologyKind::HTree,
+                        "fishbone" => TopologyKind::Fishbone,
+                        _ => return Err(invalid("topology")),
+                    };
+                }
+                "model" => {
+                    once(line, "model")?;
+                    manifest.model = match value {
+                        "elmore" => DelayModel::Elmore,
+                        "two-pole" => DelayModel::TwoPole,
+                        "transient" => DelayModel::Transient,
+                        _ => return Err(invalid("model")),
+                    };
+                }
+                "large-inverters" => {
+                    once(line, "large-inverters")?;
+                    manifest.large_inverters = parse_bool(line, "large-inverters", value)?;
+                }
+                "stages" => {
+                    once(line, "stages")?;
+                    let stages = parse_stages(line, value)?;
+                    if stages.is_empty() {
+                        return Err(ManifestError::EmptyStages { line });
+                    }
+                    manifest.stages = Some(stages);
+                }
+                "skip" => {
+                    once(line, "skip")?;
+                    let stages = parse_stages(line, value)?;
+                    if stages.iter().any(|s| s == "INITIAL") {
+                        return Err(ManifestError::SkipInitial { line });
+                    }
+                    manifest.skip = stages;
+                }
+                "baselines" => {
+                    once(line, "baselines")?;
+                    manifest.baselines = parse_baselines(line, value)?;
+                }
+                "threads" => {
+                    once(line, "threads")?;
+                    manifest.threads = value.parse::<usize>().map_err(|_| invalid("threads"))?;
+                }
+                _ => {
+                    return Err(ManifestError::UnknownKey {
+                        line,
+                        key: key.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Renders the manifest in canonical form: sources first, then every
+    /// non-default key, one per line. `parse(to_text(m)) == m` for every
+    /// valid manifest.
+    pub fn to_text(&self) -> String {
+        let defaults = Manifest::default();
+        let mut out = String::new();
+        for source in &self.sources {
+            match source {
+                InstanceSource::Suite(name) => {
+                    let _ = writeln!(out, "suite {name}");
+                }
+                InstanceSource::Ti { sinks, seed } => {
+                    if *seed == DEFAULT_TI_SEED {
+                        let _ = writeln!(out, "instance ti:{sinks}");
+                    } else {
+                        let _ = writeln!(out, "instance ti:{sinks}:{seed}");
+                    }
+                }
+                InstanceSource::File(path) => {
+                    let _ = writeln!(out, "instance file:{path}");
+                }
+            }
+        }
+        if self.technology != defaults.technology {
+            let _ = writeln!(out, "technology ti45");
+        }
+        if self.profile != defaults.profile {
+            let profile = match self.profile {
+                Profile::Default => "default",
+                Profile::Fast => "fast",
+                Profile::Scalability => "scalability",
+            };
+            let _ = writeln!(out, "profile {profile}");
+        }
+        if self.topology != defaults.topology {
+            let topology = match self.topology {
+                TopologyKind::Dme => "dme",
+                TopologyKind::GreedyMatching => "greedy-matching",
+                TopologyKind::HTree => "h-tree",
+                TopologyKind::Fishbone => "fishbone",
+            };
+            let _ = writeln!(out, "topology {topology}");
+        }
+        if self.model != defaults.model {
+            let model = match self.model {
+                DelayModel::Elmore => "elmore",
+                DelayModel::TwoPole => "two-pole",
+                DelayModel::Transient => "transient",
+            };
+            let _ = writeln!(out, "model {model}");
+        }
+        if self.large_inverters {
+            let _ = writeln!(out, "large-inverters true");
+        }
+        if let Some(stages) = &self.stages {
+            let _ = writeln!(out, "stages {}", stages.join(","));
+        }
+        if !self.skip.is_empty() {
+            let _ = writeln!(out, "skip {}", self.skip.join(","));
+        }
+        if !self.baselines.is_empty() {
+            let labels: Vec<&str> = self.baselines.iter().map(BaselineKind::label).collect();
+            let _ = writeln!(out, "baselines {}", labels.join(","));
+        }
+        if self.threads != defaults.threads {
+            let _ = writeln!(out, "threads {}", self.threads);
+        }
+        out
+    }
+
+    /// The technology the manifest's flows run under.
+    pub fn technology(&self) -> Technology {
+        match self.technology {
+            TechnologyKind::Ispd09 => Technology::ispd09(),
+            TechnologyKind::Ti45 => Technology::ti45(),
+        }
+    }
+
+    /// The flow configuration the manifest describes. Construction stays
+    /// serial: under the campaign executor, `threads` shards whole flows,
+    /// so N workers use N cores instead of oversubscribing them with a
+    /// nested construction fan-out (results are bit-identical either way).
+    pub fn flow_config(&self) -> FlowConfig {
+        let mut config = match self.profile {
+            Profile::Default => FlowConfig::default(),
+            Profile::Fast => FlowConfig::fast(),
+            Profile::Scalability => FlowConfig::scalability(),
+        };
+        config.use_large_inverters = self.large_inverters;
+        config.topology = self.topology;
+        config.model = self.model;
+        config.parallel = ParallelConfig::serial();
+        config
+    }
+
+    /// The Contango job the manifest implies for one instance — the single
+    /// job-construction path shared by [`Manifest::compile`], the CLI `run`
+    /// and `suite` subcommands, and serve requests.
+    pub fn job_for(&self, instance: &ClockNetInstance) -> Job {
+        Job::contango(&self.technology(), self.flow_config(), instance)
+            .with_stages(self.stages.clone())
+            .with_skip(self.skip.clone())
+    }
+
+    /// Resolves the manifest's sources into instances, in declaration
+    /// order. `allow_files` gates `file:` sources (the serve daemon passes
+    /// `false` unless file access is explicitly enabled).
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::NoSources`] for an instance-less manifest,
+    /// [`ManifestError::FileSourceForbidden`]/[`ManifestError::Io`]/
+    /// [`ManifestError::Parse`] for `file:` sources.
+    pub fn instances(&self, allow_files: bool) -> Result<Vec<ClockNetInstance>, ManifestError> {
+        if self.sources.is_empty() {
+            return Err(ManifestError::NoSources);
+        }
+        let mut instances = Vec::new();
+        for source in &self.sources {
+            match source {
+                InstanceSource::Suite(_) => {
+                    for spec in contango_benchmarks::generator::ispd09_suite() {
+                        instances.push(contango_benchmarks::generator::make_instance(&spec));
+                    }
+                }
+                InstanceSource::Ti { sinks, seed } => {
+                    instances.push(contango_benchmarks::generator::ti_instance(*sinks, *seed));
+                }
+                InstanceSource::File(path) => {
+                    if !allow_files {
+                        return Err(ManifestError::FileSourceForbidden { path: path.clone() });
+                    }
+                    let text = std::fs::read_to_string(path).map_err(|e| ManifestError::Io {
+                        path: path.clone(),
+                        message: e.to_string(),
+                    })?;
+                    instances.push(contango_benchmarks::format::parse_instance(&text).map_err(
+                        |e| ManifestError::Parse {
+                            path: path.clone(),
+                            message: e.to_string(),
+                        },
+                    )?);
+                }
+            }
+        }
+        Ok(instances)
+    }
+
+    /// Compiles the manifest into the equivalent [`Campaign`]: for every
+    /// instance, the Contango job ([`Manifest::job_for`]) followed by one
+    /// job per baseline. `allow_files` gates `file:` sources.
+    ///
+    /// # Errors
+    ///
+    /// See [`Manifest::instances`].
+    pub fn compile_with(&self, allow_files: bool) -> Result<Campaign, ManifestError> {
+        let tech = self.technology();
+        let mut campaign = Campaign::new().threads(self.threads);
+        for instance in self.instances(allow_files)? {
+            campaign = campaign.push(self.job_for(&instance));
+            for &kind in &self.baselines {
+                campaign = campaign.push(Job::baseline(kind, &tech, &instance));
+            }
+        }
+        Ok(campaign)
+    }
+
+    /// [`Manifest::compile_with`] with file sources allowed — the offline
+    /// (CLI, library) path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Manifest::instances`].
+    pub fn compile(&self) -> Result<Campaign, ManifestError> {
+        self.compile_with(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_full_manifest_parses() {
+        let text = "\
+# experiment: ablation over the battery
+suite ispd09            # seven instances
+instance ti:120
+instance ti:80:0xbeef
+profile fast
+technology ti45
+topology h-tree
+model two-pole
+large-inverters on
+stages TBSZ,twsz
+skip bwsn
+baselines wiresizing-only,dme-no-tuning
+threads 4
+";
+        let m = Manifest::parse(text).expect("parses");
+        assert_eq!(
+            m.sources,
+            vec![
+                InstanceSource::Suite("ispd09".to_string()),
+                InstanceSource::Ti {
+                    sinks: 120,
+                    seed: DEFAULT_TI_SEED
+                },
+                InstanceSource::Ti {
+                    sinks: 80,
+                    seed: 0xbeef
+                },
+            ]
+        );
+        assert_eq!(m.profile, Profile::Fast);
+        assert_eq!(m.technology, TechnologyKind::Ti45);
+        assert_eq!(m.topology, TopologyKind::HTree);
+        assert_eq!(m.model, DelayModel::TwoPole);
+        assert!(m.large_inverters);
+        assert_eq!(m.stages, Some(vec!["TBSZ".to_string(), "TWSZ".to_string()]));
+        assert_eq!(m.skip, vec!["BWSN".to_string()]);
+        assert_eq!(
+            m.baselines,
+            vec![BaselineKind::WiresizingOnly, BaselineKind::DmeNoTuning]
+        );
+        assert_eq!(m.threads, 4);
+    }
+
+    #[test]
+    fn canonical_text_round_trips() {
+        let text = "\
+suite ispd09
+instance ti:80:48879
+technology ti45
+profile fast
+topology h-tree
+model two-pole
+large-inverters true
+stages TBSZ,TWSZ
+skip BWSN
+baselines wiresizing-only,dme-no-tuning
+threads 4
+";
+        let m = Manifest::parse(text).expect("parses");
+        assert_eq!(m.to_text(), text);
+        assert_eq!(Manifest::parse(&m.to_text()).expect("reparses"), m);
+        // A default-heavy manifest renders only its sources.
+        let m = Manifest::parse("instance ti:50\n").expect("parses");
+        assert_eq!(m.to_text(), "instance ti:50\n");
+    }
+
+    #[test]
+    fn errors_carry_the_offending_line() {
+        let err = Manifest::parse("suite ispd09\nwat 3\n").unwrap_err();
+        assert_eq!(
+            err,
+            ManifestError::UnknownKey {
+                line: 2,
+                key: "wat".to_string()
+            }
+        );
+        let err = Manifest::parse("threads\n").unwrap_err();
+        assert_eq!(
+            err,
+            ManifestError::MissingValue {
+                line: 1,
+                key: "threads".to_string()
+            }
+        );
+        let err = Manifest::parse("profile fast\nprofile default\n").unwrap_err();
+        assert_eq!(
+            err,
+            ManifestError::DuplicateKey {
+                line: 2,
+                key: "profile".to_string()
+            }
+        );
+        let err = Manifest::parse("suite ispd10\n").unwrap_err();
+        assert!(matches!(err, ManifestError::UnknownSuite { line: 1, .. }));
+        let err = Manifest::parse("stages TBSZ,MESH\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ManifestError::UnknownStage { line: 1, ref stage } if stage == "MESH"
+        ));
+        let err = Manifest::parse("skip INITIAL\n").unwrap_err();
+        assert_eq!(err, ManifestError::SkipInitial { line: 1 });
+        let err = Manifest::parse("stages ,\n").unwrap_err();
+        assert_eq!(err, ManifestError::EmptyStages { line: 1 });
+        let err = Manifest::parse("instance ti:0\n").unwrap_err();
+        assert!(matches!(err, ManifestError::InvalidValue { line: 1, .. }));
+        let err = Manifest::parse("baselines ntu2009\n").unwrap_err();
+        assert!(matches!(err, ManifestError::InvalidValue { line: 1, .. }));
+        for err in [
+            Manifest::parse("instance socket:9\n").unwrap_err(),
+            Manifest::parse("instance file:\n").unwrap_err(),
+            Manifest::parse("threads many\n").unwrap_err(),
+            Manifest::parse("large-inverters maybe\n").unwrap_err(),
+        ] {
+            assert!(matches!(err, ManifestError::InvalidValue { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn compile_builds_the_contango_plus_baselines_matrix() {
+        let m = Manifest::parse(
+            "instance ti:6\ninstance ti:9\nprofile fast\nbaselines dme-no-tuning\nthreads 2\n",
+        )
+        .expect("parses");
+        let campaign = m.compile().expect("compiles");
+        let tools: Vec<&str> = campaign.jobs().iter().map(|j| j.tool.as_str()).collect();
+        assert_eq!(
+            tools,
+            ["contango", "dme-no-tuning", "contango", "dme-no-tuning"]
+        );
+        assert_eq!(campaign.jobs()[0].instance.sink_count(), 6);
+        assert_eq!(campaign.jobs()[2].instance.sink_count(), 9);
+        // Construction inside campaign jobs stays serial.
+        assert_eq!(campaign.jobs()[0].config.parallel, ParallelConfig::serial());
+    }
+
+    #[test]
+    fn sourceless_manifests_and_forbidden_files_are_rejected() {
+        let m = Manifest::parse("profile fast\n").expect("parses");
+        assert_eq!(m.compile().unwrap_err(), ManifestError::NoSources);
+        let m = Manifest::parse("instance file:/tmp/x.cts\n").expect("parses");
+        assert_eq!(
+            m.compile_with(false).unwrap_err(),
+            ManifestError::FileSourceForbidden {
+                path: "/tmp/x.cts".to_string()
+            }
+        );
+        let m = Manifest::parse("instance file:/nonexistent/x.cts\n").expect("parses");
+        assert!(matches!(m.compile().unwrap_err(), ManifestError::Io { .. }));
+    }
+
+    #[test]
+    fn stage_selection_flows_into_the_jobs() {
+        let m = Manifest::parse("instance ti:6\nstages TWSN,TWSZ\nskip TWSZ\n").expect("parses");
+        let campaign = m.compile().expect("compiles");
+        assert_eq!(
+            campaign.jobs()[0].pipeline().acronyms(),
+            ["INITIAL", "TWSN"]
+        );
+    }
+}

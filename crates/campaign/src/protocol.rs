@@ -1,0 +1,564 @@
+//! The `contango serve` wire protocol: one JSON object per line.
+//!
+//! Requests and responses travel as newline-delimited JSON (NDJSON) over a
+//! plain TCP stream — the same framing as the campaign JSONL reports, so
+//! the hand-rolled [`crate::jsonl`] encoder and [`crate::json`] decoder
+//! cover both. Every frame is self-describing and carries the request
+//! [`RequestId`] so responses can be matched even when a connection
+//! pipelines many requests and the pool completes them out of order.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id":1,"kind":"run","manifest":"suite ispd09\n...","report":"table","format":"text"}
+//! {"id":2,"kind":"ping"}
+//! {"id":3,"kind":"shutdown"}
+//! ```
+//!
+//! Responses (`status` discriminates):
+//!
+//! ```text
+//! {"id":1,"status":"ok","jobs":28,"failed":0,"output":"..."}
+//! {"id":2,"status":"pong","workers":4,"queue_capacity":64}
+//! {"id":3,"status":"shutting-down"}
+//! {"id":1,"status":"error","kind":"overloaded","message":"..."}
+//! ```
+//!
+//! Decoding is total: any line — malformed JSON, wrong types, unknown
+//! kinds — yields a typed [`ServerError`], never a panic, and the server
+//! answers it with a `status:"error"` frame ([`Response::Error`]) echoing
+//! the request id whenever one could be salvaged from the frame.
+
+use crate::json::{JsonError, JsonValue};
+use crate::jsonl::escape_into;
+use crate::manifest::ManifestError;
+use crate::output::{ReportKind, TableFormat};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A client-chosen request correlator, echoed verbatim in the response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestId {
+    /// A non-negative integer id.
+    Number(u64),
+    /// A string id.
+    Text(String),
+}
+
+impl RequestId {
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            RequestId::Number(n) => {
+                let _ = write!(out, "{n}");
+            }
+            RequestId::Text(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+        }
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestId::Number(n) => write!(f, "{n}"),
+            RequestId::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Compile the manifest text and run the resulting campaign.
+    Run {
+        /// Manifest text ([`crate::manifest`] format).
+        manifest: String,
+        /// Which report to render into the response `output`.
+        report: ReportKind,
+        /// Table layout for [`ReportKind::Table`].
+        format: TableFormat,
+    },
+    /// Liveness/status probe.
+    Ping,
+    /// Drain in-flight and queued jobs, then stop the server.
+    Shutdown,
+}
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The client's correlator, echoed in the response.
+    pub id: RequestId,
+    /// The requested action.
+    pub body: RequestBody,
+}
+
+/// A typed request failure, as reported to clients in a
+/// [`Response::Error`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The frame is not valid JSON.
+    Malformed(JsonError),
+    /// The frame is valid JSON but not a valid request.
+    Invalid(String),
+    /// The request manifest failed to parse or compile.
+    Manifest(ManifestError),
+    /// The request queue is full; retry later.
+    Overloaded {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl ServerError {
+    /// The machine-readable error discriminator carried in the `kind`
+    /// field of a [`Response::Error`] frame.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::Malformed(_) => "malformed",
+            ServerError::Invalid(_) => "invalid-request",
+            ServerError::Manifest(_) => "manifest",
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Malformed(e) => write!(f, "malformed request frame: {e}"),
+            ServerError::Invalid(message) => write!(f, "invalid request: {message}"),
+            ServerError::Manifest(e) => write!(f, "manifest error: {e}"),
+            ServerError::Overloaded { capacity } => {
+                write!(f, "request queue is full ({capacity} pending); retry later")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A request decode failure: the error, plus the request id when one could
+/// still be salvaged from the frame (so the error response can echo it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// The salvaged request id, if the frame carried a readable one.
+    pub id: Option<RequestId>,
+    /// What was wrong with the frame.
+    pub error: ServerError,
+}
+
+/// Reads an `id` field as a [`RequestId`].
+fn decode_id(value: &JsonValue) -> Result<RequestId, ServerError> {
+    match value {
+        JsonValue::String(s) => Ok(RequestId::Text(s.clone())),
+        JsonValue::Number(_) => value.as_u64().map(RequestId::Number).ok_or_else(|| {
+            ServerError::Invalid("`id` must be a non-negative integer or a string".to_string())
+        }),
+        _ => Err(ServerError::Invalid(
+            "`id` must be a non-negative integer or a string".to_string(),
+        )),
+    }
+}
+
+fn require_str<'a>(frame: &'a JsonValue, key: &str, kind: &str) -> Result<&'a str, ServerError> {
+    frame
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServerError::Invalid(format!("`{kind}` request needs a string `{key}`")))
+}
+
+impl Request {
+    /// Decodes one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RequestError`] carrying the salvaged id (when the frame
+    /// had a readable one) and the typed [`ServerError`] to report.
+    pub fn decode(line: &str) -> Result<Request, RequestError> {
+        let no_id = |error: ServerError| RequestError { id: None, error };
+        let frame = JsonValue::parse(line).map_err(|e| no_id(ServerError::Malformed(e)))?;
+        if !matches!(frame, JsonValue::Object(_)) {
+            return Err(no_id(ServerError::Invalid(
+                "request frame must be a JSON object".to_string(),
+            )));
+        }
+        let id = frame
+            .get("id")
+            .ok_or_else(|| no_id(ServerError::Invalid("request needs an `id`".to_string())))
+            .and_then(|v| decode_id(v).map_err(no_id))?;
+        let with_id = |error: ServerError| RequestError {
+            id: Some(id.clone()),
+            error,
+        };
+        let kind = frame
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| {
+                with_id(ServerError::Invalid(
+                    "request needs a string `kind`".to_string(),
+                ))
+            })?;
+        let body = match kind {
+            "run" => {
+                let manifest = require_str(&frame, "manifest", "run").map_err(&with_id)?;
+                let report = match frame.get("report") {
+                    None => ReportKind::default(),
+                    Some(v) => v.as_str().and_then(ReportKind::from_label).ok_or_else(|| {
+                        with_id(ServerError::Invalid(
+                            "`report` must be \"table\" or \"jsonl\"".to_string(),
+                        ))
+                    })?,
+                };
+                let format = match frame.get("format") {
+                    None => TableFormat::default(),
+                    Some(v) => v
+                        .as_str()
+                        .and_then(TableFormat::from_label)
+                        .ok_or_else(|| {
+                            with_id(ServerError::Invalid(
+                                "`format` must be \"text\", \"markdown\" or \"csv\"".to_string(),
+                            ))
+                        })?,
+                };
+                RequestBody::Run {
+                    manifest: manifest.to_string(),
+                    report,
+                    format,
+                }
+            }
+            "ping" => RequestBody::Ping,
+            "shutdown" => RequestBody::Shutdown,
+            other => {
+                return Err(with_id(ServerError::Invalid(format!(
+                    "unknown request kind `{other}`"
+                ))))
+            }
+        };
+        Ok(Request { id, body })
+    }
+
+    /// Encodes the request as one NDJSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"id\":");
+        self.id.encode_into(&mut out);
+        match &self.body {
+            RequestBody::Run {
+                manifest,
+                report,
+                format,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"run\",\"report\":\"{}\",\"format\":\"{}\",\"manifest\":\"",
+                    report.label(),
+                    format.label()
+                );
+                escape_into(&mut out, manifest);
+                out.push('"');
+            }
+            RequestBody::Ping => out.push_str(",\"kind\":\"ping\""),
+            RequestBody::Shutdown => out.push_str(",\"kind\":\"shutdown\""),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A `run` request completed (individual jobs may still have failed —
+    /// `failed` counts them, and the failure detail is in `output`).
+    RunOk {
+        /// Echo of the request id.
+        id: RequestId,
+        /// Number of jobs the compiled campaign ran.
+        jobs: usize,
+        /// Number of jobs that failed.
+        failed: usize,
+        /// The rendered report ([`crate::output::suite_output`]), rendered
+        /// identically to the offline CLI `suite` output.
+        output: String,
+    },
+    /// Answer to a `ping`.
+    Pong {
+        /// Echo of the request id.
+        id: RequestId,
+        /// Worker-pool width.
+        workers: usize,
+        /// Request-queue capacity.
+        queue_capacity: usize,
+    },
+    /// Acknowledgement that the server is draining and will stop.
+    ShutdownAck {
+        /// Echo of the request id.
+        id: RequestId,
+    },
+    /// A request failed before running.
+    Error {
+        /// Echo of the request id, when the frame carried a readable one.
+        id: Option<RequestId>,
+        /// Machine-readable discriminator ([`ServerError::kind`]).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The error response for a failed request.
+    pub fn error(id: Option<RequestId>, error: &ServerError) -> Response {
+        Response::Error {
+            id,
+            kind: error.kind().to_string(),
+            message: error.to_string(),
+        }
+    }
+
+    /// The request id the response echoes, if any.
+    pub fn id(&self) -> Option<&RequestId> {
+        match self {
+            Response::RunOk { id, .. }
+            | Response::Pong { id, .. }
+            | Response::ShutdownAck { id } => Some(id),
+            Response::Error { id, .. } => id.as_ref(),
+        }
+    }
+
+    /// Encodes the response as one NDJSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Response::RunOk {
+                id,
+                jobs,
+                failed,
+                output,
+            } => {
+                out.push_str("{\"id\":");
+                id.encode_into(&mut out);
+                let _ = write!(
+                    out,
+                    ",\"status\":\"ok\",\"jobs\":{jobs},\"failed\":{failed}"
+                );
+                out.push_str(",\"output\":\"");
+                escape_into(&mut out, output);
+                out.push('"');
+            }
+            Response::Pong {
+                id,
+                workers,
+                queue_capacity,
+            } => {
+                out.push_str("{\"id\":");
+                id.encode_into(&mut out);
+                let _ = write!(
+                    out,
+                    ",\"status\":\"pong\",\"workers\":{workers},\"queue_capacity\":{queue_capacity}"
+                );
+            }
+            Response::ShutdownAck { id } => {
+                out.push_str("{\"id\":");
+                id.encode_into(&mut out);
+                out.push_str(",\"status\":\"shutting-down\"");
+            }
+            Response::Error { id, kind, message } => {
+                out.push_str("{\"id\":");
+                match id {
+                    Some(id) => id.encode_into(&mut out),
+                    None => out.push_str("null"),
+                }
+                out.push_str(",\"status\":\"error\",\"kind\":\"");
+                escape_into(&mut out, kind);
+                out.push_str("\",\"message\":\"");
+                escape_into(&mut out, message);
+                out.push('"');
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decodes one response frame (the client half).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Malformed`]/[`ServerError::Invalid`] when the line is
+    /// not a valid response frame.
+    pub fn decode(line: &str) -> Result<Response, ServerError> {
+        let frame = JsonValue::parse(line).map_err(ServerError::Malformed)?;
+        let invalid = |message: &str| ServerError::Invalid(message.to_string());
+        let id = match frame.get("id") {
+            None => return Err(invalid("response needs an `id`")),
+            Some(JsonValue::Null) => None,
+            Some(v) => Some(decode_id(v)?),
+        };
+        let status = frame
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| invalid("response needs a string `status`"))?;
+        let need_id = |id: Option<RequestId>| {
+            id.ok_or_else(|| invalid("response `id` must not be null here"))
+        };
+        let need_count = |key: &str| {
+            frame
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .map(|n| n as usize)
+                .ok_or_else(|| ServerError::Invalid(format!("response needs a numeric `{key}`")))
+        };
+        match status {
+            "ok" => Ok(Response::RunOk {
+                id: need_id(id)?,
+                jobs: need_count("jobs")?,
+                failed: need_count("failed")?,
+                output: require_str(&frame, "output", "ok")?.to_string(),
+            }),
+            "pong" => Ok(Response::Pong {
+                id: need_id(id)?,
+                workers: need_count("workers")?,
+                queue_capacity: need_count("queue_capacity")?,
+            }),
+            "shutting-down" => Ok(Response::ShutdownAck { id: need_id(id)? }),
+            "error" => Ok(Response::Error {
+                id,
+                kind: require_str(&frame, "kind", "error")?.to_string(),
+                message: require_str(&frame, "message", "error")?.to_string(),
+            }),
+            other => Err(ServerError::Invalid(format!(
+                "unknown response status `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request {
+                id: RequestId::Number(7),
+                body: RequestBody::Run {
+                    manifest: "suite ispd09\nprofile fast\n".to_string(),
+                    report: ReportKind::Jsonl,
+                    format: TableFormat::Csv,
+                },
+            },
+            Request {
+                id: RequestId::Text("probe-1".to_string()),
+                body: RequestBody::Ping,
+            },
+            Request {
+                id: RequestId::Number(0),
+                body: RequestBody::Shutdown,
+            },
+        ];
+        for request in requests {
+            let line = request.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::decode(&line).expect("decodes"), request);
+        }
+    }
+
+    #[test]
+    fn run_defaults_apply_when_report_and_format_are_absent() {
+        let request =
+            Request::decode(r#"{"id":1,"kind":"run","manifest":"suite ispd09"}"#).expect("decodes");
+        assert_eq!(
+            request.body,
+            RequestBody::Run {
+                manifest: "suite ispd09".to_string(),
+                report: ReportKind::Table,
+                format: TableFormat::Text,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_requests_salvage_the_id_when_possible() {
+        // Malformed JSON: no id to salvage.
+        let err = Request::decode("{\"id\":3,").unwrap_err();
+        assert_eq!(err.id, None);
+        assert!(matches!(err.error, ServerError::Malformed(_)));
+        // Valid JSON, bad kind: id salvaged.
+        let err = Request::decode(r#"{"id":3,"kind":"explode"}"#).unwrap_err();
+        assert_eq!(err.id, Some(RequestId::Number(3)));
+        assert!(matches!(err.error, ServerError::Invalid(_)));
+        // Run without manifest: id salvaged.
+        let err = Request::decode(r#"{"id":"a","kind":"run"}"#).unwrap_err();
+        assert_eq!(err.id, Some(RequestId::Text("a".to_string())));
+        // Fractional / negative ids are rejected.
+        for line in [r#"{"id":1.5,"kind":"ping"}"#, r#"{"id":-1,"kind":"ping"}"#] {
+            let err = Request::decode(line).unwrap_err();
+            assert_eq!(err.id, None);
+            assert!(matches!(err.error, ServerError::Invalid(_)));
+        }
+        // Non-object frames.
+        let err = Request::decode("[1,2,3]").unwrap_err();
+        assert!(matches!(err.error, ServerError::Invalid(_)));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::RunOk {
+                id: RequestId::Number(7),
+                jobs: 28,
+                failed: 2,
+                output: "a\tb\n\"quoted\"\n".to_string(),
+            },
+            Response::Pong {
+                id: RequestId::Text("probe".to_string()),
+                workers: 4,
+                queue_capacity: 64,
+            },
+            Response::ShutdownAck {
+                id: RequestId::Number(9),
+            },
+            Response::error(None, &ServerError::Overloaded { capacity: 8 }),
+            Response::error(
+                Some(RequestId::Number(3)),
+                &ServerError::Invalid("nope".to_string()),
+            ),
+        ];
+        for response in responses {
+            let line = response.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Response::decode(&line).expect("decodes"), response);
+        }
+    }
+
+    #[test]
+    fn error_kinds_are_stable() {
+        assert_eq!(
+            ServerError::Malformed(JsonError {
+                offset: 0,
+                kind: crate::json::JsonErrorKind::UnexpectedEof
+            })
+            .kind(),
+            "malformed"
+        );
+        assert_eq!(
+            ServerError::Invalid(String::new()).kind(),
+            "invalid-request"
+        );
+        assert_eq!(
+            ServerError::Manifest(ManifestError::NoSources).kind(),
+            "manifest"
+        );
+        assert_eq!(ServerError::Overloaded { capacity: 1 }.kind(), "overloaded");
+        assert_eq!(ServerError::ShuttingDown.kind(), "shutting-down");
+    }
+}

@@ -161,8 +161,10 @@ impl Campaign {
 }
 
 /// Runs one job inside the worker's session, creating or retargeting the
-/// session as needed.
-fn run_job(job: &Job, session: &mut Option<EngineSession>) -> JobRecord {
+/// session as needed. Shared with the serve daemon's workers
+/// ([`crate::serve`]), which run each request's jobs through the same
+/// per-job path a single-threaded campaign uses.
+pub(crate) fn run_job(job: &Job, session: &mut Option<EngineSession>) -> JobRecord {
     let sess = match session {
         Some(sess) => {
             sess.retarget(&job.tech, job.config.model);

@@ -1,0 +1,782 @@
+//! The `contango serve` daemon: clock synthesis as a long-running service.
+//!
+//! The server owns a pool of worker threads, each holding one warm
+//! [`EngineSession`] for its whole lifetime — the PR-5 engine/run split
+//! cashed in: evaluator caches and construction arenas persist across
+//! requests, and the job runner retargets the session only when a request
+//! changes technology or delay model. Requests arrive over TCP as NDJSON
+//! frames ([`crate::protocol`]), each carrying a manifest
+//! ([`crate::manifest`]); a request's jobs run serially inside one worker's
+//! session, which is exactly a single-threaded
+//! [`Campaign`](crate::runner::Campaign) — so responses are bit-identical
+//! to offline runs for any pool size.
+//!
+//! ```text
+//!            ┌────────────┐   accept    ┌──────────────┐  1 thread/conn
+//!  clients ──► TcpListener├────────────►│ reader threads│  decode, compile,
+//!            └────────────┘             └──────┬───────┘  answer errors
+//!                                              │ enqueue (bounded)
+//!                                     ┌────────▼────────┐
+//!                                     │  VecDeque queue │  full → Overloaded
+//!                                     └────────┬────────┘
+//!                                              │ pop
+//!                      ┌───────────────────────┼───────────────────────┐
+//!                ┌─────▼─────┐           ┌─────▼─────┐           ┌─────▼─────┐
+//!                │ worker 0  │           │ worker 1  │    ...    │ worker N-1│
+//!                │ 1 session │           │ 1 session │           │ 1 session │
+//!                └─────┬─────┘           └─────┬─────┘           └─────┬─────┘
+//!                      └── responses written back per connection ──────┘
+//! ```
+//!
+//! Backpressure: the queue is bounded ([`ServeConfig::queue_capacity`]);
+//! when it is full a `run` request is answered immediately with a typed
+//! `overloaded` error instead of being buffered without bound — every
+//! request gets exactly one response, nothing is silently dropped.
+//!
+//! Shutdown: a `shutdown` request flips a flag. The acceptor stops taking
+//! connections, readers stop accepting new work (`shutting-down` errors),
+//! and workers drain the queue — every job already accepted still runs and
+//! answers — before [`Server::run`] joins them and returns the summary.
+
+use crate::manifest::Manifest;
+use crate::output::{suite_output, ReportKind, TableFormat};
+use crate::protocol::{Request, RequestBody, RequestId, Response, ServerError};
+use crate::runner::{run_job, CampaignResult};
+use crate::Job;
+use contango_core::construct::ParallelConfig;
+use contango_core::session::EngineSession;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long blocking reads and condvar waits sleep before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long the nonblocking acceptor sleeps when no connection is pending.
+const ACCEPT_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to listen on. Port 0 picks a free port (read it back with
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker-pool width (0 = one worker per available core).
+    pub workers: usize,
+    /// Bound on queued (accepted but not yet running) requests; a full
+    /// queue answers `overloaded`. Capacity 0 rejects every `run` request —
+    /// useful to test client backoff.
+    pub queue_capacity: usize,
+    /// Allow `instance file:PATH` manifest sources to read the server's
+    /// filesystem. Off by default: remote clients should not name server
+    /// paths.
+    pub allow_file_instances: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            allow_file_instances: false,
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`].
+///
+/// Every `run` request is accounted exactly once:
+/// `completed + rejected` covers all accepted-or-refused run requests, and
+/// `errors` counts frames answered with any other typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// `run` requests accepted into the queue (all of them completed —
+    /// shutdown drains the queue).
+    pub accepted: u64,
+    /// `run` requests completed and answered with `status:"ok"`.
+    pub completed: u64,
+    /// `run` requests refused with an `overloaded` error.
+    pub rejected: u64,
+    /// Frames answered with any other typed error (malformed, invalid,
+    /// manifest, shutting-down).
+    pub errors: u64,
+    /// Jobs executed across all completed requests.
+    pub jobs_run: u64,
+}
+
+struct WorkItem {
+    id: RequestId,
+    jobs: Vec<Job>,
+    report: ReportKind,
+    format: TableFormat,
+    conn: Arc<Mutex<TcpStream>>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<WorkItem>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    queue_capacity: usize,
+    workers: usize,
+    allow_file_instances: bool,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    jobs_run: AtomicU64,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Writes one response frame to a connection. Write errors are swallowed:
+/// the client is gone, and the request was already accounted.
+fn write_response(conn: &Mutex<TcpStream>, response: &Response) {
+    let mut line = response.encode();
+    line.push('\n');
+    let mut stream = conn.lock().expect("connection writer lock");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+}
+
+/// The `contango serve` daemon. Bind, then [`Server::run`] until a
+/// `shutdown` request arrives.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listening socket (but accepts nothing until
+    /// [`Server::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission, …).
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            config,
+            local_addr,
+        })
+    }
+
+    /// The bound address — useful with port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The resolved worker-pool width.
+    pub fn workers(&self) -> usize {
+        ParallelConfig::with_threads(self.config.workers).resolved()
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains the queue,
+    /// joins the pool and reports the lifetime summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal accept-loop I/O errors. Per-connection and
+    /// per-request failures never abort the server; they are answered with
+    /// typed error frames.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let workers = self.workers();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: self.config.queue_capacity,
+            workers,
+            allow_file_instances: self.config.allow_file_instances,
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            jobs_run: AtomicU64::new(0),
+        });
+
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            pool.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        let mut readers = Vec::new();
+        while !shared.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&shared);
+                    readers.push(std::thread::spawn(move || connection_loop(stream, &shared)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Fatal listener failure: stop the pool before bailing.
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.available.notify_all();
+                    for handle in pool {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        // Drain: workers finish everything already accepted, then exit.
+        shared.available.notify_all();
+        for handle in pool {
+            let _ = handle.join();
+        }
+        // Readers exit on their own within a poll interval of the flag
+        // flipping (their reads time out).
+        for handle in readers {
+            let _ = handle.join();
+        }
+        Ok(ServeSummary {
+            accepted: shared.accepted.load(Ordering::SeqCst),
+            completed: shared.completed.load(Ordering::SeqCst),
+            rejected: shared.rejected.load(Ordering::SeqCst),
+            errors: shared.errors.load(Ordering::SeqCst),
+            jobs_run: shared.jobs_run.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// One worker: owns one warm session, pops queued requests, runs their jobs
+/// serially (exactly a single-threaded [`Campaign`], hence bit-identical to
+/// offline runs), and writes the response to the request's connection.
+fn worker_loop(shared: &Shared) {
+    let mut session: Option<EngineSession> = None;
+    loop {
+        let item = {
+            let mut queue = shared.queue.lock().expect("request queue lock");
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break Some(item);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .expect("request queue lock")
+                    .0;
+            }
+        };
+        let Some(item) = item else { break };
+        let records = item
+            .jobs
+            .iter()
+            .map(|job| run_job(job, &mut session))
+            .collect::<Vec<_>>();
+        let failed = records.iter().filter(|r| r.outcome.is_err()).count();
+        let result = CampaignResult {
+            records,
+            threads: 1,
+        };
+        let response = Response::RunOk {
+            id: item.id,
+            jobs: item.jobs.len(),
+            failed,
+            output: suite_output(&result, item.report, item.format),
+        };
+        write_response(&item.conn, &response);
+        shared
+            .jobs_run
+            .fetch_add(item.jobs.len() as u64, Ordering::SeqCst);
+        shared.completed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// One connection: reads NDJSON frames until EOF or shutdown, answering
+/// `ping`/`shutdown`/errors inline and enqueueing `run` requests. Blank
+/// lines are ignored (NDJSON convention); every other frame gets exactly
+/// one response, though pipelined `run` responses may arrive out of
+/// submission order — match them by id.
+fn connection_loop(stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+        || stream.set_nonblocking(false).is_err()
+    {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => {
+                // EOF; a final unterminated frame is still a frame.
+                if !line.iter().all(u8::is_ascii_whitespace) {
+                    handle_frame(&line, &conn, shared);
+                }
+                return;
+            }
+            Ok(_) => {
+                if line.ends_with(b"\n") {
+                    if !line.iter().all(u8::is_ascii_whitespace) {
+                        handle_frame(&line, &conn, shared);
+                    }
+                    line.clear();
+                }
+                // No trailing newline means EOF mid-frame; the next read
+                // returns Ok(0) and flushes it.
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Keep any partial frame in `line` and retry, unless the
+                // server is draining.
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes and dispatches one frame, writing the immediate response (for
+/// everything except an accepted `run`, which the worker answers).
+fn handle_frame(raw: &[u8], conn: &Arc<Mutex<TcpStream>>, shared: &Shared) {
+    // Non-UTF-8 bytes survive into the text lossily and then fail JSON
+    // decoding with a typed error; nothing on the wire can panic us.
+    let text = String::from_utf8_lossy(raw);
+    let text = text.trim_end_matches(['\n', '\r']);
+    let request = match Request::decode(text) {
+        Ok(request) => request,
+        Err(failure) => {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            write_response(conn, &Response::error(failure.id, &failure.error));
+            return;
+        }
+    };
+    let refuse = |error: ServerError| {
+        let counter = if matches!(error, ServerError::Overloaded { .. }) {
+            &shared.rejected
+        } else {
+            &shared.errors
+        };
+        counter.fetch_add(1, Ordering::SeqCst);
+        write_response(conn, &Response::error(Some(request.id.clone()), &error));
+    };
+    match &request.body {
+        RequestBody::Ping => {
+            write_response(
+                conn,
+                &Response::Pong {
+                    id: request.id.clone(),
+                    workers: shared.workers,
+                    queue_capacity: shared.queue_capacity,
+                },
+            );
+        }
+        RequestBody::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.available.notify_all();
+            write_response(
+                conn,
+                &Response::ShutdownAck {
+                    id: request.id.clone(),
+                },
+            );
+        }
+        RequestBody::Run {
+            manifest,
+            report,
+            format,
+        } => {
+            if shared.shutting_down() {
+                refuse(ServerError::ShuttingDown);
+                return;
+            }
+            let campaign =
+                Manifest::parse(manifest).and_then(|m| m.compile_with(shared.allow_file_instances));
+            let campaign = match campaign {
+                Ok(campaign) => campaign,
+                Err(e) => {
+                    refuse(ServerError::Manifest(e));
+                    return;
+                }
+            };
+            let item = WorkItem {
+                id: request.id.clone(),
+                jobs: campaign.jobs().to_vec(),
+                report: *report,
+                format: *format,
+                conn: Arc::clone(conn),
+            };
+            let enqueued = {
+                let mut queue = shared.queue.lock().expect("request queue lock");
+                if shared.shutting_down() {
+                    Err(ServerError::ShuttingDown)
+                } else if queue.len() >= shared.queue_capacity {
+                    Err(ServerError::Overloaded {
+                        capacity: shared.queue_capacity,
+                    })
+                } else {
+                    queue.push_back(item);
+                    Ok(())
+                }
+            };
+            match enqueued {
+                Ok(()) => {
+                    shared.accepted.fetch_add(1, Ordering::SeqCst);
+                    shared.available.notify_one();
+                }
+                Err(error) => refuse(error),
+            }
+        }
+    }
+}
+
+/// A client-side failure talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket failure.
+    Io(io::Error),
+    /// The server closed the connection before responding.
+    Closed,
+    /// The server sent a frame that does not decode as a response.
+    Protocol(ServerError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Protocol(e) => write!(f, "bad response frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking NDJSON client for the daemon. One request in flight per call
+/// with the convenience methods; use [`Client::send`]/[`Client::recv`]
+/// directly to pipeline (responses carry ids for matching).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// The next auto-assigned request id.
+    pub fn fresh_id(&mut self) -> RequestId {
+        self.next_id += 1;
+        RequestId::Number(self.next_id)
+    }
+
+    /// Sends one request frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Receives one response frame (blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on EOF, [`ClientError::Protocol`] on an
+    /// undecodable frame.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Closed);
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Response::decode(line.trim_end_matches(['\n', '\r']))
+                .map_err(ClientError::Protocol);
+        }
+    }
+
+    /// Runs a manifest on the server and returns the response (either
+    /// `RunOk` or a typed `Error` frame).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; server-side request failures come back as
+    /// [`Response::Error`].
+    pub fn run_manifest(
+        &mut self,
+        manifest: &str,
+        report: ReportKind,
+        format: TableFormat,
+    ) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request {
+            id,
+            body: RequestBody::Run {
+                manifest: manifest.to_string(),
+                report,
+                format,
+            },
+        })?;
+        self.recv()
+    }
+
+    /// Pings the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request {
+            id,
+            body: RequestBody::Ping,
+        })?;
+        self.recv()
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request {
+            id,
+            body: RequestBody::Shutdown,
+        })?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Starts a server on a free port and returns its address plus the
+    /// thread that will yield the summary after shutdown.
+    fn start(config: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<ServeSummary>) {
+        let server = Server::bind(config).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("serve"));
+        (addr, handle)
+    }
+
+    const TINY: &str = "instance ti:6\nprofile fast\nmodel elmore\n";
+
+    #[test]
+    fn ping_run_and_shutdown_round_trip() {
+        let (addr, handle) = start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let pong = client.ping().expect("ping");
+        assert!(
+            matches!(
+                pong,
+                Response::Pong {
+                    workers: 2,
+                    queue_capacity: 64,
+                    ..
+                }
+            ),
+            "{pong:?}"
+        );
+
+        let offline = Manifest::parse(TINY)
+            .expect("manifest")
+            .compile()
+            .expect("compile")
+            .run();
+        let expected = suite_output(&offline, ReportKind::Jsonl, TableFormat::Text);
+        let response = client
+            .run_manifest(TINY, ReportKind::Jsonl, TableFormat::Text)
+            .expect("run");
+        match response {
+            Response::RunOk {
+                jobs,
+                failed,
+                output,
+                ..
+            } => {
+                assert_eq!(jobs, 1);
+                assert_eq!(failed, 0);
+                assert_eq!(output, expected, "served output differs from offline");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        let ack = client.shutdown().expect("shutdown");
+        assert!(matches!(ack, Response::ShutdownAck { .. }), "{ack:?}");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.accepted, 1);
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.rejected, 0);
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_with_overloaded() {
+        let (addr, handle) = start(ServeConfig {
+            workers: 1,
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let response = client
+            .run_manifest(TINY, ReportKind::Table, TableFormat::Text)
+            .expect("run");
+        match response {
+            Response::Error { kind, .. } => assert_eq!(kind, "overloaded"),
+            other => panic!("unexpected response {other:?}"),
+        }
+        client.shutdown().expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.rejected, 1);
+        assert_eq!(summary.accepted, 0);
+    }
+
+    #[test]
+    fn bad_frames_get_typed_errors_and_never_kill_the_server() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut client = Client::connect(addr).expect("connect");
+        // Malformed JSON.
+        client.writer.write_all(b"{oops\n").expect("write");
+        client.writer.flush().expect("flush");
+        let response = client.recv().expect("error response");
+        match &response {
+            Response::Error { id, kind, .. } => {
+                assert_eq!(id.as_ref(), None);
+                assert_eq!(kind, "malformed");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Bad manifest, id echoed.
+        let response = client
+            .run_manifest("suite nope\n", ReportKind::Table, TableFormat::Text)
+            .expect("run");
+        match &response {
+            Response::Error { id, kind, .. } => {
+                assert_eq!(id.as_ref(), Some(&RequestId::Number(1)));
+                assert_eq!(kind, "manifest");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // File sources are forbidden by default.
+        let response = client
+            .run_manifest(
+                "instance file:/etc/hostname\n",
+                ReportKind::Table,
+                TableFormat::Text,
+            )
+            .expect("run");
+        match &response {
+            Response::Error { kind, message, .. } => {
+                assert_eq!(kind, "manifest");
+                assert!(message.contains("not allowed"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The server is still alive and well.
+        assert!(matches!(
+            client.ping().expect("ping"),
+            Response::Pong { .. }
+        ));
+        client.shutdown().expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.errors, 3);
+        assert_eq!(summary.completed, 0);
+    }
+
+    #[test]
+    fn pipelined_requests_are_matched_by_id() {
+        let (addr, handle) = start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let manifests = ["instance ti:5\nprofile fast\nmodel elmore\n", TINY];
+        for (i, manifest) in manifests.iter().enumerate() {
+            client
+                .send(&Request {
+                    id: RequestId::Number(i as u64 + 10),
+                    body: RequestBody::Run {
+                        manifest: (*manifest).to_string(),
+                        report: ReportKind::Jsonl,
+                        format: TableFormat::Text,
+                    },
+                })
+                .expect("send");
+        }
+        let mut seen = Vec::new();
+        for _ in 0..manifests.len() {
+            match client.recv().expect("response") {
+                Response::RunOk { id, failed, .. } => {
+                    assert_eq!(failed, 0);
+                    seen.push(id);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        seen.sort_by_key(|id| match id {
+            RequestId::Number(n) => *n,
+            RequestId::Text(_) => u64::MAX,
+        });
+        assert_eq!(seen, vec![RequestId::Number(10), RequestId::Number(11)]);
+        client.shutdown().expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.accepted, 2);
+        assert_eq!(summary.completed, 2);
+    }
+}

@@ -26,6 +26,20 @@ pub enum ArgError {
     DuplicateFlag(String),
     /// An argument was neither a known flag nor a flag value.
     Unrecognized(String),
+    /// A `--flag` the command does not define, with a did-you-mean
+    /// suggestion when a known flag is a near miss (e.g. `--thread` for
+    /// `--threads`).
+    UnknownFlag {
+        /// The offending flag as typed.
+        flag: String,
+        /// The closest known flag, when one is close enough to suggest.
+        suggestion: Option<String>,
+    },
+    /// `query` needs exactly one of `--manifest`, `--ping`, `--shutdown`.
+    QueryActionConflict,
+    /// `suite --manifest` replaces the flag set; mixing them in is a
+    /// conflict, not a merge.
+    ManifestFlagConflict(String),
     /// A flag's value is not one of its accepted values.
     InvalidValue {
         /// The flag.
@@ -53,6 +67,23 @@ impl fmt::Display for ArgError {
                 write!(f, "flag `{flag}` is given more than once")
             }
             ArgError::Unrecognized(arg) => write!(f, "unrecognized argument `{arg}`"),
+            ArgError::UnknownFlag { flag, suggestion } => {
+                write!(f, "unrecognized flag `{flag}`")?;
+                if let Some(known) = suggestion {
+                    write!(f, " (did you mean `{known}`?)")?;
+                }
+                Ok(())
+            }
+            ArgError::QueryActionConflict => {
+                write!(
+                    f,
+                    "query needs exactly one of --manifest <file>, --ping or --shutdown"
+                )
+            }
+            ArgError::ManifestFlagConflict(flag) => write!(
+                f,
+                "`--manifest` describes the whole suite; it cannot be combined with `{flag}`"
+            ),
             ArgError::InvalidValue { flag, value } => {
                 write!(f, "invalid value `{value}` for `{flag}`")
             }
@@ -165,6 +196,9 @@ pub enum Command {
     /// Run a whole benchmark suite (optionally with baselines) through the
     /// sharded campaign executor.
     Suite {
+        /// Manifest file describing the whole suite; replaces the flag set
+        /// below (`--report`/`--format` still apply).
+        manifest: Option<String>,
         /// Suite name (`ispd09`).
         suite: String,
         /// Baselines to run next to Contango on every instance.
@@ -196,6 +230,44 @@ pub enum Command {
         /// Output path of the deck.
         out: String,
     },
+    /// Run the synthesis daemon until a `shutdown` request arrives.
+    Serve {
+        /// Address to listen on (port 0 picks a free port, printed to
+        /// stderr).
+        addr: String,
+        /// Worker-pool width (0 = one per core).
+        workers: usize,
+        /// Bound on queued requests before `overloaded` rejections.
+        queue_capacity: usize,
+        /// Allow `instance file:PATH` manifest sources to read the
+        /// server's filesystem.
+        allow_file_instances: bool,
+    },
+    /// Send one request to a running daemon.
+    Query {
+        /// Address of the daemon.
+        addr: String,
+        /// What to ask for.
+        action: QueryAction,
+        /// Report to request with `--manifest`.
+        report: SuiteReport,
+        /// Table format to request with `--manifest`.
+        format: ReportFormat,
+    },
+}
+
+/// What a `query` invocation asks the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAction {
+    /// Submit the manifest file at this path as a `run` request.
+    Run {
+        /// Path of the manifest file.
+        manifest: String,
+    },
+    /// Liveness/status probe.
+    Ping,
+    /// Ask the daemon to drain and stop.
+    Shutdown,
 }
 
 /// Usage text printed by `help` and on argument errors.
@@ -211,10 +283,15 @@ USAGE:
   contango-cts evaluate --instance <file> --solution <file>
   contango-cts compare --input <file> [--fast] [--format text|markdown|csv]
                    [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]] [--threads N]
-  contango-cts suite --suite ispd09 [--baselines all|none|LABEL[,LABEL...]]
+  contango-cts suite (--suite ispd09 | --manifest <file>)
+                   [--baselines all|none|LABEL[,LABEL...]]
                    [--threads N] [--report table|jsonl] [--fast]
                    [--format text|markdown|csv] [--stages ...] [--skip ...]
   contango-cts spice-deck --instance <file> --solution <file> [--low-corner] --out <file>
+  contango-cts serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+                   [--allow-file-instances]
+  contango-cts query --addr HOST:PORT (--manifest <file> | --ping | --shutdown)
+                   [--report table|jsonl] [--format text|markdown|csv]
   contango-cts help
 
   --stages runs only the listed optimization stages, in the order listed
@@ -232,6 +309,14 @@ USAGE:
   the aggregate tables. A failing job never aborts the suite — it is
   reported in the output per job — but the exit status is nonzero when
   any job failed.
+
+  suite --manifest runs a declarative manifest file instead of the flag
+  set (the flags desugar to the same manifest form; see docs/manifest.md).
+  serve starts the synthesis daemon: a pool of warm engine sessions behind
+  a newline-delimited-JSON TCP protocol with bounded-queue backpressure.
+  query talks to a running daemon: --manifest submits a manifest file and
+  prints the response output (byte-identical to the offline suite run),
+  --ping probes it, --shutdown drains and stops it.
 ";
 
 /// Parses an argument vector (excluding the program name).
@@ -251,14 +336,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         "compare" => parse_compare(&rest),
         "suite" => parse_suite(&rest),
         "spice-deck" => parse_spice_deck(&rest),
+        "serve" => parse_serve(&rest),
+        "query" => parse_query(&rest),
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
 
-/// A tiny flag/value scanner shared by the per-command parsers.
+/// Levenshtein edit distance, used for did-you-mean flag suggestions.
+/// Flag names are short, so the quadratic two-row DP is plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut row = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            row[j + 1] = substitute.min(prev[j + 1] + 1).min(row[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    prev[b.len()]
+}
+
+/// The closest known flag, when it is close enough to plausibly be what
+/// the user meant (at most two edits away).
+fn closest_flag(flag: &str, known: &[&'static str]) -> Option<String> {
+    known
+        .iter()
+        .map(|&k| (edit_distance(flag, k), k))
+        .min()
+        .filter(|&(distance, _)| distance <= 2)
+        .map(|(_, k)| k.to_string())
+}
+
+/// A tiny flag/value scanner shared by the per-command parsers. It records
+/// every flag name a parser asks about, so [`Scanner::finish`] can suggest
+/// the nearest known flag for a near-miss.
 struct Scanner<'a> {
     args: &'a [&'a str],
     used: Vec<bool>,
+    known: Vec<&'static str>,
 }
 
 impl<'a> Scanner<'a> {
@@ -266,11 +385,19 @@ impl<'a> Scanner<'a> {
         Self {
             args,
             used: vec![false; args.len()],
+            known: Vec::new(),
+        }
+    }
+
+    fn learn(&mut self, name: &'static str) {
+        if !self.known.contains(&name) {
+            self.known.push(name);
         }
     }
 
     /// Returns `true` when the boolean flag is present.
-    fn flag(&mut self, name: &str) -> bool {
+    fn flag(&mut self, name: &'static str) -> bool {
+        self.learn(name);
         for (i, &a) in self.args.iter().enumerate() {
             if !self.used[i] && a == name {
                 self.used[i] = true;
@@ -283,7 +410,8 @@ impl<'a> Scanner<'a> {
     /// Returns the value following `name`, if present. A second unconsumed
     /// occurrence of the flag is a [`ArgError::DuplicateFlag`] — repeating
     /// a value flag is a conflict, not a precedence rule.
-    fn value(&mut self, name: &str) -> Result<Option<String>, ArgError> {
+    fn value(&mut self, name: &'static str) -> Result<Option<String>, ArgError> {
+        self.learn(name);
         let mut found: Option<usize> = None;
         let mut i = 0;
         while i < self.args.len() {
@@ -318,14 +446,27 @@ impl<'a> Scanner<'a> {
         self.value(name)?.ok_or(ArgError::MissingFlag(name))
     }
 
-    /// Errors on any argument that was not consumed.
+    /// The first argument that was not consumed, if any.
+    fn first_unused(&self) -> Option<&'a str> {
+        self.args
+            .iter()
+            .enumerate()
+            .find(|&(i, _)| !self.used[i])
+            .map(|(_, &a)| a)
+    }
+
+    /// Errors on any argument that was not consumed: an unknown `--flag`
+    /// names itself (with a did-you-mean suggestion for near misses), any
+    /// other stray argument is reported verbatim.
     fn finish(&self) -> Result<(), ArgError> {
-        for (i, &a) in self.args.iter().enumerate() {
-            if !self.used[i] {
-                return Err(ArgError::Unrecognized(a.to_string()));
-            }
+        match self.first_unused() {
+            Some(arg) if arg.starts_with("--") => Err(ArgError::UnknownFlag {
+                flag: arg.to_string(),
+                suggestion: closest_flag(arg, &self.known),
+            }),
+            Some(arg) => Err(ArgError::Unrecognized(arg.to_string())),
+            None => Ok(()),
         }
-        Ok(())
     }
 }
 
@@ -507,8 +648,39 @@ fn parse_baseline_list(value: &str) -> Result<Vec<BaselineKind>, ArgError> {
     Ok(kinds)
 }
 
+fn parse_report(scan: &mut Scanner<'_>) -> Result<SuiteReport, ArgError> {
+    Ok(match scan.value("--report")?.as_deref() {
+        None | Some("table") => SuiteReport::Table,
+        Some("jsonl") => SuiteReport::Jsonl,
+        Some(other) => {
+            return Err(ArgError::InvalidValue {
+                flag: "--report",
+                value: other.to_string(),
+            })
+        }
+    })
+}
+
 fn parse_suite(args: &[&str]) -> Result<Command, ArgError> {
     let mut scan = Scanner::new(args);
+    let manifest = scan.value("--manifest")?;
+    let report = parse_report(&mut scan)?;
+    let format = parse_format(&mut scan)?;
+    if let Some(path) = manifest {
+        // The manifest is the whole description; leftover flags are a
+        // conflict, not extra configuration to merge in.
+        if let Some(extra) = scan.first_unused() {
+            return Err(ArgError::ManifestFlagConflict(extra.to_string()));
+        }
+        return Ok(Command::Suite {
+            manifest: Some(path),
+            suite: String::new(),
+            baselines: Vec::new(),
+            flow: FlowOptions::default(),
+            report,
+            format,
+        });
+    }
     let suite = scan.required("--suite")?;
     if suite != "ispd09" {
         return Err(ArgError::InvalidValue {
@@ -520,23 +692,67 @@ fn parse_suite(args: &[&str]) -> Result<Command, ArgError> {
         Some(value) => parse_baseline_list(&value)?,
         None => Vec::new(),
     };
-    let report = match scan.value("--report")?.as_deref() {
-        None | Some("table") => SuiteReport::Table,
-        Some("jsonl") => SuiteReport::Jsonl,
-        Some(other) => {
-            return Err(ArgError::InvalidValue {
-                flag: "--report",
-                value: other.to_string(),
-            })
-        }
-    };
     let flow = parse_flow_options(&mut scan)?;
-    let format = parse_format(&mut scan)?;
     scan.finish()?;
     Ok(Command::Suite {
+        manifest: None,
         suite,
         baselines,
         flow,
+        report,
+        format,
+    })
+}
+
+fn parse_usize(
+    flag: &'static str,
+    value: Option<String>,
+    default: usize,
+) -> Result<usize, ArgError> {
+    match value {
+        None => Ok(default),
+        Some(v) => v.parse::<usize>().map_err(|_| ArgError::InvalidValue {
+            flag,
+            value: v.clone(),
+        }),
+    }
+}
+
+fn parse_serve(args: &[&str]) -> Result<Command, ArgError> {
+    let mut scan = Scanner::new(args);
+    let addr = scan
+        .value("--addr")?
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let workers = parse_usize("--workers", scan.value("--workers")?, 0)?;
+    let queue_capacity = parse_usize("--queue-capacity", scan.value("--queue-capacity")?, 64)?;
+    let allow_file_instances = scan.flag("--allow-file-instances");
+    scan.finish()?;
+    Ok(Command::Serve {
+        addr,
+        workers,
+        queue_capacity,
+        allow_file_instances,
+    })
+}
+
+fn parse_query(args: &[&str]) -> Result<Command, ArgError> {
+    let mut scan = Scanner::new(args);
+    let addr = scan.required("--addr")?;
+    let manifest = scan.value("--manifest")?;
+    let ping = scan.flag("--ping");
+    let shutdown = scan.flag("--shutdown");
+    let report = parse_report(&mut scan)?;
+    let format = parse_format(&mut scan)?;
+    scan.finish()?;
+    let action = match (manifest, ping, shutdown) {
+        (Some(manifest), false, false) => QueryAction::Run { manifest },
+        (None, true, false) => QueryAction::Ping,
+        (None, false, true) => QueryAction::Shutdown,
+        _ => return Err(ArgError::QueryActionConflict),
+    };
+    Ok(Command::Query {
+        addr,
+        action,
         report,
         format,
     })
@@ -735,7 +951,13 @@ mod tests {
         assert_eq!(err, ArgError::MissingFlag("--input"));
         assert!(err.to_string().contains("--input"));
         let err = parse_args(&args(&["run", "--input", "x", "--bogus"])).unwrap_err();
-        assert_eq!(err, ArgError::Unrecognized("--bogus".to_string()));
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                flag: "--bogus".to_string(),
+                suggestion: None
+            }
+        );
         let err = parse_args(&args(&["run", "--input", "x", "--topology", "ring"])).unwrap_err();
         assert_eq!(
             err,
@@ -852,12 +1074,14 @@ mod tests {
         .expect("parses");
         match cmd {
             Command::Suite {
+                manifest,
                 suite,
                 baselines,
                 flow,
                 report,
                 format,
             } => {
+                assert_eq!(manifest, None);
                 assert_eq!(suite, "ispd09");
                 assert_eq!(baselines, BaselineKind::all().to_vec());
                 assert_eq!(flow.threads, 4);
@@ -943,5 +1167,179 @@ mod tests {
         let err = parse_args(&args(&["run", "--input"])).unwrap_err();
         assert_eq!(err, ArgError::MissingValue("--input".to_string()));
         assert!(err.to_string().contains("expects a value"));
+    }
+
+    #[test]
+    fn near_miss_flags_get_a_did_you_mean_suggestion() {
+        let err = parse_args(&args(&["run", "--input", "a.cns", "--thread", "4"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                flag: "--thread".to_string(),
+                suggestion: Some("--threads".to_string()),
+            }
+        );
+        assert!(
+            err.to_string().contains("did you mean `--threads`?"),
+            "{err}"
+        );
+        let err =
+            parse_args(&args(&["suite", "--suite", "ispd09", "--basslines", "all"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                flag: "--basslines".to_string(),
+                suggestion: Some("--baselines".to_string()),
+            }
+        );
+        // Gibberish gets no suggestion, and positional junk is still
+        // reported as an unrecognized argument, not a flag.
+        let err = parse_args(&args(&["run", "--input", "a.cns", "--zzzzzz"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                flag: "--zzzzzz".to_string(),
+                suggestion: None,
+            }
+        );
+        assert!(!err.to_string().contains("did you mean"));
+        let err = parse_args(&args(&["run", "--input", "a.cns", "stray"])).unwrap_err();
+        assert_eq!(err, ArgError::Unrecognized("stray".to_string()));
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric_and_exact() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("--thread", "--threads"), 1);
+        assert_eq!(edit_distance("--threads", "--thread"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn suite_accepts_a_manifest_file_and_rejects_mixed_flags() {
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--manifest",
+            "exp.manifest",
+            "--report",
+            "jsonl",
+            "--format",
+            "csv",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite {
+                manifest,
+                report,
+                format,
+                ..
+            } => {
+                assert_eq!(manifest.as_deref(), Some("exp.manifest"));
+                assert_eq!(report, SuiteReport::Jsonl);
+                assert_eq!(format, ReportFormat::Csv);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let err = parse_args(&args(&["suite", "--manifest", "m", "--fast"])).unwrap_err();
+        assert_eq!(err, ArgError::ManifestFlagConflict("--fast".to_string()));
+        assert!(err.to_string().contains("--fast"));
+        let err =
+            parse_args(&args(&["suite", "--manifest", "m", "--suite", "ispd09"])).unwrap_err();
+        assert_eq!(err, ArgError::ManifestFlagConflict("--suite".to_string()));
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_overrides() {
+        let cmd = parse_args(&args(&["serve"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 0,
+                queue_capacity: 64,
+                allow_file_instances: false,
+            }
+        );
+        let cmd = parse_args(&args(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:4780",
+            "--workers",
+            "2",
+            "--queue-capacity",
+            "8",
+            "--allow-file-instances",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "0.0.0.0:4780".to_string(),
+                workers: 2,
+                queue_capacity: 8,
+                allow_file_instances: true,
+            }
+        );
+        let err = parse_args(&args(&["serve", "--workers", "lots"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--workers",
+                value: "lots".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn query_requires_exactly_one_action() {
+        let cmd = parse_args(&args(&[
+            "query",
+            "--addr",
+            "127.0.0.1:4780",
+            "--manifest",
+            "m.txt",
+            "--report",
+            "jsonl",
+        ]))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Query {
+                addr: "127.0.0.1:4780".to_string(),
+                action: QueryAction::Run {
+                    manifest: "m.txt".to_string()
+                },
+                report: SuiteReport::Jsonl,
+                format: ReportFormat::Text,
+            }
+        );
+        let cmd = parse_args(&args(&["query", "--addr", "h:1", "--ping"])).expect("parses");
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                action: QueryAction::Ping,
+                ..
+            }
+        ));
+        let cmd = parse_args(&args(&["query", "--addr", "h:1", "--shutdown"])).expect("parses");
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                action: QueryAction::Shutdown,
+                ..
+            }
+        ));
+        for extra in [
+            &["query", "--addr", "h:1"][..],
+            &["query", "--addr", "h:1", "--ping", "--shutdown"][..],
+            &["query", "--addr", "h:1", "--manifest", "m", "--ping"][..],
+        ] {
+            let err = parse_args(&args(extra)).unwrap_err();
+            assert_eq!(err, ArgError::QueryActionConflict, "{extra:?}");
+        }
+        let err = parse_args(&args(&["query", "--ping"])).unwrap_err();
+        assert_eq!(err, ArgError::MissingFlag("--addr"));
     }
 }

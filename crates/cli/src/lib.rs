@@ -11,27 +11,45 @@
 //! * `suite` — run a whole benchmark battery (optionally × baselines)
 //!   through the sharded campaign executor and print the aggregate suite
 //!   report, or stream per-job JSONL;
-//! * `spice-deck` — emit a transient SPICE deck for external validation.
+//! * `spice-deck` — emit a transient SPICE deck for external validation;
+//! * `serve` — run the synthesis daemon (warm engine sessions behind an
+//!   NDJSON TCP protocol, [`contango_campaign::serve`]);
+//! * `query` — talk to a running daemon: submit a manifest file, ping, or
+//!   shut it down.
 //!
 //! All I/O goes through [`execute`], which returns the report text, so the
 //! whole tool is unit-testable without spawning processes. Synthesis is
 //! driven through the [`Pipeline`] API: `--stages`/`--skip` trim the
 //! default pass list, and a [`FlowObserver`] streams per-stage progress to
 //! stderr while the flow runs.
+//!
+//! Experiment descriptions go through one path: the `suite` flags (and the
+//! `run`/`compare` flow flags) desugar into a
+//! [`Manifest`], `suite --manifest FILE` loads
+//! the same form from a file, and the daemon accepts the same manifest text
+//! over the wire — so `suite`, `query --manifest` and library callers all
+//! compile through `Manifest -> Campaign` and render through
+//! [`contango_campaign::output::suite_output`], making their outputs
+//! byte-identical for the same description.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 
-use args::{Command, FlowOptions, ReportFormat, SuiteReport};
+use args::{Command, FlowOptions, QueryAction, ReportFormat, SuiteReport};
 use contango_baselines::BaselineKind;
 use contango_benchmarks::error::ParseError;
 use contango_benchmarks::format::{parse_instance, write_instance};
 use contango_benchmarks::generator::{ispd09_suite, make_instance, ti_instance};
 use contango_benchmarks::report::{stage_table, Table};
 use contango_benchmarks::solution::{parse_solution, write_solution};
-use contango_campaign::{Campaign, Job, JobRecord};
+use contango_campaign::manifest::{InstanceSource, Profile, TechnologyKind};
+use contango_campaign::output::suite_output;
+use contango_campaign::{
+    Campaign, Client, ClientError, Job, JobRecord, Manifest, ManifestError, ReportKind, Response,
+    ServeConfig, Server, TableFormat,
+};
 use contango_core::error::CoreError;
 use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult, StageSnapshot};
 use contango_core::instance::ClockNetInstance;
@@ -93,6 +111,28 @@ pub enum CliError {
         /// The report text that would have been printed on success.
         output: String,
     },
+    /// A manifest failed to parse or compile.
+    Manifest {
+        /// The manifest file, when one was loaded (flag desugaring has no
+        /// path).
+        path: Option<String>,
+        /// The underlying manifest problem.
+        source: ManifestError,
+    },
+    /// Talking to the daemon failed at the transport level.
+    Connection {
+        /// The daemon address.
+        addr: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The daemon refused a request with a typed error response.
+    Server {
+        /// Machine-readable error kind (e.g. `overloaded`, `manifest`).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -112,6 +152,16 @@ impl fmt::Display for CliError {
             CliError::SuiteFailures { failed, total, .. } => {
                 write!(f, "{failed} of {total} suite jobs failed")
             }
+            CliError::Manifest { path, source } => match path {
+                Some(path) => write!(f, "{path}: {source}"),
+                None => source.fmt(f),
+            },
+            CliError::Connection { addr, message } => {
+                write!(f, "cannot reach server at `{addr}`: {message}")
+            }
+            CliError::Server { kind, message } => {
+                write!(f, "server refused the request ({kind}): {message}")
+            }
         }
     }
 }
@@ -121,9 +171,12 @@ impl std::error::Error for CliError {
         match self {
             CliError::Parse { source, .. } => Some(source),
             CliError::Flow(e) => Some(e),
+            CliError::Manifest { source, .. } => Some(source),
             CliError::Io { .. }
             | CliError::SinkMismatch { .. }
-            | CliError::SuiteFailures { .. } => None,
+            | CliError::SuiteFailures { .. }
+            | CliError::Connection { .. }
+            | CliError::Server { .. } => None,
         }
     }
 }
@@ -196,12 +249,13 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         } => run(input, solution_out.as_deref(), flow, *format),
         Command::Evaluate { instance, solution } => evaluate(instance, solution),
         Command::Suite {
+            manifest,
             suite: name,
             baselines,
             flow,
             report,
             format,
-        } => suite(name, baselines, flow, *report, *format),
+        } => suite(manifest.as_deref(), name, baselines, flow, *report, *format),
         Command::Compare {
             input,
             flow,
@@ -213,19 +267,28 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             low_corner,
             out,
         } => spice_deck(instance, solution, *low_corner, out),
+        Command::Serve {
+            addr,
+            workers,
+            queue_capacity,
+            allow_file_instances,
+        } => serve(addr, *workers, *queue_capacity, *allow_file_instances),
+        Command::Query {
+            addr,
+            action,
+            report,
+            format,
+        } => query(addr, action, *report, *format),
     }
 }
 
-/// Builds the flow configuration implied by the CLI options.
+/// Builds the flow configuration implied by the CLI options — the manifest
+/// desugaring ([`manifest_from_options`]) plus the `run` command's
+/// construction fan-out: a direct `run` spends `--threads` inside tree
+/// construction, whereas campaign-backed commands shard whole flows and
+/// keep construction serial (the manifest default).
 pub fn flow_config(options: &FlowOptions) -> FlowConfig {
-    let mut config = if options.fast {
-        FlowConfig::fast()
-    } else {
-        FlowConfig::default()
-    };
-    config.use_large_inverters = options.large_inverters;
-    config.topology = options.topology;
-    config.model = options.model;
+    let mut config = manifest_from_options(options).flow_config();
     config.parallel = contango_core::ParallelConfig::with_threads(options.threads);
     config
 }
@@ -238,12 +301,35 @@ pub fn build_pipeline(options: &FlowOptions) -> Pipeline {
         .with_stage_selection(options.stages.as_deref(), &options.skip)
 }
 
-fn technology_for(options: &FlowOptions) -> Technology {
-    if options.large_inverters {
-        Technology::ti45()
-    } else {
-        Technology::ispd09()
+/// Desugars the CLI flow flags into the equivalent [`Manifest`] (with no
+/// sources or baselines — callers add those). This is THE flags-to-manifest
+/// mapping: every synthesis command goes through it, so a flag invocation
+/// and the manifest file spelling the same options are interchangeable.
+pub fn manifest_from_options(options: &FlowOptions) -> Manifest {
+    Manifest {
+        sources: Vec::new(),
+        technology: if options.large_inverters {
+            TechnologyKind::Ti45
+        } else {
+            TechnologyKind::Ispd09
+        },
+        profile: if options.fast {
+            Profile::Fast
+        } else {
+            Profile::Default
+        },
+        topology: options.topology,
+        model: options.model,
+        large_inverters: options.large_inverters,
+        stages: options.stages.clone(),
+        skip: options.skip.clone(),
+        baselines: Vec::new(),
+        threads: options.threads,
     }
+}
+
+fn technology_for(options: &FlowOptions) -> Technology {
+    manifest_from_options(options).technology()
 }
 
 fn io_error(action: &'static str, path: impl Into<String>) -> impl FnOnce(io::Error) -> CliError {
@@ -409,16 +495,13 @@ fn campaign_progress(label: &str, total: usize) -> impl FnMut(&JobRecord) + Send
 }
 
 /// The Contango job implied by the CLI flow options (same pipeline
-/// semantics as [`build_pipeline`]). Construction stays serial inside the
-/// job: under the campaign executor `--threads` shards whole flows, so N
+/// semantics as [`build_pipeline`]), built through the one
+/// [`Manifest::job_for`] path. Construction stays serial inside the job:
+/// under the campaign executor `--threads` shards whole flows, so N
 /// workers use N cores instead of oversubscribing them with a nested
 /// construction fan-out (results are bit-identical either way).
 fn contango_job(instance: &ClockNetInstance, options: &FlowOptions) -> Job {
-    let mut config = flow_config(options);
-    config.parallel = contango_core::ParallelConfig::serial();
-    Job::contango(&technology_for(options), config, instance)
-        .with_stages(options.stages.clone())
-        .with_skip(options.skip.clone())
+    manifest_from_options(options).job_for(instance)
 }
 
 fn compare(input: &str, options: &FlowOptions, format: ReportFormat) -> Result<String, CliError> {
@@ -442,52 +525,64 @@ fn compare(input: &str, options: &FlowOptions, format: ReportFormat) -> Result<S
     Ok(render(&result.comparison_table(), format))
 }
 
+/// The [`ReportKind`] matching a CLI `--report` choice.
+fn report_kind(report: SuiteReport) -> ReportKind {
+    match report {
+        SuiteReport::Table => ReportKind::Table,
+        SuiteReport::Jsonl => ReportKind::Jsonl,
+    }
+}
+
+/// The [`TableFormat`] matching a CLI `--format` choice.
+fn table_format(format: ReportFormat) -> TableFormat {
+    match format {
+        ReportFormat::Text => TableFormat::Text,
+        ReportFormat::Markdown => TableFormat::Markdown,
+        ReportFormat::Csv => TableFormat::Csv,
+    }
+}
+
+/// The manifest a `suite` invocation describes: either the file named by
+/// `--manifest`, or the flag set desugared through
+/// [`manifest_from_options`]. Both spellings hit the same
+/// `Manifest -> Campaign -> suite_output` path from here on.
+fn suite_manifest(
+    manifest_path: Option<&str>,
+    name: &str,
+    baselines: &[BaselineKind],
+    options: &FlowOptions,
+) -> Result<Manifest, CliError> {
+    match manifest_path {
+        Some(path) => Manifest::parse(&read(path)?).map_err(|source| CliError::Manifest {
+            path: Some(path.to_string()),
+            source,
+        }),
+        None => {
+            let mut manifest = manifest_from_options(options);
+            manifest.sources = vec![InstanceSource::Suite(name.to_string())];
+            manifest.baselines = baselines.to_vec();
+            Ok(manifest)
+        }
+    }
+}
+
 fn suite(
+    manifest_path: Option<&str>,
     name: &str,
     baselines: &[BaselineKind],
     options: &FlowOptions,
     report: SuiteReport,
     format: ReportFormat,
 ) -> Result<String, CliError> {
-    let tech = technology_for(options);
-    let mut campaign = Campaign::new().threads(options.threads);
-    for spec in ispd09_suite() {
-        let instance = make_instance(&spec);
-        campaign = campaign.push(contango_job(&instance, options));
-        for &kind in baselines {
-            campaign = campaign.push(Job::baseline(kind, &tech, &instance));
-        }
-    }
+    let manifest = suite_manifest(manifest_path, name, baselines, options)?;
+    let label = manifest_path.unwrap_or(name);
+    let campaign = manifest.compile().map_err(|source| CliError::Manifest {
+        path: manifest_path.map(str::to_string),
+        source,
+    })?;
     let total = campaign.len();
-    let result = campaign.run_streaming(campaign_progress(name, total));
-    let output = match report {
-        SuiteReport::Jsonl => result.to_jsonl(),
-        SuiteReport::Table => {
-            let mut out = String::new();
-            out.push_str(&render(&result.suite_table(), format));
-            out.push('\n');
-            out.push_str(&render(&result.stage_aggregate_table(), format));
-            out.push('\n');
-            out.push_str(&render(&result.run_count_table(), format));
-            // Failures go out as one more table so csv/markdown output
-            // stays parseable (they are also on stderr and in the exit
-            // status).
-            let failures = result.failures();
-            if !failures.is_empty() {
-                let mut table = Table::new(["benchmark", "tool", "error"]);
-                for (record, error) in failures {
-                    table.push_row([
-                        record.benchmark.clone(),
-                        record.tool.clone(),
-                        error.to_string(),
-                    ]);
-                }
-                out.push('\n');
-                out.push_str(&render(&table, format));
-            }
-            out
-        }
-    };
+    let result = campaign.run_streaming(campaign_progress(label, total));
+    let output = suite_output(&result, report_kind(report), table_format(format));
     // The campaign reports failures per job and never aborts, but the
     // process exit status must still tell scripts something failed; the
     // binary prints `output` either way.
@@ -500,6 +595,107 @@ fn suite(
         });
     }
     Ok(output)
+}
+
+fn serve(
+    addr: &str,
+    workers: usize,
+    queue_capacity: usize,
+    allow_file_instances: bool,
+) -> Result<String, CliError> {
+    let server = Server::bind(ServeConfig {
+        addr: addr.to_string(),
+        workers,
+        queue_capacity,
+        allow_file_instances,
+    })
+    .map_err(|e| CliError::Connection {
+        addr: addr.to_string(),
+        message: e.to_string(),
+    })?;
+    // The bound address goes to stderr immediately (port 0 picks a free
+    // port), so scripts can scrape it before the first request arrives.
+    eprintln!(
+        "contango serve: listening on {addr} ({workers} workers, queue {queue})",
+        addr = server.local_addr(),
+        workers = server.workers(),
+        queue = queue_capacity,
+    );
+    let summary = server.run().map_err(|e| CliError::Connection {
+        addr: addr.to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(format!(
+        "served {accepted} runs ({jobs} jobs), {rejected} rejected, {errors} errors\n",
+        accepted = summary.completed,
+        jobs = summary.jobs_run,
+        rejected = summary.rejected,
+        errors = summary.errors,
+    ))
+}
+
+fn connection_error(addr: &str) -> impl Fn(ClientError) -> CliError + '_ {
+    move |e| CliError::Connection {
+        addr: addr.to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Maps a daemon response to CLI output, treating typed error frames and
+/// failed suite jobs exactly like their offline `suite` counterparts.
+fn query_response(response: Response) -> Result<String, CliError> {
+    match response {
+        Response::RunOk {
+            jobs,
+            failed,
+            output,
+            ..
+        } => {
+            if failed > 0 {
+                Err(CliError::SuiteFailures {
+                    failed,
+                    total: jobs,
+                    output,
+                })
+            } else {
+                Ok(output)
+            }
+        }
+        Response::Pong {
+            workers,
+            queue_capacity,
+            ..
+        } => Ok(format!(
+            "pong: {workers} workers, queue capacity {queue_capacity}\n"
+        )),
+        Response::ShutdownAck { .. } => {
+            Ok("shutdown acknowledged; server is draining\n".to_string())
+        }
+        Response::Error { kind, message, .. } => Err(CliError::Server { kind, message }),
+    }
+}
+
+fn query(
+    addr: &str,
+    action: &QueryAction,
+    report: SuiteReport,
+    format: ReportFormat,
+) -> Result<String, CliError> {
+    let mut client = Client::connect(addr).map_err(|e| CliError::Connection {
+        addr: addr.to_string(),
+        message: e.to_string(),
+    })?;
+    let response = match action {
+        QueryAction::Run { manifest } => {
+            let text = read(manifest)?;
+            client
+                .run_manifest(&text, report_kind(report), table_format(format))
+                .map_err(connection_error(addr))?
+        }
+        QueryAction::Ping => client.ping().map_err(connection_error(addr))?,
+        QueryAction::Shutdown => client.shutdown().map_err(connection_error(addr))?,
+    };
+    query_response(response)
 }
 
 fn spice_deck(
@@ -630,8 +826,10 @@ mod tests {
         assert!(out.contains("contango-cts"));
         assert!(out.contains("spice-deck"));
         assert!(out.contains("--stages"));
-        assert!(out.contains("suite --suite ispd09"));
+        assert!(out.contains("suite (--suite ispd09 | --manifest <file>)"));
         assert!(out.contains("--baselines"));
+        assert!(out.contains("serve"));
+        assert!(out.contains("query --addr"));
     }
 
     #[test]

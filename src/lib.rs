@@ -12,7 +12,11 @@
 //! * [`baselines`] — baseline flows for comparisons.
 //! * [`campaign`] — the sharded multi-instance campaign runner (suites,
 //!   baseline comparisons and ablation sweeps over a deterministic worker
-//!   pool).
+//!   pool), plus the service layer: declarative
+//!   [`Manifest`](prelude::Manifest)s, the NDJSON wire
+//!   [`protocol`](contango_campaign::protocol) and the
+//!   [`serve`](contango_campaign::serve) daemon with its blocking
+//!   [`Client`](prelude::Client).
 //!
 //! For everyday use, `use contango::prelude::*;` pulls in the flow, the
 //! pipeline API and the common data types in one line.
@@ -61,7 +65,11 @@ pub use contango_tech::Technology;
 /// # Ok::<(), CoreError>(())
 /// ```
 pub mod prelude {
-    pub use contango_campaign::{Campaign, CampaignResult, Job, JobRecord};
+    pub use contango_campaign::{
+        Campaign, CampaignResult, Client, ClientError, InstanceSource, Job, JobRecord, Manifest,
+        ManifestError, ReportKind, Request, RequestBody, RequestId, Response, ServeConfig,
+        ServeSummary, Server, ServerError, TableFormat,
+    };
     pub use contango_core::construct::{ConstructArena, ParallelConfig};
     pub use contango_core::error::{CoreError, InstanceError, TreeError};
     pub use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult, FlowStage, StageSnapshot};
