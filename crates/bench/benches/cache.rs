@@ -1,0 +1,189 @@
+//! Criterion benchmarks for the persistent cache store: the ISPD'09-style
+//! suite run cold (empty store, every result computed and persisted) vs.
+//! warm (every stage, transition-solve and construction result served from
+//! disk).
+//!
+//! Besides the criterion group, the custom `main` writes `BENCH_7.json` at
+//! the repository root (job count, cold and warm wall-clock, speedup, warm
+//! disk-hit rate) so the cache-effectiveness trajectory is recorded
+//! run-over-run. Determinism — cold, warm and cache-less aggregate reports
+//! bit-identical — is asserted before any timing. The in-bench speedup
+//! floor is conservative (the CI cache-smoke job asserts the full 3x on
+//! the CLI path); tripping it means cache lookups stopped being hits, not
+//! timing noise.
+//!
+//! Set `CONTANGO_BENCH_QUICK=1` for a fast CI-smoke run.
+
+use contango_benchmarks::{ispd09_suite, make_instance};
+use contango_campaign::output::suite_output;
+use contango_campaign::{Campaign, CampaignResult, Job, ReportKind, TableFormat};
+use contango_core::flow::FlowConfig;
+use contango_sim::CacheStore;
+use contango_tech::Technology;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The ≥-floor asserted for the warm-over-cold suite speedup.
+const SPEEDUP_FLOOR: f64 = 1.5;
+
+fn quick_mode() -> bool {
+    std::env::var("CONTANGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// A fresh scratch store directory (cold timings need a new one per run).
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("contango-bench-cache-{}-{seq}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The ISPD'09-style suite under the fast profile; quick mode trims the
+/// instances so a CI smoke run stays in seconds.
+fn suite_jobs(quick: bool) -> Vec<Job> {
+    let tech = Technology::ispd09();
+    ispd09_suite()
+        .iter()
+        .map(|spec| {
+            let mut spec = spec.clone();
+            if quick {
+                spec.sinks = spec.sinks.min(24);
+                spec.obstacles = spec.obstacles.min(4);
+            }
+            Job::contango(&tech, FlowConfig::fast(), &make_instance(&spec))
+        })
+        .collect()
+}
+
+fn run_suite(jobs: &[Job], store: Option<Arc<CacheStore>>) -> CampaignResult {
+    let mut campaign = Campaign::new().threads(2).extend(jobs.iter().cloned());
+    if let Some(store) = store {
+        campaign = campaign.with_cache(store);
+    }
+    campaign.run()
+}
+
+fn open_store(dir: &PathBuf) -> Arc<CacheStore> {
+    Arc::new(CacheStore::open(dir).expect("open bench store"))
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let jobs = suite_jobs(quick_mode());
+    let warm_dir = scratch_dir();
+    run_suite(&jobs, Some(open_store(&warm_dir)));
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(2);
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("suite_cold/{}", jobs.len())),
+        |b| {
+            b.iter(|| {
+                let dir = scratch_dir();
+                let result = run_suite(&jobs, Some(open_store(&dir)));
+                std::fs::remove_dir_all(&dir).ok();
+                result
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("suite_warm/{}", jobs.len())),
+        |b| b.iter(|| run_suite(&jobs, Some(open_store(&warm_dir)))),
+    );
+    group.finish();
+    std::fs::remove_dir_all(&warm_dir).ok();
+}
+
+fn table(result: &CampaignResult) -> String {
+    suite_output(result, ReportKind::Table, TableFormat::Text)
+}
+
+/// Measures the cold-vs-warm suite comparison outside criterion and
+/// records it in `BENCH_7.json` at the repository root.
+fn write_bench7() {
+    let quick = quick_mode();
+    let jobs = suite_jobs(quick);
+    let iters = if quick { 1 } else { 2 };
+
+    // Determinism insurance before timing: the cache may only change how
+    // fast the aggregate report is produced, never a byte of it.
+    let reference = table(&run_suite(&jobs, None));
+    let cold_dir = scratch_dir();
+    let cold = run_suite(&jobs, Some(open_store(&cold_dir)));
+    assert_eq!(
+        table(&cold),
+        reference,
+        "cold store-backed suite diverged from the cache-less reference"
+    );
+    let warm = run_suite(&jobs, Some(open_store(&cold_dir)));
+    assert_eq!(
+        table(&warm),
+        reference,
+        "warm suite diverged from the cache-less reference"
+    );
+    assert!(
+        warm.records.iter().all(|r| r.outcome.is_ok()),
+        "benchmark suite jobs must all succeed"
+    );
+    let (disk_hits, lookups) = warm
+        .records
+        .iter()
+        .filter_map(|r| r.cache.as_ref())
+        .fold((0_u64, 0_u64), |(h, l), c| {
+            (h + c.disk_hits, l + c.lookups())
+        });
+    assert!(disk_hits > 0, "a warm store must serve disk hits");
+    let hit_rate = disk_hits as f64 / lookups as f64;
+    std::fs::remove_dir_all(&cold_dir).ok();
+
+    let mut cold_total = 0.0;
+    for _ in 0..iters {
+        let dir = scratch_dir();
+        let start = Instant::now();
+        run_suite(&jobs, Some(open_store(&dir)));
+        cold_total += start.elapsed().as_secs_f64();
+        // Keep the last cold directory as the warm store.
+        std::fs::remove_dir_all(warm_dir_path()).ok();
+        std::fs::rename(&dir, warm_dir_path()).expect("stash warm store");
+    }
+    let cold_s = cold_total / iters as f64;
+    let warm_store = open_store(&warm_dir_path());
+    let start = Instant::now();
+    for _ in 0..iters {
+        run_suite(&jobs, Some(Arc::clone(&warm_store)));
+    }
+    let warm_s = start.elapsed().as_secs_f64() / iters as f64;
+    std::fs::remove_dir_all(warm_dir_path()).ok();
+
+    let speedup = cold_s / warm_s;
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "warm suite speedup regressed below the {SPEEDUP_FLOOR}x floor: \
+         {speedup:.2} (cold {cold_s:.3}s, warm {warm_s:.3}s)"
+    );
+    let json = format!(
+        "{{\n  \"jobs\": {},\n  \"cold_s\": {cold_s:.3},\n  \"warm_s\": {warm_s:.3},\n  \
+         \"speedup\": {speedup:.2},\n  \"warm_disk_hit_rate\": {hit_rate:.3},\n  \
+         \"floor\": {SPEEDUP_FLOOR}\n}}\n",
+        jobs.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    std::fs::write(path, &json).expect("BENCH_7.json is writable");
+    println!("BENCH_7.json: {json}");
+}
+
+/// The stable path where `write_bench7` stashes its warm store between the
+/// cold and warm timing phases.
+fn warm_dir_path() -> PathBuf {
+    std::env::temp_dir().join(format!("contango-bench-cache-warm-{}", std::process::id()))
+}
+
+criterion_group!(benches, bench_cache);
+
+fn main() {
+    benches();
+    write_bench7();
+}

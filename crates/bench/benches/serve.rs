@@ -67,6 +67,7 @@ fn spawn_server(
         workers,
         queue_capacity,
         allow_file_instances: false,
+        cache_dir: None,
     })
     .expect("bind serve port");
     let addr = server.local_addr();

@@ -73,6 +73,13 @@ pub fn record_line(record: &JobRecord) -> String {
             push_str_field(&mut out, "error", &error.to_string());
         }
     }
+    if let Some(cache) = &record.cache {
+        let _ = write!(
+            out,
+            ",\"cache\":{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"evictions\":{}}}",
+            cache.mem_hits, cache.disk_hits, cache.misses, cache.evictions
+        );
+    }
     out.push('}');
     out
 }
@@ -118,9 +125,11 @@ mod tests {
                     slew_violation: false,
                 }],
             }),
+            cache: None,
         };
         let line = record_line(&record);
         assert!(line.starts_with("{\"benchmark\":\"b\\\"1\\\"\""));
+        assert!(!line.contains("cache"));
         assert!(line.contains("\"status\":\"ok\""));
         assert!(line.contains("\"clr_ps\":12.5"));
         assert!(line.contains("\"stages\":[{\"stage\":\"INITIAL\",\"clr_ps\":20,\"skew_ps\":5.5}]"));
@@ -135,10 +144,19 @@ mod tests {
             tool: "contango".to_string(),
             sinks: 3,
             outcome: Err(CoreError::EmptyPipeline),
+            cache: Some(contango_sim::CacheCounters {
+                mem_hits: 3,
+                disk_hits: 2,
+                misses: 1,
+                evictions: 0,
+            }),
         };
         let line = record_line(&record);
         assert!(line.contains("\"status\":\"error\""));
         assert!(line.contains("pipeline contains no passes"));
+        assert!(line.ends_with(
+            ",\"cache\":{\"mem_hits\":3,\"disk_hits\":2,\"misses\":1,\"evictions\":0}}"
+        ));
     }
 
     #[test]

@@ -110,6 +110,11 @@ pub struct Manifest {
     /// Campaign worker-pool width (0 = one per core). Offline execution
     /// only; the serve daemon's pool width is fixed by the server.
     pub threads: usize,
+    /// Directory of the persistent content-addressed cache store shared by
+    /// the campaign's workers (`cache-dir PATH`); `None` runs cold. Gated
+    /// like `file:` sources: the serve daemon rejects it unless filesystem
+    /// access is explicitly enabled.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for Manifest {
@@ -125,6 +130,7 @@ impl Default for Manifest {
             skip: Vec::new(),
             baselines: Vec::new(),
             threads: 1,
+            cache_dir: None,
         }
     }
 }
@@ -195,6 +201,13 @@ pub enum ManifestError {
         /// The rejected path.
         path: String,
     },
+    /// A `cache-dir` key in a context that forbids filesystem access (the
+    /// serve daemon, unless explicitly enabled — use the daemon's own
+    /// `--cache-dir` instead).
+    CacheDirForbidden {
+        /// The rejected directory.
+        path: String,
+    },
     /// A `file:` source could not be read.
     Io {
         /// The path.
@@ -251,6 +264,9 @@ impl fmt::Display for ManifestError {
             }
             ManifestError::FileSourceForbidden { path } => {
                 write!(f, "file instance source `{path}` is not allowed here")
+            }
+            ManifestError::CacheDirForbidden { path } => {
+                write!(f, "manifest cache directory `{path}` is not allowed here")
             }
             ManifestError::Io { path, message } => {
                 write!(f, "cannot read instance file `{path}`: {message}")
@@ -474,6 +490,10 @@ impl Manifest {
                     once(line, "threads")?;
                     manifest.threads = value.parse::<usize>().map_err(|_| invalid("threads"))?;
                 }
+                "cache-dir" => {
+                    once(line, "cache-dir")?;
+                    manifest.cache_dir = Some(value.to_string());
+                }
                 _ => {
                     return Err(ManifestError::UnknownKey {
                         line,
@@ -551,6 +571,9 @@ impl Manifest {
         }
         if self.threads != defaults.threads {
             let _ = writeln!(out, "threads {}", self.threads);
+        }
+        if let Some(dir) = &self.cache_dir {
+            let _ = writeln!(out, "cache-dir {dir}");
         }
         out
     }
@@ -635,14 +658,30 @@ impl Manifest {
 
     /// Compiles the manifest into the equivalent [`Campaign`]: for every
     /// instance, the Contango job ([`Manifest::job_for`]) followed by one
-    /// job per baseline. `allow_files` gates `file:` sources.
+    /// job per baseline. `allow_files` gates `file:` sources and the
+    /// `cache-dir` key alike.
     ///
     /// # Errors
     ///
-    /// See [`Manifest::instances`].
+    /// See [`Manifest::instances`]; additionally
+    /// [`ManifestError::CacheDirForbidden`] for a `cache-dir` key under
+    /// `allow_files == false` and [`ManifestError::Io`] when the store
+    /// cannot be opened.
     pub fn compile_with(&self, allow_files: bool) -> Result<Campaign, ManifestError> {
         let tech = self.technology();
         let mut campaign = Campaign::new().threads(self.threads);
+        if let Some(dir) = &self.cache_dir {
+            if !allow_files {
+                return Err(ManifestError::CacheDirForbidden { path: dir.clone() });
+            }
+            let store = contango_sim::CacheStore::open(dir).map_err(|e| match e {
+                contango_sim::StoreError::Io { path, message } => ManifestError::Io {
+                    path: path.display().to_string(),
+                    message,
+                },
+            })?;
+            campaign = campaign.with_cache(std::sync::Arc::new(store));
+        }
         for instance in self.instances(allow_files)? {
             campaign = campaign.push(self.job_for(&instance));
             for &kind in &self.baselines {
@@ -727,8 +766,10 @@ stages TBSZ,TWSZ
 skip BWSN
 baselines wiresizing-only,dme-no-tuning
 threads 4
+cache-dir /tmp/contango-cache
 ";
         let m = Manifest::parse(text).expect("parses");
+        assert_eq!(m.cache_dir.as_deref(), Some("/tmp/contango-cache"));
         assert_eq!(m.to_text(), text);
         assert_eq!(Manifest::parse(&m.to_text()).expect("reparses"), m);
         // A default-heavy manifest renders only its sources.
@@ -818,6 +859,23 @@ threads 4
         );
         let m = Manifest::parse("instance file:/nonexistent/x.cts\n").expect("parses");
         assert!(matches!(m.compile().unwrap_err(), ManifestError::Io { .. }));
+        // The cache directory is filesystem access too, and gated the same
+        // way as `file:` sources.
+        let m = Manifest::parse("instance ti:6\ncache-dir /tmp/c\n").expect("parses");
+        assert_eq!(
+            m.compile_with(false).unwrap_err(),
+            ManifestError::CacheDirForbidden {
+                path: "/tmp/c".to_string()
+            }
+        );
+        let err = Manifest::parse("cache-dir a\ncache-dir b\n").unwrap_err();
+        assert_eq!(
+            err,
+            ManifestError::DuplicateKey {
+                line: 2,
+                key: "cache-dir".to_string()
+            }
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::json::{JsonError, JsonValue};
 use crate::jsonl::escape_into;
 use crate::manifest::ManifestError;
 use crate::output::{ReportKind, TableFormat};
+use contango_sim::CacheCounters;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -288,6 +289,10 @@ pub enum Response {
         /// The rendered report ([`crate::output::suite_output`]), rendered
         /// identically to the offline CLI `suite` output.
         output: String,
+        /// Aggregated deterministic cache profile of the request's jobs,
+        /// when the daemon ran them against a persistent store. Carried
+        /// separately so `output` stays byte-identical to offline runs.
+        cache: Option<CacheCounters>,
     },
     /// Answer to a `ping`.
     Pong {
@@ -343,6 +348,7 @@ impl Response {
                 jobs,
                 failed,
                 output,
+                cache,
             } => {
                 out.push_str("{\"id\":");
                 id.encode_into(&mut out);
@@ -350,6 +356,14 @@ impl Response {
                     out,
                     ",\"status\":\"ok\",\"jobs\":{jobs},\"failed\":{failed}"
                 );
+                if let Some(c) = cache {
+                    let _ = write!(
+                        out,
+                        ",\"cache\":{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\
+                         \"evictions\":{}}}",
+                        c.mem_hits, c.disk_hits, c.misses, c.evictions
+                    );
+                }
                 out.push_str(",\"output\":\"");
                 escape_into(&mut out, output);
                 out.push('"');
@@ -416,12 +430,29 @@ impl Response {
                 .map(|n| n as usize)
                 .ok_or_else(|| ServerError::Invalid(format!("response needs a numeric `{key}`")))
         };
+        let cache = match frame.get("cache") {
+            None | Some(JsonValue::Null) => None,
+            Some(obj) => {
+                let field = |key: &str| {
+                    obj.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+                        ServerError::Invalid(format!("`cache` needs a numeric `{key}`"))
+                    })
+                };
+                Some(CacheCounters {
+                    mem_hits: field("mem_hits")?,
+                    disk_hits: field("disk_hits")?,
+                    misses: field("misses")?,
+                    evictions: field("evictions")?,
+                })
+            }
+        };
         match status {
             "ok" => Ok(Response::RunOk {
                 id: need_id(id)?,
                 jobs: need_count("jobs")?,
                 failed: need_count("failed")?,
                 output: require_str(&frame, "output", "ok")?.to_string(),
+                cache,
             }),
             "pong" => Ok(Response::Pong {
                 id: need_id(id)?,
@@ -518,6 +549,19 @@ mod tests {
                 jobs: 28,
                 failed: 2,
                 output: "a\tb\n\"quoted\"\n".to_string(),
+                cache: None,
+            },
+            Response::RunOk {
+                id: RequestId::Number(8),
+                jobs: 3,
+                failed: 0,
+                output: "ok\n".to_string(),
+                cache: Some(CacheCounters {
+                    mem_hits: 40,
+                    disk_hits: 12,
+                    misses: 3,
+                    evictions: 1,
+                }),
             },
             Response::Pong {
                 id: RequestId::Text("probe".to_string()),

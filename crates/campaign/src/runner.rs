@@ -24,8 +24,9 @@ use contango_core::error::CoreError;
 use contango_core::flow::StageSnapshot;
 use contango_core::pipeline::NoopObserver;
 use contango_core::session::EngineSession;
+use contango_sim::{CacheCounters, CacheStore};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A campaign: a job matrix plus a worker-pool width, built fluently and
 /// executed with [`Campaign::run`] or [`Campaign::run_streaming`].
@@ -33,6 +34,7 @@ use std::sync::Mutex;
 pub struct Campaign {
     jobs: Vec<Job>,
     threads: usize,
+    cache: Option<Arc<CacheStore>>,
 }
 
 impl Campaign {
@@ -41,7 +43,24 @@ impl Campaign {
         Self {
             jobs: Vec::new(),
             threads: 1,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared persistent [`CacheStore`]: every worker's
+    /// [`EngineSession`] reads evaluation and construction results through
+    /// it and writes fresh ones back. Records gain deterministic
+    /// [`JobRecord::cache`] counters; reports and tables are bit-identical
+    /// with or without a store.
+    #[must_use]
+    pub fn with_cache(mut self, store: Arc<CacheStore>) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn cache(&self) -> Option<&Arc<CacheStore>> {
+        self.cache.as_ref()
     }
 
     /// Sets the worker-pool width (0 = one worker per available core).
@@ -111,7 +130,7 @@ impl Campaign {
             let mut session: Option<EngineSession> = None;
             let mut slots: Vec<Option<JobRecord>> = (0..n).map(|_| None).collect();
             for &ji in &order {
-                let record = run_job(&self.jobs[ji], &mut session);
+                let record = run_job(&self.jobs[ji], &mut session, self.cache.as_ref());
                 on_record(&record);
                 slots[ji] = Some(record);
             }
@@ -126,6 +145,7 @@ impl Campaign {
 
         let jobs = &self.jobs;
         let order = &order;
+        let cache = self.cache.as_ref();
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<JobRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let sink = Mutex::new(&mut on_record);
@@ -136,7 +156,7 @@ impl Campaign {
                     loop {
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&ji) = order.get(k) else { break };
-                        let record = run_job(&jobs[ji], &mut session);
+                        let record = run_job(&jobs[ji], &mut session, cache);
                         {
                             let mut cb = sink.lock().expect("record sink lock");
                             (*cb)(&record);
@@ -164,7 +184,11 @@ impl Campaign {
 /// session as needed. Shared with the serve daemon's workers
 /// ([`crate::serve`]), which run each request's jobs through the same
 /// per-job path a single-threaded campaign uses.
-pub(crate) fn run_job(job: &Job, session: &mut Option<EngineSession>) -> JobRecord {
+pub(crate) fn run_job(
+    job: &Job,
+    session: &mut Option<EngineSession>,
+    store: Option<&Arc<CacheStore>>,
+) -> JobRecord {
     let sess = match session {
         Some(sess) => {
             sess.retarget(&job.tech, job.config.model);
@@ -172,6 +196,16 @@ pub(crate) fn run_job(job: &Job, session: &mut Option<EngineSession>) -> JobReco
         }
         None => session.insert(EngineSession::new(job.tech.clone(), job.config.model)),
     };
+    // Keep the session pointed at the caller's store (serve workers run
+    // items with and without per-request stores through one session).
+    let attached = sess.cache();
+    match (store, attached) {
+        (Some(want), Some(have)) if Arc::ptr_eq(want, &have) => {}
+        (Some(want), _) => sess.attach_cache(Arc::clone(want)),
+        (None, Some(_)) => sess.detach_cache(),
+        (None, None) => {}
+    }
+    sess.begin_job_profile();
     let outcome = sess
         .run(
             &job.config,
@@ -183,11 +217,13 @@ pub(crate) fn run_job(job: &Job, session: &mut Option<EngineSession>) -> JobReco
             summary: RunSummary::from_result(&job.benchmark, &job.tool, &job.instance, &result),
             snapshots: result.snapshots,
         });
+    let cache = store.map(|_| sess.take_job_profile());
     JobRecord {
         benchmark: job.benchmark.clone(),
         tool: job.tool.clone(),
         sinks: job.instance.sink_count(),
         outcome,
+        cache,
     }
 }
 
@@ -213,6 +249,11 @@ pub struct JobRecord {
     pub sinks: usize,
     /// The metrics, or the flow error that failed this job.
     pub outcome: Result<JobMetrics, CoreError>,
+    /// Deterministic cache profile of this job against the store's
+    /// open-time snapshot (`None` when the campaign ran without a store).
+    /// The profile models a cold dedicated evaluator running just this job,
+    /// so it is independent of worker count and dispatch order.
+    pub cache: Option<CacheCounters>,
 }
 
 /// Every job's record in submission order, plus aggregate-report builders.
@@ -278,6 +319,49 @@ impl CampaignResult {
     /// Canonically sorted evaluator-run-count table (Table-V style).
     pub fn run_count_table(&self) -> Table {
         run_count_table(&self.summaries())
+    }
+
+    /// Canonically sorted per-job cache-profile table, plus a totals row.
+    /// Deterministic for every thread count (the profiles are snapshot
+    /// based); empty when the campaign ran without a persistent store.
+    pub fn cache_table(&self) -> Table {
+        let mut table = Table::new([
+            "benchmark",
+            "tool",
+            "mem hits",
+            "disk hits",
+            "misses",
+            "evictions",
+        ]);
+        let mut profiled: Vec<(&JobRecord, CacheCounters)> = self
+            .records
+            .iter()
+            .filter_map(|r| r.cache.map(|c| (r, c)))
+            .collect();
+        profiled.sort_by(|(a, _), (b, _)| (&a.benchmark, &a.tool).cmp(&(&b.benchmark, &b.tool)));
+        let mut total = CacheCounters::default();
+        for (record, counters) in &profiled {
+            total.absorb(*counters);
+            table.push_row([
+                record.benchmark.clone(),
+                record.tool.clone(),
+                counters.mem_hits.to_string(),
+                counters.disk_hits.to_string(),
+                counters.misses.to_string(),
+                counters.evictions.to_string(),
+            ]);
+        }
+        if !profiled.is_empty() {
+            table.push_row([
+                "TOTAL".to_string(),
+                String::new(),
+                total.mem_hits.to_string(),
+                total.disk_hits.to_string(),
+                total.misses.to_string(),
+                total.evictions.to_string(),
+            ]);
+        }
+        table
     }
 
     /// The whole campaign as JSON Lines, one record per job in submission

@@ -45,6 +45,7 @@ use crate::runner::{run_job, CampaignResult};
 use crate::Job;
 use contango_core::construct::ParallelConfig;
 use contango_core::session::EngineSession;
+use contango_sim::{CacheCounters, CacheStore, StoreError};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write as _};
@@ -74,8 +75,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Allow `instance file:PATH` manifest sources to read the server's
     /// filesystem. Off by default: remote clients should not name server
-    /// paths.
+    /// paths (the same gate covers manifest `cache-dir` keys).
     pub allow_file_instances: bool,
+    /// Directory of a persistent content-addressed cache store shared by
+    /// every worker session across all requests; `None` serves cold.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +89,7 @@ impl Default for ServeConfig {
             workers: 0,
             queue_capacity: 64,
             allow_file_instances: false,
+            cache_dir: None,
         }
     }
 }
@@ -115,6 +120,9 @@ struct WorkItem {
     jobs: Vec<Job>,
     report: ReportKind,
     format: TableFormat,
+    /// Store from the request's own manifest `cache-dir`, when present;
+    /// overrides the daemon-level store for this request.
+    store: Option<Arc<CacheStore>>,
     conn: Arc<Mutex<TcpStream>>,
 }
 
@@ -125,6 +133,9 @@ struct Shared {
     queue_capacity: usize,
     workers: usize,
     allow_file_instances: bool,
+    /// Daemon-level persistent store ([`ServeConfig::cache_dir`]), shared
+    /// by every worker session across all requests.
+    store: Option<Arc<CacheStore>>,
     accepted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
@@ -194,6 +205,15 @@ impl Server {
     /// typed error frames.
     pub fn run(self) -> io::Result<ServeSummary> {
         let workers = self.workers();
+        let store = match &self.config.cache_dir {
+            None => None,
+            Some(dir) => Some(Arc::new(CacheStore::open(dir).map_err(|e| match e {
+                StoreError::Io { path, message } => io::Error::other(format!(
+                    "cannot open cache store `{}`: {message}",
+                    path.display()
+                )),
+            })?)),
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -201,6 +221,7 @@ impl Server {
             queue_capacity: self.config.queue_capacity,
             workers,
             allow_file_instances: self.config.allow_file_instances,
+            store,
             accepted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -280,12 +301,21 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(item) = item else { break };
+        // A request's own manifest store wins; otherwise the daemon store.
+        let store = item.store.as_ref().or(shared.store.as_ref());
         let records = item
             .jobs
             .iter()
-            .map(|job| run_job(job, &mut session))
+            .map(|job| run_job(job, &mut session, store))
             .collect::<Vec<_>>();
         let failed = records.iter().filter(|r| r.outcome.is_err()).count();
+        let cache = store.map(|_| {
+            let mut total = CacheCounters::default();
+            for record in &records {
+                total.absorb(record.cache.unwrap_or_default());
+            }
+            total
+        });
         let result = CampaignResult {
             records,
             threads: 1,
@@ -295,6 +325,7 @@ fn worker_loop(shared: &Shared) {
             jobs: item.jobs.len(),
             failed,
             output: suite_output(&result, item.report, item.format),
+            cache,
         };
         write_response(&item.conn, &response);
         shared
@@ -426,6 +457,7 @@ fn handle_frame(raw: &[u8], conn: &Arc<Mutex<TcpStream>>, shared: &Shared) {
                 jobs: campaign.jobs().to_vec(),
                 report: *report,
                 format: *format,
+                store: campaign.cache().cloned(),
                 conn: Arc::clone(conn),
             };
             let enqueued = {

@@ -145,6 +145,10 @@ pub struct FlowOptions {
     /// Construction-engine worker threads (0 = auto-detect); results are
     /// bit-identical for every thread count.
     pub threads: usize,
+    /// Directory of the persistent content-addressed cache store; `None`
+    /// runs fully in memory. Reports are byte-identical with or without
+    /// the store — it only changes how fast they are produced.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for FlowOptions {
@@ -157,6 +161,7 @@ impl Default for FlowOptions {
             stages: None,
             skip: Vec::new(),
             threads: 1,
+            cache_dir: None,
         }
     }
 }
@@ -242,6 +247,9 @@ pub enum Command {
         /// Allow `instance file:PATH` manifest sources to read the
         /// server's filesystem.
         allow_file_instances: bool,
+        /// Directory of the persistent cache store shared by the whole
+        /// worker pool; `None` keeps the daemon memory-only.
+        cache_dir: Option<String>,
     },
     /// Send one request to a running daemon.
     Query {
@@ -280,16 +288,19 @@ USAGE:
                    [--large-inverters] [--topology dme|greedy-matching|h-tree|fishbone]
                    [--model elmore|two-pole|transient] [--format text|markdown|csv]
                    [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]] [--threads N]
+                   [--cache-dir DIR]
   contango-cts evaluate --instance <file> --solution <file>
   contango-cts compare --input <file> [--fast] [--format text|markdown|csv]
                    [--stages TBSZ,TWSZ,...] [--skip STAGE[,STAGE...]] [--threads N]
+                   [--cache-dir DIR]
   contango-cts suite (--suite ispd09 | --manifest <file>)
                    [--baselines all|none|LABEL[,LABEL...]]
                    [--threads N] [--report table|jsonl] [--fast]
                    [--format text|markdown|csv] [--stages ...] [--skip ...]
+                   [--cache-dir DIR]
   contango-cts spice-deck --instance <file> --solution <file> [--low-corner] --out <file>
   contango-cts serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-                   [--allow-file-instances]
+                   [--allow-file-instances] [--cache-dir DIR]
   contango-cts query --addr HOST:PORT (--manifest <file> | --ping | --shutdown)
                    [--report table|jsonl] [--format text|markdown|csv]
   contango-cts help
@@ -309,6 +320,13 @@ USAGE:
   the aggregate tables. A failing job never aborts the suite — it is
   reported in the output per job — but the exit status is nonzero when
   any job failed.
+
+  --cache-dir DIR opens (or creates) a persistent content-addressed cache
+  store in DIR and reuses stage, solve and construction results across
+  runs and across concurrent workers. Output is byte-identical with or
+  without the store — a warm cache only makes the same reports faster.
+  The per-job hit/miss profile goes to stderr (suite) or the JSONL
+  `cache` field, never into the aggregate tables.
 
   suite --manifest runs a declarative manifest file instead of the flag
   set (the flags desugar to the same manifest form; see docs/manifest.md).
@@ -543,6 +561,7 @@ fn parse_flow_options(scan: &mut Scanner<'_>) -> Result<FlowOptions, ArgError> {
                 value: threads.clone(),
             })?;
     }
+    flow.cache_dir = scan.value("--cache-dir")?;
     Ok(flow)
 }
 
@@ -726,12 +745,14 @@ fn parse_serve(args: &[&str]) -> Result<Command, ArgError> {
     let workers = parse_usize("--workers", scan.value("--workers")?, 0)?;
     let queue_capacity = parse_usize("--queue-capacity", scan.value("--queue-capacity")?, 64)?;
     let allow_file_instances = scan.flag("--allow-file-instances");
+    let cache_dir = scan.value("--cache-dir")?;
     scan.finish()?;
     Ok(Command::Serve {
         addr,
         workers,
         queue_capacity,
         allow_file_instances,
+        cache_dir,
     })
 }
 
@@ -809,6 +830,35 @@ mod tests {
                 value: "many".to_string()
             }
         );
+    }
+
+    #[test]
+    fn cache_dir_parses_on_flow_commands_and_defaults_to_none() {
+        let cmd = parse_args(&args(&["run", "--input", "a.cns", "--cache-dir", "store"]))
+            .expect("parses");
+        match cmd {
+            Command::Run { flow, .. } => assert_eq!(flow.cache_dir.as_deref(), Some("store")),
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--cache-dir",
+            "/var/cache/ctg",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite { flow, .. } => {
+                assert_eq!(flow.cache_dir.as_deref(), Some("/var/cache/ctg"));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&["compare", "--input", "a.cns"])).expect("parses");
+        match cmd {
+            Command::Compare { flow, .. } => assert_eq!(flow.cache_dir, None),
+            other => panic!("unexpected command {other:?}"),
+        }
     }
 
     #[test]
@@ -1260,6 +1310,7 @@ mod tests {
                 workers: 0,
                 queue_capacity: 64,
                 allow_file_instances: false,
+                cache_dir: None,
             }
         );
         let cmd = parse_args(&args(&[
@@ -1271,6 +1322,8 @@ mod tests {
             "--queue-capacity",
             "8",
             "--allow-file-instances",
+            "--cache-dir",
+            "/tmp/ctg-cache",
         ]))
         .expect("parses");
         assert_eq!(
@@ -1280,6 +1333,7 @@ mod tests {
                 workers: 2,
                 queue_capacity: 8,
                 allow_file_instances: true,
+                cache_dir: Some("/tmp/ctg-cache".to_string()),
             }
         );
         let err = parse_args(&args(&["serve", "--workers", "lots"])).unwrap_err();

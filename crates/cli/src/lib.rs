@@ -57,12 +57,13 @@ use contango_core::lower::to_netlist;
 use contango_core::opt::PassOutcome;
 use contango_core::pipeline::{FlowObserver, Pass, Pipeline};
 use contango_sim::spice::{write_deck, DeckOptions};
-use contango_sim::Evaluator;
+use contango_sim::{CacheStore, Evaluator, StoreError};
 use contango_tech::Technology;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 pub use args::{parse_args, USAGE};
 
@@ -74,9 +75,10 @@ pub use args::{parse_args, USAGE};
 /// code 1).
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
-    /// A file could not be read, written or created.
+    /// A file could not be read, written, created or opened.
     Io {
-        /// What was being attempted: `"read"`, `"write"` or `"create"`.
+        /// What was being attempted: `"read"`, `"write"`, `"create"` or
+        /// `"open"`.
         action: &'static str,
         /// The path involved.
         path: String,
@@ -272,7 +274,14 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             workers,
             queue_capacity,
             allow_file_instances,
-        } => serve(addr, *workers, *queue_capacity, *allow_file_instances),
+            cache_dir,
+        } => serve(
+            addr,
+            *workers,
+            *queue_capacity,
+            *allow_file_instances,
+            cache_dir.as_deref(),
+        ),
         Command::Query {
             addr,
             action,
@@ -325,6 +334,20 @@ pub fn manifest_from_options(options: &FlowOptions) -> Manifest {
         skip: options.skip.clone(),
         baselines: Vec::new(),
         threads: options.threads,
+        cache_dir: options.cache_dir.clone(),
+    }
+}
+
+/// Opens the persistent cache store at `dir`, creating the directory if
+/// needed.
+fn open_store(dir: &str) -> Result<Arc<CacheStore>, CliError> {
+    match CacheStore::open(dir) {
+        Ok(store) => Ok(Arc::new(store)),
+        Err(StoreError::Io { path, message }) => Err(CliError::Io {
+            action: "open",
+            path: path.display().to_string(),
+            message,
+        }),
     }
 }
 
@@ -403,7 +426,16 @@ fn run_flow(instance: &ClockNetInstance, options: &FlowOptions) -> Result<FlowRe
     let flow = ContangoFlow::new(technology_for(options), flow_config(options));
     let pipeline = build_pipeline(options);
     let mut progress = StderrProgress::new(instance.name.clone());
-    Ok(flow.run_pipeline(&pipeline, instance, &mut progress)?)
+    match &options.cache_dir {
+        None => Ok(flow.run_pipeline(&pipeline, instance, &mut progress)?),
+        Some(dir) => {
+            // Same result as the cold path, but stage/solve/construction
+            // results are served from (and written back to) the store.
+            let mut session = flow.session();
+            session.attach_cache(open_store(dir)?);
+            Ok(flow.run_in(&mut session, &pipeline, instance, &mut progress)?)
+        }
+    }
 }
 
 fn summary_block(instance: &ClockNetInstance, result: &FlowResult) -> String {
@@ -514,6 +546,9 @@ fn compare(input: &str, options: &FlowOptions, format: ReportFormat) -> Result<S
     let mut campaign = Campaign::new()
         .threads(options.threads)
         .push(contango_job(&instance, options));
+    if let Some(dir) = &options.cache_dir {
+        campaign = campaign.with_cache(open_store(dir)?);
+    }
     for kind in BaselineKind::all() {
         campaign = campaign.push(Job::baseline(kind, &tech, &instance));
     }
@@ -582,6 +617,12 @@ fn suite(
     })?;
     let total = campaign.len();
     let result = campaign.run_streaming(campaign_progress(label, total));
+    // The hit/miss profile goes to stderr so the aggregate tables on
+    // stdout stay byte-identical between cold and warm runs of the same
+    // suite (JSONL carries it as a per-job `cache` field instead).
+    if result.records.iter().any(|r| r.cache.is_some()) {
+        eprint!("{}", result.cache_table().to_text());
+    }
     let output = suite_output(&result, report_kind(report), table_format(format));
     // The campaign reports failures per job and never aborts, but the
     // process exit status must still tell scripts something failed; the
@@ -602,12 +643,14 @@ fn serve(
     workers: usize,
     queue_capacity: usize,
     allow_file_instances: bool,
+    cache_dir: Option<&str>,
 ) -> Result<String, CliError> {
     let server = Server::bind(ServeConfig {
         addr: addr.to_string(),
         workers,
         queue_capacity,
         allow_file_instances,
+        cache_dir: cache_dir.map(str::to_string),
     })
     .map_err(|e| CliError::Connection {
         addr: addr.to_string(),

@@ -1,0 +1,393 @@
+//! Content addressing and codecs for the persistent construct cache.
+//!
+//! [`crate::construct::construct_initial`] is deterministic: the tree and
+//! reports it produces are a pure function of the instance content, the
+//! construction configuration and the technology (thread fan-out is
+//! bit-identical by design and therefore excluded from the key). This module
+//! derives that content address and serializes the full construction result
+//! — the [`ClockTree`] arena plus [`ConstructReports`] — into the
+//! [`NS_CONSTRUCT`](contango_sim::NS_CONSTRUCT) namespace of a
+//! [`contango_sim::CacheStore`], so flow restarts and repeated suite runs
+//! skip `INITIAL` work entirely.
+//!
+//! Decoding is defensive: payloads are length-checked, enum tags and index
+//! references are validated, the rebuilt tree must pass
+//! [`ClockTree::validate`] and carry exactly the instance's sinks, and any
+//! inconsistency degrades to a cold miss (the caller reconstructs from
+//! scratch). A cache can therefore never produce a wrong tree — only a
+//! slower one.
+
+use crate::construct::{ConstructConfig, ConstructReports};
+use crate::instance::ClockNetInstance;
+use crate::topology::TopologyKind;
+use crate::tree::{ClockTree, Node, NodeKind, WireSegment};
+use contango_geom::Point;
+use contango_sim::{ByteReader, ByteWriter, SigBuilder, StoreKey, NS_CONSTRUCT};
+use contango_tech::{Technology, WireWidth};
+
+/// Content address of one full initial construction.
+///
+/// Hashes the instance content (excluding its display name), the
+/// construction configuration (excluding the thread fan-out, which is
+/// bit-identical) and the electrical technology. Any change to an input that
+/// could change the result changes the key.
+pub(crate) fn construct_cache_key(
+    instance: &ClockNetInstance,
+    tech: &Technology,
+    config: &ConstructConfig,
+) -> StoreKey {
+    let mut sig = SigBuilder::new();
+
+    // Instance content. The name is presentation-only and excluded, so
+    // renamed copies of a benchmark share cache entries.
+    sig.write_tag(1);
+    sig.write_f64(instance.die.lo.x);
+    sig.write_f64(instance.die.lo.y);
+    sig.write_f64(instance.die.hi.x);
+    sig.write_f64(instance.die.hi.y);
+    sig.write_f64(instance.source.x);
+    sig.write_f64(instance.source.y);
+    sig.write_f64(instance.source_spec.output_res);
+    sig.write_f64(instance.source_spec.slew);
+    sig.write_usize(instance.sinks.len());
+    for sink in &instance.sinks {
+        sig.write_usize(sink.id);
+        sig.write_f64(sink.location.x);
+        sig.write_f64(sink.location.y);
+        sig.write_f64(sink.cap);
+    }
+    let rects = instance.obstacles.rects();
+    sig.write_usize(rects.len());
+    for r in &rects {
+        sig.write_f64(r.lo.x);
+        sig.write_f64(r.lo.y);
+        sig.write_f64(r.hi.x);
+        sig.write_f64(r.hi.y);
+    }
+    sig.write_f64(instance.cap_limit);
+
+    // Construction configuration (parallel fan-out excluded).
+    sig.write_tag(2);
+    sig.write_tag(topology_tag(config.topology));
+    sig.write_bool(config.use_large_inverters);
+    sig.write_f64(config.max_edge_len);
+    sig.write_f64(config.power_reserve);
+
+    // Technology: wires, inverter library and the derating model inputs.
+    sig.write_tag(3);
+    for code in [tech.wires().narrow(), tech.wires().wide()] {
+        sig.write_f64(code.unit_res);
+        sig.write_f64(code.unit_cap);
+    }
+    let kinds = tech.inverters().kinds();
+    sig.write_usize(kinds.len());
+    for kind in kinds {
+        sig.write_usize(kind.id);
+        sig.write_f64(kind.input_cap);
+        sig.write_f64(kind.output_cap);
+        sig.write_f64(kind.output_res);
+        sig.write_f64(kind.intrinsic_delay);
+    }
+    sig.write_f64(tech.slew_limit);
+    sig.write_f64(tech.nominal_corner.vdd);
+    sig.write_f64(tech.low_corner.vdd);
+    sig.write_f64(tech.threshold_voltage);
+    sig.write_f64(tech.alpha);
+    sig.write_f64(tech.clock_freq_ghz);
+
+    let (lo, hi) = sig.finish().parts();
+    StoreKey::new(NS_CONSTRUCT, lo, hi)
+}
+
+fn topology_tag(kind: TopologyKind) -> u8 {
+    match kind {
+        TopologyKind::Dme => 0,
+        TopologyKind::GreedyMatching => 1,
+        TopologyKind::HTree => 2,
+        TopologyKind::Fishbone => 3,
+    }
+}
+
+/// Serializes a construction result for the store.
+pub(crate) fn encode_construct(tree: &ClockTree, reports: &ConstructReports) -> Vec<u8> {
+    let (nodes, root, sink_nodes, sink_caps) = tree.raw_parts();
+    let mut w = ByteWriter::default();
+    w.put_usize(nodes.len());
+    for node in nodes {
+        w.put_usize(node.parent.unwrap_or(usize::MAX));
+        w.put_usize(node.children.len());
+        for &c in &node.children {
+            w.put_usize(c);
+        }
+        put_point(&mut w, node.location);
+        match node.kind {
+            NodeKind::Internal => w.put_u8(0),
+            NodeKind::Sink(sid) => {
+                w.put_u8(1);
+                w.put_usize(sid);
+            }
+        }
+        w.put_u8(match node.wire.width {
+            WireWidth::Narrow => 0,
+            WireWidth::Wide => 1,
+        });
+        w.put_usize(node.wire.route.len());
+        for &p in &node.wire.route {
+            put_point(&mut w, p);
+        }
+        w.put_f64(node.wire.extra_length);
+        match &node.buffer {
+            None => w.put_bool(false),
+            Some(b) => {
+                w.put_bool(true);
+                w.put_usize(b.base().id);
+                w.put_u32(b.parallel());
+            }
+        }
+    }
+    w.put_usize(root);
+    w.put_usize(sink_nodes.len());
+    for &n in sink_nodes {
+        w.put_usize(n);
+    }
+    for &c in sink_caps {
+        w.put_f64(c);
+    }
+    w.put_usize(reports.repair.crossing_edges);
+    w.put_usize(reports.repair.rerouted_edges);
+    w.put_usize(reports.repair.drivable_subtrees);
+    w.put_f64(reports.repair.added_wirelength);
+    w.put_usize(reports.buffering.composite.base().id);
+    w.put_u32(reports.buffering.composite.parallel());
+    w.put_usize(reports.buffering.buffers);
+    w.put_f64(reports.buffering.total_cap);
+    w.put_usize(reports.polarity.inverted_sinks);
+    w.put_usize(reports.polarity.added_inverters);
+    w.finish()
+}
+
+/// Deserializes and validates a construction result.
+///
+/// Returns `None` — a cold miss — on any structural inconsistency: short or
+/// oversized payloads, unknown tags, out-of-range node/inverter references,
+/// a tree that fails [`ClockTree::validate`], or a sink set that does not
+/// match `instance`.
+pub(crate) fn decode_construct(
+    bytes: &[u8],
+    tech: &Technology,
+    instance: &ClockNetInstance,
+) -> Option<(ClockTree, ConstructReports)> {
+    let mut r = ByteReader::new(bytes);
+    let node_count = take_count(&mut r, bytes.len())?;
+    let mut nodes = Vec::with_capacity(node_count);
+    for _ in 0..node_count {
+        let parent = r.take_usize()?;
+        let parent = if parent == usize::MAX {
+            None
+        } else {
+            (parent < node_count).then_some(parent)?;
+            Some(parent)
+        };
+        let child_count = take_count(&mut r, bytes.len())?;
+        let mut children = Vec::with_capacity(child_count);
+        for _ in 0..child_count {
+            let c = r.take_usize()?;
+            (c < node_count).then_some(())?;
+            children.push(c);
+        }
+        let location = take_point(&mut r)?;
+        let kind = match r.take_u8()? {
+            0 => NodeKind::Internal,
+            1 => NodeKind::Sink(r.take_usize()?),
+            _ => return None,
+        };
+        let width = match r.take_u8()? {
+            0 => WireWidth::Narrow,
+            1 => WireWidth::Wide,
+            _ => return None,
+        };
+        let route_count = take_count(&mut r, bytes.len())?;
+        let mut route = Vec::with_capacity(route_count);
+        for _ in 0..route_count {
+            route.push(take_point(&mut r)?);
+        }
+        let extra_length = r.take_f64()?;
+        let buffer = if r.take_bool()? {
+            Some(take_composite(&mut r, tech)?)
+        } else {
+            None
+        };
+        nodes.push(Node {
+            parent,
+            children,
+            location,
+            kind,
+            wire: WireSegment {
+                width,
+                route,
+                extra_length,
+            },
+            buffer,
+        });
+    }
+    let root = r.take_usize()?;
+    (root < node_count).then_some(())?;
+    let sink_count = take_count(&mut r, bytes.len())?;
+    let mut sink_nodes = Vec::with_capacity(sink_count);
+    for _ in 0..sink_count {
+        let n = r.take_usize()?;
+        (n == usize::MAX || n < node_count).then_some(())?;
+        sink_nodes.push(n);
+    }
+    let mut sink_caps = Vec::with_capacity(sink_count);
+    for _ in 0..sink_count {
+        sink_caps.push(r.take_f64()?);
+    }
+    let repair = crate::obstacles::ObstacleRepairReport {
+        crossing_edges: r.take_usize()?,
+        rerouted_edges: r.take_usize()?,
+        drivable_subtrees: r.take_usize()?,
+        added_wirelength: r.take_f64()?,
+    };
+    let buffering = crate::buffering::BufferingReport {
+        composite: take_composite(&mut r, tech)?,
+        buffers: r.take_usize()?,
+        total_cap: r.take_f64()?,
+    };
+    let polarity = crate::polarity::PolarityReport {
+        inverted_sinks: r.take_usize()?,
+        added_inverters: r.take_usize()?,
+    };
+    r.is_done().then_some(())?;
+
+    let tree = ClockTree::from_raw_parts(nodes, root, sink_nodes, sink_caps);
+    tree.validate().ok()?;
+    (tree.sink_count() == instance.sinks.len()).then_some(())?;
+    for sink in &instance.sinks {
+        let node = *tree.raw_parts().2.get(sink.id)?;
+        (node != usize::MAX).then_some(())?;
+    }
+    Some((
+        tree,
+        ConstructReports {
+            repair,
+            buffering,
+            polarity,
+        },
+    ))
+}
+
+fn put_point(w: &mut ByteWriter, p: Point) {
+    w.put_f64(p.x);
+    w.put_f64(p.y);
+}
+
+fn take_point(r: &mut ByteReader<'_>) -> Option<Point> {
+    let x = r.take_f64()?;
+    let y = r.take_f64()?;
+    Some(Point::new(x, y))
+}
+
+/// Reads an element count and bounds it by the payload size, so a corrupt
+/// length prefix cannot drive a huge allocation.
+fn take_count(r: &mut ByteReader<'_>, payload_len: usize) -> Option<usize> {
+    let count = r.take_usize()?;
+    (count <= payload_len).then_some(count)
+}
+
+fn take_composite(
+    r: &mut ByteReader<'_>,
+    tech: &Technology,
+) -> Option<contango_tech::CompositeBuffer> {
+    let base = r.take_usize()?;
+    let parallel = r.take_u32()?;
+    let kinds = tech.inverters().kinds();
+    (base < kinds.len() && parallel >= 1).then_some(())?;
+    Some(tech.composite(&kinds[base], parallel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{construct_initial, ConstructArena, ParallelConfig};
+
+    fn instance() -> ClockNetInstance {
+        let mut b = ClockNetInstance::builder("cache-codec")
+            .die(0.0, 0.0, 2000.0, 2000.0)
+            .source(Point::new(0.0, 1000.0))
+            .cap_limit(1.0e8);
+        for j in 0..3 {
+            for i in 0..3 {
+                b = b.sink(
+                    Point::new(400.0 + 400.0 * i as f64, 400.0 + 400.0 * j as f64),
+                    8.0 + ((i + 2 * j) % 4) as f64,
+                );
+            }
+        }
+        b.build().expect("valid instance")
+    }
+
+    fn config() -> ConstructConfig {
+        ConstructConfig {
+            topology: TopologyKind::Dme,
+            use_large_inverters: false,
+            max_edge_len: 400.0,
+            power_reserve: 0.1,
+            parallel: ParallelConfig::serial(),
+        }
+    }
+
+    #[test]
+    fn construct_results_round_trip_exactly() {
+        let tech = Technology::ispd09();
+        let inst = instance();
+        let mut arena = ConstructArena::new();
+        let (tree, reports) =
+            construct_initial(&inst, &tech, &config(), &mut arena).expect("construct");
+        let bytes = encode_construct(&tree, &reports);
+        let (tree2, reports2) = decode_construct(&bytes, &tech, &inst).expect("decode");
+        assert_eq!(tree, tree2);
+        assert_eq!(reports, reports2);
+    }
+
+    #[test]
+    fn truncated_or_mangled_payloads_decode_to_none() {
+        let tech = Technology::ispd09();
+        let inst = instance();
+        let mut arena = ConstructArena::new();
+        let (tree, reports) =
+            construct_initial(&inst, &tech, &config(), &mut arena).expect("construct");
+        let bytes = encode_construct(&tree, &reports);
+        for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_construct(&bytes[..cut], &tech, &inst).is_none());
+        }
+        // An absurd node count bounded by the payload size is rejected
+        // before any allocation.
+        let mut mangled = bytes.clone();
+        mangled[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_construct(&mangled, &tech, &inst).is_none());
+        assert!(decode_construct(b"junk", &tech, &inst).is_none());
+    }
+
+    #[test]
+    fn key_tracks_content_not_name_or_threads() {
+        let tech = Technology::ispd09();
+        let inst = instance();
+        let key = construct_cache_key(&inst, &tech, &config());
+
+        // Same content, different thread fan-out: same key.
+        let mut threaded = config();
+        threaded.parallel = ParallelConfig::with_threads(8);
+        assert_eq!(key, construct_cache_key(&inst, &tech, &threaded));
+
+        // Different configuration: different key.
+        let mut large = config();
+        large.use_large_inverters = true;
+        assert_ne!(key, construct_cache_key(&inst, &tech, &large));
+
+        // Different instance content: different key.
+        let mut moved = instance();
+        moved.sinks[0].cap += 1.0;
+        assert_ne!(key, construct_cache_key(&moved, &tech, &config()));
+    }
+}

@@ -36,6 +36,7 @@
 //! construction like any other stage.
 
 use crate::buffering::{default_candidates, split_long_edges, BufferingReport};
+use crate::cache::{construct_cache_key, decode_construct, encode_construct};
 use crate::dme::{balance_merge, edge_elmore, DmeOptions, MergeData};
 use crate::error::CoreError;
 use crate::instance::ClockNetInstance;
@@ -44,8 +45,10 @@ use crate::polarity::{correct_polarity, PolarityReport};
 use crate::topology::{fishbone_tree, h_tree, TopologyKind};
 use crate::tree::{ClockTree, NodeId, NodeKind, WireSegment};
 use contango_geom::{ObstacleSet, Point, SpatialIndex, TiltedRect};
+use contango_sim::{CacheCounters, CacheStore};
 use contango_tech::{CompositeBuffer, Technology};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Sentinel for "no node" in the flat topology arena.
 const NONE: usize = usize::MAX;
@@ -168,12 +171,47 @@ pub struct ConstructArena {
     unbuffered: Vec<f64>,
     contribs: Vec<(NodeId, f64, f64, f64)>,
     post: Vec<NodeId>,
+    // --- persistent construct cache ---
+    cache: Option<Arc<CacheStore>>,
+    profile: Option<CacheCounters>,
 }
 
 impl ConstructArena {
     /// Creates an empty arena; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a persistent store: subsequent [`construct_initial`] calls
+    /// look their full result up by content address in the
+    /// [`contango_sim::NS_CONSTRUCT`] namespace before doing any work, and
+    /// write fresh results back for other workers and later processes.
+    pub fn attach_cache(&mut self, store: Arc<CacheStore>) {
+        self.cache = Some(store);
+    }
+
+    /// Detaches the persistent store; construction runs cold again.
+    pub fn detach_cache(&mut self) {
+        self.cache = None;
+        self.profile = None;
+    }
+
+    /// The attached persistent store, if any.
+    pub fn cache(&self) -> Option<&Arc<CacheStore>> {
+        self.cache.as_ref()
+    }
+
+    /// Starts a deterministic cache profile for one job (see
+    /// [`contango_sim::incremental::IncrementalEvaluator::begin_job_profile`]
+    /// for the classification model). A no-op without an attached store.
+    pub fn begin_job_profile(&mut self) {
+        self.profile = self.cache.is_some().then(CacheCounters::default);
+    }
+
+    /// Finishes the job profile and returns its counters (zeros when no
+    /// profile was running).
+    pub fn take_job_profile(&mut self) -> CacheCounters {
+        self.profile.take().unwrap_or_default()
     }
 }
 
@@ -1245,6 +1283,38 @@ pub fn build_topology_with(
 /// Returns [`CoreError::BufferBudget`] when no buffering candidate fits the
 /// capacitance budget.
 pub fn construct_initial(
+    instance: &ClockNetInstance,
+    tech: &Technology,
+    config: &ConstructConfig,
+    arena: &mut ConstructArena,
+) -> Result<(ClockTree, ConstructReports), CoreError> {
+    let Some(store) = arena.cache.clone() else {
+        return construct_initial_uncached(instance, tech, config, arena);
+    };
+    let key = construct_cache_key(instance, tech, config);
+    let served = store
+        .get(key)
+        .and_then(|(payload, _)| decode_construct(&payload, tech, instance));
+    // The job profile classifies by open-time snapshot membership (and a
+    // successful decode), never by which concurrent worker appended the
+    // entry first — so the counters are independent of scheduling.
+    let warm = served.is_some() && store.contains_snapshot(key);
+    if let Some(p) = arena.profile.as_mut() {
+        if warm {
+            p.disk_hits += 1;
+        } else {
+            p.misses += 1;
+        }
+    }
+    if let Some(hit) = served {
+        return Ok(hit);
+    }
+    let result = construct_initial_uncached(instance, tech, config, arena)?;
+    let _ = store.put(key, &encode_construct(&result.0, &result.1));
+    Ok(result)
+}
+
+fn construct_initial_uncached(
     instance: &ClockNetInstance,
     tech: &Technology,
     config: &ConstructConfig,

@@ -55,8 +55,9 @@ use crate::opt::{OptContext, PassOutcome};
 use crate::pipeline::{FlowObserver, PassCtx, Pipeline};
 use crate::slack::SlackAnalysis;
 use crate::tree::ClockTree;
-use contango_sim::{DelayModel, IncrementalEvaluator};
+use contango_sim::{CacheCounters, CacheStore, DelayModel, IncrementalEvaluator};
 use contango_tech::Technology;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Reusable per-worker engine state: technology, evaluator caches and
@@ -98,17 +99,61 @@ impl EngineSession {
         &self.evaluator
     }
 
+    /// Attaches a persistent [`CacheStore`] to the whole session: the
+    /// evaluator's stage and transition-solve caches and the construction
+    /// arena's `INITIAL`-result cache all read through and write back to the
+    /// store. Survives [`EngineSession::retarget`] (the rebuilt evaluator is
+    /// re-attached, and the store's context fingerprint keeps entries from
+    /// different models or technologies apart).
+    pub fn attach_cache(&mut self, store: Arc<CacheStore>) {
+        self.evaluator.attach_store(Arc::clone(&store));
+        self.arena.attach_cache(store);
+    }
+
+    /// Detaches the persistent store from evaluator and arena.
+    pub fn detach_cache(&mut self) {
+        self.evaluator.detach_store();
+        self.arena.detach_cache();
+    }
+
+    /// The attached persistent store, if any.
+    pub fn cache(&self) -> Option<Arc<CacheStore>> {
+        self.evaluator.store()
+    }
+
+    /// Starts a deterministic per-job cache profile across evaluator and
+    /// arena (see
+    /// [`IncrementalEvaluator::begin_job_profile`]). A no-op without an
+    /// attached store.
+    pub fn begin_job_profile(&mut self) {
+        self.evaluator.begin_job_profile();
+        self.arena.begin_job_profile();
+    }
+
+    /// Finishes the job profile and returns the aggregated counters
+    /// (evaluator plus construction; zeros when no profile was running).
+    pub fn take_job_profile(&mut self) -> CacheCounters {
+        let mut counters = self.evaluator.take_job_profile();
+        counters.absorb(self.arena.take_job_profile());
+        counters
+    }
+
     /// Points the session at a (possibly) different technology or delay
     /// model. A no-op when both already match; otherwise the evaluator is
     /// rebuilt, because cached transition solves are keyed by supply,
     /// direction and input slew *within* one technology and must not leak
     /// across technologies. The construction arena is content-agnostic
-    /// scratch and stays warm either way.
+    /// scratch and stays warm either way. An attached persistent store is
+    /// carried over to the rebuilt evaluator.
     pub fn retarget(&mut self, tech: &Technology, model: DelayModel) {
         if self.tech != *tech || self.model != model {
+            let store = self.evaluator.store();
             self.tech = tech.clone();
             self.model = model;
             self.evaluator = IncrementalEvaluator::with_model(tech.clone(), model);
+            if let Some(store) = store {
+                self.evaluator.attach_store(store);
+            }
         }
     }
 

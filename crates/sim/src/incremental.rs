@@ -37,10 +37,12 @@
 use crate::evaluator::{EdgeState, EvalOptions, Evaluator, NodeState, RelTiming};
 use crate::netlist::StageDriver;
 use crate::report::{CornerReport, EvalReport, SinkTiming, TransitionTiming};
-use crate::RcTree;
+use crate::store::{ByteReader, ByteWriter, CacheCounters, CacheStore, StoreKey};
+use crate::{DelayModel, DriverSpec, RcTree, SourceSpec};
 use contango_tech::Technology;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Cached entries untouched for this many evaluations are evicted; rollbacks
 /// in the optimization passes reach at most a few evaluations back, so this
@@ -123,6 +125,14 @@ impl SigBuilder {
     }
 }
 
+impl StageSig {
+    /// The raw `(lo, hi)` halves of the signature — the content address
+    /// used as a persistent [`StoreKey`].
+    pub fn parts(self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+}
+
 impl Default for SigBuilder {
     fn default() -> Self {
         Self::new()
@@ -202,10 +212,124 @@ pub struct CacheStats {
     pub stage_hits: u64,
     /// Stage lookups that required a fresh lowering.
     pub stage_misses: u64,
+    /// Stage lowerings loaded from an attached persistent store; each load
+    /// turns what would have been a re-lowering into a memory hit.
+    pub stage_disk_hits: u64,
     /// Transition solves answered from the cache.
     pub solve_hits: u64,
     /// Transition solves that ran the stage solver.
     pub solve_misses: u64,
+    /// Of the `solve_hits`, those answered from an attached persistent
+    /// store rather than the in-memory solve maps.
+    pub solve_disk_hits: u64,
+    /// In-memory entries discarded by bounds: stages aged out past
+    /// `KEEP_GENERATIONS`, plus solves dropped when a stage's solve map
+    /// hits `MAX_SOLVES_PER_STAGE` and is cleared.
+    pub evictions: u64,
+}
+
+/// An attached persistent store plus the evaluation-context fingerprint
+/// mixed into its solve keys. Stage signatures cover everything that
+/// affects a stage's lowered form (including the wire codes and buffer
+/// electricals actually used), so stage payloads are keyed by signature
+/// alone; solve results additionally depend on the delay model and the
+/// technology's derating context, which the fingerprint captures.
+#[derive(Debug, Clone)]
+struct StoreBinding {
+    store: Arc<CacheStore>,
+    fingerprint: StageSig,
+}
+
+/// Deterministic per-job cache accounting: simulates the lookups a *cold,
+/// dedicated* evaluator would make for this job against the store's
+/// open-time snapshot. Unlike the observed [`CacheStats`] — which depend on
+/// which jobs warmed this evaluator earlier — the profile is a pure
+/// function of (job, snapshot), so the counters reported per job are
+/// byte-identical for every worker count and session-pool size.
+#[derive(Debug, Default)]
+struct JobProfile {
+    gen: u64,
+    counters: CacheCounters,
+    /// Stage signatures this job has looked up, by last-used generation
+    /// (mirrors the in-memory cache's `last_used` aging).
+    stage_seen: HashMap<StageSig, u64>,
+    /// Solve keys this job has looked up.
+    solve_seen: HashSet<(StageSig, SolveKey)>,
+    /// Distinct solves per stage, for simulating the solve-map bound.
+    solve_counts: HashMap<StageSig, usize>,
+}
+
+impl JobProfile {
+    fn classify_stage(&mut self, sig: StageSig, binding: Option<&StoreBinding>) {
+        match self.stage_seen.entry(sig) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                self.counters.mem_hits += 1;
+                *e.get_mut() = self.gen;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if binding.is_some_and(|b| b.store.contains_snapshot(stage_store_key(sig))) {
+                    self.counters.disk_hits += 1;
+                } else {
+                    self.counters.misses += 1;
+                }
+                v.insert(self.gen);
+            }
+        }
+    }
+
+    fn classify_solve(&mut self, sig: StageSig, key: SolveKey, binding: Option<&StoreBinding>) {
+        if self.solve_seen.contains(&(sig, key)) {
+            self.counters.mem_hits += 1;
+            return;
+        }
+        let count = self.solve_counts.get(&sig).copied().unwrap_or(0);
+        if count >= MAX_SOLVES_PER_STAGE {
+            let mut cleared = 0u64;
+            self.solve_seen.retain(|(s, _)| {
+                let keep = *s != sig;
+                if !keep {
+                    cleared += 1;
+                }
+                keep
+            });
+            self.counters.evictions += cleared;
+            self.solve_counts.insert(sig, 0);
+        }
+        let on_disk = binding.is_some_and(|b| {
+            b.store
+                .contains_snapshot(solve_store_key(sig, b.fingerprint, key))
+        });
+        if on_disk {
+            self.counters.disk_hits += 1;
+        } else {
+            self.counters.misses += 1;
+        }
+        self.solve_seen.insert((sig, key));
+        *self.solve_counts.entry(sig).or_insert(0) += 1;
+    }
+
+    /// Mirrors the end-of-evaluation generation aging of the in-memory
+    /// cache: stages unused for `KEEP_GENERATIONS` evaluations are dropped
+    /// (together with their solves) and counted as evictions.
+    fn end_evaluation(&mut self) {
+        let gen = self.gen;
+        let mut removed: HashSet<StageSig> = HashSet::new();
+        self.stage_seen.retain(|sig, last| {
+            let keep = *last + KEEP_GENERATIONS >= gen;
+            if !keep {
+                removed.insert(*sig);
+            }
+            keep
+        });
+        if removed.is_empty() {
+            return;
+        }
+        self.counters.evictions += removed.len() as u64;
+        self.solve_seen.retain(|(s, _)| !removed.contains(s));
+        for sig in &removed {
+            self.solve_counts.remove(sig);
+        }
+    }
 }
 
 /// A persistent, cache-backed clock-network evaluator.
@@ -215,12 +339,21 @@ pub struct CacheStats {
 /// per-stage caches described in the module docs. Callers lower stages
 /// through `contango_core::lower`, which asks [`Self::is_cached`] before
 /// lowering so unchanged stages are never re-lowered.
+///
+/// With a [`CacheStore`] attached (see [`Self::attach_store`]), cache
+/// misses additionally consult the store's on-disk entries, and fresh
+/// lowerings and solves are appended to it — so results survive process
+/// restarts and are shared across concurrent workers. Stored payloads are
+/// bit-exact (`f64`s round-trip by bit pattern), so a warm run's reports
+/// are byte-identical to a cold run's.
 #[derive(Debug)]
 pub struct IncrementalEvaluator {
     inner: Evaluator,
     cache: RefCell<HashMap<StageSig, CachedStage>>,
     generation: Cell<u64>,
     stats: Cell<CacheStats>,
+    store: RefCell<Option<StoreBinding>>,
+    profile: RefCell<Option<JobProfile>>,
 }
 
 impl IncrementalEvaluator {
@@ -246,7 +379,47 @@ impl IncrementalEvaluator {
             cache: RefCell::new(HashMap::new()),
             generation: Cell::new(0),
             stats: Cell::new(CacheStats::default()),
+            store: RefCell::new(None),
+            profile: RefCell::new(None),
         }
+    }
+
+    /// Attaches a persistent store: from now on, stage and solve misses
+    /// consult the store and fresh results are appended to it. Replaces any
+    /// previously attached store.
+    pub fn attach_store(&self, store: Arc<CacheStore>) {
+        let fingerprint = context_fingerprint(&self.inner);
+        *self.store.borrow_mut() = Some(StoreBinding { store, fingerprint });
+    }
+
+    /// Detaches the persistent store, if any.
+    pub fn detach_store(&self) {
+        *self.store.borrow_mut() = None;
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<Arc<CacheStore>> {
+        self.store.borrow().as_ref().map(|b| b.store.clone())
+    }
+
+    /// Starts deterministic cache accounting for one job. The subsequent
+    /// [`Self::take_job_profile`] returns counters that simulate a cold,
+    /// dedicated evaluator running the job against the attached store's
+    /// open-time snapshot — independent of worker scheduling. A no-op
+    /// (profiling stays off) when no store is attached.
+    pub fn begin_job_profile(&self) {
+        let enabled = self.store.borrow().is_some();
+        *self.profile.borrow_mut() = enabled.then(JobProfile::default);
+    }
+
+    /// Finishes the current job profile and returns its counters (zeros
+    /// when no profile was running).
+    pub fn take_job_profile(&self) -> CacheCounters {
+        self.profile
+            .borrow_mut()
+            .take()
+            .map(|p| p.counters)
+            .unwrap_or_default()
     }
 
     /// The wrapped full evaluator — the escape hatch for callers that need a
@@ -279,8 +452,43 @@ impl IncrementalEvaluator {
 
     /// Returns `true` when a stage with this signature is already cached (in
     /// which case [`StageSlot::fresh`] may be `None`).
+    ///
+    /// With a store attached, a memory miss additionally probes the store
+    /// and, on success, installs the decoded lowering in the in-memory
+    /// cache — this is how persisted stages avoid re-lowering entirely. A
+    /// payload that fails to decode behaves as a plain miss (the caller
+    /// re-lowers and the entry is rewritten).
     pub fn is_cached(&self, sig: StageSig) -> bool {
-        self.cache.borrow().contains_key(&sig)
+        if self.cache.borrow().contains_key(&sig) {
+            return true;
+        }
+        let binding = self.store.borrow();
+        let Some(binding) = binding.as_ref() else {
+            return false;
+        };
+        let Some((payload, _tier)) = binding.store.get(stage_store_key(sig)) else {
+            return false;
+        };
+        let Some(stage) = decode_stage(&payload) else {
+            return false;
+        };
+        let total_cap = stage.tree.total_cap();
+        let mut stats = self.stats.get();
+        stats.stage_disk_hits += 1;
+        self.stats.set(stats);
+        self.cache.borrow_mut().insert(
+            sig,
+            CachedStage {
+                stage,
+                total_cap,
+                solves: HashMap::new(),
+                // Not yet used by an evaluation; pin it to the upcoming
+                // generation so it cannot age out before the evaluation
+                // that asked for it runs.
+                last_used: self.generation.get() + 1,
+            },
+        );
+        true
     }
 
     /// Number of distinct stages currently cached.
@@ -321,6 +529,13 @@ impl IncrementalEvaluator {
         let gen = self.generation.get() + 1;
         self.generation.set(gen);
         let mut stats = self.stats.get();
+        let binding_ref = self.store.borrow();
+        let binding = binding_ref.as_ref();
+        let mut profile_ref = self.profile.borrow_mut();
+        let profile = &mut *profile_ref;
+        if let Some(p) = profile.as_mut() {
+            p.gen += 1;
+        }
 
         let mut cache = self.cache.borrow_mut();
         let mut meta: Vec<(StageSig, Vec<usize>)> = Vec::with_capacity(slots.len());
@@ -330,6 +545,9 @@ impl IncrementalEvaluator {
         // full path.
         let mut total_cap = 0.0_f64;
         for slot in slots {
+            if let Some(p) = profile.as_mut() {
+                p.classify_stage(slot.sig, binding);
+            }
             match cache.entry(slot.sig) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     let entry = e.get_mut();
@@ -341,6 +559,13 @@ impl IncrementalEvaluator {
                     let stage = slot
                         .fresh
                         .expect("stages missing from the cache must be lowered by the caller");
+                    if let Some(b) = binding {
+                        // Cache write failures degrade to a smaller cache,
+                        // never to a failed evaluation.
+                        let _ = b
+                            .store
+                            .put(stage_store_key(slot.sig), &encode_stage(&stage));
+                    }
                     let stage_cap = stage.tree.total_cap();
                     total_cap += stage_cap;
                     v.insert(CachedStage {
@@ -358,11 +583,21 @@ impl IncrementalEvaluator {
         let tech = self.inner.technology();
         let (nominal_vdd, low_vdd) = (tech.nominal_corner.vdd, tech.low_corner.vdd);
         let slew_limit = tech.slew_limit;
-        let nominal = self.evaluate_corner(&mut cache, &mut stats, &meta, nominal_vdd);
-        let low = self.evaluate_corner(&mut cache, &mut stats, &meta, low_vdd);
+        let nominal =
+            self.evaluate_corner(&mut cache, &mut stats, binding, profile, &meta, nominal_vdd);
+        let low = self.evaluate_corner(&mut cache, &mut stats, binding, profile, &meta, low_vdd);
         let buffer_count = meta.len().saturating_sub(1);
 
-        cache.retain(|_, e| e.last_used + KEEP_GENERATIONS >= gen);
+        cache.retain(|_, e| {
+            let keep = e.last_used + KEEP_GENERATIONS >= gen;
+            if !keep {
+                stats.evictions += 1;
+            }
+            keep
+        });
+        if let Some(p) = profile.as_mut() {
+            p.end_evaluation();
+        }
         self.stats.set(stats);
 
         EvalReport {
@@ -380,6 +615,8 @@ impl IncrementalEvaluator {
         &self,
         cache: &mut HashMap<StageSig, CachedStage>,
         stats: &mut CacheStats,
+        binding: Option<&StoreBinding>,
+        profile: &mut Option<JobProfile>,
         meta: &[(StageSig, Vec<usize>)],
         vdd: f64,
     ) -> CornerReport {
@@ -424,10 +661,28 @@ impl IncrementalEvaluator {
                 (input.rise, input.fall)
             };
 
-            let rise_out =
-                Self::transition_outputs(&self.inner, stats, entry, vdd, true, in_for_rise);
-            let fall_out =
-                Self::transition_outputs(&self.inner, stats, entry, vdd, false, in_for_fall);
+            let rise_out = Self::transition_outputs(
+                &self.inner,
+                stats,
+                binding,
+                profile,
+                meta[si].0,
+                entry,
+                vdd,
+                true,
+                in_for_rise,
+            );
+            let fall_out = Self::transition_outputs(
+                &self.inner,
+                stats,
+                binding,
+                profile,
+                meta[si].0,
+                entry,
+                vdd,
+                false,
+                in_for_fall,
+            );
 
             // Children are pushed in tap order and popped LIFO — the same
             // traversal `Netlist::topological_order` produces.
@@ -490,10 +745,15 @@ impl IncrementalEvaluator {
 
     /// Returns the absolute output edge state at every tap of a cached
     /// stage, solving the stage only when this `(supply, direction, input
-    /// slew)` combination has not been seen before.
+    /// slew)` combination has not been seen before — in this process (the
+    /// in-memory solve map) or any earlier one (the attached store).
+    #[allow(clippy::too_many_arguments)]
     fn transition_outputs(
         evaluator: &Evaluator,
         stats: &mut CacheStats,
+        binding: Option<&StoreBinding>,
+        profile: &mut Option<JobProfile>,
+        sig: StageSig,
         entry: &mut CachedStage,
         vdd: f64,
         output_rising: bool,
@@ -504,9 +764,13 @@ impl IncrementalEvaluator {
             rising: output_rising,
             input_slew: input.slew.to_bits(),
         };
+        if let Some(p) = profile.as_mut() {
+            p.classify_solve(sig, key, binding);
+        }
         // Bound the per-stage solve map before taking an entry; the extra
         // lookup only runs in the rare at-capacity case.
         if entry.solves.len() >= MAX_SOLVES_PER_STAGE && !entry.solves.contains_key(&key) {
+            stats.evictions += entry.solves.len() as u64;
             entry.solves.clear();
         }
         // Split borrows: the solve entry holds `solves` mutably while the
@@ -518,17 +782,36 @@ impl IncrementalEvaluator {
                 e.into_mut()
             }
             std::collections::hash_map::Entry::Vacant(v) => {
-                stats.solve_misses += 1;
-                let driver = stage.driver.spec();
-                v.insert(evaluator.stage_rel_outputs(
-                    &stage.tree,
-                    stage.taps.iter().map(|t| t.node),
-                    &driver,
-                    stage.driver.is_source(),
-                    vdd,
-                    output_rising,
-                    input.slew,
-                ))
+                let stored = binding.and_then(|b| {
+                    let store_key = solve_store_key(sig, b.fingerprint, key);
+                    let (payload, _tier) = b.store.get(store_key)?;
+                    decode_solves(&payload, stage.taps.len())
+                });
+                match stored {
+                    Some(rel) => {
+                        stats.solve_hits += 1;
+                        stats.solve_disk_hits += 1;
+                        v.insert(rel)
+                    }
+                    None => {
+                        stats.solve_misses += 1;
+                        let driver = stage.driver.spec();
+                        let rel = evaluator.stage_rel_outputs(
+                            &stage.tree,
+                            stage.taps.iter().map(|t| t.node),
+                            &driver,
+                            stage.driver.is_source(),
+                            vdd,
+                            output_rising,
+                            input.slew,
+                        );
+                        if let Some(b) = binding {
+                            let store_key = solve_store_key(sig, b.fingerprint, key);
+                            let _ = b.store.put(store_key, &encode_solves(&rel));
+                        }
+                        v.insert(rel)
+                    }
+                }
             }
         };
         rel.iter()
@@ -538,6 +821,175 @@ impl IncrementalEvaluator {
             })
             .collect()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent-store keys and payload codecs
+// ---------------------------------------------------------------------------
+
+/// The store key of a lowered stage: its content signature, verbatim.
+fn stage_store_key(sig: StageSig) -> StoreKey {
+    let (lo, hi) = sig.parts();
+    StoreKey::new(crate::store::NS_STAGE, lo, hi)
+}
+
+/// The store key of one transition solve: stage signature, evaluation
+/// fingerprint and solve key, mixed through the signature hasher.
+fn solve_store_key(sig: StageSig, fingerprint: StageSig, key: SolveKey) -> StoreKey {
+    let mut b = SigBuilder::new();
+    let (slo, shi) = sig.parts();
+    b.write_u64(slo);
+    b.write_u64(shi);
+    let (flo, fhi) = fingerprint.parts();
+    b.write_u64(flo);
+    b.write_u64(fhi);
+    b.write_u64(key.vdd);
+    b.write_bool(key.rising);
+    b.write_u64(key.input_slew);
+    let (lo, hi) = b.finish().parts();
+    StoreKey::new(crate::store::NS_SOLVE, lo, hi)
+}
+
+/// Fingerprint of everything a transition solve depends on *besides* the
+/// stage content and the solve key: the delay model and the technology's
+/// voltage-derating context. Mixed into every solve store key so stores
+/// shared across models or technologies never serve each other's solves.
+fn context_fingerprint(evaluator: &Evaluator) -> StageSig {
+    let tech = evaluator.technology();
+    let mut b = SigBuilder::new();
+    b.write_tag(match evaluator.model() {
+        DelayModel::Elmore => 0,
+        DelayModel::TwoPole => 1,
+        DelayModel::Transient => 2,
+    });
+    b.write_f64(tech.threshold_voltage);
+    b.write_f64(tech.alpha);
+    b.write_f64(tech.nominal_corner.vdd);
+    b.write_f64(tech.slew_limit);
+    b.finish()
+}
+
+/// Encodes a [`LoweredStage`] for the store (little-endian, floats by bit
+/// pattern; see [`ByteWriter`]).
+fn encode_stage(stage: &LoweredStage) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match stage.driver {
+        StageDriver::Source(s) => {
+            w.put_u8(0);
+            w.put_f64(s.output_res);
+            w.put_f64(s.slew);
+        }
+        StageDriver::Buffer(d) => {
+            w.put_u8(1);
+            w.put_f64(d.output_res);
+            w.put_f64(d.output_cap);
+            w.put_f64(d.input_cap);
+            w.put_f64(d.intrinsic_delay);
+            w.put_bool(d.inverting);
+        }
+    }
+    w.put_usize(stage.tree.len());
+    for (parent, res, cap) in stage.tree.iter() {
+        w.put_usize(parent);
+        w.put_f64(res);
+        w.put_f64(cap);
+    }
+    w.put_usize(stage.taps.len());
+    for tap in &stage.taps {
+        w.put_usize(tap.node);
+        match tap.kind {
+            LocalTapKind::Sink(id) => {
+                w.put_u8(0);
+                w.put_usize(id);
+            }
+            LocalTapKind::Child(k) => {
+                w.put_u8(1);
+                w.put_usize(k);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a stage payload; `None` (a cold miss, never a panic) on any
+/// structural inconsistency.
+fn decode_stage(payload: &[u8]) -> Option<LoweredStage> {
+    let mut r = ByteReader::new(payload);
+    let driver = match r.take_u8()? {
+        0 => StageDriver::Source(SourceSpec {
+            output_res: r.take_f64()?,
+            slew: r.take_f64()?,
+        }),
+        1 => StageDriver::Buffer(DriverSpec {
+            output_res: r.take_f64()?,
+            output_cap: r.take_f64()?,
+            input_cap: r.take_f64()?,
+            intrinsic_delay: r.take_f64()?,
+            inverting: r.take_bool()?,
+        }),
+        _ => return None,
+    };
+    let node_count = r.take_usize()?;
+    let mut tree = RcTree::new();
+    for i in 0..node_count {
+        let parent = r.take_usize()?;
+        let res = r.take_f64()?;
+        let cap = r.take_f64()?;
+        if i == 0 {
+            if parent != usize::MAX {
+                return None;
+            }
+            tree.add_root(cap);
+        } else {
+            if parent >= i {
+                return None;
+            }
+            tree.add_node(parent, res, cap);
+        }
+    }
+    let tap_count = r.take_usize()?;
+    let mut taps = Vec::new();
+    for _ in 0..tap_count {
+        let node = r.take_usize()?;
+        if node >= node_count {
+            return None;
+        }
+        let kind = match r.take_u8()? {
+            0 => LocalTapKind::Sink(r.take_usize()?),
+            1 => LocalTapKind::Child(r.take_usize()?),
+            _ => return None,
+        };
+        taps.push(LocalTap { node, kind });
+    }
+    r.is_done().then_some(LoweredStage { driver, tree, taps })
+}
+
+/// Encodes one transition solve (the per-tap relative timings).
+fn encode_solves(rel: &[RelTiming]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_usize(rel.len());
+    for t in rel {
+        w.put_f64(t.delay);
+        w.put_f64(t.slew);
+    }
+    w.finish()
+}
+
+/// Decodes a transition-solve payload; the tap count must match the cached
+/// stage's, or the payload is rejected as a cold miss.
+fn decode_solves(payload: &[u8], expected_taps: usize) -> Option<Vec<RelTiming>> {
+    let mut r = ByteReader::new(payload);
+    if r.take_usize()? != expected_taps {
+        return None;
+    }
+    let mut rel = Vec::with_capacity(expected_taps.min(1024));
+    for _ in 0..expected_taps {
+        rel.push(RelTiming {
+            delay: r.take_f64()?,
+            slew: r.take_f64()?,
+        });
+    }
+    r.is_done().then_some(rel)
 }
 
 #[cfg(test)]
@@ -794,6 +1246,146 @@ mod tests {
         taps[1].kind = LocalTapKind::Sink(0);
         let inc = IncrementalEvaluator::new(Technology::ispd09());
         let _ = inc.evaluate_slots(slots);
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("contango-incremental-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_store_reloads_stages_and_solves_bit_identically() {
+        let dir = temp_store_dir("warm");
+        let tech = Technology::ispd09();
+        let (netlist, slots) = two_sink_network();
+        let full = Evaluator::new(tech.clone()).evaluate(&netlist);
+
+        // Cold run: populate the store.
+        {
+            let inc = IncrementalEvaluator::new(tech.clone());
+            inc.attach_store(Arc::new(CacheStore::open(&dir).expect("open")));
+            assert_eq!(inc.evaluate_slots(slots.clone()), full);
+            let stats = inc.stats();
+            assert_eq!(stats.stage_disk_hits, 0);
+            assert_eq!(stats.solve_disk_hits, 0);
+        }
+
+        // Warm run in a "new process": the probe finds both stages on disk,
+        // so no slot needs a fresh lowering, every solve comes from disk,
+        // and the report is byte-identical.
+        let inc = IncrementalEvaluator::new(tech);
+        inc.attach_store(Arc::new(CacheStore::open(&dir).expect("reopen")));
+        let warm_slots: Vec<StageSlot> = slots
+            .iter()
+            .map(|s| {
+                assert!(inc.is_cached(s.sig), "stage should load from the store");
+                StageSlot {
+                    sig: s.sig,
+                    children: s.children.clone(),
+                    fresh: None,
+                }
+            })
+            .collect();
+        assert_eq!(inc.evaluate_slots(warm_slots), full);
+        let stats = inc.stats();
+        assert_eq!(stats.stage_disk_hits, 2);
+        assert_eq!(stats.stage_misses, 0);
+        assert_eq!(stats.solve_misses, 0);
+        assert!(stats.solve_disk_hits > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn job_profile_is_deterministic_and_snapshot_based() {
+        let dir = temp_store_dir("profile");
+        let tech = Technology::ispd09();
+        let (_netlist, slots) = two_sink_network();
+
+        let run = |store: Arc<CacheStore>| {
+            let inc = IncrementalEvaluator::new(tech.clone());
+            inc.attach_store(store);
+            inc.begin_job_profile();
+            let _ = inc.evaluate_slots(
+                slots
+                    .iter()
+                    .map(|s| StageSlot {
+                        sig: s.sig,
+                        children: s.children.clone(),
+                        fresh: if inc.is_cached(s.sig) {
+                            None
+                        } else {
+                            s.fresh.clone()
+                        },
+                    })
+                    .collect(),
+            );
+            inc.take_job_profile()
+        };
+
+        // Cold: an empty snapshot makes every lookup a miss.
+        let cold = run(Arc::new(CacheStore::open(&dir).expect("open")));
+        assert_eq!(cold.disk_hits, 0);
+        assert!(cold.misses > 0);
+
+        // Warm: the same job against the populated snapshot classifies the
+        // same lookups as disk hits — and is reproducible run over run.
+        let warm = run(Arc::new(CacheStore::open(&dir).expect("reopen")));
+        let warm2 = run(Arc::new(CacheStore::open(&dir).expect("reopen")));
+        assert_eq!(warm, warm2);
+        assert_eq!(warm.lookups(), cold.lookups());
+        assert_eq!(warm.misses, 0);
+        assert_eq!(warm.disk_hits, cold.misses);
+
+        // Without begin_job_profile, take returns zeros.
+        let inc = IncrementalEvaluator::new(tech.clone());
+        assert_eq!(inc.take_job_profile(), CacheCounters::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_stage_payloads_degrade_to_cold_misses() {
+        let dir = temp_store_dir("corrupt");
+        let store = CacheStore::open(&dir).expect("open");
+        let (_netlist, slots) = two_sink_network();
+        // A syntactically valid record whose payload is not a stage.
+        store
+            .put(stage_store_key(slots[0].sig), b"not a stage")
+            .expect("put");
+        drop(store);
+        let inc = IncrementalEvaluator::new(Technology::ispd09());
+        inc.attach_store(Arc::new(CacheStore::open(&dir).expect("reopen")));
+        assert!(!inc.is_cached(slots[0].sig), "garbage must read as a miss");
+        assert_eq!(inc.stats().stage_disk_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stage_and_solve_codecs_round_trip() {
+        let (_netlist, slots) = two_sink_network();
+        for slot in &slots {
+            let stage = slot.fresh.as_ref().expect("fresh");
+            let decoded = decode_stage(&encode_stage(stage)).expect("round trip");
+            assert_eq!(decoded.driver, stage.driver);
+            assert_eq!(decoded.tree, stage.tree);
+            assert_eq!(decoded.taps, stage.taps);
+        }
+        let rel = vec![
+            RelTiming {
+                delay: 12.5,
+                slew: 30.25,
+            },
+            RelTiming {
+                delay: -0.0,
+                slew: f64::MIN_POSITIVE,
+            },
+        ];
+        assert_eq!(decode_solves(&encode_solves(&rel), 2), Some(rel.clone()));
+        // Tap-count mismatches and truncations are rejected, not trusted.
+        assert_eq!(decode_solves(&encode_solves(&rel), 3), None);
+        let bytes = encode_solves(&rel);
+        assert_eq!(decode_solves(&bytes[..bytes.len() - 1], 2), None);
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod netlist;
 mod rctree;
 mod report;
 pub mod spice;
+pub mod store;
 mod transient;
 pub mod variation;
 
@@ -66,5 +67,9 @@ pub use netlist::{Netlist, Stage, StageDriver, Tap, TapKind};
 pub use rctree::RcTree;
 pub use report::{CornerReport, EvalReport, SinkTiming, TransitionTiming};
 pub use spice::{parse_measurements, report_from_measurements, write_deck, DeckOptions};
+pub use store::{
+    ByteReader, ByteWriter, CacheCounters, CacheStore, HitTier, StoreError, StoreKey, NS_CONSTRUCT,
+    NS_SOLVE, NS_STAGE,
+};
 pub use transient::{TransientResult, TransientSolver};
 pub use variation::{monte_carlo, MetricDistribution, VariationModel, VariationReport};

@@ -85,6 +85,7 @@ fn reference_records(jobs: &[Job]) -> Vec<JobRecord> {
                 tool: job.tool.clone(),
                 sinks: job.instance.sink_count(),
                 outcome,
+                cache: None,
             };
             if let Ok(metrics) = &mut record.outcome {
                 metrics.summary.runtime_s = 0.0;

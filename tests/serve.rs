@@ -30,6 +30,7 @@ fn serve_config(workers: usize) -> ServeConfig {
         workers,
         queue_capacity: 64,
         allow_file_instances: false,
+        cache_dir: None,
     }
 }
 
