@@ -1,0 +1,270 @@
+//! Multi-process benchmark for the distributed campaign runner.
+//!
+//! The bench binary is its own worker: re-invoked with `--dist-worker`
+//! (pipe transport) or `--dist-worker-tcp ADDR` (TCP transport), it runs
+//! the worker loop instead of the benchmark, so every measured pool is
+//! made of real operating-system processes.
+//!
+//! Three phases besides the criterion group:
+//!
+//! * **Identity.** Aggregates from pools of 2 and 4 pipe workers are
+//!   asserted byte-identical to the serial in-process run.
+//! * **Speedup.** Wall-clock of the serial run versus those pools goes to
+//!   `BENCH_8.json` at the repository root.
+//! * **Failure recovery.** A TCP pool of three workers, one rigged to
+//!   crash after its first job, must still reproduce the serial bytes —
+//!   zero lost jobs — and its wall-clock and requeue ledger are recorded.
+//!
+//! Set `CONTANGO_BENCH_QUICK=1` for a fast CI-smoke run.
+
+use contango_campaign::dist::{self, DistConfig, DistSummary};
+use contango_campaign::worker::{run_worker, ChaosConfig, WorkerConfig, WorkerConnection};
+use contango_campaign::Manifest;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Four TI-style instances crossed with one baseline: eight jobs, large
+/// enough that per-job compute dominates process-spawn overhead and a pool
+/// can actually show speedup.
+const MANIFEST: &str = "\
+instance ti:512
+instance ti:768
+instance ti:1024
+instance ti:1536
+profile fast
+model elmore
+skip BWSN
+baselines dme-no-tuning
+threads 1
+";
+
+/// The CI-smoke variant: same shape, tiny instances.
+const QUICK_MANIFEST: &str = "\
+instance ti:6
+instance ti:9:7
+instance ti:12:3
+instance ti:16:5
+profile fast
+model elmore
+skip BWSN
+baselines dme-no-tuning
+threads 1
+";
+
+fn quick_mode() -> bool {
+    std::env::var("CONTANGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn parsed_manifest() -> Manifest {
+    let text = if quick_mode() {
+        QUICK_MANIFEST
+    } else {
+        MANIFEST
+    };
+    Manifest::parse(text).expect("parse manifest")
+}
+
+/// The chaos spec passed through to re-invoked worker processes.
+fn worker_chaos() -> ChaosConfig {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--dist-chaos" {
+            let spec = args.next().expect("--dist-chaos needs a spec");
+            return ChaosConfig::parse(&spec).expect("valid chaos spec");
+        }
+    }
+    ChaosConfig::default()
+}
+
+fn worker_config() -> WorkerConfig {
+    WorkerConfig {
+        slots: 1,
+        name: format!("bench-{}", std::process::id()),
+        chaos: worker_chaos(),
+        ..WorkerConfig::default()
+    }
+}
+
+/// Pipe-transport worker half: stdin/stdout are the frame channel.
+fn run_pipe_worker() {
+    let connection = WorkerConnection::with_closer(std::io::stdin(), std::io::stdout(), || {
+        std::process::exit(0)
+    });
+    let _ = run_worker(connection, &worker_config());
+}
+
+/// TCP-transport worker half: connects (with retry, the coordinator may
+/// still be binding) and runs the worker loop.
+fn run_tcp_worker(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => break stream,
+            Err(e) if Instant::now() >= deadline => panic!("connect {addr}: {e}"),
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    let connection = WorkerConnection::tcp(stream).expect("clone tcp stream");
+    let _ = run_worker(connection, &worker_config());
+}
+
+/// Picks a free TCP port by binding port 0 and releasing it.
+fn free_addr() -> String {
+    let probe = TcpListener::bind("127.0.0.1:0").expect("probe port");
+    let addr = probe.local_addr().expect("probe addr");
+    drop(probe);
+    addr.to_string()
+}
+
+fn own_exe() -> String {
+    std::env::current_exe()
+        .expect("own path")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Runs the manifest across `workers` spawned pipe-worker processes.
+fn run_with_pipes(workers: usize) -> (String, DistSummary, Duration) {
+    let config = DistConfig {
+        workers,
+        spawn_command: Some(vec![own_exe(), "--dist-worker".to_string()]),
+        ..DistConfig::default()
+    };
+    let manifest = parsed_manifest();
+    let start = Instant::now();
+    let (result, summary) =
+        dist::run_manifest(&manifest, &config, |_| {}).expect("distributed run");
+    (result.to_jsonl(), summary, start.elapsed())
+}
+
+fn spawn_tcp_worker(addr: &str, chaos: Option<&str>) -> Child {
+    let mut command = Command::new(own_exe());
+    command
+        .args(["--dist-worker-tcp", addr])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(spec) = chaos {
+        command.args(["--dist-chaos", spec]);
+    }
+    command.spawn().expect("spawn tcp worker")
+}
+
+/// Runs the manifest against a TCP pool with per-worker chaos specs.
+fn run_with_tcp(chaos: &[Option<&str>]) -> (String, DistSummary, Duration) {
+    let addr = free_addr();
+    let config = DistConfig {
+        listen: Some(addr.clone()),
+        ..DistConfig::default()
+    };
+    let manifest = parsed_manifest();
+    let start = Instant::now();
+    let mut workers: Vec<Child> = chaos
+        .iter()
+        .map(|spec| spawn_tcp_worker(&addr, *spec))
+        .collect();
+    let (result, summary) =
+        dist::run_manifest(&manifest, &config, |_| {}).expect("distributed run");
+    let elapsed = start.elapsed();
+    for worker in &mut workers {
+        let _ = worker.wait();
+    }
+    (result.to_jsonl(), summary, elapsed)
+}
+
+/// Identity + speedup + failure-recovery phases. Returns the BENCH_8 body.
+fn run_dist_report() -> String {
+    let manifest = parsed_manifest();
+    let start = Instant::now();
+    let serial = manifest.compile().expect("compile manifest").run();
+    let serial_elapsed = start.elapsed();
+    let expected = serial.to_jsonl();
+    let jobs = serial.records.len();
+
+    let mut pool_lines = String::new();
+    for workers in [2_usize, 4] {
+        let (jsonl, summary, elapsed) = run_with_pipes(workers);
+        assert_eq!(
+            jsonl, expected,
+            "pipe pool of {workers} diverged from the serial run"
+        );
+        assert_eq!(summary.workers_lost, 0);
+        pool_lines.push_str(&format!(
+            "  \"pipes_{workers}_workers_s\": {:.3},\n",
+            elapsed.as_secs_f64()
+        ));
+    }
+
+    // Two rigged workers: one crashes right after reporting its first job
+    // (the crash may land after the run completes, which is fine), one
+    // tears its connection down with an undelivered assignment in flight —
+    // the latter guarantees an observed death and a requeue.
+    let (jsonl, summary, chaos_elapsed) =
+        run_with_tcp(&[Some("kill:1"), Some("drop:0"), None, None]);
+    assert_eq!(jsonl, expected, "crash recovery changed the bytes");
+    assert!(
+        summary.workers_lost >= 1,
+        "the rigged worker was never declared dead"
+    );
+    assert!(
+        summary.requeues >= 1,
+        "the dropped assignment was never requeued"
+    );
+
+    format!(
+        "{{\n  \"jobs\": {jobs},\n  \"serial_s\": {:.3},\n{pool_lines}  \
+         \"failure_pool\": 4,\n  \"failure_lost_workers\": {},\n  \
+         \"failure_requeues\": {},\n  \"failure_recovery_s\": {:.3},\n  \
+         \"failure_lost_jobs\": 0,\n  \"bit_identical\": true\n}}\n",
+        serial_elapsed.as_secs_f64(),
+        summary.workers_lost,
+        summary.requeues,
+        chaos_elapsed.as_secs_f64(),
+    )
+}
+
+fn bench_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist");
+    group.sample_size(if quick_mode() { 2 } else { 10 });
+    group.bench_function(BenchmarkId::from_parameter("serial/8jobs"), |b| {
+        b.iter(|| {
+            parsed_manifest()
+                .compile()
+                .expect("compile manifest")
+                .run()
+                .records
+                .len()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("pipes_2/8jobs"), |b| {
+        b.iter(|| run_with_pipes(2).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist);
+
+fn main() {
+    // Worker re-invocations take priority over everything criterion does
+    // with the argument list.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--dist-worker") {
+        run_pipe_worker();
+        return;
+    }
+    if let Some(at) = args.iter().position(|a| a == "--dist-worker-tcp") {
+        run_tcp_worker(
+            args.get(at + 1)
+                .expect("--dist-worker-tcp needs an address"),
+        );
+        return;
+    }
+    benches();
+    let json = run_dist_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    std::fs::write(path, &json).expect("BENCH_8.json is writable");
+    println!("BENCH_8.json: {json}");
+}

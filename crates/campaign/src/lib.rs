@@ -39,6 +39,13 @@
 //! * [`serve`] — the `contango serve` daemon: a warm-session worker pool
 //!   behind a bounded queue with backpressure and graceful shutdown, plus
 //!   the blocking [`Client`];
+//! * [`dist`] / [`worker`] — the distributed campaign runner: a
+//!   coordinator that owns the job list and the canonical-order reduction,
+//!   and worker processes (spawned over pipes or connected over TCP) that
+//!   hold the warm sessions. Failure detection (heartbeats, closed
+//!   transports, malformed frames) plus bounded requeue keep aggregate
+//!   reports byte-identical to a serial in-process run under any worker
+//!   count or failure pattern;
 //! * [`output`] — the one rendering path ([`output::suite_output`]) both
 //!   the CLI and the daemon use, making served responses bit-identical to
 //!   offline output by construction.
@@ -75,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod job;
 pub mod json;
 pub mod jsonl;
@@ -83,11 +91,16 @@ pub mod output;
 pub mod protocol;
 pub mod runner;
 pub mod serve;
+pub mod worker;
 
+pub use dist::{DistConfig, DistError, DistSummary};
 pub use job::Job;
 pub use json::{JsonError, JsonValue};
-pub use manifest::{InstanceSource, Manifest, ManifestError};
+pub use manifest::{DispatchMode, InstanceSource, Manifest, ManifestError};
 pub use output::{ReportKind, TableFormat};
-pub use protocol::{Request, RequestBody, RequestId, Response, ServerError};
+pub use protocol::{
+    CoordFrame, Request, RequestBody, RequestId, Response, ServerError, WorkerFrame,
+};
 pub use runner::{Campaign, CampaignResult, JobMetrics, JobRecord};
-pub use serve::{Client, ClientError, ServeConfig, ServeSummary, Server};
+pub use serve::{Client, ClientError, ClientStats, ServeConfig, ServeSummary, Server};
+pub use worker::{ChaosConfig, WorkerConfig, WorkerConnection, WorkerError, WorkerSummary};

@@ -83,6 +83,17 @@ pub enum TechnologyKind {
     Ti45,
 }
 
+/// How a distributed campaign finds its worker processes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Spawn local worker processes over stdin/stdout pipes (the default).
+    #[default]
+    Local,
+    /// Listen on the given address and serve whatever workers connect
+    /// (`dispatch tcp:HOST:PORT`; start them with `worker --connect`).
+    Tcp(String),
+}
+
 /// A parsed, validated campaign manifest. See the [module docs](self) for
 /// the format and [`Manifest::compile`] for the `Manifest -> Campaign`
 /// path.
@@ -115,6 +126,14 @@ pub struct Manifest {
     /// like `file:` sources: the serve daemon rejects it unless filesystem
     /// access is explicitly enabled.
     pub cache_dir: Option<String>,
+    /// Number of distributed worker **processes** (`workers N`, N >= 1).
+    /// `None` runs the campaign in process; `Some(n)` hands the job list to
+    /// the [`crate::dist`] coordinator. Reports are byte-identical either
+    /// way.
+    pub workers: Option<usize>,
+    /// How the coordinator finds its workers when `workers` is set
+    /// (`dispatch local` or `dispatch tcp:HOST:PORT`).
+    pub dispatch: DispatchMode,
 }
 
 impl Default for Manifest {
@@ -131,6 +150,8 @@ impl Default for Manifest {
             baselines: Vec::new(),
             threads: 1,
             cache_dir: None,
+            workers: None,
+            dispatch: DispatchMode::Local,
         }
     }
 }
@@ -494,6 +515,28 @@ impl Manifest {
                     once(line, "cache-dir")?;
                     manifest.cache_dir = Some(value.to_string());
                 }
+                "workers" => {
+                    once(line, "workers")?;
+                    let workers = value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| invalid("workers"))?;
+                    manifest.workers = Some(workers);
+                }
+                "dispatch" => {
+                    once(line, "dispatch")?;
+                    manifest.dispatch = if value == "local" {
+                        DispatchMode::Local
+                    } else if let Some(addr) = value.strip_prefix("tcp:") {
+                        if addr.is_empty() {
+                            return Err(invalid("dispatch"));
+                        }
+                        DispatchMode::Tcp(addr.to_string())
+                    } else {
+                        return Err(invalid("dispatch"));
+                    };
+                }
                 _ => {
                     return Err(ManifestError::UnknownKey {
                         line,
@@ -574,6 +617,12 @@ impl Manifest {
         }
         if let Some(dir) = &self.cache_dir {
             let _ = writeln!(out, "cache-dir {dir}");
+        }
+        if let Some(workers) = self.workers {
+            let _ = writeln!(out, "workers {workers}");
+        }
+        if let DispatchMode::Tcp(addr) = &self.dispatch {
+            let _ = writeln!(out, "dispatch tcp:{addr}");
         }
         out
     }
@@ -767,9 +816,13 @@ skip BWSN
 baselines wiresizing-only,dme-no-tuning
 threads 4
 cache-dir /tmp/contango-cache
+workers 3
+dispatch tcp:127.0.0.1:7979
 ";
         let m = Manifest::parse(text).expect("parses");
         assert_eq!(m.cache_dir.as_deref(), Some("/tmp/contango-cache"));
+        assert_eq!(m.workers, Some(3));
+        assert_eq!(m.dispatch, DispatchMode::Tcp("127.0.0.1:7979".to_string()));
         assert_eq!(m.to_text(), text);
         assert_eq!(Manifest::parse(&m.to_text()).expect("reparses"), m);
         // A default-heavy manifest renders only its sources.
@@ -823,9 +876,23 @@ cache-dir /tmp/contango-cache
             Manifest::parse("instance file:\n").unwrap_err(),
             Manifest::parse("threads many\n").unwrap_err(),
             Manifest::parse("large-inverters maybe\n").unwrap_err(),
+            Manifest::parse("workers 0\n").unwrap_err(),
+            Manifest::parse("workers two\n").unwrap_err(),
+            Manifest::parse("dispatch tcp:\n").unwrap_err(),
+            Manifest::parse("dispatch carrier-pigeon\n").unwrap_err(),
         ] {
             assert!(matches!(err, ManifestError::InvalidValue { .. }), "{err}");
         }
+    }
+
+    #[test]
+    fn dispatch_defaults_to_local_worker_spawning() {
+        let m = Manifest::parse("instance ti:6\nworkers 2\n").expect("parses");
+        assert_eq!(m.workers, Some(2));
+        assert_eq!(m.dispatch, DispatchMode::Local);
+        // `dispatch local` parses but is the default, so it renders away.
+        let m = Manifest::parse("instance ti:6\ndispatch local\n").expect("parses");
+        assert_eq!(m.to_text(), "instance ti:6\n");
     }
 
     #[test]

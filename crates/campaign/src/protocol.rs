@@ -28,11 +28,44 @@
 //! kinds — yields a typed [`ServerError`], never a panic, and the server
 //! answers it with a `status:"error"` frame ([`Response::Error`]) echoing
 //! the request id whenever one could be salvaged from the frame.
+//!
+//! The distributed campaign runner ([`crate::dist`]) speaks a second frame
+//! family over the same NDJSON framing, discriminated by a `frame` key.
+//! Worker → coordinator ([`WorkerFrame`]):
+//!
+//! ```text
+//! {"frame":"hello","protocol":1,"slots":2,"name":"w0"}
+//! {"frame":"job-done","seq":12,"record":{"benchmark":"r1","tool":"contango",...}}
+//! {"frame":"job-failed","seq":12,"message":"assignment references job 99 of 28"}
+//! {"frame":"heartbeat"}
+//! ```
+//!
+//! Coordinator → worker ([`CoordFrame`]):
+//!
+//! ```text
+//! {"frame":"init","protocol":1,"manifest":"suite ispd09\n..."}
+//! {"frame":"assign","seq":12,"job":3}
+//! {"frame":"drain"}
+//! ```
+//!
+//! `job-done` carries the **full-fidelity** job record — every summary and
+//! stage field including wall-clock `runtime_s`, unlike the deliberately
+//! wall-clock-free report JSONL of [`crate::jsonl`]. All floats are encoded
+//! with Rust's shortest-round-trip `Display` and parsed back with
+//! `str::parse::<f64>`, so a record survives the wire bit-identically and
+//! the coordinator's aggregate reports match a serial in-process run byte
+//! for byte. Job-level flow errors cross as their rendered message and are
+//! reconstructed as [`CoreError::Remote`], whose `Display` is the message
+//! verbatim — failure tables and JSONL stay byte-identical too.
 
 use crate::json::{JsonError, JsonValue};
 use crate::jsonl::escape_into;
 use crate::manifest::ManifestError;
 use crate::output::{ReportKind, TableFormat};
+use crate::runner::{JobMetrics, JobRecord};
+use contango_benchmarks::report::RunSummary;
+use contango_core::error::CoreError;
+use contango_core::flow::StageSnapshot;
 use contango_sim::CacheCounters;
 use std::fmt;
 use std::fmt::Write as _;
@@ -430,22 +463,7 @@ impl Response {
                 .map(|n| n as usize)
                 .ok_or_else(|| ServerError::Invalid(format!("response needs a numeric `{key}`")))
         };
-        let cache = match frame.get("cache") {
-            None | Some(JsonValue::Null) => None,
-            Some(obj) => {
-                let field = |key: &str| {
-                    obj.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
-                        ServerError::Invalid(format!("`cache` needs a numeric `{key}`"))
-                    })
-                };
-                Some(CacheCounters {
-                    mem_hits: field("mem_hits")?,
-                    disk_hits: field("disk_hits")?,
-                    misses: field("misses")?,
-                    evictions: field("evictions")?,
-                })
-            }
-        };
+        let cache = decode_cache_field(&frame)?;
         match status {
             "ok" => Ok(Response::RunOk {
                 id: need_id(id)?,
@@ -467,6 +485,371 @@ impl Response {
             }),
             other => Err(ServerError::Invalid(format!(
                 "unknown response status `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Reads an optional `cache` object as [`CacheCounters`]. Shared between
+/// [`Response::decode`] and the distributed job-record codec.
+fn decode_cache_field(frame: &JsonValue) -> Result<Option<CacheCounters>, ServerError> {
+    match frame.get("cache") {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(obj) => {
+            let field = |key: &str| {
+                obj.get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| ServerError::Invalid(format!("`cache` needs a numeric `{key}`")))
+            };
+            Ok(Some(CacheCounters {
+                mem_hits: field("mem_hits")?,
+                disk_hits: field("disk_hits")?,
+                misses: field("misses")?,
+                evictions: field("evictions")?,
+            }))
+        }
+    }
+}
+
+/// Version of the distributed-campaign frame protocol. Workers announce it
+/// in `hello`, the coordinator in `init`; either side drops a mismatched
+/// peer instead of guessing.
+pub const DIST_PROTOCOL: u64 = 1;
+
+fn require_u64(frame: &JsonValue, key: &str, kind: &str) -> Result<u64, ServerError> {
+    frame.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+        ServerError::Invalid(format!(
+            "`{kind}` frame needs a non-negative integer `{key}`"
+        ))
+    })
+}
+
+fn require_f64(obj: &JsonValue, key: &str, kind: &str) -> Result<f64, ServerError> {
+    obj.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| ServerError::Invalid(format!("`{kind}` needs a numeric `{key}`")))
+}
+
+/// Encodes a [`JobRecord`] at full fidelity (every summary and stage field,
+/// including wall-clock `runtime_s`). Floats use shortest-round-trip
+/// `Display`, so `decode_record(encode) == original` bit for bit.
+fn encode_record_into(out: &mut String, record: &JobRecord) {
+    out.push_str("{\"benchmark\":\"");
+    escape_into(out, &record.benchmark);
+    out.push_str("\",\"tool\":\"");
+    escape_into(out, &record.tool);
+    let _ = write!(out, "\",\"sinks\":{}", record.sinks);
+    match &record.outcome {
+        Ok(metrics) => {
+            let s = &metrics.summary;
+            let _ = write!(
+                out,
+                ",\"status\":\"ok\",\"summary\":{{\"clr\":{},\"skew\":{},\
+                 \"max_latency\":{},\"cap_pct\":{},\"wirelength\":{},\
+                 \"buffers\":{},\"spice_runs\":{},\"runtime_s\":{}}}",
+                s.clr,
+                s.skew,
+                s.max_latency,
+                s.cap_pct,
+                s.wirelength,
+                s.buffers,
+                s.spice_runs,
+                s.runtime_s
+            );
+            out.push_str(",\"stages\":[");
+            for (i, snap) in metrics.snapshots.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"stage\":\"");
+                escape_into(out, &snap.stage);
+                let _ = write!(
+                    out,
+                    "\",\"clr\":{},\"skew\":{},\"max_latency\":{},\"total_cap\":{},\
+                     \"wirelength\":{},\"slew_violation\":{}}}",
+                    snap.clr,
+                    snap.skew,
+                    snap.max_latency,
+                    snap.total_cap,
+                    snap.wirelength,
+                    snap.slew_violation
+                );
+            }
+            out.push(']');
+        }
+        Err(error) => {
+            out.push_str(",\"status\":\"error\",\"error\":\"");
+            escape_into(out, &error.to_string());
+            out.push('"');
+        }
+    }
+    if let Some(c) = &record.cache {
+        let _ = write!(
+            out,
+            ",\"cache\":{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\
+             \"evictions\":{}}}",
+            c.mem_hits, c.disk_hits, c.misses, c.evictions
+        );
+    }
+    out.push('}');
+}
+
+/// Decodes a full-fidelity [`JobRecord`]. Flow errors come back as
+/// [`CoreError::Remote`] carrying the original rendered message.
+fn decode_record(obj: &JsonValue) -> Result<JobRecord, ServerError> {
+    if !matches!(obj, JsonValue::Object(_)) {
+        return Err(ServerError::Invalid(
+            "`record` must be a JSON object".to_string(),
+        ));
+    }
+    let benchmark = require_str(obj, "benchmark", "record")?.to_string();
+    let tool = require_str(obj, "tool", "record")?.to_string();
+    let sinks = require_u64(obj, "sinks", "record")? as usize;
+    let outcome = match require_str(obj, "status", "record")? {
+        "ok" => {
+            let s = obj
+                .get("summary")
+                .filter(|v| matches!(v, JsonValue::Object(_)))
+                .ok_or_else(|| {
+                    ServerError::Invalid("`record` needs a `summary` object".to_string())
+                })?;
+            let summary = RunSummary {
+                benchmark: benchmark.clone(),
+                tool: tool.clone(),
+                clr: require_f64(s, "clr", "summary")?,
+                skew: require_f64(s, "skew", "summary")?,
+                max_latency: require_f64(s, "max_latency", "summary")?,
+                cap_pct: require_f64(s, "cap_pct", "summary")?,
+                wirelength: require_f64(s, "wirelength", "summary")?,
+                buffers: require_u64(s, "buffers", "summary")? as usize,
+                spice_runs: require_u64(s, "spice_runs", "summary")? as usize,
+                runtime_s: require_f64(s, "runtime_s", "summary")?,
+            };
+            let stages = obj
+                .get("stages")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| {
+                    ServerError::Invalid("`record` needs a `stages` array".to_string())
+                })?;
+            let mut snapshots = Vec::with_capacity(stages.len());
+            for snap in stages {
+                snapshots.push(StageSnapshot {
+                    stage: require_str(snap, "stage", "stage")?.to_string(),
+                    clr: require_f64(snap, "clr", "stage")?,
+                    skew: require_f64(snap, "skew", "stage")?,
+                    max_latency: require_f64(snap, "max_latency", "stage")?,
+                    total_cap: require_f64(snap, "total_cap", "stage")?,
+                    wirelength: require_f64(snap, "wirelength", "stage")?,
+                    slew_violation: snap
+                        .get("slew_violation")
+                        .and_then(JsonValue::as_bool)
+                        .ok_or_else(|| {
+                            ServerError::Invalid(
+                                "`stage` needs a boolean `slew_violation`".to_string(),
+                            )
+                        })?,
+                });
+            }
+            Ok(JobMetrics { summary, snapshots })
+        }
+        "error" => Err(CoreError::Remote {
+            message: require_str(obj, "error", "record")?.to_string(),
+        }),
+        other => {
+            return Err(ServerError::Invalid(format!(
+                "unknown record status `{other}`"
+            )))
+        }
+    };
+    Ok(JobRecord {
+        benchmark,
+        tool,
+        sinks,
+        outcome,
+        cache: decode_cache_field(obj)?,
+    })
+}
+
+/// Reads the `frame` discriminator of a dist frame.
+fn frame_kind(frame: &JsonValue) -> Result<&str, ServerError> {
+    if !matches!(frame, JsonValue::Object(_)) {
+        return Err(ServerError::Invalid(
+            "frame must be a JSON object".to_string(),
+        ));
+    }
+    frame
+        .get("frame")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServerError::Invalid("frame needs a string `frame` kind".to_string()))
+}
+
+/// A frame a distributed-campaign worker sends to its coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerFrame {
+    /// First frame on a connection: the worker introduces itself and
+    /// declares how many jobs it can hold in flight.
+    Hello {
+        /// The worker's [`DIST_PROTOCOL`] version.
+        protocol: u64,
+        /// In-flight job capacity (one warm session per slot).
+        slots: usize,
+        /// Display name for logs and stats.
+        name: String,
+    },
+    /// An assignment completed. Job-level **flow** errors are still
+    /// `job-done` — the record's outcome carries them, because they are
+    /// deterministic results that must reduce byte-identically. Only
+    /// infrastructure failures use [`WorkerFrame::JobFailed`].
+    JobDone {
+        /// The assignment's [`CoordFrame::Assign`] sequence number.
+        seq: u64,
+        /// The full-fidelity job record.
+        record: JobRecord,
+    },
+    /// The worker could not run an assignment at all (job index out of
+    /// range, no init received); the coordinator requeues the job against
+    /// its retry budget.
+    JobFailed {
+        /// The assignment's sequence number.
+        seq: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Liveness signal, sent on an interval while connected.
+    Heartbeat,
+}
+
+impl WorkerFrame {
+    /// Encodes the frame as one NDJSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            WorkerFrame::Hello {
+                protocol,
+                slots,
+                name,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"frame\":\"hello\",\"protocol\":{protocol},\"slots\":{slots},\"name\":\""
+                );
+                escape_into(&mut out, name);
+                out.push_str("\"}");
+            }
+            WorkerFrame::JobDone { seq, record } => {
+                let _ = write!(out, "{{\"frame\":\"job-done\",\"seq\":{seq},\"record\":");
+                encode_record_into(&mut out, record);
+                out.push('}');
+            }
+            WorkerFrame::JobFailed { seq, message } => {
+                let _ = write!(
+                    out,
+                    "{{\"frame\":\"job-failed\",\"seq\":{seq},\"message\":\""
+                );
+                escape_into(&mut out, message);
+                out.push_str("\"}");
+            }
+            WorkerFrame::Heartbeat => out.push_str("{\"frame\":\"heartbeat\"}"),
+        }
+        out
+    }
+
+    /// Decodes one worker frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Malformed`]/[`ServerError::Invalid`] when the line is
+    /// not a valid worker frame. Decoding is total — no input panics.
+    pub fn decode(line: &str) -> Result<WorkerFrame, ServerError> {
+        let frame = JsonValue::parse(line).map_err(ServerError::Malformed)?;
+        match frame_kind(&frame)? {
+            "hello" => Ok(WorkerFrame::Hello {
+                protocol: require_u64(&frame, "protocol", "hello")?,
+                slots: require_u64(&frame, "slots", "hello")? as usize,
+                name: require_str(&frame, "name", "hello")?.to_string(),
+            }),
+            "job-done" => Ok(WorkerFrame::JobDone {
+                seq: require_u64(&frame, "seq", "job-done")?,
+                record: decode_record(frame.get("record").ok_or_else(|| {
+                    ServerError::Invalid("`job-done` frame needs a `record`".to_string())
+                })?)?,
+            }),
+            "job-failed" => Ok(WorkerFrame::JobFailed {
+                seq: require_u64(&frame, "seq", "job-failed")?,
+                message: require_str(&frame, "message", "job-failed")?.to_string(),
+            }),
+            "heartbeat" => Ok(WorkerFrame::Heartbeat),
+            other => Err(ServerError::Invalid(format!(
+                "unknown worker frame `{other}`"
+            ))),
+        }
+    }
+}
+
+/// A frame the distributed-campaign coordinator sends to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordFrame {
+    /// First frame after a worker's hello: the manifest whose compiled job
+    /// list both sides share. Assignments address jobs by index into it.
+    Init {
+        /// The coordinator's [`DIST_PROTOCOL`] version.
+        protocol: u64,
+        /// Manifest text ([`crate::manifest`] format).
+        manifest: String,
+    },
+    /// Run one job of the shared job list.
+    Assign {
+        /// Coordinator-unique assignment sequence number, echoed in the
+        /// worker's `job-done`/`job-failed`.
+        seq: u64,
+        /// Index into the compiled job list.
+        job: usize,
+    },
+    /// No more work — finish in-flight jobs and disconnect.
+    Drain,
+}
+
+impl CoordFrame {
+    /// Encodes the frame as one NDJSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            CoordFrame::Init { protocol, manifest } => {
+                let _ = write!(
+                    out,
+                    "{{\"frame\":\"init\",\"protocol\":{protocol},\"manifest\":\""
+                );
+                escape_into(&mut out, manifest);
+                out.push_str("\"}");
+            }
+            CoordFrame::Assign { seq, job } => {
+                let _ = write!(out, "{{\"frame\":\"assign\",\"seq\":{seq},\"job\":{job}}}");
+            }
+            CoordFrame::Drain => out.push_str("{\"frame\":\"drain\"}"),
+        }
+        out
+    }
+
+    /// Decodes one coordinator frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Malformed`]/[`ServerError::Invalid`] when the line is
+    /// not a valid coordinator frame. Decoding is total — no input panics.
+    pub fn decode(line: &str) -> Result<CoordFrame, ServerError> {
+        let frame = JsonValue::parse(line).map_err(ServerError::Malformed)?;
+        match frame_kind(&frame)? {
+            "init" => Ok(CoordFrame::Init {
+                protocol: require_u64(&frame, "protocol", "init")?,
+                manifest: require_str(&frame, "manifest", "init")?.to_string(),
+            }),
+            "assign" => Ok(CoordFrame::Assign {
+                seq: require_u64(&frame, "seq", "assign")?,
+                job: require_u64(&frame, "job", "assign")? as usize,
+            }),
+            "drain" => Ok(CoordFrame::Drain),
+            other => Err(ServerError::Invalid(format!(
+                "unknown coordinator frame `{other}`"
             ))),
         }
     }
@@ -581,6 +964,164 @@ mod tests {
             let line = response.encode();
             assert!(!line.contains('\n'), "{line}");
             assert_eq!(Response::decode(&line).expect("decodes"), response);
+        }
+    }
+
+    fn sample_ok_record() -> JobRecord {
+        JobRecord {
+            benchmark: "r1".to_string(),
+            tool: "contango".to_string(),
+            sinks: 267,
+            outcome: Ok(JobMetrics {
+                summary: RunSummary {
+                    benchmark: "r1".to_string(),
+                    tool: "contango".to_string(),
+                    clr: 0.1 + 0.2, // deliberately not representable exactly
+                    skew: -0.0,
+                    max_latency: 1234.5678901234567,
+                    cap_pct: 87.3,
+                    wirelength: 1.0e-12,
+                    buffers: 41,
+                    spice_runs: 902,
+                    runtime_s: 0.037218812,
+                },
+                snapshots: vec![
+                    StageSnapshot {
+                        stage: "INITIAL".to_string(),
+                        clr: 42.0,
+                        skew: 17.25,
+                        max_latency: 900.0,
+                        total_cap: 8.5e3,
+                        wirelength: 120_000.5,
+                        slew_violation: false,
+                    },
+                    StageSnapshot {
+                        stage: "TBSZ".to_string(),
+                        clr: 12.000000000000002,
+                        skew: 3.3,
+                        max_latency: 880.0,
+                        total_cap: 9.0e3,
+                        wirelength: 119_000.0,
+                        slew_violation: true,
+                    },
+                ],
+            }),
+            cache: Some(CacheCounters {
+                mem_hits: 11,
+                disk_hits: 4,
+                misses: 2,
+                evictions: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn worker_frames_round_trip() {
+        let failed = JobRecord {
+            benchmark: "r2\"quoted\"".to_string(),
+            tool: "weak-buffering".to_string(),
+            sinks: 598,
+            outcome: Err(CoreError::Remote {
+                message: "pass TBSZ: no composite configuration fits".to_string(),
+            }),
+            cache: None,
+        };
+        let frames = [
+            WorkerFrame::Hello {
+                protocol: DIST_PROTOCOL,
+                slots: 2,
+                name: "worker-0\nline".to_string(),
+            },
+            WorkerFrame::JobDone {
+                seq: 12,
+                record: sample_ok_record(),
+            },
+            WorkerFrame::JobDone {
+                seq: 13,
+                record: failed,
+            },
+            WorkerFrame::JobFailed {
+                seq: 14,
+                message: "assignment references job 99 of 28".to_string(),
+            },
+            WorkerFrame::Heartbeat,
+        ];
+        for frame in frames {
+            let line = frame.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(WorkerFrame::decode(&line).expect("decodes"), frame);
+        }
+    }
+
+    #[test]
+    fn job_records_cross_the_wire_bit_identically() {
+        // A structured flow error crosses as its rendered message and must
+        // render identically on the coordinator side.
+        let original = CoreError::Pass {
+            pass: "TBSZ".to_string(),
+            source: Box::new(CoreError::BufferBudget {
+                budget_ff: 900.0,
+                budget_pct: 90.0,
+            }),
+        };
+        let record = JobRecord {
+            benchmark: "r3".to_string(),
+            tool: "contango".to_string(),
+            sinks: 862,
+            outcome: Err(original.clone()),
+            cache: None,
+        };
+        let line = WorkerFrame::JobDone { seq: 1, record }.encode();
+        let WorkerFrame::JobDone { record, .. } = WorkerFrame::decode(&line).expect("decodes")
+        else {
+            panic!("wrong frame");
+        };
+        let remote = record.outcome.expect_err("error outcome survives");
+        assert_eq!(remote.to_string(), original.to_string());
+
+        // Floats survive encode -> decode -> re-encode byte-identically.
+        let first = WorkerFrame::JobDone {
+            seq: 2,
+            record: sample_ok_record(),
+        }
+        .encode();
+        let reencoded = WorkerFrame::decode(&first).expect("decodes").encode();
+        assert_eq!(first, reencoded);
+    }
+
+    #[test]
+    fn coord_frames_round_trip() {
+        let frames = [
+            CoordFrame::Init {
+                protocol: DIST_PROTOCOL,
+                manifest: "suite ispd09\nprofile fast\n".to_string(),
+            },
+            CoordFrame::Assign { seq: 7, job: 3 },
+            CoordFrame::Drain,
+        ];
+        for frame in frames {
+            let line = frame.encode();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(CoordFrame::decode(&line).expect("decodes"), frame);
+        }
+    }
+
+    #[test]
+    fn dist_frames_reject_garbage_with_typed_errors() {
+        for line in [
+            "",
+            "{\"frame\":\"hello\"",
+            "[1,2]",
+            r#"{"frame":"explode"}"#,
+            r#"{"frame":"hello","protocol":-1,"slots":2,"name":"w"}"#,
+            r#"{"frame":"job-done","seq":1}"#,
+            r#"{"frame":"job-done","seq":1,"record":{"benchmark":"b","tool":"t","sinks":1,"status":"what"}}"#,
+            r#"{"frame":"job-done","seq":1,"record":{"benchmark":"b","tool":"t","sinks":1,"status":"ok"}}"#,
+        ] {
+            assert!(WorkerFrame::decode(line).is_err(), "{line}");
+        }
+        for line in ["", r#"{"frame":"assign","seq":1}"#, r#"{"frame":7}"#] {
+            assert!(CoordFrame::decode(line).is_err(), "{line}");
         }
     }
 

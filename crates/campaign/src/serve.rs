@@ -61,6 +61,18 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// How long the nonblocking acceptor sleeps when no connection is pending.
 const ACCEPT_INTERVAL: Duration = Duration::from_millis(2);
 
+/// Bounded number of TCP connect attempts the client makes before a
+/// refused/reset connection error is surfaced to the caller.
+const CONNECT_ATTEMPTS: u32 = 5;
+
+/// Client backoff before the second connect attempt; doubles after every
+/// failed retry (20, 40, 80, 160 ms across [`CONNECT_ATTEMPTS`]).
+const CONNECT_BACKOFF: Duration = Duration::from_millis(20);
+
+/// How many times a convenience-call round trip is resent on a fresh
+/// connection after the transport drops mid-request.
+const REQUEST_RETRIES: u32 = 2;
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -513,29 +525,144 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Client-side retry counters, surfaced by [`Client::stats`].
+///
+/// A daemon restart or a dropped connection shows up here instead of as a
+/// hard error: the client backs off and reconnects a bounded number of
+/// times before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientStats {
+    /// Connect attempts beyond the first, summed over every connection
+    /// this client established (initial connect and reconnects alike).
+    pub connect_retries: u64,
+    /// Convenience-call round trips that were resent on a fresh connection
+    /// after the server dropped the transport mid-request.
+    pub request_retries: u64,
+}
+
+/// Connects with bounded backoff: `ConnectionRefused`/`ConnectionReset`
+/// (the daemon is restarting, or its listen backlog overflowed) retries up
+/// to [`CONNECT_ATTEMPTS`] times with a doubling delay; any other failure
+/// is immediate. `retries` accumulates attempts beyond the first.
+fn connect_with_backoff(addrs: &[SocketAddr], retries: &mut u64) -> io::Result<TcpStream> {
+    let mut backoff = CONNECT_BACKOFF;
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match TcpStream::connect(addrs) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if attempt < CONNECT_ATTEMPTS
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionRefused | io::ErrorKind::ConnectionReset
+                    ) =>
+            {
+                *retries += 1;
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Did this failure kill the transport (as opposed to the request)? Only
+/// these are worth a reconnect-and-resend; a typed protocol error would
+/// fail identically on a fresh connection.
+fn transport_dropped(error: &ClientError) -> bool {
+    match error {
+        ClientError::Closed => true,
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+        ),
+        ClientError::Protocol(_) => false,
+    }
+}
+
 /// A blocking NDJSON client for the daemon. One request in flight per call
 /// with the convenience methods; use [`Client::send`]/[`Client::recv`]
 /// directly to pipeline (responses carry ids for matching).
+///
+/// The convenience methods ride out transient transport failures: a
+/// refused or reset connect backs off and retries a bounded number of
+/// times, and a connection dropped mid-request is re-established and the
+/// request resent (at most twice) instead of failing
+/// the call. [`Client::stats`] reports how often either happened. Raw
+/// [`Client::send`]/[`Client::recv`] never retry — a pipelining caller
+/// owns its own in-flight accounting.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Resolved once at [`Client::connect`] so reconnects cannot flap
+    /// between DNS answers.
+    addrs: Vec<SocketAddr>,
     next_id: u64,
+    connect_retries: u64,
+    request_retries: u64,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon, retrying with bounded backoff while
+    /// the connection is refused or reset (a daemon still binding its
+    /// socket, or restarting).
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
+    /// Propagates connection failures once the retry budget is spent, and
+    /// address-resolution failures immediately.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut connect_retries = 0;
+        let stream = connect_with_backoff(&addrs, &mut connect_retries)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            addrs,
             next_id: 0,
+            connect_retries,
+            request_retries: 0,
         })
+    }
+
+    /// Retry counters accumulated over this client's lifetime.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            connect_retries: self.connect_retries,
+            request_retries: self.request_retries,
+        }
+    }
+
+    /// Replaces the transport with a fresh connection to the original
+    /// address (with the same bounded connect backoff).
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = connect_with_backoff(&self.addrs, &mut self.connect_retries)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
+    }
+
+    /// One request, one response — resent on a fresh connection when the
+    /// transport drops mid-flight. The id is fixed before the first send,
+    /// so a resend is byte-identical and the response still matches.
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut resends = 0;
+        loop {
+            match self.send(request).and_then(|()| self.recv()) {
+                Ok(response) => return Ok(response),
+                Err(e) if resends < REQUEST_RETRIES && transport_dropped(&e) => {
+                    resends += 1;
+                    self.request_retries += 1;
+                    self.reconnect()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The next auto-assigned request id.
@@ -579,12 +706,13 @@ impl Client {
     }
 
     /// Runs a manifest on the server and returns the response (either
-    /// `RunOk` or a typed `Error` frame).
+    /// `RunOk` or a typed `Error` frame), reconnecting and resending if
+    /// the transport drops mid-request.
     ///
     /// # Errors
     ///
-    /// Transport failures only; server-side request failures come back as
-    /// [`Response::Error`].
+    /// Transport failures only (after the retry budget is spent);
+    /// server-side request failures come back as [`Response::Error`].
     pub fn run_manifest(
         &mut self,
         manifest: &str,
@@ -592,43 +720,40 @@ impl Client {
         format: TableFormat,
     ) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        self.send(&Request {
+        self.roundtrip(&Request {
             id,
             body: RequestBody::Run {
                 manifest: manifest.to_string(),
                 report,
                 format,
             },
-        })?;
-        self.recv()
+        })
     }
 
     /// Pings the server.
     ///
     /// # Errors
     ///
-    /// Transport failures only.
+    /// Transport failures only (after the retry budget is spent).
     pub fn ping(&mut self) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        self.send(&Request {
+        self.roundtrip(&Request {
             id,
             body: RequestBody::Ping,
-        })?;
-        self.recv()
+        })
     }
 
     /// Asks the server to drain and stop.
     ///
     /// # Errors
     ///
-    /// Transport failures only.
+    /// Transport failures only (after the retry budget is spent).
     pub fn shutdown(&mut self) -> Result<Response, ClientError> {
         let id = self.fresh_id();
-        self.send(&Request {
+        self.roundtrip(&Request {
             id,
             body: RequestBody::Shutdown,
-        })?;
-        self.recv()
+        })
     }
 }
 
@@ -769,6 +894,66 @@ mod tests {
         let summary = handle.join().expect("server thread");
         assert_eq!(summary.errors, 3);
         assert_eq!(summary.completed, 0);
+    }
+
+    #[test]
+    fn connect_retries_with_backoff_until_the_server_binds() {
+        // Pick a port the kernel considers free, release it, then bind it
+        // again only after the client has started knocking.
+        let probe = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        let addr = probe.local_addr().expect("probe addr");
+        drop(probe);
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let listener = TcpListener::bind(addr).expect("late bind");
+            let _conn = listener.accept().expect("accept");
+        });
+        let client = Client::connect(addr).expect("connect after retries");
+        let stats = client.stats();
+        assert!(stats.connect_retries > 0, "{stats:?}");
+        assert_eq!(stats.request_retries, 0);
+        server.join().expect("late-binding server");
+    }
+
+    #[test]
+    fn round_trips_resend_on_a_fresh_connection_after_a_drop() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: hang up without answering anything.
+            let (first, _) = listener.accept().expect("accept first");
+            drop(first);
+            // Second connection: answer the resent request properly.
+            let (mut conn, _) = listener.accept().expect("accept second");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request");
+            let request = Request::decode(line.trim()).expect("decode request");
+            let mut frame = Response::Pong {
+                id: request.id,
+                workers: 1,
+                queue_capacity: 7,
+            }
+            .encode();
+            frame.push('\n');
+            conn.write_all(frame.as_bytes()).expect("write response");
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let pong = client.ping().expect("ping survives the dropped connection");
+        assert!(
+            matches!(
+                pong,
+                Response::Pong {
+                    workers: 1,
+                    queue_capacity: 7,
+                    ..
+                }
+            ),
+            "{pong:?}"
+        );
+        let stats = client.stats();
+        assert_eq!(stats.request_retries, 1, "{stats:?}");
+        server.join().expect("fake server");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! filesystem or spawning processes.
 
 use contango_baselines::BaselineKind;
+use contango_campaign::{ChaosConfig, DispatchMode};
 use contango_core::flow::FlowStage;
 use contango_core::topology::TopologyKind;
 use contango_sim::DelayModel;
@@ -49,6 +50,8 @@ pub enum ArgError {
     },
     /// `generate` needs exactly one of `--suite` and `--ti`.
     GenerateSourceConflict,
+    /// `worker` needs exactly one of `--connect` and `--pipe`.
+    WorkerTransportConflict,
     /// `--stages`/`--skip` named something that is not a flow stage.
     UnknownStage(String),
     /// `--stages` was given without naming any stage.
@@ -89,6 +92,12 @@ impl fmt::Display for ArgError {
             }
             ArgError::GenerateSourceConflict => {
                 write!(f, "generate needs exactly one of --suite or --ti <sinks>")
+            }
+            ArgError::WorkerTransportConflict => {
+                write!(
+                    f,
+                    "worker needs exactly one of --connect HOST:PORT or --pipe"
+                )
             }
             ArgError::UnknownStage(stage) => write!(
                 f,
@@ -210,6 +219,13 @@ pub enum Command {
         baselines: Vec<BaselineKind>,
         /// Flow options (applied to the Contango runs).
         flow: FlowOptions,
+        /// Run the suite through the distributed coordinator with this
+        /// many worker processes (overrides a manifest `workers` key).
+        workers: Option<usize>,
+        /// How the coordinator finds its workers: spawn local pipe
+        /// processes, or listen for TCP connections (overrides a manifest
+        /// `dispatch` key).
+        dispatch: Option<DispatchMode>,
         /// What to print: aggregate tables or per-job JSONL.
         report: SuiteReport,
         /// Report format for the aggregate tables.
@@ -250,6 +266,28 @@ pub enum Command {
         /// Directory of the persistent cache store shared by the whole
         /// worker pool; `None` keeps the daemon memory-only.
         cache_dir: Option<String>,
+    },
+    /// Run one distributed-campaign worker process: connect to a
+    /// coordinator (or speak over stdin/stdout when spawned by one) and
+    /// run assigned jobs on warm engine sessions.
+    Worker {
+        /// Coordinator address to connect to over TCP.
+        connect: Option<String>,
+        /// Speak the coordinator protocol over stdin/stdout instead —
+        /// how `suite --workers N` spawns its local workers.
+        pipe: bool,
+        /// Runner threads, each holding one warm engine session (0 = one
+        /// per core).
+        threads: usize,
+        /// Persistent cache store to open when the shipped manifest does
+        /// not name one itself.
+        cache_dir: Option<String>,
+        /// Worker name reported to the coordinator (defaults to the
+        /// process id).
+        name: Option<String>,
+        /// Fault-injection spec (`kill:N`, `drop:N`, `stall:N`) for
+        /// tests and benchmarks; disabled by default.
+        chaos: ChaosConfig,
     },
     /// Send one request to a running daemon.
     Query {
@@ -297,10 +335,12 @@ USAGE:
                    [--baselines all|none|LABEL[,LABEL...]]
                    [--threads N] [--report table|jsonl] [--fast]
                    [--format text|markdown|csv] [--stages ...] [--skip ...]
-                   [--cache-dir DIR]
+                   [--cache-dir DIR] [--workers N] [--dispatch local|tcp:HOST:PORT]
   contango-cts spice-deck --instance <file> --solution <file> [--low-corner] --out <file>
   contango-cts serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
                    [--allow-file-instances] [--cache-dir DIR]
+  contango-cts worker (--connect HOST:PORT | --pipe) [--threads N]
+                   [--cache-dir DIR] [--name NAME]
   contango-cts query --addr HOST:PORT (--manifest <file> | --ping | --shutdown)
                    [--report table|jsonl] [--format text|markdown|csv]
   contango-cts help
@@ -335,6 +375,15 @@ USAGE:
   query talks to a running daemon: --manifest submits a manifest file and
   prints the response output (byte-identical to the offline suite run),
   --ping probes it, --shutdown drains and stops it.
+
+  suite --workers N runs the suite through the distributed coordinator:
+  N worker processes are spawned over pipes (--dispatch local, the
+  default) or awaited over TCP (--dispatch tcp:HOST:PORT, where workers
+  started with `worker --connect` check in). Dead workers are detected
+  by heartbeat and their jobs requeued; aggregate output stays
+  byte-identical to a serial in-process run for any worker count or
+  failure pattern. --workers/--dispatch may be combined with --manifest
+  and then override the manifest's own `workers`/`dispatch` keys.
 ";
 
 /// Parses an argument vector (excluding the program name).
@@ -355,10 +404,44 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         "suite" => parse_suite(&rest),
         "spice-deck" => parse_spice_deck(&rest),
         "serve" => parse_serve(&rest),
+        "worker" => parse_worker(&rest),
         "query" => parse_query(&rest),
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
+
+/// Every flag `suite` accepts. Declared upfront so did-you-mean
+/// suggestions draw on the whole subcommand-valid set — including flags
+/// the parser never got to ask about (e.g. on the `--manifest` early
+/// path) — and nothing outside it (`--queue-capacity` is a serve flag;
+/// suggesting it here would be noise).
+const SUITE_FLAGS: &[&str] = &[
+    "--manifest",
+    "--suite",
+    "--baselines",
+    "--fast",
+    "--large-inverters",
+    "--topology",
+    "--model",
+    "--stages",
+    "--skip",
+    "--threads",
+    "--cache-dir",
+    "--workers",
+    "--dispatch",
+    "--report",
+    "--format",
+];
+
+/// Every flag `worker` accepts.
+const WORKER_FLAGS: &[&str] = &[
+    "--connect",
+    "--pipe",
+    "--threads",
+    "--cache-dir",
+    "--name",
+    "--chaos",
+];
 
 /// Levenshtein edit distance, used for did-you-mean flag suggestions.
 /// Flag names are short, so the quadratic two-row DP is plenty.
@@ -411,6 +494,22 @@ impl<'a> Scanner<'a> {
         if !self.known.contains(&name) {
             self.known.push(name);
         }
+    }
+
+    /// Declares a subcommand's full flag set upfront, so a near-miss
+    /// suggestion can name any flag the command accepts — not just the
+    /// ones the parser happened to ask about before failing — and only
+    /// flags valid for this subcommand.
+    fn declare(&mut self, names: &[&'static str]) {
+        for &name in names {
+            self.learn(name);
+        }
+    }
+
+    /// Whether this flag is one the command accepts (exactly, not as a
+    /// near miss).
+    fn knows(&self, flag: &str) -> bool {
+        self.known.contains(&flag)
     }
 
     /// Returns `true` when the boolean flag is present.
@@ -680,22 +779,61 @@ fn parse_report(scan: &mut Scanner<'_>) -> Result<SuiteReport, ArgError> {
     })
 }
 
+/// Parses the `--dispatch` selection: `local` (spawn pipe workers) or
+/// `tcp:HOST:PORT` (listen for `worker --connect` processes).
+fn parse_dispatch(scan: &mut Scanner<'_>) -> Result<Option<DispatchMode>, ArgError> {
+    match scan.value("--dispatch")? {
+        None => Ok(None),
+        Some(v) if v == "local" => Ok(Some(DispatchMode::Local)),
+        Some(v) => match v.strip_prefix("tcp:") {
+            Some(addr) if !addr.is_empty() => Ok(Some(DispatchMode::Tcp(addr.to_string()))),
+            _ => Err(ArgError::InvalidValue {
+                flag: "--dispatch",
+                value: v,
+            }),
+        },
+    }
+}
+
 fn parse_suite(args: &[&str]) -> Result<Command, ArgError> {
     let mut scan = Scanner::new(args);
+    scan.declare(SUITE_FLAGS);
     let manifest = scan.value("--manifest")?;
     let report = parse_report(&mut scan)?;
     let format = parse_format(&mut scan)?;
+    let workers = scan
+        .value("--workers")?
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or(ArgError::InvalidValue {
+                    flag: "--workers",
+                    value: v,
+                })
+        })
+        .transpose()?;
+    let dispatch = parse_dispatch(&mut scan)?;
     if let Some(path) = manifest {
-        // The manifest is the whole description; leftover flags are a
-        // conflict, not extra configuration to merge in.
-        if let Some(extra) = scan.first_unused() {
-            return Err(ArgError::ManifestFlagConflict(extra.to_string()));
+        // The manifest is the whole description; a leftover *suite* flag
+        // is a conflict, not extra configuration to merge in. (The
+        // distribution overrides --workers/--dispatch, consumed above,
+        // are the exception: they layer on top of any manifest.) A flag
+        // the suite command does not accept at all is an unknown flag
+        // with a did-you-mean drawn from the suite flag set.
+        match scan.first_unused() {
+            Some(extra) if extra.starts_with("--") && scan.knows(extra) => {
+                return Err(ArgError::ManifestFlagConflict(extra.to_string()));
+            }
+            _ => scan.finish()?,
         }
         return Ok(Command::Suite {
             manifest: Some(path),
             suite: String::new(),
             baselines: Vec::new(),
             flow: FlowOptions::default(),
+            workers,
+            dispatch,
             report,
             format,
         });
@@ -718,8 +856,39 @@ fn parse_suite(args: &[&str]) -> Result<Command, ArgError> {
         suite,
         baselines,
         flow,
+        workers,
+        dispatch,
         report,
         format,
+    })
+}
+
+fn parse_worker(args: &[&str]) -> Result<Command, ArgError> {
+    let mut scan = Scanner::new(args);
+    scan.declare(WORKER_FLAGS);
+    let connect = scan.value("--connect")?;
+    let pipe = scan.flag("--pipe");
+    let threads = parse_usize("--threads", scan.value("--threads")?, 1)?;
+    let cache_dir = scan.value("--cache-dir")?;
+    let name = scan.value("--name")?;
+    let chaos = match scan.value("--chaos")? {
+        None => ChaosConfig::default(),
+        Some(spec) => ChaosConfig::parse(&spec).ok_or(ArgError::InvalidValue {
+            flag: "--chaos",
+            value: spec,
+        })?,
+    };
+    scan.finish()?;
+    if connect.is_some() == pipe {
+        return Err(ArgError::WorkerTransportConflict);
+    }
+    Ok(Command::Worker {
+        connect,
+        pipe,
+        threads,
+        cache_dir,
+        name,
+        chaos,
     })
 }
 
@@ -1128,6 +1297,8 @@ mod tests {
                 suite,
                 baselines,
                 flow,
+                workers,
+                dispatch,
                 report,
                 format,
             } => {
@@ -1136,6 +1307,8 @@ mod tests {
                 assert_eq!(baselines, BaselineKind::all().to_vec());
                 assert_eq!(flow.threads, 4);
                 assert!(flow.fast);
+                assert_eq!(workers, None);
+                assert_eq!(dispatch, None);
                 assert_eq!(report, SuiteReport::Jsonl);
                 assert_eq!(format, ReportFormat::Text);
             }
@@ -1298,6 +1471,201 @@ mod tests {
         let err =
             parse_args(&args(&["suite", "--manifest", "m", "--suite", "ispd09"])).unwrap_err();
         assert_eq!(err, ArgError::ManifestFlagConflict("--suite".to_string()));
+    }
+
+    #[test]
+    fn suite_workers_and_dispatch_parse_and_validate() {
+        let cmd =
+            parse_args(&args(&["suite", "--suite", "ispd09", "--workers", "4"])).expect("parses");
+        match cmd {
+            Command::Suite {
+                workers, dispatch, ..
+            } => {
+                assert_eq!(workers, Some(4));
+                assert_eq!(dispatch, None);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--dispatch",
+            "tcp:127.0.0.1:7979",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite { dispatch, .. } => {
+                assert_eq!(
+                    dispatch,
+                    Some(DispatchMode::Tcp("127.0.0.1:7979".to_string()))
+                );
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--dispatch",
+            "local",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite { dispatch, .. } => assert_eq!(dispatch, Some(DispatchMode::Local)),
+            other => panic!("unexpected command {other:?}"),
+        }
+        for bad in ["0", "two"] {
+            let err =
+                parse_args(&args(&["suite", "--suite", "ispd09", "--workers", bad])).unwrap_err();
+            assert_eq!(
+                err,
+                ArgError::InvalidValue {
+                    flag: "--workers",
+                    value: bad.to_string()
+                }
+            );
+        }
+        for bad in ["tcp:", "carrier-pigeon"] {
+            let err =
+                parse_args(&args(&["suite", "--suite", "ispd09", "--dispatch", bad])).unwrap_err();
+            assert_eq!(
+                err,
+                ArgError::InvalidValue {
+                    flag: "--dispatch",
+                    value: bad.to_string()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_overrides_combine_with_a_manifest() {
+        // --workers/--dispatch are overrides layered on top of any
+        // manifest, so they are exempt from the manifest/flag conflict.
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--manifest",
+            "exp.manifest",
+            "--workers",
+            "3",
+            "--dispatch",
+            "tcp:127.0.0.1:4781",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite {
+                manifest,
+                workers,
+                dispatch,
+                ..
+            } => {
+                assert_eq!(manifest.as_deref(), Some("exp.manifest"));
+                assert_eq!(workers, Some(3));
+                assert_eq!(
+                    dispatch,
+                    Some(DispatchMode::Tcp("127.0.0.1:4781".to_string()))
+                );
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suggestions_are_scoped_to_the_subcommand_flag_set() {
+        // A typo'd distribution flag next to --manifest is an unknown
+        // flag with a suggestion, not a manifest conflict (the real
+        // `--workers` is allowed there, so suggesting it is actionable).
+        let err = parse_args(&args(&["suite", "--manifest", "m", "--workes", "2"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                flag: "--workes".to_string(),
+                suggestion: Some("--workers".to_string()),
+            }
+        );
+        // The classic --workers/--threads confusion: `suite` accepts
+        // both, so a near miss of either suggests the right one...
+        let err = parse_args(&args(&["suite", "--suite", "ispd09", "--worker", "2"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                flag: "--worker".to_string(),
+                suggestion: Some("--workers".to_string()),
+            }
+        );
+        // ...but `run` accepts neither --workers nor anything close to
+        // it, so the same typo there gets no cross-command suggestion.
+        let err = parse_args(&args(&["run", "--input", "a.cns", "--workers", "2"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                flag: "--workers".to_string(),
+                suggestion: None,
+            }
+        );
+    }
+
+    #[test]
+    fn worker_parses_and_requires_exactly_one_transport() {
+        let cmd = parse_args(&args(&["worker", "--connect", "127.0.0.1:4781"])).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Worker {
+                connect: Some("127.0.0.1:4781".to_string()),
+                pipe: false,
+                threads: 1,
+                cache_dir: None,
+                name: None,
+                chaos: ChaosConfig::default(),
+            }
+        );
+        let cmd = parse_args(&args(&[
+            "worker",
+            "--pipe",
+            "--threads",
+            "2",
+            "--cache-dir",
+            "/tmp/store",
+            "--name",
+            "w0",
+            "--chaos",
+            "kill:3",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Worker {
+                connect,
+                pipe,
+                threads,
+                cache_dir,
+                name,
+                chaos,
+            } => {
+                assert_eq!(connect, None);
+                assert!(pipe);
+                assert_eq!(threads, 2);
+                assert_eq!(cache_dir.as_deref(), Some("/tmp/store"));
+                assert_eq!(name.as_deref(), Some("w0"));
+                assert_eq!(chaos.kill_after, Some(3));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        for bad in [
+            &["worker"][..],
+            &["worker", "--connect", "h:1", "--pipe"][..],
+        ] {
+            let err = parse_args(&args(bad)).unwrap_err();
+            assert_eq!(err, ArgError::WorkerTransportConflict, "{bad:?}");
+        }
+        let err = parse_args(&args(&["worker", "--pipe", "--chaos", "explode:9"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--chaos",
+                value: "explode:9".to_string()
+            }
+        );
     }
 
     #[test]

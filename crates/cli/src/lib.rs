@@ -14,6 +14,9 @@
 //! * `spice-deck` — emit a transient SPICE deck for external validation;
 //! * `serve` — run the synthesis daemon (warm engine sessions behind an
 //!   NDJSON TCP protocol, [`contango_campaign::serve`]);
+//! * `worker` — run one distributed-campaign worker process
+//!   ([`contango_campaign::worker`]), spawned over pipes by
+//!   `suite --workers N` or connected to a coordinator over TCP;
 //! * `query` — talk to a running daemon: submit a manifest file, ping, or
 //!   shut it down.
 //!
@@ -44,11 +47,13 @@ use contango_benchmarks::format::{parse_instance, write_instance};
 use contango_benchmarks::generator::{ispd09_suite, make_instance, ti_instance};
 use contango_benchmarks::report::{stage_table, Table};
 use contango_benchmarks::solution::{parse_solution, write_solution};
+use contango_campaign::dist::{self, DistConfig, DistError};
 use contango_campaign::manifest::{InstanceSource, Profile, TechnologyKind};
 use contango_campaign::output::suite_output;
+use contango_campaign::worker::{run_worker, WorkerConnection, WorkerError};
 use contango_campaign::{
-    Campaign, Client, ClientError, Job, JobRecord, Manifest, ManifestError, ReportKind, Response,
-    ServeConfig, Server, TableFormat,
+    Campaign, ChaosConfig, Client, ClientError, DispatchMode, Job, JobRecord, Manifest,
+    ManifestError, ReportKind, Response, ServeConfig, Server, TableFormat, WorkerConfig,
 };
 use contango_core::error::CoreError;
 use contango_core::flow::{ContangoFlow, FlowConfig, FlowResult, StageSnapshot};
@@ -62,6 +67,7 @@ use contango_tech::Technology;
 use std::fmt;
 use std::fs;
 use std::io;
+use std::net::TcpStream;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -121,6 +127,14 @@ pub enum CliError {
         /// The underlying manifest problem.
         source: ManifestError,
     },
+    /// The distributed campaign failed at the infrastructure level:
+    /// workers could not be spawned or awaited, the pool died out, or a
+    /// job exhausted its retry budget. (Job-level flow errors are
+    /// [`CliError::SuiteFailures`], exactly as in-process.)
+    Dist {
+        /// The rendered coordinator or worker failure.
+        message: String,
+    },
     /// Talking to the daemon failed at the transport level.
     Connection {
         /// The daemon address.
@@ -158,6 +172,7 @@ impl fmt::Display for CliError {
                 Some(path) => write!(f, "{path}: {source}"),
                 None => source.fmt(f),
             },
+            CliError::Dist { message } => write!(f, "distributed campaign failed: {message}"),
             CliError::Connection { addr, message } => {
                 write!(f, "cannot reach server at `{addr}`: {message}")
             }
@@ -177,6 +192,7 @@ impl std::error::Error for CliError {
             CliError::Io { .. }
             | CliError::SinkMismatch { .. }
             | CliError::SuiteFailures { .. }
+            | CliError::Dist { .. }
             | CliError::Connection { .. }
             | CliError::Server { .. } => None,
         }
@@ -255,9 +271,20 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             suite: name,
             baselines,
             flow,
+            workers,
+            dispatch,
             report,
             format,
-        } => suite(manifest.as_deref(), name, baselines, flow, *report, *format),
+        } => suite(
+            manifest.as_deref(),
+            name,
+            baselines,
+            flow,
+            *workers,
+            dispatch.as_ref(),
+            *report,
+            *format,
+        ),
         Command::Compare {
             input,
             flow,
@@ -281,6 +308,20 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             *queue_capacity,
             *allow_file_instances,
             cache_dir.as_deref(),
+        ),
+        Command::Worker {
+            connect,
+            pipe: _,
+            threads,
+            cache_dir,
+            name,
+            chaos,
+        } => worker(
+            connect.as_deref(),
+            *threads,
+            cache_dir.as_deref(),
+            name.as_deref(),
+            *chaos,
         ),
         Command::Query {
             addr,
@@ -335,6 +376,8 @@ pub fn manifest_from_options(options: &FlowOptions) -> Manifest {
         baselines: Vec::new(),
         threads: options.threads,
         cache_dir: options.cache_dir.clone(),
+        workers: None,
+        dispatch: DispatchMode::Local,
     }
 }
 
@@ -601,16 +644,30 @@ fn suite_manifest(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn suite(
     manifest_path: Option<&str>,
     name: &str,
     baselines: &[BaselineKind],
     options: &FlowOptions,
+    workers: Option<usize>,
+    dispatch: Option<&DispatchMode>,
     report: SuiteReport,
     format: ReportFormat,
 ) -> Result<String, CliError> {
-    let manifest = suite_manifest(manifest_path, name, baselines, options)?;
+    let mut manifest = suite_manifest(manifest_path, name, baselines, options)?;
+    // The CLI distribution flags layer on top of whatever the manifest
+    // says (they are the only suite flags allowed next to --manifest).
+    if let Some(n) = workers {
+        manifest.workers = Some(n);
+    }
+    if let Some(mode) = dispatch {
+        manifest.dispatch = mode.clone();
+    }
     let label = manifest_path.unwrap_or(name);
+    if manifest.workers.is_some() || manifest.dispatch != DispatchMode::Local {
+        return suite_distributed(&manifest, manifest_path, label, report, format);
+    }
     let campaign = manifest.compile().map_err(|source| CliError::Manifest {
         path: manifest_path.map(str::to_string),
         source,
@@ -636,6 +693,126 @@ fn suite(
         });
     }
     Ok(output)
+}
+
+/// Runs a suite through the distributed coordinator
+/// ([`contango_campaign::dist`]): local pipe workers are re-executions of
+/// this very binary as `worker --pipe`; `dispatch tcp:ADDR` listens for
+/// `worker --connect` processes instead. Output is byte-identical to the
+/// in-process path above for any worker count or failure pattern.
+fn suite_distributed(
+    manifest: &Manifest,
+    manifest_path: Option<&str>,
+    label: &str,
+    report: SuiteReport,
+    format: ReportFormat,
+) -> Result<String, CliError> {
+    let manifest_error = |source| CliError::Manifest {
+        path: manifest_path.map(str::to_string),
+        source,
+    };
+    let mut config = DistConfig::default();
+    match &manifest.dispatch {
+        DispatchMode::Local => {
+            let exe = std::env::current_exe()
+                .map_err(io_error("locate", "the current executable"))?
+                .to_string_lossy()
+                .into_owned();
+            config.workers = manifest.workers.unwrap_or(1);
+            config.spawn_command = Some(vec![
+                exe,
+                "worker".to_string(),
+                "--pipe".to_string(),
+                "--name".to_string(),
+                "local".to_string(),
+            ]);
+        }
+        DispatchMode::Tcp(addr) => {
+            config.listen = Some(addr.clone());
+        }
+    }
+    // Count the jobs upfront for the progress stream (the coordinator
+    // compiles the same plan itself; job construction is deterministic).
+    let mut plan = manifest.clone();
+    plan.cache_dir = None;
+    let total = plan.compile().map_err(manifest_error)?.len();
+    let (result, summary) = dist::run_manifest(manifest, &config, campaign_progress(label, total))
+        .map_err(|e| match e {
+            DistError::Manifest(source) => manifest_error(source),
+            other => CliError::Dist {
+                message: other.to_string(),
+            },
+        })?;
+    eprintln!(
+        "[{label}] pool: {joined} workers joined, {lost} lost, {requeues} jobs requeued",
+        joined = summary.workers_joined,
+        lost = summary.workers_lost,
+        requeues = summary.requeues,
+    );
+    if result.records.iter().any(|r| r.cache.is_some()) {
+        eprint!("{}", result.cache_table().to_text());
+    }
+    let output = suite_output(&result, report_kind(report), table_format(format));
+    let failed = result.failures().len();
+    if failed > 0 {
+        return Err(CliError::SuiteFailures {
+            failed,
+            total,
+            output,
+        });
+    }
+    Ok(output)
+}
+
+/// Runs one worker process until its coordinator drains it or the
+/// connection closes. Everything user-visible goes to stderr: a pipe
+/// worker's stdout IS the frame channel, and even over TCP the summary is
+/// operational logging, not report output.
+fn worker(
+    connect: Option<&str>,
+    threads: usize,
+    cache_dir: Option<&str>,
+    name: Option<&str>,
+    chaos: ChaosConfig,
+) -> Result<String, CliError> {
+    let config = WorkerConfig {
+        slots: threads,
+        name: name.map_or_else(|| format!("worker-{}", std::process::id()), str::to_string),
+        cache_dir: cache_dir.map(str::to_string),
+        chaos,
+        ..WorkerConfig::default()
+    };
+    let connection = match connect {
+        Some(addr) => {
+            let tcp_error = |e: io::Error| CliError::Connection {
+                addr: addr.to_string(),
+                message: e.to_string(),
+            };
+            let stream = TcpStream::connect(addr).map_err(tcp_error)?;
+            WorkerConnection::tcp(stream).map_err(tcp_error)?
+        }
+        // Spawned over pipes: chaos kills must take the whole process
+        // down, because exiting is the only way to abruptly close a pipe
+        // transport from inside it.
+        None => WorkerConnection::with_closer(io::stdin(), io::stdout(), || std::process::exit(0)),
+    };
+    let summary = run_worker(connection, &config).map_err(|e| match e {
+        WorkerError::Manifest(source) => CliError::Manifest { path: None, source },
+        other => CliError::Dist {
+            message: other.to_string(),
+        },
+    })?;
+    eprintln!(
+        "[{name}] {jobs} jobs done, {how}",
+        name = config.name,
+        jobs = summary.jobs_done,
+        how = if summary.drained {
+            "drained cleanly"
+        } else {
+            "connection closed"
+        },
+    );
+    Ok(String::new())
 }
 
 fn serve(

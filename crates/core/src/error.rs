@@ -158,6 +158,14 @@ pub enum CoreError {
         /// Sinks in the instance.
         expected: usize,
     },
+    /// A failure that happened in another process and crossed a process
+    /// boundary as its rendered message. The structured variant is lost in
+    /// transit, but the message is carried verbatim so failure tables and
+    /// JSONL reports stay byte-identical to an in-process run.
+    Remote {
+        /// The remote error's `Display` output, verbatim.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -184,6 +192,7 @@ impl fmt::Display for CoreError {
                 "pipeline produced a tree driving {driven} of {expected} sinks \
                  (is the construction pass missing?)"
             ),
+            CoreError::Remote { message } => f.write_str(message),
         }
     }
 }
@@ -198,7 +207,8 @@ impl std::error::Error for CoreError {
             CoreError::BufferBudget { .. }
             | CoreError::EmptyPipeline
             | CoreError::UnknownPass { .. }
-            | CoreError::MissingSinks { .. } => None,
+            | CoreError::MissingSinks { .. }
+            | CoreError::Remote { .. } => None,
         }
     }
 }
@@ -249,6 +259,20 @@ mod tests {
         };
         assert_eq!(err.to_string(), "pass INITIAL: instance has no sinks");
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn remote_errors_print_their_message_verbatim() {
+        use std::error::Error as _;
+        let original = CoreError::Pass {
+            pass: "INITIAL".to_string(),
+            source: Box::new(CoreError::Instance(InstanceError::NoSinks)),
+        };
+        let remote = CoreError::Remote {
+            message: original.to_string(),
+        };
+        assert_eq!(remote.to_string(), original.to_string());
+        assert!(remote.source().is_none());
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //!   baseline comparisons and ablation sweeps over a deterministic worker
 //!   pool), plus the service layer: declarative
 //!   [`Manifest`](prelude::Manifest)s, the NDJSON wire
-//!   [`protocol`](contango_campaign::protocol) and the
+//!   [`protocol`](contango_campaign::protocol), the
 //!   [`serve`](contango_campaign::serve) daemon with its blocking
-//!   [`Client`](prelude::Client).
+//!   [`Client`](prelude::Client), and the distributed campaign runner
+//!   ([`dist`](contango_campaign::dist) coordinator /
+//!   [`worker`](contango_campaign::worker) processes) with failure
+//!   detection and byte-identical aggregation.
 //!
 //! For everyday use, `use contango::prelude::*;` pulls in the flow, the
 //! pipeline API and the common data types in one line.
@@ -66,9 +69,11 @@ pub use contango_tech::Technology;
 /// ```
 pub mod prelude {
     pub use contango_campaign::{
-        Campaign, CampaignResult, Client, ClientError, InstanceSource, Job, JobRecord, Manifest,
+        Campaign, CampaignResult, ChaosConfig, Client, ClientError, ClientStats, CoordFrame,
+        DispatchMode, DistConfig, DistError, DistSummary, InstanceSource, Job, JobRecord, Manifest,
         ManifestError, ReportKind, Request, RequestBody, RequestId, Response, ServeConfig,
-        ServeSummary, Server, ServerError, TableFormat,
+        ServeSummary, Server, ServerError, TableFormat, WorkerConfig, WorkerConnection,
+        WorkerError, WorkerFrame, WorkerSummary,
     };
     pub use contango_core::construct::{ConstructArena, ParallelConfig};
     pub use contango_core::error::{CoreError, InstanceError, TreeError};

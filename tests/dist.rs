@@ -1,0 +1,291 @@
+//! Integration tests for the distributed campaign runner: the coordinator
+//! plus real TCP workers must reproduce the serial in-process aggregate
+//! byte for byte at every worker count, under shuffled join orders and
+//! injected failures (kill/drop/stall), and a job that keeps failing must
+//! abandon the run loudly instead of fabricating records.
+
+use contango::campaign::dist::{self, DistConfig, DistError, DistSummary};
+use contango::campaign::output::suite_output;
+use contango::campaign::worker::{run_worker, WorkerConfig, WorkerConnection};
+use contango::prelude::*;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Two TI-style instances crossed with one baseline: four jobs, enough to
+/// spread across a pool while staying quick under the fast profile.
+const MANIFEST: &str = "\
+instance ti:6
+instance ti:9:7
+profile fast
+model elmore
+skip BWSN
+baselines dme-no-tuning
+threads 2
+";
+
+/// A two-job manifest for the churn property, where every proptest case
+/// pays for a full campaign.
+const SMALL_MANIFEST: &str = "\
+instance ti:6
+instance ti:9:7
+profile fast
+model elmore
+skip BWSN
+";
+
+/// Picks a free TCP port by binding port 0 and releasing it; the
+/// coordinator binds the same address inside `run_manifest` moments later.
+fn free_addr() -> String {
+    let probe = TcpListener::bind("127.0.0.1:0").expect("probe port");
+    let addr = probe.local_addr().expect("probe addr");
+    drop(probe);
+    addr.to_string()
+}
+
+/// Connects to the coordinator, retrying while it is still binding.
+/// Returns `None` once `over` is set: a late worker may find the whole
+/// campaign already finished and the listener gone, which is not an error.
+fn connect_retry(addr: &str, over: &AtomicBool) -> Option<TcpStream> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if over.load(Ordering::Relaxed) {
+            return None;
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Some(stream),
+            Err(e) if Instant::now() >= deadline => panic!("connect {addr}: {e}"),
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Runs `manifest` through a TCP coordinator with one worker thread per
+/// chaos entry, joining in list order with the given start delays.
+fn run_distributed(
+    manifest: &Manifest,
+    chaos: &[ChaosConfig],
+    delays: &[Duration],
+    heartbeat_timeout: Duration,
+) -> (CampaignResult, DistSummary) {
+    let addr = free_addr();
+    let config = DistConfig {
+        listen: Some(addr.clone()),
+        heartbeat_timeout,
+        ..DistConfig::default()
+    };
+    let over = AtomicBool::new(false);
+    thread::scope(|scope| {
+        let coordinator = scope.spawn(|| dist::run_manifest(manifest, &config, |_| {}));
+        for (index, &chaos) in chaos.iter().enumerate() {
+            let addr = addr.clone();
+            let delay = delays.get(index).copied().unwrap_or(Duration::ZERO);
+            let over = &over;
+            scope.spawn(move || {
+                thread::sleep(delay);
+                let Some(stream) = connect_retry(&addr, over) else {
+                    return;
+                };
+                let connection = WorkerConnection::tcp(stream).expect("clone tcp stream");
+                let config = WorkerConfig {
+                    slots: 1,
+                    name: format!("w{index}"),
+                    heartbeat: Duration::from_millis(50),
+                    chaos,
+                    ..WorkerConfig::default()
+                };
+                // Chaos-stricken workers exit with transport errors by
+                // design; the coordinator-side result is what's asserted.
+                let _ = run_worker(connection, &config);
+            });
+        }
+        let outcome = coordinator.join().expect("coordinator thread");
+        over.store(true, Ordering::Relaxed);
+        outcome.expect("distributed run")
+    })
+}
+
+/// Aggregates are byte-identical to the serial in-process run at worker
+/// counts 1, 2 and 4 — both the suite table and the JSONL document.
+#[test]
+fn aggregates_bit_identical_across_worker_counts() {
+    let manifest = Manifest::parse(MANIFEST).expect("parse manifest");
+    let serial = manifest.compile().expect("compile manifest").run();
+    let expected_table = suite_output(&serial, ReportKind::Table, TableFormat::Text);
+    let expected_jsonl = serial.to_jsonl();
+    for count in [1_usize, 2, 4] {
+        let pool = vec![ChaosConfig::default(); count];
+        let (result, summary) = run_distributed(&manifest, &pool, &[], Duration::from_secs(5));
+        // A worker may connect after the last job finished; it then never
+        // joins the pool, which is fine — but nobody may be *lost*.
+        assert!(
+            (1..=count).contains(&summary.workers_joined),
+            "joined {} of {count}",
+            summary.workers_joined
+        );
+        assert_eq!(
+            summary.workers_lost, 0,
+            "healthy pool of {count} lost workers"
+        );
+        assert_eq!(
+            suite_output(&result, ReportKind::Table, TableFormat::Text),
+            expected_table,
+            "suite table diverged from serial at {count} workers"
+        );
+        assert_eq!(
+            result.to_jsonl(),
+            expected_jsonl,
+            "JSONL diverged from serial at {count} workers"
+        );
+    }
+}
+
+/// A worker that drops its very first assignment on the floor and dies is
+/// detected, its job is requeued, and a late-joining healthy worker still
+/// reproduces the serial bytes with zero lost jobs.
+#[test]
+fn dropped_assignments_are_requeued_onto_surviving_workers() {
+    let manifest = Manifest::parse(SMALL_MANIFEST).expect("parse manifest");
+    let serial = manifest.compile().expect("compile manifest").run();
+    let pool = [
+        ChaosConfig {
+            drop_after: Some(0),
+            ..ChaosConfig::default()
+        },
+        ChaosConfig::default(),
+    ];
+    let delays = [Duration::ZERO, Duration::from_millis(100)];
+    let (result, summary) = run_distributed(&manifest, &pool, &delays, Duration::from_secs(5));
+    assert_eq!(summary.workers_joined, 2);
+    assert!(
+        summary.workers_lost >= 1,
+        "the dropper was never declared dead"
+    );
+    assert!(
+        summary.requeues >= 1,
+        "the dropped assignment was never requeued"
+    );
+    assert_eq!(result.to_jsonl(), serial.to_jsonl());
+    assert_eq!(
+        suite_output(&result, ReportKind::Table, TableFormat::Text),
+        suite_output(&serial, ReportKind::Table, TableFormat::Text),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// For any join order and any kill/drop/stall placement (with one
+    /// healthy worker guaranteed), the aggregate is byte-identical to the
+    /// serial run: failures cost time, never bytes.
+    #[test]
+    fn aggregates_survive_worker_churn(
+        faults in prop::collection::vec(0..4_usize, 1..4),
+        delay_ms in prop::collection::vec(0..60_usize, 1..4),
+        healthy_first in 0..2_usize,
+    ) {
+        let manifest = Manifest::parse(SMALL_MANIFEST).expect("parse manifest");
+        let serial = manifest.compile().expect("compile manifest").run();
+        let mut pool: Vec<ChaosConfig> = faults
+            .iter()
+            .map(|&f| match f {
+                1 => ChaosConfig { kill_after: Some(1), ..ChaosConfig::default() },
+                2 => ChaosConfig { drop_after: Some(0), ..ChaosConfig::default() },
+                3 => ChaosConfig { stall_after: Some(0), ..ChaosConfig::default() },
+                _ => ChaosConfig::default(),
+            })
+            .collect();
+        // At least one worker that outlives the whole job list.
+        if healthy_first == 0 {
+            pool.insert(0, ChaosConfig::default());
+        } else {
+            pool.push(ChaosConfig::default());
+        }
+        let delays: Vec<Duration> = delay_ms
+            .iter()
+            .map(|&ms| Duration::from_millis(ms as u64))
+            .collect();
+        let (result, summary) =
+            run_distributed(&manifest, &pool, &delays, Duration::from_millis(600));
+        prop_assert!(summary.workers_joined >= 1);
+        prop_assert_eq!(result.to_jsonl(), serial.to_jsonl());
+        prop_assert_eq!(
+            suite_output(&result, ReportKind::Table, TableFormat::Text),
+            suite_output(&serial, ReportKind::Table, TableFormat::Text)
+        );
+    }
+}
+
+/// A protocol-fluent saboteur that reports `job-failed` for every
+/// assignment exhausts the retry budget and fails the run with
+/// [`DistError::JobAbandoned`] — the coordinator never invents a record.
+#[test]
+fn jobs_exhausting_the_retry_budget_abandon_the_run() {
+    let manifest = Manifest::parse(SMALL_MANIFEST).expect("parse manifest");
+    let addr = free_addr();
+    let config = DistConfig {
+        listen: Some(addr.clone()),
+        retry_budget: 2,
+        heartbeat_timeout: Duration::from_secs(5),
+        ..DistConfig::default()
+    };
+    let error = thread::scope(|scope| {
+        let coordinator = scope.spawn(|| dist::run_manifest(&manifest, &config, |_| {}));
+        scope.spawn(|| {
+            let stream = connect_retry(&addr, &AtomicBool::new(false))
+                .expect("coordinator cannot finish without the saboteur");
+            let mut writer = stream.try_clone().expect("clone tcp stream");
+            let mut reader = BufReader::new(stream);
+            let hello = WorkerFrame::Hello {
+                protocol: contango::campaign::protocol::DIST_PROTOCOL,
+                slots: 1,
+                name: "saboteur".to_string(),
+            };
+            writer
+                .write_all(format!("{}\n", hello.encode()).as_bytes())
+                .expect("send hello");
+            let mut line = String::new();
+            loop {
+                line.clear();
+                // The coordinator closes the transport once the job is
+                // abandoned; any read or write failure is the exit signal.
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                let Ok(frame) = CoordFrame::decode(line.trim()) else {
+                    break;
+                };
+                match frame {
+                    CoordFrame::Assign { seq, .. } => {
+                        let refusal = WorkerFrame::JobFailed {
+                            seq,
+                            message: "saboteur refuses all work".to_string(),
+                        };
+                        if writer
+                            .write_all(format!("{}\n", refusal.encode()).as_bytes())
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    CoordFrame::Init { .. } => {}
+                    CoordFrame::Drain => break,
+                }
+            }
+        });
+        coordinator
+            .join()
+            .expect("coordinator thread")
+            .expect_err("a refused job must abandon the run")
+    });
+    match error {
+        DistError::JobAbandoned { attempts, .. } => {
+            assert!(attempts > config.retry_budget, "attempts: {attempts}");
+        }
+        other => panic!("expected JobAbandoned, got {other}"),
+    }
+}

@@ -70,6 +70,8 @@ proptest! {
         }
         let _ = Request::decode(&text);
         let _ = Response::decode(&text);
+        let _ = WorkerFrame::decode(&text);
+        let _ = CoordFrame::decode(&text);
     }
 
     /// Every malformed, truncated or garbage frame sent over the wire gets
@@ -201,6 +203,68 @@ fn interleaved_connections_get_matched_responses() {
             matches!(&response, Response::Pong { id: got, .. } if *got == RequestId::Number(id)),
             "expected pong for id {id}, got {response:?}"
         );
+    }
+}
+
+/// Every distributed-campaign frame survives an encode/decode round trip,
+/// and every torn prefix of its encoding decodes to a typed error — never
+/// a panic, never a bogus frame (the coordinator treats a torn frame as
+/// worker death, so the decoder must flag it reliably).
+#[test]
+fn dist_frames_round_trip_and_reject_every_torn_prefix() {
+    let worker_frames = [
+        WorkerFrame::Hello {
+            protocol: contango::campaign::protocol::DIST_PROTOCOL,
+            slots: 3,
+            name: "torn \"w\"\n1".to_string(),
+        },
+        WorkerFrame::JobDone {
+            seq: 41,
+            record: JobRecord {
+                benchmark: "ti-6".to_string(),
+                tool: "contango".to_string(),
+                sinks: 6,
+                outcome: Err(CoreError::Remote {
+                    message: "line1\nline2 \"quoted\"".to_string(),
+                }),
+                cache: None,
+            },
+        },
+        WorkerFrame::JobFailed {
+            seq: 42,
+            message: "no init\treceived".to_string(),
+        },
+        WorkerFrame::Heartbeat,
+    ];
+    for frame in &worker_frames {
+        let line = frame.encode();
+        assert_eq!(&WorkerFrame::decode(&line).expect("round trip"), frame);
+        for cut in 0..line.len() {
+            assert!(
+                WorkerFrame::decode(&line[..cut]).is_err(),
+                "torn prefix decoded as a frame: {:?}",
+                &line[..cut]
+            );
+        }
+    }
+    let coord_frames = [
+        CoordFrame::Init {
+            protocol: contango::campaign::protocol::DIST_PROTOCOL,
+            manifest: "instance ti:6\nprofile fast\n".to_string(),
+        },
+        CoordFrame::Assign { seq: 7, job: 2 },
+        CoordFrame::Drain,
+    ];
+    for frame in &coord_frames {
+        let line = frame.encode();
+        assert_eq!(&CoordFrame::decode(&line).expect("round trip"), frame);
+        for cut in 0..line.len() {
+            assert!(
+                CoordFrame::decode(&line[..cut]).is_err(),
+                "torn prefix decoded as a frame: {:?}",
+                &line[..cut]
+            );
+        }
     }
 }
 
