@@ -1,0 +1,157 @@
+//! Criterion benchmarks for the variation-aware campaign axes and the
+//! Pareto-frontier reduction: a multi-corner Monte-Carlo sweep run
+//! through the campaign executor, plus the raw sampler throughput.
+//!
+//! Besides the criterion group, the custom `main` writes `BENCH_9.json`
+//! at the repository root (sweep size, frontier size and dominated count,
+//! multi-corner suite wall-clock, Monte-Carlo samples/second) so the
+//! variation-campaign trajectory is recorded run-over-run. Determinism —
+//! the frontier bytes identical between 1 and 4 executor threads — is
+//! asserted before anything is timed.
+//!
+//! Set `CONTANGO_BENCH_QUICK=1` for a fast CI-smoke run.
+
+use contango_benchmarks::ti_instance;
+use contango_campaign::{
+    sweep_jobs, Campaign, CampaignResult, CornerKind, Frontier, Job, SweepAxes, VariationSpec,
+};
+use contango_core::flow::{ContangoFlow, FlowConfig};
+use contango_core::lower::to_netlist;
+use contango_sim::{monte_carlo_samples, DelayModel, Evaluator, VariationModel};
+use contango_tech::Technology;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::var("CONTANGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The benchmark's job matrix: two TI instances fanned out over the
+/// default sweep grid, every variant evaluated at all four corners with a
+/// seeded Monte-Carlo block — the full variation-aware campaign shape.
+fn sweep_suite(quick: bool) -> Vec<Job> {
+    let sizes: &[usize] = if quick { &[12, 16] } else { &[40, 60] };
+    let samples = if quick { 2 } else { 8 };
+    let tech = Technology::ispd09();
+    let mut jobs = Vec::new();
+    for &n in sizes {
+        let instance = ti_instance(n, 0xC0FFEE + n as u64);
+        let base = Job::contango(&tech, FlowConfig::fast(), &instance)
+            .with_corners(CornerKind::all().to_vec())
+            .with_variation(Some(VariationSpec {
+                model: VariationModel::typical_45nm(),
+                samples,
+                seed: 0xC0FFEE,
+            }));
+        jobs.extend(sweep_jobs(
+            &base,
+            &SweepAxes {
+                cap_scales: vec![1.0, 0.85],
+                skip_sets: vec![Vec::new(), vec!["BWSN".to_string()]],
+                large_inverters: vec![false],
+            },
+        ));
+    }
+    jobs
+}
+
+fn run_suite(jobs: &[Job], threads: usize) -> CampaignResult {
+    Campaign::new()
+        .threads(threads)
+        .extend(jobs.iter().cloned())
+        .run()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let quick = quick_mode();
+    let jobs = sweep_suite(quick);
+    let result = run_suite(&jobs, 4);
+    let mut group = c.benchmark_group("pareto");
+    group.sample_size(if quick { 2 } else { 5 });
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("multi_corner_sweep/{}", jobs.len())),
+        |b| b.iter(|| run_suite(&jobs, 4)),
+    );
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("frontier_reduce/{}", result.records.len())),
+        |b| b.iter(|| Frontier::of_result(&result)),
+    );
+    group.finish();
+}
+
+/// Times `iters` runs of `f` and returns the mean per-iteration seconds.
+fn mean_s(iters: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measures the multi-corner sweep and the raw sampler throughput outside
+/// criterion and records them in `BENCH_9.json` at the repository root.
+fn write_bench9() {
+    let quick = quick_mode();
+    let jobs = sweep_suite(quick);
+    let iters = if quick { 1 } else { 3 };
+
+    // Determinism insurance before timing: the frontier bytes must be
+    // identical between serial and sharded execution of the same sweep.
+    let serial = run_suite(&jobs, 1);
+    let sharded = run_suite(&jobs, 4);
+    assert!(
+        serial.records.iter().all(|r| r.outcome.is_ok()),
+        "benchmark sweep jobs must all succeed"
+    );
+    let frontier = Frontier::of_result(&serial);
+    assert_eq!(
+        Frontier::of_result(&sharded).to_jsonl(),
+        frontier.to_jsonl(),
+        "sharded sweep frontier diverged from the serial reference"
+    );
+    assert!(
+        !frontier.points.is_empty(),
+        "the sweep must land points on the frontier"
+    );
+
+    let sweep_s = mean_s(iters, || {
+        run_suite(&jobs, 4);
+    });
+
+    // Raw sampler throughput: Monte-Carlo samples of one synthesized
+    // netlist per second, measured on the Elmore evaluator.
+    let tech = Technology::ispd09();
+    let instance = ti_instance(if quick { 16 } else { 60 }, 0xC0FFEE);
+    let flow_result = ContangoFlow::new(tech.clone(), FlowConfig::fast())
+        .run(&instance)
+        .expect("flow runs");
+    let netlist =
+        to_netlist(&flow_result.tree, &tech, &instance.source_spec, 150.0).expect("netlist lowers");
+    let evaluator = Evaluator::with_model(tech, DelayModel::Elmore);
+    let model = VariationModel::typical_45nm();
+    let mc_samples = if quick { 32 } else { 256 };
+    let mc_s = mean_s(iters, || {
+        monte_carlo_samples(&evaluator, &netlist, &model, mc_samples, 0xC0FFEE);
+    });
+    let samples_per_s = mc_samples as f64 / mc_s;
+
+    let json = format!(
+        "{{\n  \"jobs\": {},\n  \"corners\": 4,\n  \"mc_samples_per_job\": {},\n  \
+         \"frontier_size\": {},\n  \"dominated\": {},\n  \"sweep_s\": {sweep_s:.3},\n  \
+         \"mc_samples_per_s\": {samples_per_s:.0},\n  \"quick\": {quick}\n}}\n",
+        jobs.len(),
+        if quick { 2 } else { 8 },
+        frontier.points.len(),
+        frontier.dominated,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::write(path, &json).expect("BENCH_9.json is writable");
+    println!("BENCH_9.json: {json}");
+}
+
+criterion_group!(benches, bench_pareto);
+
+fn main() {
+    benches();
+    write_bench9();
+}

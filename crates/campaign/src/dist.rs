@@ -584,7 +584,7 @@ impl Coordinator<'_> {
                     self.done[ji] = true;
                     self.done_count += 1;
                     (self.on_record)(&record);
-                    self.records[ji] = Some(record);
+                    self.records[ji] = Some(*record);
                 }
             }
             WorkerFrame::JobFailed { seq, .. } => {

@@ -9,7 +9,8 @@
 //! hand-rolled; floats use Rust's shortest round-trip `Display`, which is
 //! deterministic across runs and platforms.
 
-use crate::runner::JobRecord;
+use crate::runner::{CornerMetrics, JobRecord, VariationMetrics};
+use contango_sim::VariationModel;
 use std::fmt::Write as _;
 
 /// Escapes a string for a JSON string literal (quotes, backslashes and
@@ -34,6 +35,68 @@ fn push_str_field(out: &mut String, key: &str, value: &str) {
     let _ = write!(out, "\"{key}\":\"");
     escape_into(out, value);
     out.push('"');
+}
+
+/// Encodes a [`VariationModel`] as a JSON object. The vendored serde is a
+/// no-op stub, so this hand-rolled encoder (with the matching decoder in
+/// [`crate::protocol`]) is the model's real wire codec. Floats use
+/// shortest-round-trip `Display` like every other campaign float.
+pub(crate) fn variation_model_into(out: &mut String, model: &VariationModel) {
+    let _ = write!(
+        out,
+        "{{\"wire_res_sigma\":{},\"wire_cap_sigma\":{},\"buffer_res_sigma\":{},\
+         \"vdd_sigma\":{},\"spatial_correlation\":{}}}",
+        model.wire_res_sigma,
+        model.wire_cap_sigma,
+        model.buffer_res_sigma,
+        model.vdd_sigma,
+        model.spatial_correlation
+    );
+}
+
+/// Encodes the per-corner metrics array (omitted entirely when empty, so
+/// corner-less records stay byte-identical to older streams).
+pub(crate) fn corners_into(out: &mut String, corners: &[CornerMetrics]) {
+    if corners.is_empty() {
+        return;
+    }
+    out.push_str(",\"corners\":[");
+    for (i, c) in corners.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_str_field(out, "corner", &c.corner);
+        let _ = write!(
+            out,
+            ",\"clr\":{},\"skew\":{},\"max_latency\":{}}}",
+            c.clr, c.skew, c.max_latency
+        );
+    }
+    out.push(']');
+}
+
+/// Encodes the Monte-Carlo variation block (omitted when the job carried no
+/// variation axis).
+pub(crate) fn variation_into(out: &mut String, variation: &VariationMetrics) {
+    out.push_str(",\"variation\":{\"model\":");
+    variation_model_into(out, &variation.model);
+    let _ = write!(
+        out,
+        ",\"samples\":{},\"seed\":{},\"skews\":[",
+        variation.samples, variation.seed
+    );
+    for (i, skew) in variation.skews.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{skew}");
+    }
+    let _ = write!(
+        out,
+        "],\"worst_skew\":{},\"mean_skew\":{}}}",
+        variation.worst_skew, variation.mean_skew
+    );
 }
 
 /// Renders one job record as a single JSON object (no trailing newline).
@@ -67,6 +130,10 @@ pub fn record_line(record: &JobRecord) -> String {
                 );
             }
             out.push(']');
+            corners_into(&mut out, &metrics.corners);
+            if let Some(variation) = &metrics.variation {
+                variation_into(&mut out, variation);
+            }
         }
         Err(error) => {
             out.push_str(",\"status\":\"error\",");
@@ -124,6 +191,8 @@ mod tests {
                     wirelength: 2.0,
                     slew_violation: false,
                 }],
+                corners: Vec::new(),
+                variation: None,
             }),
             cache: None,
         };
@@ -134,6 +203,47 @@ mod tests {
         assert!(line.contains("\"clr_ps\":12.5"));
         assert!(line.contains("\"stages\":[{\"stage\":\"INITIAL\",\"clr_ps\":20,\"skew_ps\":5.5}]"));
         assert!(!line.contains("runtime"));
+        assert!(!line.contains("corners"));
+        assert!(!line.contains("variation"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn corner_and_variation_axes_extend_the_line_after_stages() {
+        let record = JobRecord {
+            benchmark: "b".to_string(),
+            tool: "contango".to_string(),
+            sinks: 10,
+            outcome: Ok(JobMetrics {
+                summary: summary(),
+                snapshots: Vec::new(),
+                corners: vec![CornerMetrics {
+                    corner: "slow".to_string(),
+                    clr: 14.25,
+                    skew: 0.5,
+                    max_latency: 320.0,
+                }],
+                variation: Some(VariationMetrics {
+                    samples: 2,
+                    seed: 7,
+                    model: VariationModel::typical_45nm(),
+                    skews: vec![0.25, 0.75],
+                    worst_skew: 0.75,
+                    mean_skew: 0.5,
+                }),
+            }),
+            cache: None,
+        };
+        let line = record_line(&record);
+        assert!(line.contains(
+            "\"stages\":[],\"corners\":[{\"corner\":\"slow\",\"clr\":14.25,\"skew\":0.5,\
+             \"max_latency\":320}]"
+        ));
+        assert!(line.contains(
+            "\"variation\":{\"model\":{\"wire_res_sigma\":0.05,\"wire_cap_sigma\":0.05,\
+             \"buffer_res_sigma\":0.08,\"vdd_sigma\":0.02,\"spatial_correlation\":0.5},\
+             \"samples\":2,\"seed\":7,\"skews\":[0.25,0.75],\"worst_skew\":0.75,\"mean_skew\":0.5}"
+        ));
         assert!(!line.contains('\n'));
     }
 

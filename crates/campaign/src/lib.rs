@@ -88,19 +88,23 @@ pub mod json;
 pub mod jsonl;
 pub mod manifest;
 pub mod output;
+pub mod pareto;
 pub mod protocol;
 pub mod runner;
 pub mod serve;
 pub mod worker;
 
 pub use dist::{DistConfig, DistError, DistSummary};
-pub use job::Job;
+pub use job::{CornerKind, Job, VariationSpec};
 pub use json::{JsonError, JsonValue};
 pub use manifest::{DispatchMode, InstanceSource, Manifest, ManifestError};
 pub use output::{ReportKind, TableFormat};
+pub use pareto::{sweep_jobs, Frontier, ParetoPoint, SweepAxes};
 pub use protocol::{
     CoordFrame, Request, RequestBody, RequestId, Response, ServerError, WorkerFrame,
 };
-pub use runner::{Campaign, CampaignResult, JobMetrics, JobRecord};
+pub use runner::{
+    Campaign, CampaignResult, CornerMetrics, JobMetrics, JobRecord, VariationMetrics,
+};
 pub use serve::{Client, ClientError, ClientStats, ServeConfig, ServeSummary, Server};
 pub use worker::{ChaosConfig, WorkerConfig, WorkerConnection, WorkerError, WorkerSummary};

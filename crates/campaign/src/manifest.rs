@@ -26,14 +26,14 @@
 //! every problem. See `docs/manifest.md` in the repository for the format
 //! reference.
 
-use crate::job::Job;
+use crate::job::{CornerKind, Job, VariationSpec};
 use crate::runner::Campaign;
 use contango_baselines::BaselineKind;
 use contango_core::construct::ParallelConfig;
 use contango_core::flow::{FlowConfig, FlowStage};
 use contango_core::instance::ClockNetInstance;
 use contango_core::topology::TopologyKind;
-use contango_sim::DelayModel;
+use contango_sim::{DelayModel, VariationModel};
 use contango_tech::Technology;
 use std::fmt;
 use std::fmt::Write as _;
@@ -41,6 +41,14 @@ use std::fmt::Write as _;
 /// Default seed for `instance ti:N` sources, matching the CLI's
 /// `generate --ti N` instances.
 const DEFAULT_TI_SEED: u64 = 45;
+
+/// Default Monte-Carlo sample count when a manifest declares a `variation`
+/// model without a `samples` key.
+pub const DEFAULT_SAMPLES: usize = 8;
+
+/// Default Monte-Carlo seed when a manifest declares a `variation` model
+/// without a `seed` key.
+pub const DEFAULT_VARIATION_SEED: u64 = 0xC0FFEE;
 
 /// Where a manifest's instances come from, in declaration order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,6 +142,21 @@ pub struct Manifest {
     /// How the coordinator finds its workers when `workers` is set
     /// (`dispatch local` or `dispatch tcp:HOST:PORT`).
     pub dispatch: DispatchMode,
+    /// Process/voltage corners every finished tree is re-evaluated at
+    /// (`corners slow,low-vdd` or `corners all`), in declaration order.
+    /// Empty = nominal-only; reports stay byte-identical to corner-less
+    /// manifests.
+    pub corners: Vec<CornerKind>,
+    /// Monte-Carlo variation model sampled on every finished tree
+    /// (`variation typical-45nm`, `variation none`, or five comma-separated
+    /// sigmas `wire-res,wire-cap,buffer-res,vdd,spatial-correlation`).
+    pub variation: Option<VariationModel>,
+    /// Monte-Carlo samples per job (`samples N`, N >= 1); only meaningful —
+    /// and only accepted — together with `variation`.
+    pub samples: usize,
+    /// Seed of the deterministic Monte-Carlo sampler (`seed N` or
+    /// `seed 0xHEX`); only accepted together with `variation`.
+    pub seed: u64,
 }
 
 impl Default for Manifest {
@@ -152,6 +175,10 @@ impl Default for Manifest {
             cache_dir: None,
             workers: None,
             dispatch: DispatchMode::Local,
+            corners: Vec::new(),
+            variation: None,
+            samples: DEFAULT_SAMPLES,
+            seed: DEFAULT_VARIATION_SEED,
         }
     }
 }
@@ -243,6 +270,13 @@ pub enum ManifestError {
         /// The instance-format error message.
         message: String,
     },
+    /// `samples` or `seed` without a `variation` model to sample.
+    VariationRequired {
+        /// 1-based line number of the orphaned key.
+        line: usize,
+        /// The orphaned key (`samples` or `seed`).
+        key: String,
+    },
 }
 
 impl fmt::Display for ManifestError {
@@ -294,6 +328,12 @@ impl fmt::Display for ManifestError {
             }
             ManifestError::Parse { path, message } => {
                 write!(f, "instance file `{path}`: {message}")
+            }
+            ManifestError::VariationRequired { line, key } => {
+                write!(
+                    f,
+                    "line {line}: `{key}` needs a `variation` model to sample"
+                )
             }
         }
     }
@@ -365,10 +405,7 @@ fn parse_source(line: usize, value: &str) -> Result<InstanceSource, ManifestErro
             .ok_or_else(invalid)?;
         let seed = match parts.next() {
             None => DEFAULT_TI_SEED,
-            Some(s) => match s.strip_prefix("0x") {
-                Some(hex) => u64::from_str_radix(hex, 16).map_err(|_| invalid())?,
-                None => s.parse::<u64>().map_err(|_| invalid())?,
-            },
+            Some(s) => parse_u64(s).ok_or_else(invalid)?,
         };
         Ok(InstanceSource::Ti { sinks, seed })
     } else if let Some(path) = value.strip_prefix("file:") {
@@ -378,6 +415,80 @@ fn parse_source(line: usize, value: &str) -> Result<InstanceSource, ManifestErro
         Ok(InstanceSource::File(path.to_string()))
     } else {
         Err(invalid())
+    }
+}
+
+/// Parses the `corners` value: `all`, `none`, or comma-separated
+/// [`CornerKind::label`]s (order kept, duplicates dropped).
+fn parse_corners(line: usize, value: &str) -> Result<Vec<CornerKind>, ManifestError> {
+    match value {
+        "all" => return Ok(CornerKind::all().to_vec()),
+        "none" => return Ok(Vec::new()),
+        _ => {}
+    }
+    let mut corners = Vec::new();
+    for raw in value.split(',') {
+        let token = raw.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let corner = CornerKind::from_label(token).ok_or(ManifestError::InvalidValue {
+            line,
+            key: "corners".to_string(),
+            value: token.to_string(),
+        })?;
+        if !corners.contains(&corner) {
+            corners.push(corner);
+        }
+    }
+    Ok(corners)
+}
+
+/// Parses the `variation` value: `none`, the `typical-45nm` preset, or five
+/// comma-separated sigmas
+/// `wire-res,wire-cap,buffer-res,vdd,spatial-correlation` (all
+/// non-negative and finite; the correlation at most 1).
+fn parse_variation(line: usize, value: &str) -> Result<Option<VariationModel>, ManifestError> {
+    let invalid = || ManifestError::InvalidValue {
+        line,
+        key: "variation".to_string(),
+        value: value.to_string(),
+    };
+    match value {
+        "none" => return Ok(None),
+        "typical-45nm" => return Ok(Some(VariationModel::typical_45nm())),
+        _ => {}
+    }
+    let parts: Vec<&str> = value.split(',').collect();
+    if parts.len() != 5 {
+        return Err(invalid());
+    }
+    let mut sigmas = [0.0f64; 5];
+    for (slot, raw) in sigmas.iter_mut().zip(&parts) {
+        *slot = raw
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(invalid)?;
+    }
+    if sigmas[4] > 1.0 {
+        return Err(invalid());
+    }
+    Ok(Some(VariationModel {
+        wire_res_sigma: sigmas[0],
+        wire_cap_sigma: sigmas[1],
+        buffer_res_sigma: sigmas[2],
+        vdd_sigma: sigmas[3],
+        spatial_correlation: sigmas[4],
+    }))
+}
+
+/// Parses a decimal or `0x`-prefixed hexadecimal `u64`.
+fn parse_u64(value: &str) -> Option<u64> {
+    match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => value.parse::<u64>().ok(),
     }
 }
 
@@ -403,6 +514,8 @@ impl Manifest {
     /// Returns a [`ManifestError`] naming the first offending line.
     pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
         let mut manifest = Manifest::default();
+        let mut samples_line = None;
+        let mut seed_line = None;
         let mut seen: Vec<&'static str> = Vec::new();
         let mut once = |line: usize, key: &'static str| -> Result<(), ManifestError> {
             if seen.contains(&key) {
@@ -524,6 +637,28 @@ impl Manifest {
                         .ok_or_else(|| invalid("workers"))?;
                     manifest.workers = Some(workers);
                 }
+                "corners" => {
+                    once(line, "corners")?;
+                    manifest.corners = parse_corners(line, value)?;
+                }
+                "variation" => {
+                    once(line, "variation")?;
+                    manifest.variation = parse_variation(line, value)?;
+                }
+                "samples" => {
+                    once(line, "samples")?;
+                    samples_line = Some(line);
+                    manifest.samples = value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| invalid("samples"))?;
+                }
+                "seed" => {
+                    once(line, "seed")?;
+                    seed_line = Some(line);
+                    manifest.seed = parse_u64(value).ok_or_else(|| invalid("seed"))?;
+                }
                 "dispatch" => {
                     once(line, "dispatch")?;
                     manifest.dispatch = if value == "local" {
@@ -543,6 +678,22 @@ impl Manifest {
                         key: key.to_string(),
                     })
                 }
+            }
+        }
+        if manifest.variation.is_none() {
+            // `samples`/`seed` configure the Monte-Carlo sampler; without a
+            // model they would silently do nothing, so reject them with the
+            // orphaned line.
+            let orphan = samples_line
+                .map(|line| (line, "samples"))
+                .into_iter()
+                .chain(seed_line.map(|line| (line, "seed")))
+                .min();
+            if let Some((line, key)) = orphan {
+                return Err(ManifestError::VariationRequired {
+                    line,
+                    key: key.to_string(),
+                });
             }
         }
         Ok(manifest)
@@ -602,6 +753,31 @@ impl Manifest {
         if self.large_inverters {
             let _ = writeln!(out, "large-inverters true");
         }
+        if !self.corners.is_empty() {
+            let labels: Vec<&str> = self.corners.iter().map(|c| c.label()).collect();
+            let _ = writeln!(out, "corners {}", labels.join(","));
+        }
+        if let Some(model) = &self.variation {
+            if *model == VariationModel::typical_45nm() {
+                let _ = writeln!(out, "variation typical-45nm");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "variation {},{},{},{},{}",
+                    model.wire_res_sigma,
+                    model.wire_cap_sigma,
+                    model.buffer_res_sigma,
+                    model.vdd_sigma,
+                    model.spatial_correlation
+                );
+            }
+            if self.samples != defaults.samples {
+                let _ = writeln!(out, "samples {}", self.samples);
+            }
+            if self.seed != defaults.seed {
+                let _ = writeln!(out, "seed {}", self.seed);
+            }
+        }
         if let Some(stages) = &self.stages {
             let _ = writeln!(out, "stages {}", stages.join(","));
         }
@@ -659,6 +835,19 @@ impl Manifest {
         Job::contango(&self.technology(), self.flow_config(), instance)
             .with_stages(self.stages.clone())
             .with_skip(self.skip.clone())
+            .with_corners(self.corners.clone())
+            .with_variation(self.variation_spec())
+    }
+
+    /// The Monte-Carlo variation axis the manifest implies, if any —
+    /// applied to Contango and baseline jobs alike so the whole matrix is
+    /// analyzed under the same sample population.
+    pub fn variation_spec(&self) -> Option<VariationSpec> {
+        self.variation.map(|model| VariationSpec {
+            model,
+            samples: self.samples,
+            seed: self.seed,
+        })
     }
 
     /// Resolves the manifest's sources into instances, in declaration
@@ -734,7 +923,11 @@ impl Manifest {
         for instance in self.instances(allow_files)? {
             campaign = campaign.push(self.job_for(&instance));
             for &kind in &self.baselines {
-                campaign = campaign.push(Job::baseline(kind, &tech, &instance));
+                campaign = campaign.push(
+                    Job::baseline(kind, &tech, &instance)
+                        .with_corners(self.corners.clone())
+                        .with_variation(self.variation_spec()),
+                );
             }
         }
         Ok(campaign)
@@ -882,6 +1075,141 @@ dispatch tcp:127.0.0.1:7979
             Manifest::parse("dispatch carrier-pigeon\n").unwrap_err(),
         ] {
             assert!(matches!(err, ManifestError::InvalidValue { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn variation_and_corner_keys_round_trip_canonically() {
+        let text = "\
+instance ti:50
+corners nominal,slow,low-vdd
+variation typical-45nm
+samples 12
+seed 99
+";
+        let m = Manifest::parse(text).expect("parses");
+        assert_eq!(
+            m.corners,
+            vec![CornerKind::Nominal, CornerKind::Slow, CornerKind::LowVdd]
+        );
+        assert_eq!(m.variation, Some(VariationModel::typical_45nm()));
+        assert_eq!(m.samples, 12);
+        assert_eq!(m.seed, 99);
+        assert_eq!(m.to_text(), text);
+        assert_eq!(Manifest::parse(&m.to_text()).expect("reparses"), m);
+
+        // An explicit sigma list renders back as the same five floats, and
+        // a hex seed canonicalizes to decimal.
+        let m = Manifest::parse(
+            "instance ti:50\ncorners all\nvariation 0.1,0.05,0,0.025,0.75\nseed 0xbeef\n",
+        )
+        .expect("parses");
+        assert_eq!(m.corners, CornerKind::all().to_vec());
+        assert_eq!(
+            m.variation,
+            Some(VariationModel {
+                wire_res_sigma: 0.1,
+                wire_cap_sigma: 0.05,
+                buffer_res_sigma: 0.0,
+                vdd_sigma: 0.025,
+                spatial_correlation: 0.75,
+            })
+        );
+        assert_eq!(
+            m.to_text(),
+            "instance ti:50\ncorners nominal,slow,fast,low-vdd\n\
+             variation 0.1,0.05,0,0.025,0.75\nseed 48879\n"
+        );
+        assert_eq!(Manifest::parse(&m.to_text()).expect("reparses"), m);
+
+        // `corners none` and `variation none` are the defaults and render
+        // away; default samples/seed render away too.
+        let m = Manifest::parse("instance ti:50\ncorners none\nvariation none\n").expect("parses");
+        assert_eq!(m, Manifest::parse("instance ti:50\n").expect("parses"));
+        assert_eq!(m.to_text(), "instance ti:50\n");
+        let m = Manifest::parse(&format!(
+            "instance ti:50\nvariation typical-45nm\nsamples {DEFAULT_SAMPLES}\n\
+             seed {DEFAULT_VARIATION_SEED}\n"
+        ))
+        .expect("parses");
+        assert_eq!(m.to_text(), "instance ti:50\nvariation typical-45nm\n");
+    }
+
+    #[test]
+    fn variation_keys_reject_malformed_values_with_line_numbers() {
+        let err = Manifest::parse("instance ti:6\ncorners nominal,typical\n").unwrap_err();
+        assert_eq!(
+            err,
+            ManifestError::InvalidValue {
+                line: 2,
+                key: "corners".to_string(),
+                value: "typical".to_string(),
+            }
+        );
+        for text in [
+            "variation 65nm\n",
+            "variation 0.1,0.1\n",              // wrong arity
+            "variation 0.1,0.1,0.1,0.1,1.5\n",  // correlation above 1
+            "variation -0.1,0.1,0.1,0.1,0.5\n", // negative sigma
+            "variation 0.1,0.1,nan,0.1,0.5\n",  // non-finite sigma
+            "variation typical-45nm\nsamples 0\n",
+            "variation typical-45nm\nsamples few\n",
+            "variation typical-45nm\nseed -3\n",
+        ] {
+            let err = Manifest::parse(text).unwrap_err();
+            assert!(matches!(err, ManifestError::InvalidValue { .. }), "{text}");
+        }
+        // `samples`/`seed` without a model are orphaned, and the error
+        // names the first orphan's line.
+        let err = Manifest::parse("instance ti:6\nsamples 4\n").unwrap_err();
+        assert_eq!(
+            err,
+            ManifestError::VariationRequired {
+                line: 2,
+                key: "samples".to_string(),
+            }
+        );
+        let err = Manifest::parse("instance ti:6\nseed 3\nsamples 4\n").unwrap_err();
+        assert_eq!(
+            err,
+            ManifestError::VariationRequired {
+                line: 2,
+                key: "seed".to_string(),
+            }
+        );
+        let err = Manifest::parse("instance ti:6\nvariation none\nsamples 4\n").unwrap_err();
+        assert!(matches!(err, ManifestError::VariationRequired { .. }));
+        // Every new key is single-valued.
+        for text in [
+            "corners all\ncorners none\n",
+            "variation none\nvariation typical-45nm\n",
+            "variation typical-45nm\nsamples 2\nsamples 3\n",
+            "variation typical-45nm\nseed 1\nseed 2\n",
+        ] {
+            let err = Manifest::parse(text).unwrap_err();
+            assert!(matches!(err, ManifestError::DuplicateKey { .. }), "{text}");
+        }
+    }
+
+    #[test]
+    fn variation_and_corners_flow_into_every_job_of_the_matrix() {
+        let m = Manifest::parse(
+            "instance ti:6\nprofile fast\nbaselines dme-no-tuning\n\
+             corners slow\nvariation typical-45nm\nsamples 3\nseed 5\n",
+        )
+        .expect("parses");
+        let campaign = m.compile().expect("compiles");
+        assert_eq!(campaign.jobs().len(), 2);
+        for job in campaign.jobs() {
+            assert_eq!(job.corners, vec![CornerKind::Slow]);
+            assert_eq!(
+                job.variation,
+                Some(VariationSpec {
+                    model: VariationModel::typical_45nm(),
+                    samples: 3,
+                    seed: 5,
+                })
+            );
         }
     }
 

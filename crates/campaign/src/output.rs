@@ -5,6 +5,7 @@
 //! same function, a serve response body is bit-identical to the offline
 //! output for the same manifest — there is no second formatter to drift.
 
+use crate::pareto::Frontier;
 use crate::runner::CampaignResult;
 use contango_benchmarks::report::Table;
 
@@ -17,6 +18,12 @@ pub enum ReportKind {
     Table,
     /// JSON Lines, one record per job in submission order.
     Jsonl,
+    /// The Pareto frontier over (worst-case skew, cap %, wirelength) as a
+    /// table in canonical (benchmark, tool) order.
+    Pareto,
+    /// The Pareto frontier as JSON Lines, one non-dominated point per line
+    /// plus a trailing reduction summary.
+    FrontierJsonl,
 }
 
 impl ReportKind {
@@ -25,6 +32,8 @@ impl ReportKind {
         match self {
             ReportKind::Table => "table",
             ReportKind::Jsonl => "jsonl",
+            ReportKind::Pareto => "pareto",
+            ReportKind::FrontierJsonl => "frontier-jsonl",
         }
     }
 
@@ -33,6 +42,8 @@ impl ReportKind {
         match label {
             "table" => Some(ReportKind::Table),
             "jsonl" => Some(ReportKind::Jsonl),
+            "pareto" => Some(ReportKind::Pareto),
+            "frontier-jsonl" => Some(ReportKind::FrontierJsonl),
             _ => None,
         }
     }
@@ -86,6 +97,24 @@ pub fn render_table(table: &Table, format: TableFormat) -> String {
 pub fn suite_output(result: &CampaignResult, report: ReportKind, format: TableFormat) -> String {
     match report {
         ReportKind::Jsonl => result.to_jsonl(),
+        ReportKind::Pareto => {
+            let mut out = render_table(&Frontier::of_result(result).table(), format);
+            let failures = result.failures();
+            if !failures.is_empty() {
+                let mut table = Table::new(["benchmark", "tool", "error"]);
+                for (record, error) in failures {
+                    table.push_row([
+                        record.benchmark.clone(),
+                        record.tool.clone(),
+                        error.to_string(),
+                    ]);
+                }
+                out.push('\n');
+                out.push_str(&render_table(&table, format));
+            }
+            out
+        }
+        ReportKind::FrontierJsonl => Frontier::of_result(result).to_jsonl(),
         ReportKind::Table => {
             let mut out = String::new();
             out.push_str(&render_table(&result.suite_table(), format));
@@ -120,7 +149,12 @@ mod tests {
 
     #[test]
     fn labels_round_trip() {
-        for kind in [ReportKind::Table, ReportKind::Jsonl] {
+        for kind in [
+            ReportKind::Table,
+            ReportKind::Jsonl,
+            ReportKind::Pareto,
+            ReportKind::FrontierJsonl,
+        ] {
             assert_eq!(ReportKind::from_label(kind.label()), Some(kind));
         }
         for format in [TableFormat::Text, TableFormat::Markdown, TableFormat::Csv] {

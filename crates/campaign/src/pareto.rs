@@ -1,0 +1,348 @@
+//! Deterministic Pareto-frontier reduction of campaign results.
+//!
+//! A variation-aware campaign produces one [`JobMetrics`] per (benchmark,
+//! tool) cell, each carrying a worst-case skew across every corner and
+//! Monte-Carlo sample next to its capacitance and wirelength cost. This
+//! module reduces those cells to the Pareto frontier over
+//! `(worst-case skew, cap %, wirelength)` — the set of runs no other run
+//! beats on every objective at once.
+//!
+//! Determinism is the point: the frontier of a point set does not depend on
+//! the order the points arrive in, and the rendered frontier is sorted by
+//! `(benchmark, tool)`, so the report is byte-identical for every thread
+//! count, worker count, submission order and cache state — the same
+//! guarantee every other campaign report gives.
+//!
+//! [`sweep_jobs`] is the matching fan-out: it expands one job into a
+//! deterministic grid over capacitance budgets, stage ablations and
+//! inverter-vs-buffer drive so a single manifest cell populates a frontier
+//! worth exploring.
+
+use crate::job::Job;
+use crate::runner::{CampaignResult, JobMetrics};
+use contango_benchmarks::report::{format_ps, Table};
+use std::fmt::Write as _;
+
+/// One candidate point of the Pareto reduction: a (benchmark, tool) cell
+/// and its three objectives, all to be minimized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Benchmark the run was measured on.
+    pub benchmark: String,
+    /// Tool/variant label of the run.
+    pub tool: String,
+    /// Worst-case skew across the nominal evaluation, every corner and
+    /// every Monte-Carlo sample ([`JobMetrics::worst_case_skew`]), ps.
+    pub skew: f64,
+    /// Capacitance utilization, % of the instance budget.
+    pub cap_pct: f64,
+    /// Total wirelength, µm.
+    pub wirelength: f64,
+}
+
+impl ParetoPoint {
+    /// The point a successful job contributes.
+    pub fn from_metrics(metrics: &JobMetrics) -> ParetoPoint {
+        ParetoPoint {
+            benchmark: metrics.summary.benchmark.clone(),
+            tool: metrics.summary.tool.clone(),
+            skew: metrics.worst_case_skew(),
+            cap_pct: metrics.summary.cap_pct,
+            wirelength: metrics.summary.wirelength,
+        }
+    }
+
+    /// Strict Pareto dominance: same benchmark, no objective worse, at
+    /// least one strictly better. Points on different benchmarks never
+    /// compare (their skews are not commensurable), so the campaign
+    /// frontier is the union of per-benchmark frontiers. Ties (and NaN
+    /// comparisons) dominate nothing, so identical points all survive.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.benchmark == other.benchmark
+            && self.skew <= other.skew
+            && self.cap_pct <= other.cap_pct
+            && self.wirelength <= other.wirelength
+            && (self.skew < other.skew
+                || self.cap_pct < other.cap_pct
+                || self.wirelength < other.wirelength)
+    }
+}
+
+/// A computed Pareto frontier: the non-dominated points in canonical
+/// `(benchmark, tool)` order, plus how many candidates were dominated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frontier {
+    /// The non-dominated points, sorted by `(benchmark, tool)`.
+    pub points: Vec<ParetoPoint>,
+    /// Number of candidate points dropped as dominated.
+    pub dominated: usize,
+}
+
+impl Frontier {
+    /// Reduces a point set to its Pareto frontier. The result is
+    /// independent of the input order: a point survives iff no point of
+    /// the whole set strictly dominates it, and survivors are sorted
+    /// canonically.
+    pub fn of(points: &[ParetoPoint]) -> Frontier {
+        let mut frontier: Vec<ParetoPoint> = points
+            .iter()
+            .filter(|candidate| !points.iter().any(|other| other.dominates(candidate)))
+            .cloned()
+            .collect();
+        frontier.sort_by(|a, b| (&a.benchmark, &a.tool).cmp(&(&b.benchmark, &b.tool)));
+        Frontier {
+            dominated: points.len() - frontier.len(),
+            points: frontier,
+        }
+    }
+
+    /// The frontier of a campaign's successful jobs. Failed jobs
+    /// contribute no point (they appear in the failure table instead).
+    pub fn of_result(result: &CampaignResult) -> Frontier {
+        let points: Vec<ParetoPoint> = result
+            .records
+            .iter()
+            .filter_map(|record| record.outcome.as_ref().ok())
+            .map(ParetoPoint::from_metrics)
+            .collect();
+        Frontier::of(&points)
+    }
+
+    /// Renders the frontier as a table, one row per non-dominated point in
+    /// canonical order.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(["benchmark", "tool", "worst skew (ps)", "cap (%)", "WL (um)"]);
+        for p in &self.points {
+            table.push_row(vec![
+                p.benchmark.clone(),
+                p.tool.clone(),
+                format_ps(p.skew),
+                format!("{:.2}", p.cap_pct),
+                format!("{:.1}", p.wirelength),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the frontier as JSONL: one object per non-dominated point in
+    /// canonical order, floats in shortest round-trip form, then one
+    /// trailing summary object counting the reduction.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            out.push_str("{\"benchmark\":\"");
+            crate::jsonl::escape_into(&mut out, &p.benchmark);
+            out.push_str("\",\"tool\":\"");
+            crate::jsonl::escape_into(&mut out, &p.tool);
+            let _ = writeln!(
+                out,
+                "\",\"worst_skew_ps\":{},\"cap_pct\":{},\"wirelength_um\":{}}}",
+                p.skew, p.cap_pct, p.wirelength
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{{\"frontier\":{},\"dominated\":{}}}",
+            self.points.len(),
+            self.dominated
+        );
+        out
+    }
+}
+
+/// The axes [`sweep_jobs`] fans a job out over. Every combination of the
+/// three lists becomes one job, so `cap_scales × skip_sets ×
+/// large_inverters` variants per base job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxes {
+    /// Scale factors applied to the instance's capacitance budget
+    /// (`1.0` = the instance as declared).
+    pub cap_scales: Vec<f64>,
+    /// Stage-ablation sets: each entry is a list of stage acronyms to skip
+    /// (empty = the full pipeline).
+    pub skip_sets: Vec<Vec<String>>,
+    /// Drive-topology variants for `use_large_inverters`.
+    pub large_inverters: Vec<bool>,
+}
+
+impl Default for SweepAxes {
+    /// A compact default grid: three capacitance budgets, the full pipeline
+    /// against a bottom-level ablation, and both drive topologies —
+    /// 3 × 2 × 2 = 12 variants per job.
+    fn default() -> Self {
+        SweepAxes {
+            cap_scales: vec![1.0, 0.85, 0.7],
+            skip_sets: vec![Vec::new(), vec!["BWSN".to_string()]],
+            large_inverters: vec![false, true],
+        }
+    }
+}
+
+/// Expands `base` into one ordinary [`Job`] per grid point of `axes`, in a
+/// deterministic nested-loop order (cap scale outermost, drive innermost).
+/// Each variant gets a stable, self-describing tool label —
+/// `tool[cap=0.85,skip=BWSN,large-inv]` — so the sweep lands in reports
+/// and Pareto frontiers as ordinary (benchmark, tool) cells; the variant
+/// identical to `base` keeps its plain label.
+pub fn sweep_jobs(base: &Job, axes: &SweepAxes) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &cap_scale in &axes.cap_scales {
+        for skip in &axes.skip_sets {
+            for &large in &axes.large_inverters {
+                let mut job = base.clone();
+                let mut parts = Vec::new();
+                if cap_scale != 1.0 {
+                    job.instance.cap_limit *= cap_scale;
+                    parts.push(format!("cap={cap_scale}"));
+                }
+                if !skip.is_empty() {
+                    for stage in skip {
+                        if !job.skip.contains(stage) {
+                            job.skip.push(stage.clone());
+                        }
+                    }
+                    parts.push(format!("skip={}", skip.join("+")));
+                }
+                if large != base.config.use_large_inverters {
+                    job.config.use_large_inverters = large;
+                    parts.push(if large {
+                        "large-inv".to_string()
+                    } else {
+                        "small-inv".to_string()
+                    });
+                }
+                if !parts.is_empty() {
+                    job.tool = format!("{}[{}]", base.tool, parts.join(","));
+                }
+                jobs.push(job);
+            }
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contango_core::flow::FlowConfig;
+    use contango_geom::Point;
+    use contango_tech::Technology;
+
+    fn point(benchmark: &str, tool: &str, skew: f64, cap: f64, wl: f64) -> ParetoPoint {
+        ParetoPoint {
+            benchmark: benchmark.to_string(),
+            tool: tool.to_string(),
+            skew,
+            cap_pct: cap,
+            wirelength: wl,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = point("b", "x", 1.0, 10.0, 100.0);
+        let better = point("b", "y", 0.5, 10.0, 100.0);
+        let tied = point("b", "z", 1.0, 10.0, 100.0);
+        let tradeoff = point("b", "w", 0.5, 20.0, 100.0);
+        assert!(better.dominates(&a));
+        assert!(!a.dominates(&better));
+        assert!(!tied.dominates(&a) && !a.dominates(&tied));
+        assert!(!tradeoff.dominates(&a) && !a.dominates(&tradeoff));
+        // Different benchmarks never compare, however lopsided the metrics.
+        let other_bench = point("c", "x", 0.1, 1.0, 1.0);
+        assert!(!other_bench.dominates(&a));
+    }
+
+    #[test]
+    fn frontier_is_order_independent_and_canonically_sorted() {
+        let points = vec![
+            point("b", "slow-fat", 5.0, 50.0, 500.0),
+            point("b", "best", 1.0, 10.0, 100.0),
+            point("b", "thin", 3.0, 5.0, 400.0),
+            point("a", "only", 2.0, 2.0, 2.0),
+        ];
+        let frontier = Frontier::of(&points);
+        assert_eq!(frontier.dominated, 1);
+        let cells: Vec<(&str, &str)> = frontier
+            .points
+            .iter()
+            .map(|p| (p.benchmark.as_str(), p.tool.as_str()))
+            .collect();
+        assert_eq!(cells, [("a", "only"), ("b", "best"), ("b", "thin")]);
+
+        let mut reversed = points.clone();
+        reversed.reverse();
+        assert_eq!(Frontier::of(&reversed), frontier);
+        assert_eq!(
+            Frontier::of(&reversed).to_jsonl(),
+            frontier.to_jsonl(),
+            "frontier JSONL must not depend on submission order"
+        );
+        assert!(frontier
+            .to_jsonl()
+            .ends_with("{\"frontier\":3,\"dominated\":1}\n"));
+    }
+
+    #[test]
+    fn every_dropped_point_is_dominated_by_a_frontier_point() {
+        let points = vec![
+            point("b", "t0", 4.0, 40.0, 40.0),
+            point("b", "t1", 1.0, 10.0, 10.0),
+            point("b", "t2", 2.0, 5.0, 30.0),
+            point("b", "t3", 3.0, 30.0, 5.0),
+        ];
+        let frontier = Frontier::of(&points);
+        for p in &points {
+            let on_frontier = frontier.points.contains(p);
+            let dominated = frontier.points.iter().any(|f| f.dominates(p));
+            assert!(on_frontier != dominated, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_expands_the_grid_with_stable_labels() {
+        let mut b = contango_core::instance::ClockNetInstance::builder("sweep")
+            .die(0.0, 0.0, 2000.0, 2000.0)
+            .cap_limit(100_000.0);
+        for i in 0..4 {
+            b = b.sink(Point::new(300.0 + 200.0 * i as f64, 400.0), 10.0);
+        }
+        let instance = b.build().expect("valid");
+        let base = Job::contango(&Technology::ispd09(), FlowConfig::fast(), &instance);
+        let jobs = sweep_jobs(&base, &SweepAxes::default());
+        assert_eq!(jobs.len(), 12);
+        // The all-nominal grid point keeps the plain label; every other
+        // label is unique and self-describing.
+        assert_eq!(jobs[0].tool, "contango");
+        let labels: Vec<&str> = jobs.iter().map(|j| j.tool.as_str()).collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), jobs.len());
+        assert!(labels.contains(&"contango[cap=0.7,skip=BWSN,large-inv]"));
+        // Axes actually land in the job description.
+        let tight = jobs
+            .iter()
+            .find(|j| j.tool == "contango[cap=0.85]")
+            .expect("cap variant");
+        assert_eq!(tight.instance.cap_limit, 85_000.0);
+        let ablated = jobs
+            .iter()
+            .find(|j| j.tool == "contango[skip=BWSN]")
+            .expect("skip variant");
+        assert_eq!(ablated.skip, vec!["BWSN".to_string()]);
+        let inverted = jobs
+            .iter()
+            .find(|j| j.tool == "contango[large-inv]")
+            .expect("drive variant");
+        assert!(inverted.config.use_large_inverters);
+        // Determinism: the same expansion twice is identical.
+        assert_eq!(
+            sweep_jobs(&base, &SweepAxes::default())
+                .iter()
+                .map(|j| j.tool.clone())
+                .collect::<Vec<_>>(),
+            labels
+        );
+    }
+}

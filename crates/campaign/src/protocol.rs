@@ -59,14 +59,14 @@
 //! verbatim — failure tables and JSONL stay byte-identical too.
 
 use crate::json::{JsonError, JsonValue};
-use crate::jsonl::escape_into;
+use crate::jsonl::{corners_into, escape_into, variation_into};
 use crate::manifest::ManifestError;
 use crate::output::{ReportKind, TableFormat};
-use crate::runner::{JobMetrics, JobRecord};
+use crate::runner::{CornerMetrics, JobMetrics, JobRecord, VariationMetrics};
 use contango_benchmarks::report::RunSummary;
 use contango_core::error::CoreError;
 use contango_core::flow::StageSnapshot;
-use contango_sim::CacheCounters;
+use contango_sim::{CacheCounters, VariationModel};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -247,7 +247,9 @@ impl Request {
                     None => ReportKind::default(),
                     Some(v) => v.as_str().and_then(ReportKind::from_label).ok_or_else(|| {
                         with_id(ServerError::Invalid(
-                            "`report` must be \"table\" or \"jsonl\"".to_string(),
+                            "`report` must be \"table\", \"jsonl\", \"pareto\" or \
+                             \"frontier-jsonl\""
+                                .to_string(),
                         ))
                     })?,
                 };
@@ -576,6 +578,10 @@ fn encode_record_into(out: &mut String, record: &JobRecord) {
                 );
             }
             out.push(']');
+            corners_into(out, &metrics.corners);
+            if let Some(variation) = &metrics.variation {
+                variation_into(out, variation);
+            }
         }
         Err(error) => {
             out.push_str(",\"status\":\"error\",\"error\":\"");
@@ -650,7 +656,12 @@ fn decode_record(obj: &JsonValue) -> Result<JobRecord, ServerError> {
                         })?,
                 });
             }
-            Ok(JobMetrics { summary, snapshots })
+            Ok(JobMetrics {
+                summary,
+                snapshots,
+                corners: decode_corners_field(obj)?,
+                variation: decode_variation_field(obj)?,
+            })
         }
         "error" => Err(CoreError::Remote {
             message: require_str(obj, "error", "record")?.to_string(),
@@ -668,6 +679,71 @@ fn decode_record(obj: &JsonValue) -> Result<JobRecord, ServerError> {
         outcome,
         cache: decode_cache_field(obj)?,
     })
+}
+
+/// Reads the optional `corners` array of a record (absent = corner-less
+/// job; the encoder omits the key when the list is empty).
+fn decode_corners_field(obj: &JsonValue) -> Result<Vec<CornerMetrics>, ServerError> {
+    let Some(corners) = obj.get("corners") else {
+        return Ok(Vec::new());
+    };
+    let corners = corners.as_array().ok_or_else(|| {
+        ServerError::Invalid("`corners` must be an array of corner objects".to_string())
+    })?;
+    corners
+        .iter()
+        .map(|c| {
+            Ok(CornerMetrics {
+                corner: require_str(c, "corner", "corner")?.to_string(),
+                clr: require_f64(c, "clr", "corner")?,
+                skew: require_f64(c, "skew", "corner")?,
+                max_latency: require_f64(c, "max_latency", "corner")?,
+            })
+        })
+        .collect()
+}
+
+/// Decodes a [`VariationModel`] object — the model's real wire codec (its
+/// serde derive was a no-op against the vendored stub); the matching
+/// encoder is [`crate::jsonl::variation_model_into`].
+pub(crate) fn decode_variation_model(obj: &JsonValue) -> Result<VariationModel, ServerError> {
+    Ok(VariationModel {
+        wire_res_sigma: require_f64(obj, "wire_res_sigma", "model")?,
+        wire_cap_sigma: require_f64(obj, "wire_cap_sigma", "model")?,
+        buffer_res_sigma: require_f64(obj, "buffer_res_sigma", "model")?,
+        vdd_sigma: require_f64(obj, "vdd_sigma", "model")?,
+        spatial_correlation: require_f64(obj, "spatial_correlation", "model")?,
+    })
+}
+
+/// Reads the optional `variation` block of a record.
+fn decode_variation_field(obj: &JsonValue) -> Result<Option<VariationMetrics>, ServerError> {
+    let Some(variation) = obj.get("variation") else {
+        return Ok(None);
+    };
+    let model = variation
+        .get("model")
+        .filter(|v| matches!(v, JsonValue::Object(_)))
+        .ok_or_else(|| ServerError::Invalid("`variation` needs a `model` object".to_string()))?;
+    let skews = variation
+        .get("skews")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ServerError::Invalid("`variation` needs a `skews` array".to_string()))?
+        .iter()
+        .map(|v| {
+            v.as_f64().ok_or_else(|| {
+                ServerError::Invalid("`skews` must contain only numbers".to_string())
+            })
+        })
+        .collect::<Result<Vec<f64>, ServerError>>()?;
+    Ok(Some(VariationMetrics {
+        samples: require_u64(variation, "samples", "variation")? as usize,
+        seed: require_u64(variation, "seed", "variation")?,
+        model: decode_variation_model(model)?,
+        skews,
+        worst_skew: require_f64(variation, "worst_skew", "variation")?,
+        mean_skew: require_f64(variation, "mean_skew", "variation")?,
+    }))
 }
 
 /// Reads the `frame` discriminator of a dist frame.
@@ -703,8 +779,9 @@ pub enum WorkerFrame {
     JobDone {
         /// The assignment's [`CoordFrame::Assign`] sequence number.
         seq: u64,
-        /// The full-fidelity job record.
-        record: JobRecord,
+        /// The full-fidelity job record (boxed: a record with corner and
+        /// variation metrics dwarfs every other frame variant).
+        record: Box<JobRecord>,
     },
     /// The worker could not run an assignment at all (job index out of
     /// range, no init received); the coordinator requeues the job against
@@ -770,9 +847,9 @@ impl WorkerFrame {
             }),
             "job-done" => Ok(WorkerFrame::JobDone {
                 seq: require_u64(&frame, "seq", "job-done")?,
-                record: decode_record(frame.get("record").ok_or_else(|| {
+                record: Box::new(decode_record(frame.get("record").ok_or_else(|| {
                     ServerError::Invalid("`job-done` frame needs a `record`".to_string())
-                })?)?,
+                })?)?),
             }),
             "job-failed" => Ok(WorkerFrame::JobFailed {
                 seq: require_u64(&frame, "seq", "job-failed")?,
@@ -1005,6 +1082,28 @@ mod tests {
                         slew_violation: true,
                     },
                 ],
+                corners: vec![
+                    CornerMetrics {
+                        corner: "slow".to_string(),
+                        clr: 13.7,
+                        skew: 4.125,
+                        max_latency: 910.0000000000001,
+                    },
+                    CornerMetrics {
+                        corner: "low-vdd".to_string(),
+                        clr: 15.0,
+                        skew: 5.5,
+                        max_latency: 1024.0,
+                    },
+                ],
+                variation: Some(VariationMetrics {
+                    samples: 3,
+                    seed: 0xC0FFEE,
+                    model: VariationModel::typical_45nm(),
+                    skews: vec![3.1000000000000005, 2.9, 0.1 + 0.2],
+                    worst_skew: 3.1000000000000005,
+                    mean_skew: 2.1000000000000005,
+                }),
             }),
             cache: Some(CacheCounters {
                 mem_hits: 11,
@@ -1034,11 +1133,11 @@ mod tests {
             },
             WorkerFrame::JobDone {
                 seq: 12,
-                record: sample_ok_record(),
+                record: Box::new(sample_ok_record()),
             },
             WorkerFrame::JobDone {
                 seq: 13,
-                record: failed,
+                record: Box::new(failed),
             },
             WorkerFrame::JobFailed {
                 seq: 14,
@@ -1071,7 +1170,11 @@ mod tests {
             outcome: Err(original.clone()),
             cache: None,
         };
-        let line = WorkerFrame::JobDone { seq: 1, record }.encode();
+        let line = WorkerFrame::JobDone {
+            seq: 1,
+            record: Box::new(record),
+        }
+        .encode();
         let WorkerFrame::JobDone { record, .. } = WorkerFrame::decode(&line).expect("decodes")
         else {
             panic!("wrong frame");
@@ -1082,7 +1185,7 @@ mod tests {
         // Floats survive encode -> decode -> re-encode byte-identically.
         let first = WorkerFrame::JobDone {
             seq: 2,
-            record: sample_ok_record(),
+            record: Box::new(sample_ok_record()),
         }
         .encode();
         let reencoded = WorkerFrame::decode(&first).expect("decodes").encode();
@@ -1117,6 +1220,8 @@ mod tests {
             r#"{"frame":"job-done","seq":1}"#,
             r#"{"frame":"job-done","seq":1,"record":{"benchmark":"b","tool":"t","sinks":1,"status":"what"}}"#,
             r#"{"frame":"job-done","seq":1,"record":{"benchmark":"b","tool":"t","sinks":1,"status":"ok"}}"#,
+            r#"{"frame":"job-done","seq":1,"record":{"benchmark":"b","tool":"t","sinks":1,"status":"ok","summary":{"clr":1,"skew":1,"max_latency":1,"cap_pct":1,"wirelength":1,"buffers":1,"spice_runs":1,"runtime_s":1},"stages":[],"corners":7}}"#,
+            r#"{"frame":"job-done","seq":1,"record":{"benchmark":"b","tool":"t","sinks":1,"status":"ok","summary":{"clr":1,"skew":1,"max_latency":1,"cap_pct":1,"wirelength":1,"buffers":1,"spice_runs":1,"runtime_s":1},"stages":[],"variation":{"samples":1}}}"#,
         ] {
             assert!(WorkerFrame::decode(line).is_err(), "{line}");
         }

@@ -13,18 +13,21 @@
 //! record, aggregate table and JSONL document is bit-identical for any
 //! worker count, and identical to a serial loop over the same jobs.
 
-use crate::job::Job;
+use crate::job::{CornerKind, Job, VariationSpec};
 use crate::jsonl::record_line;
 use contango_benchmarks::report::{
-    aggregate_stages, comparison_table, run_count_table, stage_aggregate_table, suite_table,
-    RunSummary, Table,
+    aggregate_stages, comparison_table, format_ps, run_count_table, stage_aggregate_table,
+    suite_table, RunSummary, Table,
 };
 use contango_core::construct::ParallelConfig;
 use contango_core::error::CoreError;
 use contango_core::flow::StageSnapshot;
 use contango_core::pipeline::NoopObserver;
 use contango_core::session::EngineSession;
-use contango_sim::{CacheCounters, CacheStore};
+use contango_sim::{
+    monte_carlo_samples, scaled_netlist, scaled_technology, CacheCounters, CacheStore, Evaluator,
+    Netlist, VariationModel,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -215,6 +218,10 @@ pub(crate) fn run_job(
         )
         .map(|result| JobMetrics {
             summary: RunSummary::from_result(&job.benchmark, &job.tool, &job.instance, &result),
+            corners: evaluate_corners(job, &result.netlist),
+            variation: job
+                .variation
+                .map(|spec| evaluate_variation(job, &result.netlist, spec)),
             snapshots: result.snapshots,
         });
     let cache = store.map(|_| sess.take_job_profile());
@@ -227,6 +234,78 @@ pub(crate) fn run_job(
     }
 }
 
+/// Re-evaluates the finished network at each of the job's discrete
+/// corners. Deterministic: each corner gets a fresh evaluator over a fixed
+/// scaling of the netlist and technology, so the metrics are independent
+/// of session warmth, worker count and cache state.
+fn evaluate_corners(job: &Job, netlist: &Netlist) -> Vec<CornerMetrics> {
+    job.corners
+        .iter()
+        .map(|&corner| {
+            let (res_f, cap_f, vdd_f) = corner.factors();
+            let evaluator =
+                Evaluator::with_model(scaled_technology(&job.tech, vdd_f), job.config.model);
+            let report = evaluator.evaluate(&scaled_netlist(netlist, res_f, cap_f));
+            CornerMetrics {
+                corner: corner.label().to_string(),
+                clr: report.clr(),
+                skew: report.skew(),
+                max_latency: report.max_latency(),
+            }
+        })
+        .collect()
+}
+
+/// Draws the job's Monte-Carlo samples of the finished network. Seeded and
+/// self-contained, so the same spec reproduces the same skew population on
+/// any worker.
+fn evaluate_variation(job: &Job, netlist: &Netlist, spec: VariationSpec) -> VariationMetrics {
+    let evaluator = Evaluator::with_model(job.tech.clone(), job.config.model);
+    let drawn = monte_carlo_samples(&evaluator, netlist, &spec.model, spec.samples, spec.seed);
+    let skews: Vec<f64> = drawn.iter().map(|s| s.skew).collect();
+    let worst_skew = skews.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean_skew = skews.iter().sum::<f64>() / skews.len() as f64;
+    VariationMetrics {
+        samples: spec.samples,
+        seed: spec.seed,
+        model: spec.model,
+        skews,
+        worst_skew,
+        mean_skew,
+    }
+}
+
+/// Metrics of the finished network re-evaluated at one discrete corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerMetrics {
+    /// The corner's label (see [`CornerKind::label`]).
+    pub corner: String,
+    /// Clock Latency Range at the corner, ps.
+    pub clr: f64,
+    /// Nominal-corner skew at the corner, ps.
+    pub skew: f64,
+    /// Maximum sink latency at the corner, ps.
+    pub max_latency: f64,
+}
+
+/// Per-job Monte-Carlo variation metrics: the raw per-sample skews (in
+/// draw order) plus the reductions campaign reports consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationMetrics {
+    /// Number of samples drawn.
+    pub samples: usize,
+    /// The sampler seed.
+    pub seed: u64,
+    /// The variation model sampled.
+    pub model: VariationModel,
+    /// Per-sample nominal-corner skew, ps, in draw order.
+    pub skews: Vec<f64>,
+    /// Worst (maximum) sample skew, ps.
+    pub worst_skew: f64,
+    /// Mean sample skew, ps.
+    pub mean_skew: f64,
+}
+
 /// The deterministic metrics of one completed job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobMetrics {
@@ -235,6 +314,28 @@ pub struct JobMetrics {
     pub summary: RunSummary,
     /// Per-stage snapshots (Table III rows).
     pub snapshots: Vec<StageSnapshot>,
+    /// Corner re-evaluations, in the job's corner order (empty unless the
+    /// job requested corners).
+    pub corners: Vec<CornerMetrics>,
+    /// Monte-Carlo variation metrics (`None` unless the job requested
+    /// variation sampling).
+    pub variation: Option<VariationMetrics>,
+}
+
+impl JobMetrics {
+    /// The worst-case skew across the nominal evaluation, every corner and
+    /// every Monte-Carlo sample — the robustness objective Pareto
+    /// reductions minimize.
+    pub fn worst_case_skew(&self) -> f64 {
+        let mut worst = self.summary.skew;
+        for corner in &self.corners {
+            worst = worst.max(corner.skew);
+        }
+        if let Some(variation) = &self.variation {
+            worst = worst.max(variation.worst_skew);
+        }
+        worst
+    }
 }
 
 /// One job's result: its identity plus either the metrics or the per-job
@@ -293,8 +394,93 @@ impl CampaignResult {
 
     /// Canonically sorted per-(benchmark, tool) suite summary without
     /// wall-clock columns: bit-identical for every thread count.
+    ///
+    /// When any job carried corner or variation axes the table gains one
+    /// skew column per corner (in [`CornerKind::all`] order) and a
+    /// worst-Monte-Carlo-skew column; axis-less campaigns render the
+    /// historical table byte for byte.
     pub fn suite_table(&self) -> Table {
-        suite_table(&self.summaries())
+        let corner_labels = self.corner_labels();
+        let has_variation = self
+            .records
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .any(|m| m.variation.is_some());
+        if corner_labels.is_empty() && !has_variation {
+            return suite_table(&self.summaries());
+        }
+
+        let mut ok: Vec<&JobMetrics> = self
+            .records
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .collect();
+        ok.sort_by(|a, b| {
+            (&a.summary.benchmark, &a.summary.tool).cmp(&(&b.summary.benchmark, &b.summary.tool))
+        });
+        let mut headers: Vec<String> = [
+            "benchmark",
+            "tool",
+            "CLR (ps)",
+            "skew (ps)",
+            "cap (%)",
+            "buffers",
+            "SPICE runs",
+        ]
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+        for label in &corner_labels {
+            headers.push(format!("skew@{label} (ps)"));
+        }
+        if has_variation {
+            headers.push("MC worst skew (ps)".to_string());
+        }
+        let mut table = Table::new(headers);
+        for m in ok {
+            let r = &m.summary;
+            let mut row = vec![
+                r.benchmark.clone(),
+                r.tool.clone(),
+                format_ps(r.clr),
+                format_ps(r.skew),
+                format!("{:.2}", r.cap_pct),
+                r.buffers.to_string(),
+                r.spice_runs.to_string(),
+            ];
+            for label in &corner_labels {
+                row.push(
+                    m.corners
+                        .iter()
+                        .find(|c| &c.corner == label)
+                        .map_or_else(|| "-".to_string(), |c| format_ps(c.skew)),
+                );
+            }
+            if has_variation {
+                row.push(
+                    m.variation
+                        .as_ref()
+                        .map_or_else(|| "-".to_string(), |v| format_ps(v.worst_skew)),
+                );
+            }
+            table.push_row(row);
+        }
+        table
+    }
+
+    /// The corner labels present in any successful record, in the
+    /// canonical [`CornerKind::all`] order.
+    fn corner_labels(&self) -> Vec<String> {
+        CornerKind::all()
+            .into_iter()
+            .map(|c| c.label().to_string())
+            .filter(|label| {
+                self.records
+                    .iter()
+                    .filter_map(|r| r.outcome.as_ref().ok())
+                    .any(|m| m.corners.iter().any(|c| &c.corner == label))
+            })
+            .collect()
     }
 
     /// Canonically reduced per-(tool, stage) CLR/skew means (aggregated

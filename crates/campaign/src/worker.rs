@@ -325,7 +325,10 @@ pub fn run_worker(
                         outbox.silenced.store(true, Ordering::Relaxed);
                         continue;
                     }
-                    let _ = outbox.send(&WorkerFrame::JobDone { seq, record });
+                    let _ = outbox.send(&WorkerFrame::JobDone {
+                        seq,
+                        record: Box::new(record),
+                    });
                     if chaos.kill_after.is_some_and(|k| n_done == k) {
                         outbox.kill();
                     }

@@ -6,10 +6,10 @@
 //! filesystem or spawning processes.
 
 use contango_baselines::BaselineKind;
-use contango_campaign::{ChaosConfig, DispatchMode};
+use contango_campaign::{ChaosConfig, CornerKind, DispatchMode};
 use contango_core::flow::FlowStage;
 use contango_core::topology::TopologyKind;
-use contango_sim::DelayModel;
+use contango_sim::{DelayModel, VariationModel};
 use std::fmt;
 
 /// A problem with the argument vector.
@@ -58,6 +58,8 @@ pub enum ArgError {
     EmptyStageList,
     /// `--skip` tried to drop the construction stage.
     SkipInitial,
+    /// `--samples`/`--seed` without a `--variation` model to sample.
+    VariationRequired(&'static str),
 }
 
 impl fmt::Display for ArgError {
@@ -107,6 +109,9 @@ impl fmt::Display for ArgError {
             ArgError::SkipInitial => {
                 write!(f, "the INITIAL construction stage cannot be skipped")
             }
+            ArgError::VariationRequired(flag) => {
+                write!(f, "`{flag}` needs a `--variation` model to sample")
+            }
         }
     }
 }
@@ -121,6 +126,11 @@ pub enum SuiteReport {
     Table,
     /// One JSON object per job, streaming-friendly and wall-clock-free.
     Jsonl,
+    /// The Pareto frontier over (worst-case skew, cap %, wirelength) as a
+    /// table.
+    Pareto,
+    /// The Pareto frontier as JSON Lines.
+    FrontierJsonl,
 }
 
 /// Output format of tabular reports.
@@ -158,6 +168,18 @@ pub struct FlowOptions {
     /// runs fully in memory. Reports are byte-identical with or without
     /// the store — it only changes how fast they are produced.
     pub cache_dir: Option<String>,
+    /// Process/voltage corners every finished tree is re-evaluated at
+    /// (`--corners`, suite only). Empty = nominal-only.
+    pub corners: Vec<CornerKind>,
+    /// Monte-Carlo variation model sampled on every finished tree
+    /// (`--variation`, suite only).
+    pub variation: Option<VariationModel>,
+    /// Monte-Carlo samples per job (`--samples`, suite only); `None` keeps
+    /// the manifest default.
+    pub samples: Option<usize>,
+    /// Monte-Carlo sampler seed (`--seed`, suite only); `None` keeps the
+    /// manifest default.
+    pub seed: Option<u64>,
 }
 
 impl Default for FlowOptions {
@@ -171,6 +193,10 @@ impl Default for FlowOptions {
             skip: Vec::new(),
             threads: 1,
             cache_dir: None,
+            corners: Vec::new(),
+            variation: None,
+            samples: None,
+            seed: None,
         }
     }
 }
@@ -333,16 +359,20 @@ USAGE:
                    [--cache-dir DIR]
   contango-cts suite (--suite ispd09 | --manifest <file>)
                    [--baselines all|none|LABEL[,LABEL...]]
-                   [--threads N] [--report table|jsonl] [--fast]
-                   [--format text|markdown|csv] [--stages ...] [--skip ...]
+                   [--threads N] [--report table|jsonl|pareto|frontier-jsonl]
+                   [--fast] [--format text|markdown|csv] [--stages ...] [--skip ...]
                    [--cache-dir DIR] [--workers N] [--dispatch local|tcp:HOST:PORT]
+                   [--corners all|none|LABEL[,LABEL...]]
+                   [--variation typical-45nm|none|R,C,B,V,CORR]
+                   [--samples N] [--seed N]
   contango-cts spice-deck --instance <file> --solution <file> [--low-corner] --out <file>
   contango-cts serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
                    [--allow-file-instances] [--cache-dir DIR]
   contango-cts worker (--connect HOST:PORT | --pipe) [--threads N]
                    [--cache-dir DIR] [--name NAME]
   contango-cts query --addr HOST:PORT (--manifest <file> | --ping | --shutdown)
-                   [--report table|jsonl] [--format text|markdown|csv]
+                   [--report table|jsonl|pareto|frontier-jsonl]
+                   [--format text|markdown|csv]
   contango-cts help
 
   --stages runs only the listed optimization stages, in the order listed
@@ -367,6 +397,17 @@ USAGE:
   without the store — a warm cache only makes the same reports faster.
   The per-job hit/miss profile goes to stderr (suite) or the JSONL
   `cache` field, never into the aggregate tables.
+
+  suite --corners re-evaluates every finished tree at the named
+  process/voltage corners (nominal, slow, fast, low-vdd) and adds one
+  skew column per corner to the suite table. --variation adds seeded
+  Monte-Carlo variation sampling (a preset name or five comma-separated
+  sigmas: wire-res,wire-cap,buffer-res,vdd,spatial-correlation);
+  --samples and --seed tune the sampler and need --variation. --report
+  pareto reduces the suite to the Pareto frontier over worst-case skew,
+  capacitance and wirelength (frontier-jsonl for the JSONL form). All
+  four reports are byte-identical for every thread count, worker count
+  and cache state.
 
   suite --manifest runs a declarative manifest file instead of the flag
   set (the flags desugar to the same manifest form; see docs/manifest.md).
@@ -429,6 +470,10 @@ const SUITE_FLAGS: &[&str] = &[
     "--cache-dir",
     "--workers",
     "--dispatch",
+    "--corners",
+    "--variation",
+    "--samples",
+    "--seed",
     "--report",
     "--format",
 ];
@@ -770,6 +815,8 @@ fn parse_report(scan: &mut Scanner<'_>) -> Result<SuiteReport, ArgError> {
     Ok(match scan.value("--report")?.as_deref() {
         None | Some("table") => SuiteReport::Table,
         Some("jsonl") => SuiteReport::Jsonl,
+        Some("pareto") => SuiteReport::Pareto,
+        Some("frontier-jsonl") => SuiteReport::FrontierJsonl,
         Some(other) => {
             return Err(ArgError::InvalidValue {
                 flag: "--report",
@@ -777,6 +824,108 @@ fn parse_report(scan: &mut Scanner<'_>) -> Result<SuiteReport, ArgError> {
             })
         }
     })
+}
+
+/// Parses the `--corners` value: `all`, `none`, or comma-separated corner
+/// labels — the same accepted set as the manifest `corners` key.
+fn parse_corner_list(value: &str) -> Result<Vec<CornerKind>, ArgError> {
+    match value {
+        "all" => return Ok(CornerKind::all().to_vec()),
+        "none" => return Ok(Vec::new()),
+        _ => {}
+    }
+    let mut corners = Vec::new();
+    for raw in value.split(',') {
+        let token = raw.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let corner = CornerKind::from_label(token).ok_or(ArgError::InvalidValue {
+            flag: "--corners",
+            value: token.to_string(),
+        })?;
+        if !corners.contains(&corner) {
+            corners.push(corner);
+        }
+    }
+    Ok(corners)
+}
+
+/// Parses the `--variation` value: `none`, `typical-45nm`, or five
+/// comma-separated sigmas — the same accepted set as the manifest
+/// `variation` key.
+fn parse_variation_value(value: &str) -> Result<Option<VariationModel>, ArgError> {
+    let invalid = || ArgError::InvalidValue {
+        flag: "--variation",
+        value: value.to_string(),
+    };
+    match value {
+        "none" => return Ok(None),
+        "typical-45nm" => return Ok(Some(VariationModel::typical_45nm())),
+        _ => {}
+    }
+    let parts: Vec<&str> = value.split(',').collect();
+    if parts.len() != 5 {
+        return Err(invalid());
+    }
+    let mut sigmas = [0.0f64; 5];
+    for (slot, raw) in sigmas.iter_mut().zip(&parts) {
+        *slot = raw
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(invalid)?;
+    }
+    if sigmas[4] > 1.0 {
+        return Err(invalid());
+    }
+    Ok(Some(VariationModel {
+        wire_res_sigma: sigmas[0],
+        wire_cap_sigma: sigmas[1],
+        buffer_res_sigma: sigmas[2],
+        vdd_sigma: sigmas[3],
+        spatial_correlation: sigmas[4],
+    }))
+}
+
+/// Parses the suite-only variation axes (`--corners`, `--variation`,
+/// `--samples`, `--seed`) into `flow`, enforcing that the sampler knobs
+/// come with a model — the same rule the manifest parser applies.
+fn parse_variation_flags(scan: &mut Scanner<'_>, flow: &mut FlowOptions) -> Result<(), ArgError> {
+    if let Some(value) = scan.value("--corners")? {
+        flow.corners = parse_corner_list(&value)?;
+    }
+    if let Some(value) = scan.value("--variation")? {
+        flow.variation = parse_variation_value(&value)?;
+    }
+    if let Some(value) = scan.value("--samples")? {
+        flow.samples = Some(value.parse::<usize>().ok().filter(|&n| n > 0).ok_or(
+            ArgError::InvalidValue {
+                flag: "--samples",
+                value,
+            },
+        )?);
+    }
+    if let Some(value) = scan.value("--seed")? {
+        let parsed = match value.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => value.parse::<u64>().ok(),
+        };
+        flow.seed = Some(parsed.ok_or(ArgError::InvalidValue {
+            flag: "--seed",
+            value,
+        })?);
+    }
+    if flow.variation.is_none() {
+        if flow.samples.is_some() {
+            return Err(ArgError::VariationRequired("--samples"));
+        }
+        if flow.seed.is_some() {
+            return Err(ArgError::VariationRequired("--seed"));
+        }
+    }
+    Ok(())
 }
 
 /// Parses the `--dispatch` selection: `local` (spawn pipe workers) or
@@ -849,7 +998,8 @@ fn parse_suite(args: &[&str]) -> Result<Command, ArgError> {
         Some(value) => parse_baseline_list(&value)?,
         None => Vec::new(),
     };
-    let flow = parse_flow_options(&mut scan)?;
+    let mut flow = parse_flow_options(&mut scan)?;
+    parse_variation_flags(&mut scan, &mut flow)?;
     scan.finish()?;
     Ok(Command::Suite {
         manifest: None,
@@ -1383,6 +1533,138 @@ mod tests {
         );
         let err = parse_args(&args(&["suite"])).unwrap_err();
         assert_eq!(err, ArgError::MissingFlag("--suite"));
+    }
+
+    #[test]
+    fn suite_parses_the_variation_axes() {
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--corners",
+            "slow, low-vdd,slow",
+            "--variation",
+            "typical-45nm",
+            "--samples",
+            "3",
+            "--seed",
+            "0xBEEF",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite { flow, report, .. } => {
+                assert_eq!(flow.corners, vec![CornerKind::Slow, CornerKind::LowVdd]);
+                assert_eq!(flow.variation, Some(VariationModel::typical_45nm()));
+                assert_eq!(flow.samples, Some(3));
+                assert_eq!(flow.seed, Some(0xBEEF));
+                assert_eq!(report, SuiteReport::Table);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        // Explicit sigmas, `all`/`none` shorthands, and the new reports.
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--corners",
+            "all",
+            "--variation",
+            "0.1,0.2,0.3,0.04,1",
+            "--report",
+            "pareto",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite { flow, report, .. } => {
+                assert_eq!(flow.corners, CornerKind::all().to_vec());
+                let model = flow.variation.expect("model");
+                assert_eq!(model.wire_res_sigma, 0.1);
+                assert_eq!(model.spatial_correlation, 1.0);
+                assert_eq!(report, SuiteReport::Pareto);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--corners",
+            "none",
+            "--variation",
+            "none",
+            "--report",
+            "frontier-jsonl",
+        ]))
+        .expect("parses");
+        match cmd {
+            Command::Suite { flow, report, .. } => {
+                assert!(flow.corners.is_empty());
+                assert_eq!(flow.variation, None);
+                assert_eq!(report, SuiteReport::FrontierJsonl);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suite_rejects_malformed_variation_axes() {
+        let err = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--corners",
+            "typical",
+        ]))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--corners",
+                value: "typical".to_string()
+            }
+        );
+        // Wrong arity, negative sigma, correlation above one.
+        for value in ["0.1,0.2", "-0.1,0.2,0.3,0.4,0.5", "0.1,0.2,0.3,0.4,1.5"] {
+            let err = parse_args(&args(&["suite", "--suite", "ispd09", "--variation", value]))
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ArgError::InvalidValue {
+                    flag: "--variation",
+                    value: value.to_string()
+                },
+                "value: {value:?}"
+            );
+        }
+        let err = parse_args(&args(&["suite", "--suite", "ispd09", "--samples", "0"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--samples",
+                value: "0".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn sampler_knobs_require_a_variation_model() {
+        let err = parse_args(&args(&["suite", "--suite", "ispd09", "--samples", "4"])).unwrap_err();
+        assert_eq!(err, ArgError::VariationRequired("--samples"));
+        assert!(err.to_string().contains("--variation"));
+        let err = parse_args(&args(&["suite", "--suite", "ispd09", "--seed", "7"])).unwrap_err();
+        assert_eq!(err, ArgError::VariationRequired("--seed"));
+        // `--variation none` counts as no model, matching the manifest rule.
+        let err = parse_args(&args(&[
+            "suite",
+            "--suite",
+            "ispd09",
+            "--variation",
+            "none",
+            "--seed",
+            "7",
+        ]))
+        .unwrap_err();
+        assert_eq!(err, ArgError::VariationRequired("--seed"));
     }
 
     #[test]

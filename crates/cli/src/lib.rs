@@ -378,6 +378,14 @@ pub fn manifest_from_options(options: &FlowOptions) -> Manifest {
         cache_dir: options.cache_dir.clone(),
         workers: None,
         dispatch: DispatchMode::Local,
+        corners: options.corners.clone(),
+        variation: options.variation,
+        samples: options
+            .samples
+            .unwrap_or(contango_campaign::manifest::DEFAULT_SAMPLES),
+        seed: options
+            .seed
+            .unwrap_or(contango_campaign::manifest::DEFAULT_VARIATION_SEED),
     }
 }
 
@@ -608,6 +616,8 @@ fn report_kind(report: SuiteReport) -> ReportKind {
     match report {
         SuiteReport::Table => ReportKind::Table,
         SuiteReport::Jsonl => ReportKind::Jsonl,
+        SuiteReport::Pareto => ReportKind::Pareto,
+        SuiteReport::FrontierJsonl => ReportKind::FrontierJsonl,
     }
 }
 
@@ -1148,6 +1158,76 @@ mod tests {
         for kind in BaselineKind::all() {
             assert!(out.contains(kind.label()), "missing {}", kind.label());
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn variation_flags_desugar_to_the_manifest_spelling() {
+        use contango_campaign::CornerKind;
+        use contango_sim::VariationModel;
+        let dir = scratch("desugar");
+        let flow = FlowOptions {
+            fast: true,
+            corners: vec![CornerKind::Slow, CornerKind::LowVdd],
+            variation: Some(VariationModel::typical_45nm()),
+            samples: Some(2),
+            seed: Some(0xBEEF),
+            ..FlowOptions::default()
+        };
+        let flagged =
+            suite_manifest(None, "ispd09", &[BaselineKind::DmeNoTuning], &flow).expect("desugars");
+        let path = dir.join("suite.manifest");
+        fs::write(&path, flagged.to_text()).expect("write manifest");
+        let path = path.to_string_lossy().into_owned();
+        let parsed = suite_manifest(Some(&path), "", &[], &FlowOptions::default()).expect("parses");
+        // Identical manifests compile identical campaigns, so the two
+        // invocation spellings produce byte-identical reports from here on.
+        assert_eq!(parsed, flagged);
+        assert_eq!(parsed.to_text(), flagged.to_text());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_corner_reports_are_byte_identical_across_threads() {
+        let dir = scratch("pareto-cli");
+        let axes = "baselines dme-no-tuning\ncorners slow,low-vdd\nvariation typical-45nm\n\
+                    samples 2\nseed 7\n";
+        let run = |name: &str, threads: usize, report: SuiteReport| {
+            let text = format!(
+                "instance ti:6\nprofile fast\nmodel elmore\nskip BWSN\nthreads {threads}\n{axes}"
+            );
+            let path = dir.join(name);
+            fs::write(&path, text).expect("write manifest");
+            let path = path.to_string_lossy().into_owned();
+            suite(
+                Some(&path),
+                "",
+                &[],
+                &FlowOptions::default(),
+                None,
+                None,
+                report,
+                ReportFormat::Text,
+            )
+            .expect("suite runs")
+        };
+        for report in [
+            SuiteReport::Table,
+            SuiteReport::Jsonl,
+            SuiteReport::Pareto,
+            SuiteReport::FrontierJsonl,
+        ] {
+            let serial = run("t1.manifest", 1, report);
+            let sharded = run("t2.manifest", 2, report);
+            assert_eq!(serial, sharded, "report {report:?}");
+        }
+        let table = run("t1.manifest", 1, SuiteReport::Table);
+        assert!(table.contains("skew@slow (ps)"), "table: {table}");
+        assert!(table.contains("skew@low-vdd (ps)"), "table: {table}");
+        assert!(table.contains("MC worst skew (ps)"), "table: {table}");
+        let frontier = run("t1.manifest", 1, SuiteReport::FrontierJsonl);
+        assert!(frontier.contains("\"worst_skew_ps\":"), "jsonl: {frontier}");
+        assert!(frontier.ends_with('\n'), "jsonl: {frontier}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -72,4 +72,8 @@ pub use store::{
     NS_SOLVE, NS_STAGE,
 };
 pub use transient::{TransientResult, TransientSolver};
-pub use variation::{monte_carlo, MetricDistribution, VariationModel, VariationReport};
+pub use variation::{
+    monte_carlo, monte_carlo_samples, perturb_netlist, scaled_netlist, scaled_technology,
+    shifted_technology, truncated_normal, MetricDistribution, SampleMetrics, VariationModel,
+    VariationReport, XorShift,
+};

@@ -24,7 +24,12 @@ use serde::{Deserialize, Serialize};
 /// the parameter around its nominal value. Samples are drawn from a normal
 /// distribution truncated at ±3σ so a pathological tail cannot produce
 /// negative resistances or capacitances.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The wire form of this type is NOT serde (the workspace vendors a no-op
+/// serde stub): manifests carry it through
+/// `contango_campaign::manifest` (`variation KEY` text codec) and JSONL /
+/// protocol frames through the campaign JSON encoder, both hand-rolled.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {
     /// Sigma of wire resistance per stage.
     pub wire_res_sigma: f64,
@@ -139,6 +144,60 @@ impl VariationReport {
     }
 }
 
+/// The metrics of one Monte-Carlo sample: the perturbed network evaluated
+/// at both supply corners, reported individually so campaign-level
+/// reductions (worst case across samples and corners, Pareto frontiers)
+/// can consume the raw per-sample values instead of only the summary
+/// statistics of [`VariationReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleMetrics {
+    /// Nominal-corner skew of the sample, ps.
+    pub skew: f64,
+    /// Clock Latency Range of the sample, ps.
+    pub clr: f64,
+    /// Maximum sink latency of the sample, ps.
+    pub max_latency: f64,
+    /// Whether any sink slew exceeded the technology limit.
+    pub slew_violation: bool,
+}
+
+/// Draws `samples` Monte-Carlo networks from `model` and returns the raw
+/// per-sample metrics, in draw order.
+///
+/// This is the sampling loop [`monte_carlo`] summarizes: identical seeds
+/// produce identical draws (per sample, the netlist perturbation is drawn
+/// first, then the chip-wide supply shift), so the two functions see the
+/// very same sample population.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn monte_carlo_samples(
+    evaluator: &Evaluator,
+    netlist: &Netlist,
+    model: &VariationModel,
+    samples: usize,
+    seed: u64,
+) -> Vec<SampleMetrics> {
+    assert!(samples > 0, "at least one Monte-Carlo sample is required");
+    let mut rng = XorShift::new(seed);
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let perturbed = perturb_netlist(netlist, model, &mut rng);
+        let vdd_shift = truncated_normal(&mut rng) * model.vdd_sigma;
+        let tech = shifted_technology(evaluator.technology(), vdd_shift);
+        let corner_eval = Evaluator::with_model(tech, evaluator.model());
+        let report = corner_eval.evaluate(&perturbed);
+        out.push(SampleMetrics {
+            skew: report.skew(),
+            clr: report.clr(),
+            max_latency: report.max_latency(),
+            slew_violation: report.has_slew_violation(),
+        });
+    }
+    out
+}
+
 /// Runs a Monte-Carlo variation analysis of `netlist`.
 ///
 /// `samples` networks are drawn from `model`, each is evaluated with
@@ -157,30 +216,12 @@ pub fn monte_carlo(
     skew_target_ps: f64,
     seed: u64,
 ) -> VariationReport {
-    assert!(samples > 0, "at least one Monte-Carlo sample is required");
-    let mut rng = XorShift::new(seed);
-    let mut skews = Vec::with_capacity(samples);
-    let mut clrs = Vec::with_capacity(samples);
-    let mut latencies = Vec::with_capacity(samples);
-    let mut skew_pass = 0usize;
-    let mut slew_pass = 0usize;
-
-    for _ in 0..samples {
-        let perturbed = perturb_netlist(netlist, model, &mut rng);
-        let vdd_shift = truncated_normal(&mut rng) * model.vdd_sigma;
-        let tech = shifted_technology(evaluator.technology(), vdd_shift);
-        let corner_eval = Evaluator::with_model(tech, evaluator.model());
-        let report = corner_eval.evaluate(&perturbed);
-        skews.push(report.skew());
-        clrs.push(report.clr());
-        latencies.push(report.max_latency());
-        if report.skew() <= skew_target_ps {
-            skew_pass += 1;
-        }
-        if !report.has_slew_violation() {
-            slew_pass += 1;
-        }
-    }
+    let drawn = monte_carlo_samples(evaluator, netlist, model, samples, seed);
+    let skews: Vec<f64> = drawn.iter().map(|s| s.skew).collect();
+    let clrs: Vec<f64> = drawn.iter().map(|s| s.clr).collect();
+    let latencies: Vec<f64> = drawn.iter().map(|s| s.max_latency).collect();
+    let skew_pass = drawn.iter().filter(|s| s.skew <= skew_target_ps).count();
+    let slew_pass = drawn.iter().filter(|s| !s.slew_violation).count();
 
     VariationReport {
         samples,
@@ -192,8 +233,12 @@ pub fn monte_carlo(
     }
 }
 
-/// Produces one perturbed copy of `netlist`.
-fn perturb_netlist(netlist: &Netlist, model: &VariationModel, rng: &mut XorShift) -> Netlist {
+/// Produces one perturbed copy of `netlist`: per stage, wire resistance,
+/// wire/pin capacitance and buffer drive resistance are each scaled by a
+/// truncated-normal factor mixing the sample's chip-wide systematic
+/// component with a per-stage local draw (weighted by
+/// [`VariationModel::spatial_correlation`]).
+pub fn perturb_netlist(netlist: &Netlist, model: &VariationModel, rng: &mut XorShift) -> Netlist {
     // Chip-wide systematic components shared by every stage of this sample.
     let sys_res = truncated_normal(rng);
     let sys_cap = truncated_normal(rng);
@@ -241,7 +286,7 @@ fn factor(standard_normal: f64, sigma: f64) -> f64 {
 }
 
 /// Clones a technology with both supply corners shifted by `delta_v` volts.
-fn shifted_technology(tech: &Technology, delta_v: f64) -> Technology {
+pub fn shifted_technology(tech: &Technology, delta_v: f64) -> Technology {
     let mut shifted = tech.clone();
     shifted.nominal_corner.vdd = (shifted.nominal_corner.vdd + delta_v).max(0.4);
     shifted.low_corner.vdd = (shifted.low_corner.vdd + delta_v)
@@ -250,8 +295,54 @@ fn shifted_technology(tech: &Technology, delta_v: f64) -> Technology {
     shifted
 }
 
+/// Clones a technology with both supply corners scaled by `vdd_factor` —
+/// the deterministic (non-sampled) voltage half of a discrete process
+/// corner, complementing the sampled shift of [`shifted_technology`].
+pub fn scaled_technology(tech: &Technology, vdd_factor: f64) -> Technology {
+    let mut scaled = tech.clone();
+    scaled.nominal_corner.vdd = (scaled.nominal_corner.vdd * vdd_factor).max(0.4);
+    scaled.low_corner.vdd = (scaled.low_corner.vdd * vdd_factor)
+        .max(0.3)
+        .min(scaled.nominal_corner.vdd);
+    scaled
+}
+
+/// Clones `netlist` with every wire resistance and buffer drive resistance
+/// scaled by `res_factor` and every node capacitance by `cap_factor` — the
+/// deterministic interconnect/device half of a discrete process corner
+/// (a slow corner scales both up, a fast corner scales both down).
+pub fn scaled_netlist(netlist: &Netlist, res_factor: f64, cap_factor: f64) -> Netlist {
+    let stages = netlist
+        .stages
+        .iter()
+        .map(|stage| {
+            let mut tree = RcTree::new();
+            for (idx, (parent, res, cap)) in stage.tree.iter().enumerate() {
+                if idx == 0 {
+                    tree.add_root(cap * cap_factor);
+                } else {
+                    tree.add_node(parent, res * res_factor, cap * cap_factor);
+                }
+            }
+            let driver = match stage.driver {
+                StageDriver::Source(s) => StageDriver::Source(s),
+                StageDriver::Buffer(mut d) => {
+                    d.output_res *= res_factor;
+                    StageDriver::Buffer(d)
+                }
+            };
+            Stage {
+                driver,
+                tree,
+                taps: stage.taps.clone(),
+            }
+        })
+        .collect();
+    Netlist::new(stages, netlist.root).expect("corner scaling preserves netlist structure")
+}
+
 /// A sample from the standard normal distribution truncated at ±3σ.
-fn truncated_normal(rng: &mut XorShift) -> f64 {
+pub fn truncated_normal(rng: &mut XorShift) -> f64 {
     // Box–Muller transform on two uniform samples.
     loop {
         let u1 = rng.next_unit().max(1e-12);
@@ -266,18 +357,20 @@ fn truncated_normal(rng: &mut XorShift) -> f64 {
 /// A small xorshift64* generator: deterministic, dependency-free and more
 /// than adequate for Monte-Carlo perturbation sampling.
 #[derive(Debug, Clone)]
-struct XorShift {
+pub struct XorShift {
     state: u64,
 }
 
 impl XorShift {
-    fn new(seed: u64) -> Self {
+    /// Seeds the generator (a zero seed is mapped to a nonzero state).
+    pub fn new(seed: u64) -> Self {
         Self {
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
         }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;
         x ^= x << 25;
@@ -287,7 +380,7 @@ impl XorShift {
     }
 
     /// Uniform sample in `[0, 1)`.
-    fn next_unit(&mut self) -> f64 {
+    pub fn next_unit(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 }

@@ -19,7 +19,12 @@
 //!   [`Client`](prelude::Client), and the distributed campaign runner
 //!   ([`dist`](contango_campaign::dist) coordinator /
 //!   [`worker`](contango_campaign::worker) processes) with failure
-//!   detection and byte-identical aggregation.
+//!   detection and byte-identical aggregation. Campaigns are
+//!   variation-aware: jobs carry process/voltage corners and seeded
+//!   Monte-Carlo variation sampling, and the
+//!   [`pareto`](contango_campaign::pareto) module reduces any campaign to
+//!   a deterministic Pareto frontier over worst-case skew, capacitance
+//!   and wirelength.
 //!
 //! For everyday use, `use contango::prelude::*;` pulls in the flow, the
 //! pipeline API and the common data types in one line.
@@ -69,10 +74,11 @@ pub use contango_tech::Technology;
 /// ```
 pub mod prelude {
     pub use contango_campaign::{
-        Campaign, CampaignResult, ChaosConfig, Client, ClientError, ClientStats, CoordFrame,
-        DispatchMode, DistConfig, DistError, DistSummary, InstanceSource, Job, JobRecord, Manifest,
-        ManifestError, ReportKind, Request, RequestBody, RequestId, Response, ServeConfig,
-        ServeSummary, Server, ServerError, TableFormat, WorkerConfig, WorkerConnection,
+        sweep_jobs, Campaign, CampaignResult, ChaosConfig, Client, ClientError, ClientStats,
+        CoordFrame, CornerKind, CornerMetrics, DispatchMode, DistConfig, DistError, DistSummary,
+        Frontier, InstanceSource, Job, JobRecord, Manifest, ManifestError, ParetoPoint, ReportKind,
+        Request, RequestBody, RequestId, Response, ServeConfig, ServeSummary, Server, ServerError,
+        SweepAxes, TableFormat, VariationMetrics, VariationSpec, WorkerConfig, WorkerConnection,
         WorkerError, WorkerFrame, WorkerSummary,
     };
     pub use contango_core::construct::{ConstructArena, ParallelConfig};
@@ -85,6 +91,6 @@ pub mod prelude {
     pub use contango_core::topology::TopologyKind;
     pub use contango_core::tree::{ClockTree, NodeId, NodeKind, WireSegment};
     pub use contango_geom::{Point, Rect};
-    pub use contango_sim::{DelayModel, EvalReport};
+    pub use contango_sim::{DelayModel, EvalReport, VariationModel};
     pub use contango_tech::Technology;
 }

@@ -79,6 +79,8 @@ fn reference_records(jobs: &[Job]) -> Vec<JobRecord> {
                         &result,
                     ),
                     snapshots: result.snapshots,
+                    corners: Vec::new(),
+                    variation: None,
                 });
             let mut record = JobRecord {
                 benchmark: job.benchmark.clone(),

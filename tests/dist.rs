@@ -180,14 +180,22 @@ proptest! {
 
     /// For any join order and any kill/drop/stall placement (with one
     /// healthy worker guaranteed), the aggregate is byte-identical to the
-    /// serial run: failures cost time, never bytes.
+    /// serial run: failures cost time, never bytes. The variation axis
+    /// flips the same campaign into a multi-corner Monte-Carlo one, so
+    /// requeued jobs must also reproduce their corner and sample blocks
+    /// bit for bit.
     #[test]
     fn aggregates_survive_worker_churn(
         faults in prop::collection::vec(0..4_usize, 1..4),
         delay_ms in prop::collection::vec(0..60_usize, 1..4),
         healthy_first in 0..2_usize,
+        variation in 0..2_usize,
     ) {
-        let manifest = Manifest::parse(SMALL_MANIFEST).expect("parse manifest");
+        let mut text = SMALL_MANIFEST.to_string();
+        if variation == 1 {
+            text.push_str("corners nominal,slow\nvariation typical-45nm\nsamples 3\nseed 9\n");
+        }
+        let manifest = Manifest::parse(&text).expect("parse manifest");
         let serial = manifest.compile().expect("compile manifest").run();
         let mut pool: Vec<ChaosConfig> = faults
             .iter()

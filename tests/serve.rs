@@ -220,7 +220,7 @@ fn dist_frames_round_trip_and_reject_every_torn_prefix() {
         },
         WorkerFrame::JobDone {
             seq: 41,
-            record: JobRecord {
+            record: Box::new(JobRecord {
                 benchmark: "ti-6".to_string(),
                 tool: "contango".to_string(),
                 sinks: 6,
@@ -228,7 +228,7 @@ fn dist_frames_round_trip_and_reject_every_torn_prefix() {
                     message: "line1\nline2 \"quoted\"".to_string(),
                 }),
                 cache: None,
-            },
+            }),
         },
         WorkerFrame::JobFailed {
             seq: 42,
