@@ -167,8 +167,11 @@ fn write_bench7() {
     let json = format!(
         "{{\n  \"jobs\": {},\n  \"cold_s\": {cold_s:.3},\n  \"warm_s\": {warm_s:.3},\n  \
          \"speedup\": {speedup:.2},\n  \"warm_disk_hit_rate\": {hit_rate:.3},\n  \
-         \"floor\": {SPEEDUP_FLOOR}\n}}\n",
-        jobs.len()
+         \"floor\": {SPEEDUP_FLOOR},\n  \
+         \"host_cores\": {cores},\n  \"peak_rss_mb\": {rss}\n}}\n",
+        jobs.len(),
+        cores = contango_bench::host_cores(),
+        rss = contango_bench::peak_rss_mb_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
     std::fs::write(path, &json).expect("BENCH_7.json is writable");

@@ -26,10 +26,6 @@ fn quick_mode() -> bool {
     std::env::var("CONTANGO_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
 
-fn host_cores() -> usize {
-    contango_core::ParallelConfig::auto().resolved()
-}
-
 /// The benchmark's job matrix: one Contango scalability-configuration run
 /// per TI instance size. Sizes are deliberately heterogeneous so the
 /// longest-job-first scheduler has real balancing work.
@@ -119,32 +115,24 @@ fn write_bench5() {
     });
     let speedup = serial_s / parallel_s;
     let efficiency = speedup / 4.0;
-    let cores = host_cores();
+    let cores = contango_bench::host_cores();
     // The CI-asserted floor: conservative (the 4-core CI runners measure
     // ~2.5-3.5x on 8 balanced jobs), so tripping it means a real
-    // scheduling or session-reuse regression, not timing noise. Hosts with
-    // fewer than 4 cores cannot express the speedup and only record the
-    // measurement.
-    let floor_asserted = cores >= 4;
-    if floor_asserted {
-        assert!(
-            speedup >= SPEEDUP_FLOOR,
-            "campaign suite speedup at 4 workers regressed below the \
-             {SPEEDUP_FLOOR}x floor: {speedup:.2} (serial {serial_s:.3}s, \
-             4 workers {parallel_s:.3}s)"
-        );
-    } else {
-        println!(
-            "note: {cores} host core(s) < 4; recording the measurement without \
-             asserting the {SPEEDUP_FLOOR}x floor"
-        );
-    }
+    // scheduling or session-reuse regression, not timing noise.
+    let floor_asserted = contango_bench::assert_scaling_floor(
+        "campaign suite at 4 workers",
+        cores,
+        speedup,
+        SPEEDUP_FLOOR,
+    );
     let json = format!(
         "{{\n  \"jobs\": {},\n  \"serial_s\": {serial_s:.3},\n  \"threads\": 4,\n  \
          \"parallel_s\": {parallel_s:.3},\n  \"speedup\": {speedup:.2},\n  \
          \"parallel_efficiency\": {efficiency:.2},\n  \"host_cores\": {cores},\n  \
+         \"peak_rss_mb\": {rss},\n  \
          \"floor\": {SPEEDUP_FLOOR},\n  \"floor_asserted\": {floor_asserted}\n}}\n",
-        jobs.len()
+        jobs.len(),
+        rss = contango_bench::peak_rss_mb_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
     std::fs::write(path, &json).expect("BENCH_5.json is writable");

@@ -285,12 +285,15 @@ fn write_bench4() {
          \"buffering\": {{ \"reference_us\": {buf_ref:.1}, \"engine_us\": {buf_eng:.1}, \"speedup\": {:.2} }},\n  \
          \"initial\": {{ \"reference_us\": {initial_ref:.1}, \"engine_us\": {initial_eng:.1}, \"speedup\": {:.2} }},\n  \
          \"zst_cold_arena_us\": {zst_cold:.1},\n  \
-         \"initial_10k_engine_us\": {scale_10k:.1}\n}}\n",
+         \"initial_10k_engine_us\": {scale_10k:.1},\n  \
+         \"host_cores\": {cores},\n  \"peak_rss_mb\": {rss}\n}}\n",
         speedup(zst_ref, zst_eng),
         speedup(greedy_ref, greedy_eng),
         speedup(drain_ref, drain_eng),
         speedup(buf_ref, buf_eng),
         speedup(initial_ref, initial_eng),
+        cores = contango_bench::host_cores(),
+        rss = contango_bench::peak_rss_mb_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
     std::fs::write(path, &json).expect("BENCH_4.json is writable");

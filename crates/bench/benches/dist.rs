@@ -185,6 +185,7 @@ fn run_dist_report() -> String {
     let jobs = serial.records.len();
 
     let mut pool_lines = String::new();
+    let mut pipes_4_s = f64::NAN;
     for workers in [2_usize, 4] {
         let (jsonl, summary, elapsed) = run_with_pipes(workers);
         assert_eq!(
@@ -192,11 +193,25 @@ fn run_dist_report() -> String {
             "pipe pool of {workers} diverged from the serial run"
         );
         assert_eq!(summary.workers_lost, 0);
+        if workers == 4 {
+            pipes_4_s = elapsed.as_secs_f64();
+        }
         pool_lines.push_str(&format!(
             "  \"pipes_{workers}_workers_s\": {:.3},\n",
             elapsed.as_secs_f64()
         ));
     }
+    // Worker processes amortize their spawn cost over the job matrix, so
+    // the same conservative floor as the in-process campaign applies —
+    // gated on the host actually having the cores.
+    let cores = contango_bench::host_cores();
+    let speedup = serial_elapsed.as_secs_f64() / pipes_4_s;
+    let floor_asserted = contango_bench::assert_scaling_floor(
+        "distributed pipe pool at 4 workers",
+        cores,
+        speedup,
+        1.5,
+    );
 
     // Two rigged workers: one crashes right after reporting its first job
     // (the crash may land after the run completes, which is fine), one
@@ -216,13 +231,16 @@ fn run_dist_report() -> String {
 
     format!(
         "{{\n  \"jobs\": {jobs},\n  \"serial_s\": {:.3},\n{pool_lines}  \
+         \"speedup_4_workers\": {speedup:.2},\n  \"floor_asserted\": {floor_asserted},\n  \
          \"failure_pool\": 4,\n  \"failure_lost_workers\": {},\n  \
          \"failure_requeues\": {},\n  \"failure_recovery_s\": {:.3},\n  \
-         \"failure_lost_jobs\": 0,\n  \"bit_identical\": true\n}}\n",
+         \"failure_lost_jobs\": 0,\n  \"bit_identical\": true,\n  \
+         \"host_cores\": {cores},\n  \"peak_rss_mb\": {rss}\n}}\n",
         serial_elapsed.as_secs_f64(),
         summary.workers_lost,
         summary.requeues,
         chaos_elapsed.as_secs_f64(),
+        rss = contango_bench::peak_rss_mb_json(),
     )
 }
 

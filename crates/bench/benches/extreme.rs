@@ -1,0 +1,183 @@
+//! Criterion benchmarks for extreme-scale construction: the hierarchical
+//! partitioned engine on 10k–1M-sink stress instances, across a worker
+//! ladder.
+//!
+//! Besides the criterion group, the custom `main` writes `BENCH_10.json`
+//! at the repository root: a full threads × size matrix (1/2/4/8 workers
+//! × 10k/100k/1M sinks) with per-cell wall-clock, the engine-arena
+//! watermark and the process peak RSS, plus the Elmore evaluation time of
+//! the largest synthesized tree. Before anything is timed, the
+//! partitioned builder is pinned bit-identical to the flat serial engine
+//! on every matrix cell. The ≥1.5× speedup floor at 4 workers on the
+//! 100k+ rows is asserted only on hosts with ≥4 cores (a 1-core container
+//! cannot demonstrate parallel speedup); smaller hosts record the matrix
+//! without asserting.
+//!
+//! Set `CONTANGO_BENCH_QUICK=1` for a fast CI-smoke run (caps the matrix
+//! at 40k sinks and skips the 1M row).
+
+use contango_bench::{assert_scaling_floor, host_cores, peak_rss_mb_json};
+use contango_benchmarks::{stress_instance, StressLayout};
+use contango_core::construct::{
+    construct_initial, ConstructArena, ConstructConfig, ParallelConfig,
+};
+use contango_core::instance::ClockNetInstance;
+use contango_core::lower::to_netlist;
+use contango_core::topology::TopologyKind;
+use contango_core::ClockTree;
+use contango_sim::{DelayModel, Evaluator};
+use contango_tech::Technology;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Instant;
+
+const SPEEDUP_FLOOR: f64 = 1.5;
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+const STRESS_SEED: u64 = 45;
+
+fn quick_mode() -> bool {
+    std::env::var("CONTANGO_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The matrix's size axis: quick mode stays within the CI smoke budget,
+/// full mode runs the 10k/100k/1M ladder the acceptance criterion names.
+fn size_ladder(quick: bool) -> &'static [usize] {
+    if quick {
+        &[10_000, 40_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    }
+}
+
+fn config_with_threads(threads: usize) -> ConstructConfig {
+    ConstructConfig {
+        topology: TopologyKind::Dme,
+        use_large_inverters: false,
+        max_edge_len: 250.0,
+        power_reserve: 0.1,
+        parallel: ParallelConfig::with_threads(threads),
+    }
+}
+
+fn build(
+    instance: &ClockNetInstance,
+    tech: &Technology,
+    threads: usize,
+    arena: &mut ConstructArena,
+) -> ClockTree {
+    construct_initial(instance, tech, &config_with_threads(threads), arena)
+        .expect("stress instance constructs")
+        .0
+}
+
+fn bench_extreme(c: &mut Criterion) {
+    let tech = Technology::ispd09();
+    let instance = stress_instance(
+        if quick_mode() { 10_000 } else { 100_000 },
+        STRESS_SEED,
+        StressLayout::Clustered,
+    );
+    let mut arena = ConstructArena::new();
+    let mut group = c.benchmark_group("extreme");
+    group.sample_size(if quick_mode() { 2 } else { 5 });
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &threads in &[1usize, 4] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("initial_t{threads}/{}", instance.sink_count())),
+            |b| b.iter(|| build(&instance, &tech, threads, &mut arena)),
+        );
+    }
+    group.finish();
+}
+
+/// Times `iters` runs of `f` and returns the mean per-iteration seconds.
+/// One untimed warm-up call absorbs cold-cache/page-fault cost.
+fn mean_s(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measures the threads × size construction matrix outside criterion and
+/// records `BENCH_10.json` at the repository root.
+fn write_bench10() {
+    let quick = quick_mode();
+    let tech = Technology::ispd09();
+    let cores = host_cores();
+    let sizes = size_ladder(quick);
+
+    let mut arena = ConstructArena::new();
+    let mut cells = String::new();
+    let mut floor_asserted = false;
+    let mut largest: Option<(usize, ClockTree)> = None;
+    for &sinks in sizes {
+        let instance = stress_instance(sinks, STRESS_SEED, StressLayout::Clustered);
+        // Identity pin before timing: every partitioned cell must
+        // reproduce the flat serial tree bit for bit.
+        let reference = build(&instance, &tech, 1, &mut arena);
+        let iters = if quick || sinks >= 1_000_000 { 1 } else { 2 };
+        let mut serial_s = f64::NAN;
+        for &threads in &THREAD_LADDER {
+            let tree = build(&instance, &tech, threads, &mut arena);
+            assert_eq!(
+                tree, reference,
+                "partitioned construction at {threads} thread(s) diverged from \
+                 the flat engine on {sinks} sinks"
+            );
+            let cell_s = mean_s(iters, || {
+                build(&instance, &tech, threads, &mut arena);
+            });
+            if threads == 1 {
+                serial_s = cell_s;
+            }
+            if threads == 4 && sinks >= 100_000 {
+                floor_asserted |= assert_scaling_floor(
+                    &format!("extreme construction at 4 threads on {sinks} sinks"),
+                    cores,
+                    serial_s / cell_s,
+                    SPEEDUP_FLOOR,
+                );
+            }
+            let arena_mb = arena.watermark().total_bytes() as f64 / (1024.0 * 1024.0);
+            cells.push_str(&format!(
+                "    {{ \"sinks\": {sinks}, \"threads\": {threads}, \
+                 \"construct_s\": {cell_s:.3}, \"arena_mb\": {arena_mb:.1}, \
+                 \"peak_rss_mb\": {} }},\n",
+                peak_rss_mb_json()
+            ));
+        }
+        largest = Some((sinks, reference));
+    }
+    cells.truncate(cells.len().saturating_sub(2)); // drop trailing ",\n"
+
+    // Elmore evaluation of the largest synthesized tree: the acceptance
+    // criterion's "construction + evaluation completes" leg.
+    let (eval_sinks, tree) = largest.expect("matrix has at least one row");
+    let instance = stress_instance(eval_sinks, STRESS_SEED, StressLayout::Clustered);
+    let netlist = to_netlist(&tree, &tech, &instance.source_spec, 150.0).expect("netlist lowers");
+    let evaluator = Evaluator::with_model(tech, DelayModel::Elmore);
+    let eval_s = mean_s(1, || {
+        evaluator.evaluate(&netlist);
+    });
+
+    let json = format!(
+        "{{\n  \"matrix\": [\n{cells}\n  ],\n  \
+         \"eval_sinks\": {eval_sinks},\n  \"elmore_eval_s\": {eval_s:.3},\n  \
+         \"floor\": {SPEEDUP_FLOOR},\n  \"floor_asserted\": {floor_asserted},\n  \
+         \"host_cores\": {cores},\n  \"peak_rss_mb\": {},\n  \"quick\": {quick}\n}}\n",
+        peak_rss_mb_json()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    std::fs::write(path, &json).expect("BENCH_10.json is writable");
+    println!("BENCH_10.json: {json}");
+}
+
+criterion_group!(benches, bench_extreme);
+
+fn main() {
+    benches();
+    write_bench10();
+}

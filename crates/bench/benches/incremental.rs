@@ -147,9 +147,12 @@ fn write_bench2() {
         speedup >= 5.0,
         "incremental evaluation speedup regressed below the 5x floor: {speedup:.2}"
     );
+    let cores = contango_bench::host_cores();
+    let rss = contango_bench::peak_rss_mb_json();
     let json = format!(
         "{{\n  \"sinks\": {SINKS},\n  \"full_eval_us\": {full_us:.1},\n  \
-         \"incremental_eval_us\": {inc_us:.1},\n  \"speedup\": {speedup:.2}\n}}\n"
+         \"incremental_eval_us\": {inc_us:.1},\n  \"speedup\": {speedup:.2},\n  \
+         \"host_cores\": {cores},\n  \"peak_rss_mb\": {rss}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
     std::fs::write(path, &json).expect("BENCH_2.json is writable");

@@ -138,11 +138,14 @@ fn write_bench9() {
     let json = format!(
         "{{\n  \"jobs\": {},\n  \"corners\": 4,\n  \"mc_samples_per_job\": {},\n  \
          \"frontier_size\": {},\n  \"dominated\": {},\n  \"sweep_s\": {sweep_s:.3},\n  \
-         \"mc_samples_per_s\": {samples_per_s:.0},\n  \"quick\": {quick}\n}}\n",
+         \"mc_samples_per_s\": {samples_per_s:.0},\n  \"quick\": {quick},\n  \
+         \"host_cores\": {cores},\n  \"peak_rss_mb\": {rss}\n}}\n",
         jobs.len(),
         if quick { 2 } else { 8 },
         frontier.points.len(),
         frontier.dominated,
+        cores = contango_bench::host_cores(),
+        rss = contango_bench::peak_rss_mb_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
     std::fs::write(path, &json).expect("BENCH_9.json is writable");

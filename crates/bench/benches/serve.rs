@@ -204,8 +204,11 @@ fn run_load_test(pool_identity: bool) -> String {
          \"completed\": {completed},\n  \"rejected_retried\": {rejected},\n  \
          \"p50_ms\": {p50:.3},\n  \"p95_ms\": {p95:.3},\n  \"p99_ms\": {p99:.3},\n  \
          \"throughput_rps\": {throughput:.1},\n  \"elapsed_s\": {:.3},\n  \
-         \"pool_identity\": {pool_identity}\n}}\n",
-        elapsed.as_secs_f64()
+         \"pool_identity\": {pool_identity},\n  \
+         \"host_cores\": {cores},\n  \"peak_rss_mb\": {rss}\n}}\n",
+        elapsed.as_secs_f64(),
+        cores = contango_bench::host_cores(),
+        rss = contango_bench::peak_rss_mb_json(),
     )
 }
 

@@ -49,3 +49,48 @@ pub fn instance_for(spec: &BenchmarkSpec, max_sinks: usize) -> ClockNetInstance 
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
+
+/// Resolved core count of the host — the worker-pool width
+/// [`contango_core::ParallelConfig::auto`] would pick. Recorded in every
+/// `BENCH_N.json` so a measurement can be judged against the machine that
+/// produced it.
+pub fn host_cores() -> usize {
+    contango_core::ParallelConfig::auto().resolved()
+}
+
+/// Process-wide peak resident set in MiB (`VmHWM`), when the platform
+/// exposes it. Recorded in every `BENCH_N.json`; `None` renders as JSON
+/// `null`.
+pub fn peak_rss_mb() -> Option<f64> {
+    contango_core::mem::peak_rss_bytes().map(|bytes| bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Renders [`peak_rss_mb`] as a JSON scalar (`null` when unavailable).
+pub fn peak_rss_mb_json() -> String {
+    match peak_rss_mb() {
+        Some(mb) => format!("{mb:.1}"),
+        None => "null".to_string(),
+    }
+}
+
+/// The shared speedup-floor gate for the parallel benches: asserts
+/// `speedup >= floor` only when the host has at least `need_cores` cores
+/// (a 1-core container cannot demonstrate parallel speedup and would only
+/// measure scheduling overhead), and returns whether the floor was
+/// asserted. `label` names the measurement in the panic/note text.
+pub fn assert_scaling_floor(label: &str, cores: usize, speedup: f64, floor: f64) -> bool {
+    let need_cores = 4;
+    if cores >= need_cores {
+        assert!(
+            speedup >= floor,
+            "{label} speedup regressed below the {floor}x floor: {speedup:.2}"
+        );
+        true
+    } else {
+        println!(
+            "note: {cores} host core(s) < {need_cores}; recording {label} without \
+             asserting the {floor}x floor (measured {speedup:.2}x)"
+        );
+        false
+    }
+}

@@ -168,6 +168,113 @@ pub fn ti_instance(sinks: usize, seed: u64) -> ClockNetInstance {
         .expect("generated instances are always valid")
 }
 
+/// Sink placement shape of a [`stress_instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StressLayout {
+    /// Sinks scattered uniformly over the die.
+    Uniform,
+    /// Register banks: sinks congregate around scattered cluster centers
+    /// (the default — it matches real SoC floorplans and the TI-style
+    /// scalability instances).
+    #[default]
+    Clustered,
+    /// Clusters arranged on a ring around the die center — the worst case
+    /// for a central clock source, with long balanced spokes.
+    RingOfClusters,
+}
+
+impl StressLayout {
+    /// All layouts, in manifest-label order.
+    pub fn all() -> [StressLayout; 3] {
+        [
+            StressLayout::Uniform,
+            StressLayout::Clustered,
+            StressLayout::RingOfClusters,
+        ]
+    }
+
+    /// The manifest label (`uniform`, `clustered`, `ring`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StressLayout::Uniform => "uniform",
+            StressLayout::Clustered => "clustered",
+            StressLayout::RingOfClusters => "ring",
+        }
+    }
+
+    /// Parses a manifest label; `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<StressLayout> {
+        match label {
+            "uniform" => Some(StressLayout::Uniform),
+            "clustered" => Some(StressLayout::Clustered),
+            "ring" => Some(StressLayout::RingOfClusters),
+            _ => None,
+        }
+    }
+}
+
+/// Generates an extreme-scale stress instance: `sinks` sinks on a square
+/// die that grows with the sink count (constant register density, ~14 mm
+/// per side at 1M sinks), with no obstacles and a capacitance budget
+/// generous enough that buffering always fits — the construction engine,
+/// not the budget, is what these instances stress. Deterministic per
+/// (`sinks`, `seed`, `layout`).
+pub fn stress_instance(sinks: usize, seed: u64, layout: StressLayout) -> ClockNetInstance {
+    let side = ((sinks as f64).sqrt() * 14.0).max(1000.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = ClockNetInstance::builder(&format!("stress_{}_{sinks}", layout.label()))
+        .die(0.0, 0.0, side, side)
+        .source(Point::new(0.0, side * 0.5))
+        .cap_limit(4.0e3 * sinks.max(1000) as f64);
+
+    let clamp = |v: f64| v.clamp(1.0, side - 1.0);
+    let centers: Vec<Point> = match layout {
+        StressLayout::Uniform => Vec::new(),
+        StressLayout::Clustered => {
+            let clusters = ((sinks as f64).sqrt() * 0.25).max(8.0) as usize;
+            (0..clusters)
+                .map(|_| {
+                    Point::new(
+                        rng.gen_range(0.05..0.95) * side,
+                        rng.gen_range(0.05..0.95) * side,
+                    )
+                })
+                .collect()
+        }
+        StressLayout::RingOfClusters => {
+            let clusters = 24;
+            (0..clusters)
+                .map(|i| {
+                    let angle = std::f64::consts::TAU * i as f64 / clusters as f64;
+                    Point::new(
+                        clamp(side * (0.5 + 0.38 * angle.cos())),
+                        clamp(side * (0.5 + 0.38 * angle.sin())),
+                    )
+                })
+                .collect()
+        }
+    };
+    let spread = side * 0.02;
+    for _ in 0..sinks {
+        let p = if centers.is_empty() {
+            Point::new(
+                rng.gen_range(1.0..side - 1.0),
+                rng.gen_range(1.0..side - 1.0),
+            )
+        } else {
+            let c = centers[rng.gen_range(0..centers.len())];
+            Point::new(
+                clamp(c.x + rng.gen_range(-spread..spread)),
+                clamp(c.y + rng.gen_range(-spread..spread)),
+            )
+        };
+        builder = builder.sink(p, rng.gen_range(3.0..20.0));
+    }
+    builder
+        .build()
+        .expect("generated instances are always valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +317,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stress_instances_are_deterministic_per_layout() {
+        for layout in StressLayout::all() {
+            let a = stress_instance(3000, 9, layout);
+            let b = stress_instance(3000, 9, layout);
+            assert_eq!(a, b, "{layout:?}");
+            assert_eq!(a.sink_count(), 3000);
+            assert!(a.validate().is_ok(), "{layout:?}");
+            assert!(a.name.starts_with("stress_"));
+        }
+        // Layouts genuinely differ, and the die grows with the sink count.
+        assert_ne!(
+            stress_instance(3000, 9, StressLayout::Uniform).sinks,
+            stress_instance(3000, 9, StressLayout::RingOfClusters).sinks
+        );
+        let small = stress_instance(1000, 9, StressLayout::Clustered);
+        let large = stress_instance(100_000, 9, StressLayout::Clustered);
+        assert!(large.die.width() > 3.0 * small.die.width());
+    }
+
+    #[test]
+    fn stress_layout_labels_round_trip() {
+        for layout in StressLayout::all() {
+            assert_eq!(StressLayout::from_label(layout.label()), Some(layout));
+        }
+        assert_eq!(StressLayout::from_label("spiral"), None);
+        assert_eq!(StressLayout::default(), StressLayout::Clustered);
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub mod format;
 pub mod generator;
 
 pub use error::ParseError;
-pub use generator::{ispd09_suite, make_instance, ti_instance, BenchmarkSpec};
+pub use generator::{
+    ispd09_suite, make_instance, stress_instance, ti_instance, BenchmarkSpec, StressLayout,
+};
 pub mod ispd;
 pub mod report;
 pub mod solution;

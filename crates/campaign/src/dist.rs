@@ -25,7 +25,7 @@
 use crate::job::Job;
 use crate::manifest::{Manifest, ManifestError};
 use crate::protocol::{CoordFrame, WorkerFrame, DIST_PROTOCOL};
-use crate::runner::{CampaignResult, JobRecord};
+use crate::runner::{CampaignResult, JobRecord, MemoryProfile};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -254,6 +254,7 @@ where
             CampaignResult {
                 records: Vec::new(),
                 threads: 1,
+                memory: MemoryProfile::capture(0),
             },
             DistSummary::default(),
         ));
@@ -532,6 +533,7 @@ impl Coordinator<'_> {
             CampaignResult {
                 records,
                 threads: self.summary.workers_joined.max(1),
+                memory: MemoryProfile::capture(0),
             },
             self.summary,
         ))

@@ -104,7 +104,7 @@ pub use protocol::{
     CoordFrame, Request, RequestBody, RequestId, Response, ServerError, WorkerFrame,
 };
 pub use runner::{
-    Campaign, CampaignResult, CornerMetrics, JobMetrics, JobRecord, VariationMetrics,
+    Campaign, CampaignResult, CornerMetrics, JobMetrics, JobRecord, MemoryProfile, VariationMetrics,
 };
 pub use serve::{Client, ClientError, ClientStats, ServeConfig, ServeSummary, Server};
 pub use worker::{ChaosConfig, WorkerConfig, WorkerConnection, WorkerError, WorkerSummary};

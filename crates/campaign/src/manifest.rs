@@ -29,6 +29,7 @@
 use crate::job::{CornerKind, Job, VariationSpec};
 use crate::runner::Campaign;
 use contango_baselines::BaselineKind;
+use contango_benchmarks::generator::StressLayout;
 use contango_core::construct::ParallelConfig;
 use contango_core::flow::{FlowConfig, FlowStage};
 use contango_core::instance::ClockNetInstance;
@@ -41,6 +42,9 @@ use std::fmt::Write as _;
 /// Default seed for `instance ti:N` sources, matching the CLI's
 /// `generate --ti N` instances.
 const DEFAULT_TI_SEED: u64 = 45;
+
+/// Default seed for `instance stress:N` sources.
+const DEFAULT_STRESS_SEED: u64 = 45;
 
 /// Default Monte-Carlo sample count when a manifest declares a `variation`
 /// model without a `samples` key.
@@ -63,6 +67,18 @@ pub enum InstanceSource {
         sinks: usize,
         /// Generator seed.
         seed: u64,
+    },
+    /// A generated extreme-scale stress instance
+    /// (`instance stress:SINKS[:SEED][:LAYOUT]`; layouts `uniform`,
+    /// `clustered`, `ring`). Generated in memory, so it is available to
+    /// the serve daemon like `ti:` sources.
+    Stress {
+        /// Sink count.
+        sinks: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Sink placement shape.
+        layout: StressLayout,
     },
     /// An instance file on disk (`instance file:PATH`). Rejected by the
     /// serve daemon unless file access is explicitly enabled.
@@ -129,6 +145,12 @@ pub struct Manifest {
     /// Campaign worker-pool width (0 = one per core). Offline execution
     /// only; the serve daemon's pool width is fixed by the server.
     pub threads: usize,
+    /// Construction-engine thread fan-out *inside* each job
+    /// (`construct-threads N`; 0 = auto-detect, construction stays serial
+    /// when the key is absent). Campaign `threads` shard whole flows, so
+    /// the two knobs multiply — keep one of them at 1. Results are
+    /// bit-identical for every value.
+    pub construct_threads: Option<usize>,
     /// Directory of the persistent content-addressed cache store shared by
     /// the campaign's workers (`cache-dir PATH`); `None` runs cold. Gated
     /// like `file:` sources: the serve daemon rejects it unless filesystem
@@ -172,6 +194,7 @@ impl Default for Manifest {
             skip: Vec::new(),
             baselines: Vec::new(),
             threads: 1,
+            construct_threads: None,
             cache_dir: None,
             workers: None,
             dispatch: DispatchMode::Local,
@@ -389,13 +412,45 @@ fn parse_baselines(line: usize, value: &str) -> Result<Vec<BaselineKind>, Manife
     Ok(kinds)
 }
 
-/// Parses an `instance` source: `ti:SINKS[:SEED]` or `file:PATH`.
+/// Parses an `instance` source: `ti:SINKS[:SEED]`,
+/// `stress:SINKS[:SEED][:LAYOUT]` or `file:PATH`.
 fn parse_source(line: usize, value: &str) -> Result<InstanceSource, ManifestError> {
     let invalid = || ManifestError::InvalidValue {
         line,
         key: "instance".to_string(),
         value: value.to_string(),
     };
+    if let Some(spec) = value.strip_prefix("stress:") {
+        let mut parts = spec.split(':');
+        let sinks = parts
+            .next()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .ok_or_else(invalid)?;
+        let mut seed = DEFAULT_STRESS_SEED;
+        let mut layout = StressLayout::default();
+        let mut seen_layout = false;
+        for (index, token) in parts.enumerate() {
+            // The optional seed comes before the optional layout; a
+            // numeric first token is the seed, anything else is a layout.
+            if index == 0 {
+                if let Some(parsed) = parse_u64(token) {
+                    seed = parsed;
+                    continue;
+                }
+            }
+            if seen_layout {
+                return Err(invalid());
+            }
+            layout = StressLayout::from_label(token).ok_or_else(invalid)?;
+            seen_layout = true;
+        }
+        return Ok(InstanceSource::Stress {
+            sinks,
+            seed,
+            layout,
+        });
+    }
     if let Some(spec) = value.strip_prefix("ti:") {
         let mut parts = spec.splitn(2, ':');
         let sinks = parts
@@ -624,6 +679,14 @@ impl Manifest {
                     once(line, "threads")?;
                     manifest.threads = value.parse::<usize>().map_err(|_| invalid("threads"))?;
                 }
+                "construct-threads" => {
+                    once(line, "construct-threads")?;
+                    manifest.construct_threads = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| invalid("construct-threads"))?,
+                    );
+                }
                 "cache-dir" => {
                     once(line, "cache-dir")?;
                     manifest.cache_dir = Some(value.to_string());
@@ -717,6 +780,20 @@ impl Manifest {
                         let _ = writeln!(out, "instance ti:{sinks}:{seed}");
                     }
                 }
+                InstanceSource::Stress {
+                    sinks,
+                    seed,
+                    layout,
+                } => {
+                    let mut spec = format!("stress:{sinks}");
+                    if *seed != DEFAULT_STRESS_SEED {
+                        let _ = write!(spec, ":{seed}");
+                    }
+                    if *layout != StressLayout::default() {
+                        let _ = write!(spec, ":{}", layout.label());
+                    }
+                    let _ = writeln!(out, "instance {spec}");
+                }
                 InstanceSource::File(path) => {
                     let _ = writeln!(out, "instance file:{path}");
                 }
@@ -791,6 +868,9 @@ impl Manifest {
         if self.threads != defaults.threads {
             let _ = writeln!(out, "threads {}", self.threads);
         }
+        if let Some(construct_threads) = self.construct_threads {
+            let _ = writeln!(out, "construct-threads {construct_threads}");
+        }
         if let Some(dir) = &self.cache_dir {
             let _ = writeln!(out, "cache-dir {dir}");
         }
@@ -812,9 +892,12 @@ impl Manifest {
     }
 
     /// The flow configuration the manifest describes. Construction stays
-    /// serial: under the campaign executor, `threads` shards whole flows,
-    /// so N workers use N cores instead of oversubscribing them with a
-    /// nested construction fan-out (results are bit-identical either way).
+    /// serial unless `construct-threads` is set: under the campaign
+    /// executor, `threads` shards whole flows, so N workers use N cores
+    /// instead of oversubscribing them with a nested construction fan-out
+    /// (results are bit-identical either way). Extreme-scale manifests —
+    /// one huge instance instead of many small ones — set
+    /// `construct-threads` to spend the cores *inside* the single job.
     pub fn flow_config(&self) -> FlowConfig {
         let mut config = match self.profile {
             Profile::Default => FlowConfig::default(),
@@ -824,7 +907,10 @@ impl Manifest {
         config.use_large_inverters = self.large_inverters;
         config.topology = self.topology;
         config.model = self.model;
-        config.parallel = ParallelConfig::serial();
+        config.parallel = match self.construct_threads {
+            None => ParallelConfig::serial(),
+            Some(threads) => ParallelConfig::with_threads(threads),
+        };
         config
     }
 
@@ -873,6 +959,15 @@ impl Manifest {
                 }
                 InstanceSource::Ti { sinks, seed } => {
                     instances.push(contango_benchmarks::generator::ti_instance(*sinks, *seed));
+                }
+                InstanceSource::Stress {
+                    sinks,
+                    seed,
+                    layout,
+                } => {
+                    instances.push(contango_benchmarks::generator::stress_instance(
+                        *sinks, *seed, *layout,
+                    ));
                 }
                 InstanceSource::File(path) => {
                     if !allow_files {
@@ -1211,6 +1306,95 @@ seed 99
                 })
             );
         }
+    }
+
+    #[test]
+    fn stress_sources_parse_and_round_trip_canonically() {
+        let m = Manifest::parse(
+            "instance stress:1000\ninstance stress:2000:7\ninstance stress:3000:ring\n\
+             instance stress:4000:9:uniform\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            m.sources,
+            vec![
+                InstanceSource::Stress {
+                    sinks: 1000,
+                    seed: DEFAULT_STRESS_SEED,
+                    layout: StressLayout::Clustered,
+                },
+                InstanceSource::Stress {
+                    sinks: 2000,
+                    seed: 7,
+                    layout: StressLayout::Clustered,
+                },
+                InstanceSource::Stress {
+                    sinks: 3000,
+                    seed: DEFAULT_STRESS_SEED,
+                    layout: StressLayout::RingOfClusters,
+                },
+                InstanceSource::Stress {
+                    sinks: 4000,
+                    seed: 9,
+                    layout: StressLayout::Uniform,
+                },
+            ]
+        );
+        assert_eq!(Manifest::parse(&m.to_text()).expect("reparses"), m);
+        // Defaults render away; non-defaults render in seed-then-layout
+        // order.
+        assert_eq!(
+            m.to_text(),
+            "instance stress:1000\ninstance stress:2000:7\ninstance stress:3000:ring\n\
+             instance stress:4000:9:uniform\n"
+        );
+        // Stress sources are generated, so they need no file access (the
+        // serve daemon can run them).
+        let m = Manifest::parse("instance stress:50\n").expect("parses");
+        let instances = m.instances(false).expect("generates");
+        assert_eq!(instances[0].sink_count(), 50);
+        assert!(instances[0].name.starts_with("stress_clustered"));
+        // Malformed specs are rejected with the line.
+        for text in [
+            "instance stress:0\n",
+            "instance stress:\n",
+            "instance stress:100:spiral\n",
+            "instance stress:100:7:ring:extra\n",
+            "instance stress:100:ring:uniform\n",
+        ] {
+            let err = Manifest::parse(text).unwrap_err();
+            assert!(
+                matches!(err, ManifestError::InvalidValue { line: 1, .. }),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn construct_threads_key_drives_the_flow_fanout() {
+        // Absent: construction stays serial under the campaign executor.
+        let m = Manifest::parse("instance ti:6\n").expect("parses");
+        assert_eq!(m.construct_threads, None);
+        assert_eq!(m.flow_config().parallel, ParallelConfig::serial());
+        // Present: the flow spends its own threads inside construction.
+        let m = Manifest::parse("instance stress:100\nconstruct-threads 4\n").expect("parses");
+        assert_eq!(m.construct_threads, Some(4));
+        assert_eq!(m.flow_config().parallel, ParallelConfig::with_threads(4));
+        assert_eq!(m.to_text(), "instance stress:100\nconstruct-threads 4\n");
+        assert_eq!(Manifest::parse(&m.to_text()).expect("reparses"), m);
+        // `construct-threads 0` is auto-detect and round-trips explicitly.
+        let m = Manifest::parse("instance ti:6\nconstruct-threads 0\n").expect("parses");
+        assert_eq!(m.flow_config().parallel, ParallelConfig::auto());
+        assert_eq!(m.to_text(), "instance ti:6\nconstruct-threads 0\n");
+        // Malformed and duplicate keys are rejected.
+        assert!(matches!(
+            Manifest::parse("construct-threads many\n").unwrap_err(),
+            ManifestError::InvalidValue { .. }
+        ));
+        assert!(matches!(
+            Manifest::parse("construct-threads 1\nconstruct-threads 2\n").unwrap_err(),
+            ManifestError::DuplicateKey { .. }
+        ));
     }
 
     #[test]

@@ -137,12 +137,16 @@ impl Campaign {
                 on_record(&record);
                 slots[ji] = Some(record);
             }
+            let peak_arena = session
+                .as_ref()
+                .map_or(0, |s| s.arena_watermark().total_bytes());
             return CampaignResult {
                 records: slots
                     .into_iter()
                     .map(|r| r.expect("every job ran"))
                     .collect(),
                 threads: 1,
+                memory: MemoryProfile::capture(peak_arena),
             };
         }
 
@@ -152,6 +156,9 @@ impl Campaign {
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<JobRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let sink = Mutex::new(&mut on_record);
+        // Arena watermarks are max-reduced across workers before each
+        // session drops; the reduction order cannot matter for a max.
+        let peak_arena = std::sync::atomic::AtomicU64::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -166,6 +173,9 @@ impl Campaign {
                         }
                         *slots[ji].lock().expect("record slot lock") = Some(record);
                     }
+                    if let Some(s) = &session {
+                        peak_arena.fetch_max(s.arena_watermark().total_bytes(), Ordering::Relaxed);
+                    }
                 });
             }
         });
@@ -179,6 +189,7 @@ impl Campaign {
                 })
                 .collect(),
             threads: workers,
+            memory: MemoryProfile::capture(peak_arena.into_inner()),
         }
     }
 }
@@ -357,14 +368,65 @@ pub struct JobRecord {
     pub cache: Option<CacheCounters>,
 }
 
+/// Peak-memory profile of one campaign execution. Advisory telemetry: the
+/// numbers depend on allocation history (`Vec` growth doubling, session
+/// reuse across jobs, worker count), so they are **excluded** from
+/// [`CampaignResult`] equality and from the deterministic JSONL stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryProfile {
+    /// Largest engine-arena watermark observed across all workers'
+    /// sessions, in bytes (capacity actually retained, summed over the
+    /// construction scratch columns).
+    pub peak_arena_bytes: u64,
+    /// Process-wide peak resident set (`VmHWM`) at collection time, when
+    /// the platform exposes it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl MemoryProfile {
+    /// Snapshots the process peak RSS next to the given arena watermark.
+    pub fn capture(peak_arena_bytes: u64) -> Self {
+        Self {
+            peak_arena_bytes,
+            peak_rss_bytes: contango_core::mem::peak_rss_bytes(),
+        }
+    }
+
+    /// One-line human rendering, e.g. `arena 12.4 MiB, peak RSS 85.1 MiB`.
+    pub fn display_line(&self) -> String {
+        let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+        match self.peak_rss_bytes {
+            Some(rss) => format!(
+                "arena {:.1} MiB, peak RSS {:.1} MiB",
+                mib(self.peak_arena_bytes),
+                mib(rss)
+            ),
+            None => format!("arena {:.1} MiB", mib(self.peak_arena_bytes)),
+        }
+    }
+}
+
 /// Every job's record in submission order, plus aggregate-report builders.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// Per-job records, in **submission** order (the fixed reduction
     /// order), regardless of scheduling.
     pub records: Vec<JobRecord>,
     /// The resolved worker count that executed the campaign.
     pub threads: usize,
+    /// Peak-memory telemetry for this execution. Allocation-history
+    /// dependent — not part of equality, tables or JSONL.
+    pub memory: MemoryProfile,
+}
+
+/// Equality covers the deterministic payload only: `records` and
+/// `threads`. [`CampaignResult::memory`] varies with allocation history
+/// and worker scheduling, so including it would break the guarantee that
+/// campaigns are bit-identical across worker counts.
+impl PartialEq for CampaignResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records && self.threads == other.threads
+    }
 }
 
 impl CampaignResult {

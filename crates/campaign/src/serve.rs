@@ -41,7 +41,7 @@
 use crate::manifest::Manifest;
 use crate::output::{suite_output, ReportKind, TableFormat};
 use crate::protocol::{Request, RequestBody, RequestId, Response, ServerError};
-use crate::runner::{run_job, CampaignResult};
+use crate::runner::{run_job, CampaignResult, MemoryProfile};
 use crate::Job;
 use contango_core::construct::ParallelConfig;
 use contango_core::session::EngineSession;
@@ -331,6 +331,11 @@ fn worker_loop(shared: &Shared) {
         let result = CampaignResult {
             records,
             threads: 1,
+            memory: MemoryProfile::capture(
+                session
+                    .as_ref()
+                    .map_or(0, |s| s.arena_watermark().total_bytes()),
+            ),
         };
         let response = Response::RunOk {
             id: item.id,

@@ -375,6 +375,7 @@ pub fn manifest_from_options(options: &FlowOptions) -> Manifest {
         skip: options.skip.clone(),
         baselines: Vec::new(),
         threads: options.threads,
+        construct_threads: None,
         cache_dir: options.cache_dir.clone(),
         workers: None,
         dispatch: DispatchMode::Local,
@@ -690,6 +691,9 @@ fn suite(
     if result.records.iter().any(|r| r.cache.is_some()) {
         eprint!("{}", result.cache_table().to_text());
     }
+    // Memory telemetry is advisory and allocation-history dependent, so
+    // like the cache profile it stays off stdout.
+    eprintln!("[{label}] memory: {}", result.memory.display_line());
     let output = suite_output(&result, report_kind(report), table_format(format));
     // The campaign reports failures per job and never aborts, but the
     // process exit status must still tell scripts something failed; the
@@ -762,6 +766,9 @@ fn suite_distributed(
     if result.records.iter().any(|r| r.cache.is_some()) {
         eprint!("{}", result.cache_table().to_text());
     }
+    // Coordinator-local memory telemetry (the workers are separate
+    // processes); advisory, so off stdout like the cache profile.
+    eprintln!("[{label}] memory: {}", result.memory.display_line());
     let output = suite_output(&result, report_kind(report), table_format(format));
     let failed = result.failures().len();
     if failed > 0 {

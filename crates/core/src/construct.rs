@@ -57,33 +57,61 @@ const NONE: usize = usize::MAX;
 /// fan-out overhead outweighs the work.
 const MIN_CHUNK: usize = 64;
 
-/// Thread fan-out knob for the construction engine.
+/// Thread and partition fan-out knob for the construction engine.
 ///
 /// `threads == 1` (the default) runs everything on the calling thread;
 /// `threads == 0` resolves to [`std::thread::available_parallelism`]; any
-/// other value is used as given. Construction results are bit-identical for
-/// every thread count: threads only execute independent subtrees whose
-/// results are reduced in a fixed order.
+/// other value is used as given. `partitions` controls how many balanced
+/// sink regions the hierarchical builder carves the instance into before
+/// fanning the region subtrees out over the workers; `partitions == 0`
+/// (the default) derives the region count from the worker count.
+/// Construction results are bit-identical for every thread count and every
+/// partition fan-out: the region splits are exactly the top splits the
+/// serial build would perform, and region results are reduced in a fixed
+/// order along the serial spine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct ParallelConfig {
     /// Worker threads to fan construction out over (0 = auto-detect).
     pub threads: usize,
+    /// Balanced sink regions for hierarchical construction (0 = derive
+    /// from the resolved thread count).
+    pub partitions: usize,
 }
 
 impl ParallelConfig {
     /// Single-threaded construction (the default).
     pub const fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            partitions: 0,
+        }
     }
 
     /// As many threads as the host advertises.
     pub const fn auto() -> Self {
-        Self { threads: 0 }
+        Self {
+            threads: 0,
+            partitions: 0,
+        }
     }
 
     /// Construction with exactly `threads` workers.
     pub const fn with_threads(threads: usize) -> Self {
-        Self { threads }
+        Self {
+            threads,
+            partitions: 0,
+        }
+    }
+
+    /// Construction with exactly `threads` workers over `partitions`
+    /// balanced sink regions (0 derives the region count from the
+    /// workers). More partitions than workers gives the batch scheduler
+    /// finer-grained work items; results stay bit-identical either way.
+    pub const fn with_partitions(threads: usize, partitions: usize) -> Self {
+        Self {
+            threads,
+            partitions,
+        }
     }
 
     /// The effective worker count: `threads`, or the host's available
@@ -97,6 +125,16 @@ impl ParallelConfig {
             self.threads
         }
     }
+
+    /// The effective region fan-out of hierarchical construction:
+    /// `partitions`, or the resolved worker count when `partitions == 0`.
+    pub fn partition_fanout(&self) -> usize {
+        if self.partitions == 0 {
+            self.resolved()
+        } else {
+            self.partitions
+        }
+    }
 }
 
 impl Default for ParallelConfig {
@@ -105,35 +143,126 @@ impl Default for ParallelConfig {
     }
 }
 
-/// One node of the flat, postorder connection topology: either a leaf
-/// holding a sink index or a merge of two earlier arena entries.
-#[derive(Debug, Clone, Copy)]
-struct TopoNode {
-    left: usize,
-    right: usize,
-    /// Index into `instance.sinks` for leaves, [`NONE`] for merges.
-    sink: usize,
+/// Sentinel for "no node" in the structure-of-arrays topology columns.
+/// `u32` indices bound the engine at 2³¹ sinks (2·n−1 arena entries must
+/// fit), far beyond the 1M-sink extreme-scale target, and halve the
+/// topology footprint against `usize`.
+const NONE32: u32 = u32::MAX;
+
+/// Mutable structure-of-arrays view of one contiguous topology block:
+/// postorder left/right child columns plus the leaf sink column
+/// ([`NONE32`] where absent). Splitting the view hands disjoint column
+/// windows to parallel chunk builders.
+struct TopoSlices<'a> {
+    left: &'a mut [u32],
+    right: &'a mut [u32],
+    sink: &'a mut [u32],
 }
 
-impl TopoNode {
-    fn leaf(sink: usize) -> Self {
-        Self {
-            left: NONE,
-            right: NONE,
-            sink,
+impl<'a> TopoSlices<'a> {
+    fn split_at_mut(self, at: usize) -> (TopoSlices<'a>, TopoSlices<'a>) {
+        let (ll, lr) = self.left.split_at_mut(at);
+        let (rl, rr) = self.right.split_at_mut(at);
+        let (sl, sr) = self.sink.split_at_mut(at);
+        (
+            TopoSlices {
+                left: ll,
+                right: rl,
+                sink: sl,
+            },
+            TopoSlices {
+                left: lr,
+                right: rr,
+                sink: sr,
+            },
+        )
+    }
+
+    fn set_leaf(&mut self, i: usize, sink: usize) {
+        self.left[i] = NONE32;
+        self.right[i] = NONE32;
+        self.sink[i] = sink as u32;
+    }
+
+    fn set_merge(&mut self, i: usize, left: usize, right: usize) {
+        self.left[i] = left as u32;
+        self.right[i] = right as u32;
+        self.sink[i] = NONE32;
+    }
+}
+
+/// Mutable structure-of-arrays view of one contiguous merge block: the
+/// eight per-node scalars the DME inner loops touch (the merging segment's
+/// `u`/`v` bounds in rotated coordinates, subtree capacitance and delay,
+/// and the two assigned edge lengths) as contiguous `f64` columns. A
+/// [`MergeData`] is reconstructed only at the [`balance_merge`] boundary,
+/// so the tilted-rectangle math stays in one place while the loops scan
+/// flat memory.
+struct MergeSlices<'a> {
+    u_lo: &'a mut [f64],
+    u_hi: &'a mut [f64],
+    v_lo: &'a mut [f64],
+    v_hi: &'a mut [f64],
+    cap: &'a mut [f64],
+    delay: &'a mut [f64],
+    edge_left: &'a mut [f64],
+    edge_right: &'a mut [f64],
+}
+
+impl<'a> MergeSlices<'a> {
+    fn split_at_mut(self, at: usize) -> (MergeSlices<'a>, MergeSlices<'a>) {
+        let (ul_l, ul_r) = self.u_lo.split_at_mut(at);
+        let (uh_l, uh_r) = self.u_hi.split_at_mut(at);
+        let (vl_l, vl_r) = self.v_lo.split_at_mut(at);
+        let (vh_l, vh_r) = self.v_hi.split_at_mut(at);
+        let (c_l, c_r) = self.cap.split_at_mut(at);
+        let (d_l, d_r) = self.delay.split_at_mut(at);
+        let (el_l, el_r) = self.edge_left.split_at_mut(at);
+        let (er_l, er_r) = self.edge_right.split_at_mut(at);
+        (
+            MergeSlices {
+                u_lo: ul_l,
+                u_hi: uh_l,
+                v_lo: vl_l,
+                v_hi: vh_l,
+                cap: c_l,
+                delay: d_l,
+                edge_left: el_l,
+                edge_right: er_l,
+            },
+            MergeSlices {
+                u_lo: ul_r,
+                u_hi: uh_r,
+                v_lo: vl_r,
+                v_hi: vh_r,
+                cap: c_r,
+                delay: d_r,
+                edge_left: el_r,
+                edge_right: er_r,
+            },
+        )
+    }
+
+    fn get(&self, i: usize) -> MergeData {
+        MergeData {
+            region: TiltedRect::from_uv(self.u_lo[i], self.u_hi[i], self.v_lo[i], self.v_hi[i]),
+            cap: self.cap[i],
+            delay: self.delay[i],
+            edge_left: self.edge_left[i],
+            edge_right: self.edge_right[i],
         }
     }
 
-    fn merge(left: usize, right: usize) -> Self {
-        Self {
-            left,
-            right,
-            sink: NONE,
-        }
-    }
-
-    fn is_leaf(&self) -> bool {
-        self.sink != NONE
+    fn set(&mut self, i: usize, d: &MergeData) {
+        let (u_lo, u_hi, v_lo, v_hi) = d.region.uv_bounds();
+        self.u_lo[i] = u_lo;
+        self.u_hi[i] = u_hi;
+        self.v_lo[i] = v_lo;
+        self.v_hi[i] = v_hi;
+        self.cap[i] = d.cap;
+        self.delay[i] = d.delay;
+        self.edge_left[i] = d.edge_left;
+        self.edge_right[i] = d.edge_right;
     }
 }
 
@@ -146,10 +275,20 @@ impl TopoNode {
 /// hands each worker disjoint slices of these buffers.
 #[derive(Debug, Default)]
 pub struct ConstructArena {
-    // --- DME/ZST construction ---
-    topo: Vec<TopoNode>,
-    merge: Vec<MergeData>,
-    loc: Vec<Point>,
+    // --- DME/ZST construction (structure-of-arrays columns) ---
+    topo_left: Vec<u32>,
+    topo_right: Vec<u32>,
+    topo_sink: Vec<u32>,
+    m_u_lo: Vec<f64>,
+    m_u_hi: Vec<f64>,
+    m_v_lo: Vec<f64>,
+    m_v_hi: Vec<f64>,
+    m_cap: Vec<f64>,
+    m_delay: Vec<f64>,
+    m_edge_left: Vec<f64>,
+    m_edge_right: Vec<f64>,
+    loc_x: Vec<f64>,
+    loc_y: Vec<f64>,
     extra: Vec<f64>,
     order_x: Vec<usize>,
     order_y: Vec<usize>,
@@ -212,6 +351,106 @@ impl ConstructArena {
     /// profile was running).
     pub fn take_job_profile(&mut self) -> CacheCounters {
         self.profile.take().unwrap_or_default()
+    }
+
+    /// The arena's current memory watermark: bytes of scratch capacity
+    /// retained across builds, grouped by engine stage. Capacities only
+    /// grow, so this is the high-water mark of every build the arena has
+    /// served; the spatial index's internal buckets are excluded.
+    pub fn watermark(&self) -> ArenaWatermark {
+        fn bytes<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        ArenaWatermark {
+            zst_bytes: bytes(&self.topo_left)
+                + bytes(&self.topo_right)
+                + bytes(&self.topo_sink)
+                + bytes(&self.m_u_lo)
+                + bytes(&self.m_u_hi)
+                + bytes(&self.m_v_lo)
+                + bytes(&self.m_v_hi)
+                + bytes(&self.m_cap)
+                + bytes(&self.m_delay)
+                + bytes(&self.m_edge_left)
+                + bytes(&self.m_edge_right)
+                + bytes(&self.loc_x)
+                + bytes(&self.loc_y)
+                + bytes(&self.extra)
+                + bytes(&self.order_x)
+                + bytes(&self.order_y)
+                + bytes(&self.scratch)
+                + bytes(&self.keys)
+                + bytes(&self.frames)
+                + bytes(&self.results)
+                + bytes(&self.attach),
+            greedy_bytes: bytes(&self.g_nodes)
+                + bytes(&self.g_cur)
+                + bytes(&self.g_next)
+                + bytes(&self.g_points)
+                + bytes(&self.g_taken),
+            buffering_bytes: bytes(&self.overlay)
+                + bytes(&self.load)
+                + bytes(&self.unbuffered)
+                + bytes(&self.contribs)
+                + bytes(&self.post),
+        }
+    }
+
+    /// Reads one merge entry back out of the structure-of-arrays columns.
+    fn merge_get(&self, i: usize) -> MergeData {
+        MergeData {
+            region: self.region_at(i),
+            cap: self.m_cap[i],
+            delay: self.m_delay[i],
+            edge_left: self.m_edge_left[i],
+            edge_right: self.m_edge_right[i],
+        }
+    }
+
+    /// Writes one merge entry into the structure-of-arrays columns.
+    fn merge_set(&mut self, i: usize, d: &MergeData) {
+        let (u_lo, u_hi, v_lo, v_hi) = d.region.uv_bounds();
+        self.m_u_lo[i] = u_lo;
+        self.m_u_hi[i] = u_hi;
+        self.m_v_lo[i] = v_lo;
+        self.m_v_hi[i] = v_hi;
+        self.m_cap[i] = d.cap;
+        self.m_delay[i] = d.delay;
+        self.m_edge_left[i] = d.edge_left;
+        self.m_edge_right[i] = d.edge_right;
+    }
+
+    /// Reconstructs node `i`'s merging segment from its stored `u`/`v`
+    /// bounds. The bounds are already ordered, so the round-trip through
+    /// [`TiltedRect::from_uv`] is exact.
+    fn region_at(&self, i: usize) -> TiltedRect {
+        TiltedRect::from_uv(
+            self.m_u_lo[i],
+            self.m_u_hi[i],
+            self.m_v_lo[i],
+            self.m_v_hi[i],
+        )
+    }
+}
+
+/// A [`ConstructArena`]'s retained scratch capacity in bytes, grouped by
+/// engine stage. Watermarks depend on the build history (Vec growth is
+/// geometric), so they are reported alongside results but never compared
+/// for equality between runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ArenaWatermark {
+    /// DME/ZST construction columns: topology, merge scalars, embedding.
+    pub zst_bytes: u64,
+    /// Greedy-matching cluster arrays.
+    pub greedy_bytes: u64,
+    /// Buffer-planning overlay and postorder scratch.
+    pub buffering_bytes: u64,
+}
+
+impl ArenaWatermark {
+    /// Total retained bytes across all stages.
+    pub fn total_bytes(&self) -> u64 {
+        self.zst_bytes + self.greedy_bytes + self.buffering_bytes
     }
 }
 
@@ -284,21 +523,43 @@ pub fn zero_skew_tree_with(
     arena.order_y.clear();
     arena.order_y.extend(arena.keys.iter().map(|&(_, i)| i));
 
-    arena.topo.clear();
-    arena.topo.resize(m, TopoNode::leaf(0));
-    let dummy = MergeData {
-        region: TiltedRect::from_point(Point::new(0.0, 0.0)),
-        cap: 0.0,
-        delay: 0.0,
-        edge_left: 0.0,
-        edge_right: 0.0,
-    };
-    arena.merge.clear();
-    arena.merge.resize(m, dummy);
+    assert!(
+        n <= (u32::MAX / 2) as usize,
+        "instance exceeds the engine's 2^31-sink topology index space"
+    );
+    for col in [
+        &mut arena.topo_left,
+        &mut arena.topo_right,
+        &mut arena.topo_sink,
+    ] {
+        col.clear();
+        col.resize(m, NONE32);
+    }
+    for col in [
+        &mut arena.m_u_lo,
+        &mut arena.m_u_hi,
+        &mut arena.m_v_lo,
+        &mut arena.m_v_hi,
+        &mut arena.m_cap,
+        &mut arena.m_delay,
+        &mut arena.m_edge_left,
+        &mut arena.m_edge_right,
+    ] {
+        col.clear();
+        col.resize(m, 0.0);
+    }
 
     let threads = options.parallel.resolved();
-    if threads > 1 && n >= 2 * MIN_CHUNK {
-        build_topology_parallel(instance, code.unit_res, code.unit_cap, threads, arena);
+    let partitions = options.parallel.partition_fanout();
+    if (threads > 1 || partitions > 1) && n >= 2 * MIN_CHUNK {
+        build_topology_parallel(
+            instance,
+            code.unit_res,
+            code.unit_cap,
+            threads,
+            partitions,
+            arena,
+        );
     } else {
         let emitted = {
             let builder = TopoBuilder {
@@ -307,12 +568,27 @@ pub fn zero_skew_tree_with(
                 unit_cap: code.unit_cap,
                 base: 0,
             };
+            let mut topo = TopoSlices {
+                left: &mut arena.topo_left[..],
+                right: &mut arena.topo_right[..],
+                sink: &mut arena.topo_sink[..],
+            };
+            let mut merge = MergeSlices {
+                u_lo: &mut arena.m_u_lo[..],
+                u_hi: &mut arena.m_u_hi[..],
+                v_lo: &mut arena.m_v_lo[..],
+                v_hi: &mut arena.m_v_hi[..],
+                cap: &mut arena.m_cap[..],
+                delay: &mut arena.m_delay[..],
+                edge_left: &mut arena.m_edge_left[..],
+                edge_right: &mut arena.m_edge_right[..],
+            };
             builder.run(
                 &mut arena.order_x[..],
                 &mut arena.order_y[..],
                 &mut arena.scratch[..],
-                &mut arena.topo[..],
-                &mut arena.merge[..],
+                &mut topo,
+                &mut merge,
                 &mut arena.frames,
                 &mut arena.results,
             )
@@ -332,58 +608,62 @@ fn embed_and_materialize(
     arena: &mut ConstructArena,
     tree: &mut ClockTree,
 ) {
-    let m = arena.topo.len();
+    let m = arena.topo_sink.len();
     let root = m - 1;
-    arena.loc.clear();
-    arena.loc.resize(m, Point::new(0.0, 0.0));
-    arena.extra.clear();
-    arena.extra.resize(m, 0.0);
+    for col in [&mut arena.loc_x, &mut arena.loc_y, &mut arena.extra] {
+        col.clear();
+        col.resize(m, 0.0);
+    }
 
-    arena.loc[root] = arena.merge[root].region.closest_point_to(instance.source);
+    let root_loc = arena.region_at(root).closest_point_to(instance.source);
+    arena.loc_x[root] = root_loc.x;
+    arena.loc_y[root] = root_loc.y;
     // Postorder puts children at lower indices than their parent, so one
     // reverse sweep visits every parent before its children.
     for i in (0..m).rev() {
-        let node = arena.topo[i];
-        if node.is_leaf() {
+        if arena.topo_sink[i] != NONE32 {
             continue;
         }
-        let parent_loc = arena.loc[i];
+        let parent_loc = Point::new(arena.loc_x[i], arena.loc_y[i]);
         for (child, assigned_len) in [
-            (node.left, arena.merge[i].edge_left),
-            (node.right, arena.merge[i].edge_right),
+            (arena.topo_left[i] as usize, arena.m_edge_left[i]),
+            (arena.topo_right[i] as usize, arena.m_edge_right[i]),
         ] {
-            let child_loc = arena.merge[child].region.closest_point_to(parent_loc);
+            let child_loc = arena.region_at(child).closest_point_to(parent_loc);
             let geometric = parent_loc.manhattan(child_loc);
-            arena.loc[child] = child_loc;
+            arena.loc_x[child] = child_loc.x;
+            arena.loc_y[child] = child_loc.y;
             arena.extra[child] = (assigned_len - geometric).max(0.0);
         }
     }
 
     let dme_root = tree.add_internal(
         tree.root(),
-        arena.loc[root],
+        root_loc,
         WireSegment::direct(options.wire_width),
     );
     // Iterative preorder: identical node-id assignment to the recursive
     // reference (parent, left subtree, right subtree).
     arena.attach.clear();
-    let top = arena.topo[root];
-    arena.attach.push((top.right, dme_root));
-    arena.attach.push((top.left, dme_root));
+    arena
+        .attach
+        .push((arena.topo_right[root] as usize, dme_root));
+    arena
+        .attach
+        .push((arena.topo_left[root] as usize, dme_root));
     while let Some((id, parent)) = arena.attach.pop() {
-        let node = arena.topo[id];
         let wire = WireSegment {
             width: options.wire_width,
             route: Vec::new(),
             extra_length: arena.extra[id],
         };
-        if node.is_leaf() {
-            let s = &instance.sinks[node.sink];
+        if arena.topo_sink[id] != NONE32 {
+            let s = &instance.sinks[arena.topo_sink[id] as usize];
             tree.add_sink(parent, s.location, wire, s.id, s.cap);
         } else {
-            let me = tree.add_internal(parent, arena.loc[id], wire);
-            arena.attach.push((node.right, me));
-            arena.attach.push((node.left, me));
+            let me = tree.add_internal(parent, Point::new(arena.loc_x[id], arena.loc_y[id]), wire);
+            arena.attach.push((arena.topo_right[id] as usize, me));
+            arena.attach.push((arena.topo_left[id] as usize, me));
         }
     }
 }
@@ -422,8 +702,8 @@ impl TopoBuilder<'_> {
         order_x: &mut [usize],
         order_y: &mut [usize],
         scratch: &mut [usize],
-        topo: &mut [TopoNode],
-        merge: &mut [MergeData],
+        topo: &mut TopoSlices<'_>,
+        merge: &mut MergeSlices<'_>,
         frames: &mut Vec<Frame>,
         results: &mut Vec<usize>,
     ) -> usize {
@@ -440,10 +720,10 @@ impl TopoBuilder<'_> {
             if emit {
                 let right = results.pop().expect("right subtree built");
                 let left = results.pop().expect("left subtree built");
-                let l = merge[left - self.base].clone();
-                let r = merge[right - self.base].clone();
-                merge[pos] = merge_node(&l, &r, self.unit_res, self.unit_cap);
-                topo[pos] = TopoNode::merge(left, right);
+                let l = merge.get(left - self.base);
+                let r = merge.get(right - self.base);
+                merge.set(pos, &merge_node(&l, &r, self.unit_res, self.unit_cap));
+                topo.set_merge(pos, left, right);
                 results.push(self.base + pos);
                 pos += 1;
                 continue;
@@ -451,14 +731,17 @@ impl TopoBuilder<'_> {
             if hi - lo == 1 {
                 let sink = order_x[lo];
                 let s = &sinks[sink];
-                merge[pos] = MergeData {
-                    region: TiltedRect::from_point(s.location),
-                    cap: s.cap,
-                    delay: 0.0,
-                    edge_left: 0.0,
-                    edge_right: 0.0,
-                };
-                topo[pos] = TopoNode::leaf(sink);
+                merge.set(
+                    pos,
+                    &MergeData {
+                        region: TiltedRect::from_point(s.location),
+                        cap: s.cap,
+                        delay: 0.0,
+                        edge_left: 0.0,
+                        edge_right: 0.0,
+                    },
+                );
+                topo.set_leaf(pos, sink);
                 results.push(self.base + pos);
                 pos += 1;
                 continue;
@@ -556,22 +839,27 @@ struct SpineMerge {
     pos: usize,
 }
 
-/// Splits the sink range into per-thread chunks by evaluating the top
-/// topology levels serially, fans the chunk builds out over
-/// [`std::thread::scope`], then emits the spine merges in order. The arena
-/// content is bit-identical to the serial build.
+/// Hierarchical partitioned construction: carves the sink set into
+/// balanced regions by evaluating the top topology levels serially (the
+/// exact splits the serial build would perform), fans the independent
+/// region subtree builds out over [`std::thread::scope`], then emits the
+/// connecting spine merges in order. The arena content is bit-identical to
+/// the serial build for every thread count and partition fan-out, because
+/// the region boundaries *are* the serial build's top splits and the spine
+/// reduction replays its merges in postorder.
 fn build_topology_parallel(
     instance: &ClockNetInstance,
     unit_res: f64,
     unit_cap: f64,
     threads: usize,
+    partitions: usize,
     arena: &mut ConstructArena,
 ) {
     let n = arena.order_x.len();
     let mut chunks: Vec<Chunk> = Vec::new();
     let mut spine: Vec<SpineMerge> = Vec::new();
-    let depth = threads.next_power_of_two().trailing_zeros() as usize
-        + usize::from(!threads.is_power_of_two());
+    let depth = partitions.next_power_of_two().trailing_zeros() as usize
+        + usize::from(!partitions.is_power_of_two());
     let (root, next_base) = plan_chunks(
         instance,
         &mut arena.order_x[..],
@@ -587,25 +875,38 @@ fn build_topology_parallel(
     debug_assert_eq!(root, 2 * n - 2);
     debug_assert_eq!(next_base, 2 * n - 1);
 
-    // Hand each chunk its disjoint slices of the shared arenas, then batch
-    // the chunks over at most `threads` workers (plan_chunks can produce up
-    // to the next power of two chunks, so one-thread-per-chunk would
-    // oversubscribe the requested worker count).
+    // Hand each region its disjoint windows of the shared column arenas,
+    // then batch the regions over at most `threads` workers (plan_chunks
+    // can produce up to the next power of two regions, so
+    // one-thread-per-region would oversubscribe the requested count).
     type ChunkWork<'w> = (
         TopoBuilder<'w>,
         &'w mut [usize],
         &'w mut [usize],
         &'w mut [usize],
-        &'w mut [TopoNode],
-        &'w mut [MergeData],
+        TopoSlices<'w>,
+        MergeSlices<'w>,
         usize,
     );
     std::thread::scope(|scope| {
         let mut order_x = &mut arena.order_x[..];
         let mut order_y = &mut arena.order_y[..];
         let mut scratch = &mut arena.scratch[..];
-        let mut topo = &mut arena.topo[..];
-        let mut merge = &mut arena.merge[..];
+        let mut topo = TopoSlices {
+            left: &mut arena.topo_left[..],
+            right: &mut arena.topo_right[..],
+            sink: &mut arena.topo_sink[..],
+        };
+        let mut merge = MergeSlices {
+            u_lo: &mut arena.m_u_lo[..],
+            u_hi: &mut arena.m_u_hi[..],
+            v_lo: &mut arena.m_v_lo[..],
+            v_hi: &mut arena.m_v_hi[..],
+            cap: &mut arena.m_cap[..],
+            delay: &mut arena.m_delay[..],
+            edge_left: &mut arena.m_edge_left[..],
+            edge_right: &mut arena.m_edge_right[..],
+        };
         let mut sink_cursor = 0usize;
         let mut arena_cursor = 0usize;
         let mut works: Vec<ChunkWork<'_>> = Vec::with_capacity(chunks.len());
@@ -647,8 +948,9 @@ fn build_topology_parallel(
             scope.spawn(move || {
                 let mut frames = Vec::new();
                 let mut results = Vec::new();
-                for (builder, ox, oy, sc, tp, mg, k) in batch {
-                    let emitted = builder.run(ox, oy, sc, tp, mg, &mut frames, &mut results);
+                for (builder, ox, oy, sc, mut tp, mut mg, k) in batch {
+                    let emitted =
+                        builder.run(ox, oy, sc, &mut tp, &mut mg, &mut frames, &mut results);
                     debug_assert_eq!(emitted, 2 * k - 1);
                     let _ = k;
                 }
@@ -656,13 +958,16 @@ fn build_topology_parallel(
         }
     });
 
-    // The spine merges combine chunk roots bottom-up; `plan_chunks` pushed
-    // them in postorder, so children are always ready.
+    // The spine merges combine region roots bottom-up; `plan_chunks`
+    // pushed them in postorder, so children are always ready.
     for s in &spine {
-        let l = arena.merge[s.left].clone();
-        let r = arena.merge[s.right].clone();
-        arena.merge[s.pos] = merge_node(&l, &r, unit_res, unit_cap);
-        arena.topo[s.pos] = TopoNode::merge(s.left, s.right);
+        let l = arena.merge_get(s.left);
+        let r = arena.merge_get(s.right);
+        let parent = merge_node(&l, &r, unit_res, unit_cap);
+        arena.merge_set(s.pos, &parent);
+        arena.topo_left[s.pos] = s.left as u32;
+        arena.topo_right[s.pos] = s.right as u32;
+        arena.topo_sink[s.pos] = NONE32;
     }
 }
 
@@ -1382,6 +1687,52 @@ mod tests {
         assert_eq!(ParallelConfig::with_threads(6).resolved(), 6);
         assert!(ParallelConfig::auto().resolved() >= 1);
         assert_eq!(ParallelConfig::default(), ParallelConfig::serial());
+        // Partition fan-out: explicit when set, worker-derived when 0.
+        assert_eq!(ParallelConfig::serial().partition_fanout(), 1);
+        assert_eq!(ParallelConfig::with_threads(6).partition_fanout(), 6);
+        assert_eq!(
+            ParallelConfig::with_partitions(2, 16).partition_fanout(),
+            16
+        );
+        assert_eq!(ParallelConfig::with_partitions(4, 0).partition_fanout(), 4);
+    }
+
+    #[test]
+    fn partition_fanouts_stay_bit_identical() {
+        let tech = Technology::ispd09();
+        let instance = grid_instance(13, 10);
+        let mut arena = ConstructArena::new();
+        let serial = zero_skew_tree_with(&instance, &tech, DmeOptions::default(), &mut arena);
+        // Partitions above, below, and decoupled from the worker count,
+        // including a single-partition parallel dispatch.
+        for (threads, partitions) in [(1usize, 2usize), (1, 7), (2, 16), (4, 3), (8, 1), (3, 0)] {
+            let opts = DmeOptions {
+                parallel: ParallelConfig::with_partitions(threads, partitions),
+                ..DmeOptions::default()
+            };
+            let fanned = zero_skew_tree_with(&instance, &tech, opts, &mut arena);
+            assert_eq!(serial, fanned, "threads={threads} partitions={partitions}");
+        }
+    }
+
+    #[test]
+    fn arena_watermark_tracks_retained_capacity() {
+        let mut arena = ConstructArena::new();
+        assert_eq!(arena.watermark().total_bytes(), 0);
+        let tech = Technology::ispd09();
+        let instance = grid_instance(9, 8);
+        let _ = zero_skew_tree_with(&instance, &tech, DmeOptions::default(), &mut arena);
+        let after = arena.watermark();
+        assert!(after.zst_bytes > 0);
+        assert_eq!(after.greedy_bytes, 0);
+        // Watermarks never shrink: a smaller build retains the capacity.
+        let small = grid_instance(2, 2);
+        let _ = zero_skew_tree_with(&small, &tech, DmeOptions::default(), &mut arena);
+        let _ = greedy_matching_with(&small, &mut arena);
+        let again = arena.watermark();
+        assert!(again.zst_bytes >= after.zst_bytes);
+        assert!(again.greedy_bytes > 0);
+        assert!(again.total_bytes() >= after.total_bytes());
     }
 
     #[test]

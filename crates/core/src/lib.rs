@@ -60,6 +60,7 @@ pub mod error;
 pub mod flow;
 pub mod instance;
 pub mod lower;
+pub mod mem;
 pub mod obstacles;
 pub mod opt;
 pub mod pipeline;

@@ -1,0 +1,52 @@
+//! Process-level memory metering for the extreme-scale campaign axis.
+//!
+//! The construction engine accounts for its own scratch via
+//! [`crate::construct::ConstructArena::watermark`]; this module adds the
+//! whole-process view — peak resident set size as the kernel saw it — so
+//! campaign profiles can report a memory budget alongside wall-clock.
+//! Everything here is best-effort and platform-gated: on hosts without
+//! `/proc/self/status` the readings are simply absent, never wrong.
+
+/// Peak resident set size of the current process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where the procfs interface is
+/// unavailable. The value is a high-water mark over the whole process
+/// lifetime and depends on allocator history, so it is reported alongside
+/// results but must never enter deterministic comparisons.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Parses the `VmHWM:` line out of a `/proc/self/status` payload.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .strip_suffix("kB")?
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kib * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_vm_hwm_line() {
+        let status = "Name:\tcontango\nVmPeak:\t  123 kB\nVmHWM:\t  20480 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(20480 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tcontango\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn live_reading_is_plausible_when_available() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // Any running test binary has touched at least a megabyte.
+            assert!(bytes > 1 << 20, "implausible peak RSS {bytes}");
+        }
+    }
+}

@@ -99,6 +99,15 @@ impl EngineSession {
         &self.evaluator
     }
 
+    /// The construction arena's retained-scratch watermark (see
+    /// [`ConstructArena::watermark`]). Batch drivers reduce this across
+    /// workers into their memory profile; the value depends on the job
+    /// history a worker happened to serve, so it never enters
+    /// deterministic result comparisons.
+    pub fn arena_watermark(&self) -> crate::construct::ArenaWatermark {
+        self.arena.watermark()
+    }
+
     /// Attaches a persistent [`CacheStore`] to the whole session: the
     /// evaluator's stage and transition-solve caches and the construction
     /// arena's `INITIAL`-result cache all read through and write back to the

@@ -1,0 +1,136 @@
+//! Extreme-scale construction: a 100k-sink clustered stress instance,
+//! end to end through the hierarchical partitioned engine.
+//!
+//! The example builds the initial tree twice — flat serial and partitioned
+//! over 4 workers — verifies the two are bit-identical, lowers the tree to
+//! a netlist and evaluates it under the Elmore model, then prints the
+//! quality metrics next to a memory-watermark table: the engine arena's
+//! retained scratch by stage group, and the process peak RSS when the
+//! platform exposes it.
+//!
+//! Run with `cargo run --release --example extreme_scale`.
+//!
+//! Environment knobs:
+//!
+//! * `CONTANGO_SINKS` — stress-instance sink count (default 100000);
+//! * `CONTANGO_RSS_CAP_MB` — when set, fail if the process peak RSS
+//!   exceeds this many MiB (used by the CI scale-smoke job as a memory
+//!   budget).
+
+use contango::benchmarks::{stress_instance, StressLayout};
+use contango::core::construct::{
+    construct_initial, ConstructArena, ConstructConfig, ParallelConfig,
+};
+use contango::core::lower::to_netlist;
+use contango::core::mem::peak_rss_bytes;
+use contango::core::topology::TopologyKind;
+use contango::sim::{DelayModel, Evaluator};
+use contango::Technology;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config(threads: usize) -> ConstructConfig {
+    ConstructConfig {
+        topology: TopologyKind::Dme,
+        use_large_inverters: false,
+        max_edge_len: 250.0,
+        power_reserve: 0.1,
+        parallel: ParallelConfig::with_threads(threads),
+    }
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sinks = env_usize("CONTANGO_SINKS", 100_000);
+    let tech = Technology::ispd09();
+    let instance = stress_instance(sinks, 45, StressLayout::Clustered);
+    println!(
+        "instance: {} ({} sinks, clustered layout, die {:.1} x {:.1} mm)",
+        instance.name,
+        instance.sink_count(),
+        (instance.die.hi.x - instance.die.lo.x) / 1000.0,
+        (instance.die.hi.y - instance.die.lo.y) / 1000.0,
+    );
+
+    let mut arena = ConstructArena::new();
+
+    let start = Instant::now();
+    let (serial_tree, _) = construct_initial(&instance, &tech, &config(1), &mut arena)?;
+    let serial_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let (tree, reports) = construct_initial(&instance, &tech, &config(4), &mut arena)?;
+    let fanned_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        tree, serial_tree,
+        "partitioned construction diverged from the flat engine"
+    );
+    println!(
+        "construction: serial {serial_s:.2}s, 4 workers {fanned_s:.2}s \
+         (bit-identical trees), {} nodes, {} buffers",
+        tree.len(),
+        tree.buffer_count(),
+    );
+    println!(
+        "buffering: {} buffer sites, {:.0} fF total cap; polarity: {} corrective inverters",
+        reports.buffering.buffers, reports.buffering.total_cap, reports.polarity.added_inverters,
+    );
+
+    let start = Instant::now();
+    let netlist = to_netlist(&tree, &tech, &instance.source_spec, 150.0)?;
+    let evaluator = Evaluator::with_model(tech, DelayModel::Elmore);
+    let report = evaluator.evaluate(&netlist);
+    println!(
+        "evaluation (Elmore): skew {:.1} ps, CLR {:.1} ps, max latency {:.1} ps \
+         in {:.2}s",
+        report.skew(),
+        report.clr(),
+        report.max_latency(),
+        start.elapsed().as_secs_f64(),
+    );
+
+    // The memory story: retained engine scratch by stage group, then the
+    // process high-water mark.
+    let watermark = arena.watermark();
+    println!("\nmemory watermarks");
+    println!("  {:<22} {:>10}", "group", "MiB");
+    println!("  {:-<22} {:->10}", "", "");
+    println!("  {:<22} {:>10.1}", "zst/dme", mib(watermark.zst_bytes));
+    println!("  {:<22} {:>10.1}", "greedy", mib(watermark.greedy_bytes));
+    println!(
+        "  {:<22} {:>10.1}",
+        "buffering",
+        mib(watermark.buffering_bytes)
+    );
+    println!(
+        "  {:<22} {:>10.1}",
+        "arena total",
+        mib(watermark.total_bytes())
+    );
+    match peak_rss_bytes() {
+        Some(rss) => println!("  {:<22} {:>10.1}", "process peak RSS", mib(rss)),
+        None => println!("  {:<22} {:>10}", "process peak RSS", "n/a"),
+    }
+
+    if let Ok(cap) = std::env::var("CONTANGO_RSS_CAP_MB") {
+        let cap_mb: f64 = cap.parse()?;
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(
+                mib(rss) <= cap_mb,
+                "peak RSS {:.1} MiB exceeds the {cap_mb:.1} MiB budget",
+                mib(rss)
+            );
+            println!("\npeak RSS within the {cap_mb:.0} MiB budget");
+        }
+    }
+    Ok(())
+}

@@ -76,10 +76,10 @@ pub mod prelude {
     pub use contango_campaign::{
         sweep_jobs, Campaign, CampaignResult, ChaosConfig, Client, ClientError, ClientStats,
         CoordFrame, CornerKind, CornerMetrics, DispatchMode, DistConfig, DistError, DistSummary,
-        Frontier, InstanceSource, Job, JobRecord, Manifest, ManifestError, ParetoPoint, ReportKind,
-        Request, RequestBody, RequestId, Response, ServeConfig, ServeSummary, Server, ServerError,
-        SweepAxes, TableFormat, VariationMetrics, VariationSpec, WorkerConfig, WorkerConnection,
-        WorkerError, WorkerFrame, WorkerSummary,
+        Frontier, InstanceSource, Job, JobRecord, Manifest, ManifestError, MemoryProfile,
+        ParetoPoint, ReportKind, Request, RequestBody, RequestId, Response, ServeConfig,
+        ServeSummary, Server, ServerError, SweepAxes, TableFormat, VariationMetrics, VariationSpec,
+        WorkerConfig, WorkerConnection, WorkerError, WorkerFrame, WorkerSummary,
     };
     pub use contango_core::construct::{ConstructArena, ParallelConfig};
     pub use contango_core::error::{CoreError, InstanceError, TreeError};
